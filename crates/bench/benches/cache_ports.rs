@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the three vector-port schedulers on the
+//! paper's characteristic access patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mom3d_mem::{
+    schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig, VectorCacheConfig,
+};
+
+fn strided(base: u64, stride: i64, vl: usize) -> Vec<(u64, u32)> {
+    (0..vl).map(|i| ((base as i64 + stride * i as i64) as u64, 8)).collect()
+}
+
+fn bench_ports(c: &mut Criterion) {
+    let banked = BankedConfig::default();
+    let vc = VectorCacheConfig::default();
+    let strided_me = strided(0x1_0000, 352, 8); // motion-estimation rows
+    let dense = strided(0x1_0000, 8, 16); // jpeg-decode rows
+    let blocks_3d: Vec<(u64, u32)> = (0..8u64).map(|e| (0x1_0000 + 352 * e, 128)).collect();
+
+    let mut g = c.benchmark_group("cache_ports");
+    g.bench_function("multibanked_strided", |b| {
+        b.iter(|| schedule_multibanked(black_box(&banked), black_box(&strided_me)))
+    });
+    g.bench_function("multibanked_dense", |b| {
+        b.iter(|| schedule_multibanked(black_box(&banked), black_box(&dense)))
+    });
+    g.bench_function("vector_cache_strided", |b| {
+        b.iter(|| schedule_vector_cache(black_box(&vc), black_box(&strided_me)))
+    });
+    g.bench_function("vector_cache_dense", |b| {
+        b.iter(|| schedule_vector_cache(black_box(&vc), black_box(&dense)))
+    });
+    g.bench_function("wide_3d", |b| b.iter(|| schedule_3d(black_box(&blocks_3d))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ports);
+criterion_main!(benches);

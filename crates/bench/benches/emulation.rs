@@ -1,0 +1,29 @@
+//! Criterion benchmark of the functional emulator: dynamic instructions
+//! per second over real kernel traces.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mom3d_emu::Emulator;
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation");
+    for (kind, variant) in [
+        (WorkloadKind::GsmEncode, IsaVariant::Mom),
+        (WorkloadKind::GsmEncode, IsaVariant::Mom3d),
+        (WorkloadKind::Mpeg2Encode, IsaVariant::Mmx),
+    ] {
+        let wl = Workload::build_small(kind, variant, 1).expect("builds");
+        g.throughput(Throughput::Elements(wl.trace().len() as u64));
+        g.bench_function(format!("{kind}-{variant}").replace(' ', "_"), |b| {
+            b.iter(|| {
+                let mut emu = Emulator::with_machine(wl.machine());
+                emu.run(wl.trace()).expect("executes");
+                emu.executed()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

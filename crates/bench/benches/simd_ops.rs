@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the packed-arithmetic kernels that
+//! every simulated µSIMD/MOM instruction executes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mom3d_simd::{add_sat_u, madd_s16, pack_s16_to_u8_sat, sad_u8, Width};
+
+fn bench_simd(c: &mut Criterion) {
+    let a: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let b: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)).collect();
+
+    let mut g = c.benchmark_group("simd_ops");
+    g.throughput(Throughput::Elements(a.len() as u64));
+
+    g.bench_function("add_sat_u8", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc ^= add_sat_u(black_box(x), black_box(y), Width::B8);
+            }
+            acc
+        })
+    });
+    g.bench_function("sad_u8", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc += sad_u8(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    g.bench_function("madd_s16", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc ^= madd_s16(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    g.bench_function("packuswb", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for (&x, &y) in a.iter().zip(&b) {
+                acc ^= pack_s16_to_u8_sat(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simd);
+criterion_main!(benches);

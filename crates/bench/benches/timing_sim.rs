@@ -1,0 +1,38 @@
+//! Criterion benchmark of the out-of-order timing simulator: simulated
+//! instructions per host second, per memory system.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mom3d_cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn bench_timing(c: &mut Criterion) {
+    let wl = Workload::build_small(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, 1).unwrap();
+    let wl3 = Workload::build_small(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, 1).unwrap();
+
+    let mut g = c.benchmark_group("timing_sim");
+    g.throughput(Throughput::Elements(wl.trace().len() as u64));
+    for mem in [
+        MemorySystemKind::Ideal,
+        MemorySystemKind::MultiBanked,
+        MemorySystemKind::VectorCache,
+    ] {
+        g.bench_function(format!("mom_{mem:?}"), |b| {
+            let p = Processor::new(
+                ProcessorConfig::mom().with_memory(mem).with_warm_caches(true),
+            );
+            b.iter(|| p.run(wl.trace()).expect("runs").cycles)
+        });
+    }
+    g.bench_function("mom3d_VectorCache3d", |b| {
+        let p = Processor::new(
+            ProcessorConfig::mom()
+                .with_memory(MemorySystemKind::VectorCache3d)
+                .with_warm_caches(true),
+        );
+        b.iter(|| p.run(wl3.trace()).expect("runs").cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_timing);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmark of the §5.1 memory-vectorizer pass itself
+//! (compile-time cost of the analysis + rewrite).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mom3d_core::{vectorize, VectorizeConfig};
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn bench_vectorizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vectorizer");
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode, WorkloadKind::JpegDecode] {
+        let wl = Workload::build_small(kind, IsaVariant::Mom, 1).expect("builds");
+        g.throughput(Throughput::Elements(wl.trace().len() as u64));
+        g.bench_function(kind.to_string().replace(' ', "_"), |b| {
+            b.iter(|| vectorize(wl.trace(), &VectorizeConfig::default()).1)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vectorizer);
+criterion_main!(benches);

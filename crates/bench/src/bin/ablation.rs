@@ -1,0 +1,104 @@
+//! Ablation study of the two design choices the reproduction had to
+//! pin down beyond the paper's text:
+//!
+//! * the **vector cache port width** (the paper evaluates 4 × 64 bit —
+//!   what would 2 or 8 words have bought?);
+//! * the number of **outstanding vector transactions** (the paper's
+//!   latency-tolerance results imply a bound; we default to 4).
+//!
+//! Run on the most memory-bound workload (mpeg2 encode) for MOM and
+//! MOM+3D.
+
+use mom3d_bench::seed_from_args;
+use mom3d_cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use mom3d_mem::VectorCacheConfig;
+
+fn main() {
+    let seed = seed_from_args();
+    let mom = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, seed).unwrap();
+    let m3d = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, seed).unwrap();
+    mom.verify().unwrap();
+    m3d.verify().unwrap();
+
+    println!("Ablation: vector cache width (mpeg2 encode, cycles)");
+    println!("{:>12} {:>12} {:>12}", "width", "MOM", "MOM+3D");
+    for width_words in [2usize, 4, 8] {
+        let run = |wl: &Workload, mem| {
+            let mut cfg = ProcessorConfig::mom().with_memory(mem).with_warm_caches(true);
+            cfg.vector_cache = VectorCacheConfig { width_words, line_bytes: 128 };
+            Processor::new(cfg).run(wl.trace()).unwrap().cycles
+        };
+        println!(
+            "{:>9}x64b {:>12} {:>12}",
+            width_words,
+            run(&mom, MemorySystemKind::VectorCache),
+            run(&m3d, MemorySystemKind::VectorCache3d)
+        );
+    }
+    println!(
+        "\n(Strided 2D loads cannot use the width at all; the 3D path fetches\n\
+         whole lines regardless — the width mainly helps dense streams,\n\
+         which is why the paper settles on a modest 4x64b port.)\n"
+    );
+
+    println!("Ablation: outstanding vector transactions (mpeg2 encode, cycles)");
+    println!("{:>12} {:>12} {:>12} {:>14} {:>14}", "buffers", "MOM@20", "MOM@60", "MOM+3D@20", "MOM+3D@60");
+    for buffers in [1usize, 2, 4, 8] {
+        let run = |wl: &Workload, mem, l2| {
+            let mut cfg = ProcessorConfig::mom()
+                .with_memory(mem)
+                .with_l2_latency(l2)
+                .with_warm_caches(true);
+            cfg.vec_outstanding = buffers;
+            Processor::new(cfg).run(wl.trace()).unwrap().cycles
+        };
+        println!(
+            "{buffers:>12} {:>12} {:>12} {:>14} {:>14}",
+            run(&mom, MemorySystemKind::VectorCache, 20),
+            run(&mom, MemorySystemKind::VectorCache, 60),
+            run(&m3d, MemorySystemKind::VectorCache3d, 20),
+            run(&m3d, MemorySystemKind::VectorCache3d, 60)
+        );
+    }
+    println!(
+        "\n(With one buffer every access serializes against the L2 latency;\n\
+         beyond ~4 the port bandwidth is the binding constraint — the\n\
+         Figure 10 sensitivity lives in this knob.)\n"
+    );
+
+    // §7 related work: the vector shift&mask register trick vs. real 3D
+    // memory vectorization.
+    let trick = mom3d_kernels::mpeg2_encode_shift_trick(
+        &mom3d_kernels::Mpeg2EncodeParams::with_seed(seed),
+    );
+    trick.verify().unwrap();
+    let run = |wl: &Workload, mem| {
+        Processor::new(ProcessorConfig::mom().with_memory(mem).with_warm_caches(true))
+            .run(wl.trace())
+            .unwrap()
+    };
+    let m_plain = run(&mom, MemorySystemKind::VectorCache);
+    let m_trick = run(&trick, MemorySystemKind::VectorCache);
+    let m_3d = run(&m3d, MemorySystemKind::VectorCache3d);
+    println!("Related work (§7): shift&mask register trick vs 3D (mpeg2 encode)");
+    println!(
+        "{:<22} {:>10} {:>12} {:>14} {:>12}",
+        "coding", "cycles", "instrs", "words moved", "eff bw"
+    );
+    for (name, m) in [("MOM reload", m_plain), ("MOM shift&mask", m_trick), ("MOM+3D", m_3d)] {
+        println!(
+            "{name:<22} {:>10} {:>12} {:>14} {:>11.2}",
+            m.cycles,
+            m.instructions,
+            m.vec_words,
+            m.effective_bandwidth()
+        );
+    }
+    println!(
+        "\n(The trick halves the loads but adds three vector ops per candidate\n\
+         and still fetches one strided column per step — it cannot exploit\n\
+         wide-block fetches, which is the paper's argument for real 3D\n\
+         memory vectorization.)"
+    );
+}

@@ -1,0 +1,32 @@
+//! Runs the complete experiment matrix in paper order — the input for
+//! `EXPERIMENTS.md`.
+
+use mom3d_bench::{
+    fig10, fig11, fig3, fig6, fig7, fig9, seed_from_args, table1, table2, table3, table4, Runner,
+};
+
+fn main() {
+    let seed = seed_from_args();
+    let mut r = Runner::new(seed);
+    println!("mom3d full experiment matrix (seed {seed})");
+    println!("=========================================\n");
+    print!("{}", table2());
+    println!();
+    print!("{}", fig3(&mut r));
+    println!();
+    print!("{}", fig6(&mut r));
+    println!();
+    print!("{}", fig7(&mut r));
+    println!();
+    print!("{}", table1(&mut r));
+    println!();
+    print!("{}", table3());
+    println!();
+    print!("{}", fig9(&mut r));
+    println!();
+    print!("{}", fig10(&mut r));
+    println!();
+    print!("{}", table4(&mut r));
+    println!();
+    print!("{}", fig11(&mut r));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: normalized execution time vs L2 latency.
+
+use mom3d_bench::{fig10, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig10(&mut r));
+}

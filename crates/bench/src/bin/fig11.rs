@@ -1,0 +1,8 @@
+//! Regenerates Figure 11: L2 + 3D register file average power.
+
+use mom3d_bench::{fig11, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig11(&mut r));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: slowdown of realistic MOM memory systems.
+
+use mom3d_bench::{fig3, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig3(&mut r));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: effective memory bandwidth (words/access).
+
+use mom3d_bench::{fig6, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig6(&mut r));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: vector-cache traffic reduction from 3D reuse.
+
+use mom3d_bench::{fig7, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig7(&mut r));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 9: slowdown across ISA and memory configurations.
+
+use mom3d_bench::{fig9, seed_from_args, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", fig9(&mut r));
+}

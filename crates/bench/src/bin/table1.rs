@@ -1,0 +1,8 @@
+//! Regenerates Table 1: vector lengths per memory dimension.
+
+use mom3d_bench::{seed_from_args, table1, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", table1(&mut r));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: processor configurations.
+
+use mom3d_bench::table2;
+
+fn main() {
+    print!("{}", table2());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 3: register-file areas (exact).
+
+use mom3d_bench::table3;
+
+fn main() {
+    print!("{}", table3());
+}

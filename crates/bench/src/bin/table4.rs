@@ -1,0 +1,8 @@
+//! Regenerates Table 4: L2 cache activity.
+
+use mom3d_bench::{seed_from_args, table4, Runner};
+
+fn main() {
+    let mut r = Runner::new(seed_from_args());
+    print!("{}", table4(&mut r));
+}

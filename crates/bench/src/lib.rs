@@ -1,0 +1,36 @@
+//! # mom3d-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Binary | Paper result |
+//! |--------|--------------|
+//! | `fig3` | slowdown of realistic memory systems (MOM) |
+//! | `fig6` | effective memory bandwidth (words/access) |
+//! | `fig7` | vector-cache traffic reduction from 3D reuse |
+//! | `fig9` | slowdown across ISA × memory-system configurations |
+//! | `fig10` | normalized execution time vs. L2 latency (20/40/60) |
+//! | `fig11` | L2 + 3D-RF average power per memory system |
+//! | `table1` | per-dimension vector lengths of memory instructions |
+//! | `table2` | processor configurations |
+//! | `table3` | register-file areas (exact reproduction) |
+//! | `table4` | L2 cache activity |
+//! | `all` | everything above in paper order |
+//!
+//! Every binary accepts an optional seed argument
+//! (`cargo run -p mom3d-bench --bin fig9 -- 42`). Workloads are verified
+//! against their scalar references before being timed, so the harness
+//! can only report numbers produced by functionally correct traces.
+
+mod report;
+mod runner;
+
+pub use report::{
+    fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10, Fig11,
+    SlowdownReport, Table1, Table4, TrafficReport,
+};
+pub use runner::Runner;
+
+/// Parses the conventional single optional CLI seed argument.
+pub fn seed_from_args() -> u64 {
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7)
+}

@@ -1,0 +1,132 @@
+//! Workload + simulation cache shared by the experiment binaries.
+
+use mom3d_cpu::{MemorySystemKind, Metrics, Processor, ProcessorConfig};
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SimKey {
+    kind: WorkloadKind,
+    variant: IsaVariant,
+    memory: MemorySystemKind,
+    l2_latency: u32,
+}
+
+/// Builds workloads (verifying each against its scalar reference) and
+/// runs timing simulations, caching both so that figures sharing
+/// configurations do not recompute them.
+#[derive(Debug, Default)]
+pub struct Runner {
+    seed: u64,
+    small: bool,
+    workloads: HashMap<(WorkloadKind, IsaVariant), Workload>,
+    sims: HashMap<SimKey, Metrics>,
+}
+
+impl Runner {
+    /// Full-size workloads (the experiment binaries).
+    pub fn new(seed: u64) -> Self {
+        Runner { seed, small: false, ..Default::default() }
+    }
+
+    /// Reduced workloads (fast integration tests).
+    pub fn small(seed: u64) -> Self {
+        Runner { seed, small: true, ..Default::default() }
+    }
+
+    /// The data seed in use.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns (building and verifying on first use) a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails verification against its scalar
+    /// reference — a harness that times broken traces would be
+    /// meaningless.
+    pub fn workload(&mut self, kind: WorkloadKind, variant: IsaVariant) -> &Workload {
+        let (seed, small) = (self.seed, self.small);
+        self.workloads.entry((kind, variant)).or_insert_with(|| {
+            let wl = if small {
+                Workload::build_small(kind, variant, seed)
+            } else {
+                Workload::build(kind, variant, seed)
+            }
+            .unwrap_or_else(|e| panic!("building {kind} {variant}: {e}"));
+            wl.verify().unwrap_or_else(|e| panic!("verifying {kind} {variant}: {e}"));
+            wl
+        })
+    }
+
+    /// Simulates a workload on a processor/memory configuration at the
+    /// given L2 latency, with caching.
+    pub fn metrics(
+        &mut self,
+        kind: WorkloadKind,
+        variant: IsaVariant,
+        memory: MemorySystemKind,
+        l2_latency: u32,
+    ) -> Metrics {
+        let key = SimKey { kind, variant, memory, l2_latency };
+        if let Some(m) = self.sims.get(&key) {
+            return *m;
+        }
+        let base = match variant {
+            IsaVariant::Mmx => ProcessorConfig::mmx(),
+            IsaVariant::Mom | IsaVariant::Mom3d => ProcessorConfig::mom(),
+        };
+        let config = base.with_memory(memory).with_l2_latency(l2_latency).with_warm_caches(true);
+        let trace = self.workload(kind, variant).trace().clone();
+        let metrics = Processor::new(config)
+            .run(&trace)
+            .unwrap_or_else(|e| panic!("simulating {kind} {variant} on {memory:?}: {e}"));
+        self.sims.insert(key, metrics);
+        metrics
+    }
+
+    /// Cycles of the MOM + ideal-memory configuration — the paper's
+    /// normalization baseline for Figures 3 and 9.
+    pub fn mom_ideal_cycles(&mut self, kind: WorkloadKind) -> u64 {
+        self.metrics(kind, IsaVariant::Mom, MemorySystemKind::Ideal, 20).cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caching_returns_identical_metrics() {
+        let mut r = Runner::small(1);
+        let a = r.metrics(
+            WorkloadKind::GsmEncode,
+            IsaVariant::Mom,
+            MemorySystemKind::VectorCache,
+            20,
+        );
+        let b = r.metrics(
+            WorkloadKind::GsmEncode,
+            IsaVariant::Mom,
+            MemorySystemKind::VectorCache,
+            20,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ideal_is_fastest() {
+        let mut r = Runner::small(1);
+        let ideal = r.mom_ideal_cycles(WorkloadKind::Mpeg2Encode);
+        let vc = r
+            .metrics(
+                WorkloadKind::Mpeg2Encode,
+                IsaVariant::Mom,
+                MemorySystemKind::VectorCache,
+                20,
+            )
+            .cycles;
+        assert!(ideal < vc);
+    }
+}

@@ -1,0 +1,282 @@
+//! The 3D vector register file: values, pointers, lanes.
+
+use mom3d_isa::{arch, DReg};
+
+/// The contents of one 3D vector register: 16 elements of 128 bytes.
+///
+/// A `3dvload` fills elements `0..VL` with `W × 8`-byte blocks fetched
+/// from memory; a `3dvmov` extracts one byte-aligned 64-bit slice per
+/// element at the pointer offset. On hardware the extraction reads two
+/// quadword-aligned words per lane and shifts&masks (Figure 8-c); here we
+/// read the bytes directly, which is bit-identical.
+#[derive(Clone)]
+pub struct DRegValue {
+    data: Box<[u8; arch::DREG_BYTES]>,
+}
+
+impl std::fmt::Debug for DRegValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DRegValue({} elements x {} B)", arch::DREG_ELEMS, arch::DREG_ELEM_BYTES)
+    }
+}
+
+impl Default for DRegValue {
+    fn default() -> Self {
+        DRegValue { data: Box::new([0u8; arch::DREG_BYTES]) }
+    }
+}
+
+impl DRegValue {
+    /// A zeroed register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `block` into element `elem`, starting at the element's
+    /// first byte. Bytes past the block's end keep their old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= 16` or the block exceeds 128 bytes.
+    pub fn write_element(&mut self, elem: usize, block: &[u8]) {
+        assert!(elem < arch::DREG_ELEMS, "3D element index out of range");
+        assert!(block.len() <= arch::DREG_ELEM_BYTES, "block exceeds element size");
+        let start = elem * arch::DREG_ELEM_BYTES;
+        self.data[start..start + block.len()].copy_from_slice(block);
+    }
+
+    /// Reads the whole 128-byte element `elem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem >= 16`.
+    pub fn element(&self, elem: usize) -> &[u8] {
+        assert!(elem < arch::DREG_ELEMS, "3D element index out of range");
+        let start = elem * arch::DREG_ELEM_BYTES;
+        &self.data[start..start + arch::DREG_ELEM_BYTES]
+    }
+
+    /// Extracts the byte-aligned 64-bit slice of element `elem` at byte
+    /// `offset` — the `3dvmov` datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not fit within the element
+    /// (`offset + 8 > 128`). Code generators are expected to keep
+    /// pointers at ≤ 120; use [`DRegValue::slice64_wrapping`] for the
+    /// architectural any-offset behaviour.
+    pub fn slice64(&self, elem: usize, offset: usize) -> u64 {
+        assert!(
+            offset + 8 <= arch::DREG_ELEM_BYTES,
+            "3dvmov slice at offset {offset} leaves the 128-byte element"
+        );
+        let e = self.element(elem);
+        u64::from_le_bytes(e[offset..offset + 8].try_into().expect("8-byte slice"))
+    }
+
+    /// Like [`DRegValue::slice64`], but wrapping within the element for
+    /// offsets above 120 — the shift&mask network reads modulo the
+    /// element, which is what the hardware does for any 7-bit pointer
+    /// value (the data is rarely meaningful, but the operation is
+    /// defined).
+    pub fn slice64_wrapping(&self, elem: usize, offset: usize) -> u64 {
+        let e = self.element(elem);
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = e[(offset + i) % arch::DREG_ELEM_BYTES];
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// The lane (cluster) that stores element `elem` in the distributed
+    /// organization of Figure 8-c (elements are interleaved across the
+    /// four lanes like MOM register elements).
+    pub fn lane_of(elem: usize) -> usize {
+        elem % arch::LANES
+    }
+}
+
+/// Architectural state of the 3D register file: register values plus the
+/// 7-bit pointer registers.
+///
+/// The pointer wraps the `3dvload` `b` flag (pointer initialized at the
+/// beginning or the end of the loaded block) and the `3dvmov` post-update
+/// (`pointer += Ps`, renaming the pointer register).
+#[derive(Debug, Clone, Default)]
+pub struct DRegFile {
+    regs: [DRegValue; arch::DREG_LOGICAL_REGS],
+    pointers: [u8; arch::DREG_LOGICAL_REGS],
+    /// Element width (in bytes) of the last `3dvload` per register,
+    /// needed for end-initialized pointers.
+    widths: [u8; arch::DREG_LOGICAL_REGS],
+}
+
+impl DRegFile {
+    /// A zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs the register-file side of `3dvload`: fills elements
+    /// `0..blocks.len()` and initializes the pointer.
+    ///
+    /// With `from_end = false` the pointer starts at byte 0; with
+    /// `from_end = true` it starts at the *last* valid 64-bit slice of
+    /// the loaded width (`W*8 - 8`), letting code walk the third
+    /// dimension downward (the paper's `b` flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 16 blocks are supplied or a block exceeds
+    /// 128 bytes.
+    pub fn load(&mut self, dr: DReg, blocks: &[Vec<u8>], from_end: bool) {
+        assert!(blocks.len() <= arch::DREG_ELEMS, "too many 3D blocks");
+        let idx = dr.index() as usize;
+        let mut width = 0usize;
+        for (i, b) in blocks.iter().enumerate() {
+            self.regs[idx].write_element(i, b);
+            width = width.max(b.len());
+        }
+        self.widths[idx] = width as u8;
+        self.pointers[idx] = if from_end { (width.max(8) - 8) as u8 } else { 0 };
+    }
+
+    /// Current pointer value (byte offset) of `dr`'s pointer register.
+    pub fn pointer(&self, dr: DReg) -> u8 {
+        self.pointers[dr.index() as usize]
+    }
+
+    /// Sets the pointer explicitly (used by trace replay/debug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` has more than 7 significant bits.
+    pub fn set_pointer(&mut self, dr: DReg, offset: u8) {
+        assert!(
+            (offset as usize) < arch::DREG_ELEM_BYTES,
+            "pointer must fit in 7 bits"
+        );
+        self.pointers[dr.index() as usize] = offset;
+    }
+
+    /// Performs `3dvmov`: returns `vl` slices (one per element, at the
+    /// current pointer offset) and post-increments the pointer by
+    /// `pstride` (modulo 128, as a 7-bit register).
+    ///
+    /// Offsets above 120 wrap within the element (see
+    /// [`DRegValue::slice64_wrapping`]); well-formed code keeps the
+    /// pointer at ≤ 120.
+    pub fn mov(&mut self, dr: DReg, vl: usize, pstride: i16) -> Vec<u64> {
+        let idx = dr.index() as usize;
+        let offset = self.pointers[idx] as usize;
+        let out: Vec<u64> =
+            (0..vl).map(|e| self.regs[idx].slice64_wrapping(e, offset)).collect();
+        let next = (offset as i32 + pstride as i32).rem_euclid(arch::DREG_ELEM_BYTES as i32);
+        self.pointers[idx] = next as u8;
+        out
+    }
+
+    /// Read-only view of a register's value.
+    pub fn value(&self, dr: DReg) -> &DRegValue {
+        &self.regs[dr.index() as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, start: u8) -> Vec<u8> {
+        (0..n).map(|i| start.wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn write_and_slice() {
+        let mut v = DRegValue::new();
+        v.write_element(0, &ramp(128, 0));
+        v.write_element(3, &ramp(16, 100));
+        assert_eq!(v.slice64(0, 0), u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
+        // Byte-aligned (unaligned to quadwords) extraction.
+        assert_eq!(v.slice64(0, 3), u64::from_le_bytes([3, 4, 5, 6, 7, 8, 9, 10]));
+        assert_eq!(v.slice64(3, 0), u64::from_le_bytes([100, 101, 102, 103, 104, 105, 106, 107]));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the 128-byte element")]
+    fn slice_past_element_panics() {
+        DRegValue::new().slice64(0, 121);
+    }
+
+    #[test]
+    fn last_valid_slice_offset() {
+        let mut v = DRegValue::new();
+        v.write_element(0, &ramp(128, 0));
+        assert_eq!(v.slice64(0, 120), u64::from_le_bytes([120, 121, 122, 123, 124, 125, 126, 127]));
+    }
+
+    #[test]
+    fn lanes_interleave() {
+        assert_eq!(DRegValue::lane_of(0), 0);
+        assert_eq!(DRegValue::lane_of(1), 1);
+        assert_eq!(DRegValue::lane_of(4), 0);
+        assert_eq!(DRegValue::lane_of(15), 3);
+    }
+
+    #[test]
+    fn file_load_and_mov_walks_pointer() {
+        let mut f = DRegFile::new();
+        let blocks: Vec<Vec<u8>> = (0..4).map(|e| ramp(32, e as u8 * 32)).collect();
+        f.load(DReg::new(0), &blocks, false);
+        assert_eq!(f.pointer(DReg::new(0)), 0);
+        let s0 = f.mov(DReg::new(0), 4, 1);
+        assert_eq!(s0[0], u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
+        assert_eq!(s0[1], u64::from_le_bytes([32, 33, 34, 35, 36, 37, 38, 39]));
+        assert_eq!(f.pointer(DReg::new(0)), 1);
+        let s1 = f.mov(DReg::new(0), 4, 1);
+        assert_eq!(s1[0], u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+    }
+
+    #[test]
+    fn from_end_pointer_initialization() {
+        let mut f = DRegFile::new();
+        let blocks: Vec<Vec<u8>> = vec![ramp(64, 0); 2];
+        f.load(DReg::new(1), &blocks, true);
+        // Last valid slice of a 64-byte block starts at byte 56.
+        assert_eq!(f.pointer(DReg::new(1)), 56);
+        let s = f.mov(DReg::new(1), 2, -1);
+        assert_eq!(s[0], u64::from_le_bytes([56, 57, 58, 59, 60, 61, 62, 63]));
+        assert_eq!(f.pointer(DReg::new(1)), 55);
+    }
+
+    #[test]
+    fn pointer_wraps_as_7bit() {
+        let mut f = DRegFile::new();
+        f.load(DReg::new(0), &[ramp(128, 0)], false);
+        f.set_pointer(DReg::new(0), 120);
+        f.mov(DReg::new(0), 1, 16); // 120 + 16 = 136 -> wraps to 8
+        assert_eq!(f.pointer(DReg::new(0)), 8);
+        f.set_pointer(DReg::new(0), 0);
+        f.mov(DReg::new(0), 1, -8); // 0 - 8 -> wraps to 120
+        assert_eq!(f.pointer(DReg::new(0)), 120);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut f = DRegFile::new();
+        f.load(DReg::new(0), &[ramp(16, 1)], false);
+        f.load(DReg::new(1), &[ramp(16, 200)], false);
+        let a = f.mov(DReg::new(0), 1, 4);
+        let b = f.mov(DReg::new(1), 1, 8);
+        assert_ne!(a[0], b[0]);
+        assert_eq!(f.pointer(DReg::new(0)), 4);
+        assert_eq!(f.pointer(DReg::new(1)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many 3D blocks")]
+    fn overfull_load_panics() {
+        let mut f = DRegFile::new();
+        let blocks: Vec<Vec<u8>> = vec![vec![0; 8]; 17];
+        f.load(DReg::new(0), &blocks, false);
+    }
+}

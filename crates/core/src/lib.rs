@@ -1,0 +1,45 @@
+//! # mom3d-core — 3D memory vectorization
+//!
+//! The primary contribution of MICRO-35 2002, *"Three-Dimensional Memory
+//! Vectorization for High Bandwidth Media Memory Systems"*, implemented
+//! as a library:
+//!
+//! * [`DRegValue`] / [`DRegFile`] — the second-level **3D vector register
+//!   file**: two logical (four physical) registers of 16 × 128-byte
+//!   elements, organized in four lanes, with 7-bit pointer registers and
+//!   byte-aligned 64-bit slice extraction (the shift&mask path of
+//!   Figure 8-c);
+//! * [`Stream2d`] — 2D memory stream descriptors and their overlap
+//!   arithmetic;
+//! * [`analyze_group`] / [`Window3d`] — the stream analysis that decides
+//!   when a set of 2D streams can be served from one 3D register
+//!   (constant inter-stream stride, slices within one element span);
+//! * [`vectorize`] — the **memory vectorizer pass** sketched in §5.1:
+//!   it rewrites groups of 2D vector loads in a trace into one `3dvload`
+//!   plus per-stream `3dvmov`s, with store-conflict safety checks. The
+//!   pass only vectorizes *memory accesses*, so the surrounding loop
+//!   needs no computational vectorizability — the paper's key
+//!   observation.
+//!
+//! ```
+//! use mom3d_core::{Stream2d, analyze_group};
+//!
+//! // Motion-estimation candidate streams: 8 rows of 8 pixels, one byte
+//! // apart on the search axis.
+//! let streams: Vec<Stream2d> = (0..16)
+//!     .map(|k| Stream2d::new(0x1_0000 + k, 640, 8, 8))
+//!     .collect();
+//! let w = analyze_group(&streams).expect("packable");
+//! assert_eq!(w.delta, 1);
+//! assert_eq!(w.covered, 16);
+//! ```
+
+mod dreg;
+mod stream;
+mod vectorizer;
+mod window;
+
+pub use dreg::{DRegFile, DRegValue};
+pub use stream::Stream2d;
+pub use vectorizer::{vectorize, vectorize_to_fixpoint, VectorizeConfig, VectorizeReport};
+pub use window::{analyze_group, Window3d};

@@ -1,0 +1,147 @@
+//! 2D memory stream descriptors.
+
+use std::fmt;
+
+/// A MOM 2D memory stream: `vl` blocks of `elem_bytes` bytes whose base
+/// addresses are `stride` bytes apart.
+///
+/// For MOM vector loads `elem_bytes` is always 8 (one 64-bit register
+/// element per row); the stride is typically an image width, so rows land
+/// in far-apart cache lines — the paper's §3.2 observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stream2d {
+    /// Address of the first block.
+    pub base: u64,
+    /// Byte distance between consecutive blocks.
+    pub stride: i64,
+    /// Number of blocks (vector length).
+    pub vl: u8,
+    /// Bytes per block.
+    pub elem_bytes: u8,
+}
+
+impl Stream2d {
+    /// Creates a stream descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` or `elem_bytes` is zero.
+    pub fn new(base: u64, stride: i64, vl: u8, elem_bytes: u8) -> Self {
+        assert!(vl > 0, "stream must have at least one block");
+        assert!(elem_bytes > 0, "blocks must be at least one byte");
+        Stream2d { base, stride, vl, elem_bytes }
+    }
+
+    /// Address of block `i`.
+    #[inline]
+    pub fn block_addr(&self, i: usize) -> u64 {
+        (self.base as i64 + self.stride * i as i64) as u64
+    }
+
+    /// Iterates over `(address, len)` per block.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        (0..self.vl as usize).map(|i| (self.block_addr(i), self.elem_bytes as u32))
+    }
+
+    /// Total bytes requested (blocks may overlap).
+    pub fn total_bytes(&self) -> u64 {
+        self.vl as u64 * self.elem_bytes as u64
+    }
+
+    /// Closed-open `[lo, hi)` envelope covering every block.
+    pub fn envelope(&self) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for (a, l) in self.blocks() {
+            lo = lo.min(a);
+            hi = hi.max(a + l as u64);
+        }
+        (lo, hi)
+    }
+
+    /// Byte overlap between this stream and `other`, counting each byte
+    /// once per time it is requested by both streams' blocks pairwise.
+    ///
+    /// Used to quantify the redundancy that 3D register reuse removes
+    /// (Figure 7): two motion-estimation candidate streams one byte apart
+    /// share 7 of every 8 bytes.
+    pub fn overlap_bytes(&self, other: &Stream2d) -> u64 {
+        let mut total = 0u64;
+        for (a, al) in self.blocks() {
+            for (b, bl) in other.blocks() {
+                let lo = a.max(b);
+                let hi = (a + al as u64).min(b + bl as u64);
+                total += hi.saturating_sub(lo);
+            }
+        }
+        total
+    }
+
+    /// True when the two streams' envelopes intersect.
+    pub fn may_overlap(&self, other: &Stream2d) -> bool {
+        let (alo, ahi) = self.envelope();
+        let (blo, bhi) = other.envelope();
+        alo < bhi && blo < ahi
+    }
+}
+
+impl fmt::Display for Stream2d {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream[{:#x} + {}*{} x{}B]",
+            self.base, self.stride, self.vl, self.elem_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_and_envelope() {
+        let s = Stream2d::new(0x1000, 640, 8, 8);
+        assert_eq!(s.block_addr(0), 0x1000);
+        assert_eq!(s.block_addr(7), 0x1000 + 7 * 640);
+        assert_eq!(s.envelope(), (0x1000, 0x1000 + 7 * 640 + 8));
+        assert_eq!(s.total_bytes(), 64);
+    }
+
+    #[test]
+    fn one_byte_apart_streams_overlap_heavily() {
+        // The paper's motion-estimation case: candidate k and k+1 share
+        // 7 bytes of every 8-byte row.
+        let a = Stream2d::new(0x1000, 640, 8, 8);
+        let b = Stream2d::new(0x1001, 640, 8, 8);
+        assert_eq!(a.overlap_bytes(&b), 8 * 7);
+        assert!(a.may_overlap(&b));
+    }
+
+    #[test]
+    fn disjoint_streams() {
+        let a = Stream2d::new(0x1000, 640, 4, 8);
+        let b = Stream2d::new(0x9_0000, 640, 4, 8);
+        assert_eq!(a.overlap_bytes(&b), 0);
+        assert!(!a.may_overlap(&b));
+    }
+
+    #[test]
+    fn identical_streams_fully_overlap() {
+        let a = Stream2d::new(0x1000, 128, 4, 8);
+        assert_eq!(a.overlap_bytes(&a), 32);
+    }
+
+    #[test]
+    fn negative_stride() {
+        let s = Stream2d::new(0x1000, -64, 3, 8);
+        assert_eq!(s.block_addr(2), 0x1000 - 128);
+        assert_eq!(s.envelope(), (0x1000 - 128, 0x1008));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_vl_panics() {
+        Stream2d::new(0, 8, 0, 8);
+    }
+}

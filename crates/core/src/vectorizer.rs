@@ -1,0 +1,533 @@
+//! The memory vectorizer pass (§5.1).
+//!
+//! The paper argues the compiler analysis for 3D memory vectorization is
+//! "commonly trivial": detect the stride between 2D load instructions,
+//! pack them into a single 3D load, and replace the original 2D loads
+//! with 3D vector moves. Because only *memory accesses* are vectorized,
+//! the only dependences that must be honoured are read/write conflicts
+//! between the streams — exactly what this pass checks.
+//!
+//! The pass works on dynamic traces (the representation the original
+//! authors instrumented with ATOM):
+//!
+//! 1. **Analysis** — scan the trace; group `vload`s with identical
+//!    `(stride, VL)` whose bases advance by a constant `delta`, subject
+//!    to the 128-byte element span limit; split any group whose fetch
+//!    envelope is written by an intervening store.
+//! 2. **Allocation** — assign the two logical 3D registers to groups by
+//!    live range; groups that cannot get a register are left untouched.
+//! 3. **Synthesis** — rewrite each group as one `3dvload` (at the first
+//!    member) plus one `3dvmov` per member, preserving destination
+//!    registers so downstream computation is unchanged.
+
+use crate::stream::Stream2d;
+use crate::window::{analyze_group, Window3d};
+use mom3d_isa::{arch, DReg, Instruction, MemAccess, Opcode, Reg, Trace};
+use std::collections::HashMap;
+
+/// Tuning knobs of the vectorizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorizeConfig {
+    /// Minimum streams per window for conversion to pay off (paper
+    /// condition: more than one MOM stream per cache line, or reuse
+    /// between two or more streams). Default 2.
+    pub min_group: usize,
+    /// Logical 3D registers available (the ISA provides 2).
+    pub max_live: usize,
+}
+
+impl Default for VectorizeConfig {
+    fn default() -> Self {
+        VectorizeConfig { min_group: 2, max_live: arch::DREG_LOGICAL_REGS }
+    }
+}
+
+/// What the pass did, for reporting and for the Figure 7 traffic model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VectorizeReport {
+    /// Candidate groups discovered by the analysis.
+    pub groups_found: u64,
+    /// Groups actually converted (got a 3D register, met `min_group`).
+    pub groups_converted: u64,
+    /// 2D loads replaced by `3dvmov`s.
+    pub loads_converted: u64,
+    /// `3dvload`s emitted.
+    pub dvloads_emitted: u64,
+    /// Groups split by intervening store conflicts.
+    pub store_conflicts: u64,
+    /// 64-bit words the replaced 2D loads would have moved from cache.
+    pub words_2d: u64,
+    /// 64-bit words the emitted `3dvload`s move from cache.
+    pub words_3d: u64,
+}
+
+impl VectorizeReport {
+    /// Fraction of vector-load cache traffic removed, in `[0, 1]`
+    /// (Figure 7's metric, restricted to the converted loads).
+    pub fn traffic_reduction(&self) -> f64 {
+        if self.words_2d == 0 {
+            0.0
+        } else {
+            1.0 - self.words_3d as f64 / self.words_2d as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenGroup {
+    stride: i64,
+    vl: u8,
+    width: mom3d_isa::Width,
+    /// Trace indices of member loads.
+    members: Vec<usize>,
+    bases: Vec<u64>,
+    delta: Option<i64>,
+    /// Fetch envelope `[lo, hi)` of the eventual 3dvload.
+    env: (u64, u64),
+}
+
+impl OpenGroup {
+    fn from_load(idx: usize, m: &MemAccess, width: mom3d_isa::Width) -> Self {
+        let s = Stream2d::new(m.base, m.stride, m.count, 8);
+        OpenGroup {
+            stride: m.stride,
+            vl: m.count,
+            width,
+            members: vec![idx],
+            bases: vec![m.base],
+            delta: None,
+            env: s.envelope(),
+        }
+    }
+
+    /// Tries to append a load; returns false if it does not extend the
+    /// group's arithmetic base progression within the element span.
+    fn try_attach(&mut self, idx: usize, m: &MemAccess, width: mom3d_isa::Width) -> bool {
+        if m.stride != self.stride || m.count != self.vl || width != self.width {
+            return false;
+        }
+        let last = *self.bases.last().expect("group is never empty");
+        let d = m.base as i64 - last as i64;
+        match self.delta {
+            Some(delta) if d != delta => return false,
+            None if d < 0 => return false,
+            _ => {}
+        }
+        let delta = self.delta.unwrap_or(d);
+        let span = delta * self.members.len() as i64 + 8;
+        if span > arch::DREG_ELEM_BYTES as i64 {
+            return false;
+        }
+        self.delta = Some(delta);
+        self.members.push(idx);
+        self.bases.push(m.base);
+        let s = Stream2d::new(m.base, m.stride, m.count, 8);
+        let (lo, hi) = s.envelope();
+        self.env.0 = self.env.0.min(lo);
+        self.env.1 = self.env.1.max(hi);
+        true
+    }
+
+    fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        self.env.0 < hi && lo < self.env.1
+    }
+
+    fn streams(&self) -> Vec<Stream2d> {
+        self.bases
+            .iter()
+            .map(|&b| Stream2d::new(b, self.stride, self.vl, 8))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    window: Window3d,
+    members: Vec<usize>,
+    width: mom3d_isa::Width,
+}
+
+/// Runs [`vectorize`] repeatedly until no further loads convert (or
+/// `max_passes` is reached), returning the final trace and the per-pass
+/// reports.
+///
+/// A single pass can leave profitable windows unconverted when more
+/// than two of them overlap in time (the ISA has two logical 3D
+/// registers); later passes pick those up in the gaps left between the
+/// already-placed windows' live ranges.
+pub fn vectorize_to_fixpoint(
+    trace: &Trace,
+    config: &VectorizeConfig,
+    max_passes: usize,
+) -> (Trace, Vec<VectorizeReport>) {
+    let mut current = trace.clone();
+    let mut reports = Vec::new();
+    for _ in 0..max_passes {
+        let (next, report) = vectorize(&current, config);
+        let converted = report.loads_converted;
+        reports.push(report);
+        current = next;
+        if converted == 0 {
+            break;
+        }
+    }
+    (current, reports)
+}
+
+/// Runs the memory vectorizer over `trace`, returning the rewritten
+/// trace and a conversion report.
+///
+/// The rewritten trace is functionally equivalent: every replaced load's
+/// destination register receives exactly the bytes the original 2D load
+/// fetched (the crate's integration tests execute both traces through
+/// the emulator and compare). Loads the analysis cannot prove safe and
+/// profitable are left untouched — e.g. all of `jpeg_decode`.
+pub fn vectorize(trace: &Trace, config: &VectorizeConfig) -> (Trace, VectorizeReport) {
+    let mut report = VectorizeReport::default();
+
+    // ---- Phase 1: analysis ------------------------------------------------
+    let mut open: Vec<OpenGroup> = Vec::new();
+    let mut closed: Vec<OpenGroup> = Vec::new();
+    for (idx, instr) in trace.iter().enumerate() {
+        match instr.opcode {
+            Opcode::VLoad => {
+                let m = instr.mem.expect("vload carries a memory descriptor");
+                if m.elem_bytes != 8 {
+                    continue;
+                }
+                if !open.iter_mut().any(|g| g.try_attach(idx, &m, instr.data_width)) {
+                    open.push(OpenGroup::from_load(idx, &m, instr.data_width));
+                }
+            }
+            op if op.is_store() => {
+                let m = instr.mem.expect("stores carry a memory descriptor");
+                let (lo, hi) = m.envelope();
+                let mut i = 0;
+                while i < open.len() {
+                    if open[i].overlaps(lo, hi) {
+                        report.store_conflicts += 1;
+                        closed.push(open.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    closed.append(&mut open);
+
+    // ---- Phase 2: filter + allocate 3D registers ---------------------------
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for g in &closed {
+        report.groups_found += 1;
+        if g.members.len() < config.min_group {
+            continue;
+        }
+        if let Some(window) = analyze_group(&g.streams()) {
+            candidates.push(Candidate { window, members: g.members.clone(), width: g.width });
+        }
+    }
+
+    // Pre-existing 3D code (hand-written, or from a previous run of this
+    // pass) pins its registers for the interval from each 3dvload to the
+    // last 3dvmov consuming it; new windows must not clobber those.
+    let mut busy: Vec<Vec<(usize, usize)>> = vec![Vec::new(); arch::DREG_LOGICAL_REGS];
+    {
+        let mut open_load: [Option<usize>; arch::DREG_LOGICAL_REGS] =
+            [None; arch::DREG_LOGICAL_REGS];
+        let mut last_use: [usize; arch::DREG_LOGICAL_REGS] = [0; arch::DREG_LOGICAL_REGS];
+        for (idx, instr) in trace.iter().enumerate() {
+            let dreg = |list: &mom3d_isa::RegList| {
+                list.iter().find_map(|r| match r {
+                    Reg::D(d) => Some(d.index() as usize),
+                    _ => None,
+                })
+            };
+            match instr.opcode {
+                Opcode::DvLoad => {
+                    if let Some(d) = dreg(&instr.dsts) {
+                        if let Some(start) = open_load[d].take() {
+                            busy[d].push((start, last_use[d]));
+                        }
+                        open_load[d] = Some(idx);
+                        last_use[d] = idx;
+                    }
+                }
+                Opcode::DvMov => {
+                    if let Some(d) = dreg(&instr.srcs) {
+                        last_use[d] = idx;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for d in 0..arch::DREG_LOGICAL_REGS {
+            if let Some(start) = open_load[d] {
+                busy[d].push((start, last_use[d]));
+            }
+        }
+    }
+    candidates.sort_by_key(|c| c.members[0]);
+    if std::env::var("MOM3D_VEC_DEBUG").is_ok() {
+        for c in &candidates {
+            eprintln!(
+                "window base={:#x} delta={} covered={} first={} last={}",
+                c.window.base, c.window.delta, c.window.covered,
+                c.members[0], c.members.last().unwrap()
+            );
+        }
+    }
+
+    // Greedy linear-scan allocation of the logical 3D registers,
+    // avoiding both windows already placed this run and intervals pinned
+    // by pre-existing 3D instructions.
+    let max_live = config.max_live.min(arch::DREG_LOGICAL_REGS);
+    let mut reg_free_at = vec![0usize; max_live];
+    let mut allocated: Vec<(Candidate, DReg)> = Vec::new();
+    for c in candidates {
+        let first = c.members[0];
+        let last = *c.members.last().expect("non-empty");
+        let usable = |r: usize| {
+            reg_free_at[r] <= first
+                && busy[r].iter().all(|&(lo, hi)| hi < first || last < lo)
+        };
+        if let Some(r) = (0..max_live).find(|&r| usable(r)) {
+            reg_free_at[r] = last + 1;
+            allocated.push((c, DReg::new(r as u8)));
+        }
+    }
+
+    // ---- Phase 3: synthesis -------------------------------------------------
+    #[derive(Clone, Copy)]
+    struct Rewrite {
+        dreg: DReg,
+        window: Window3d,
+        k: usize,
+        is_leader: bool,
+        pstride: i64,
+        width: mom3d_isa::Width,
+    }
+    let mut rewrites: HashMap<usize, Rewrite> = HashMap::new();
+    for (c, dreg) in &allocated {
+        report.groups_converted += 1;
+        report.dvloads_emitted += 1;
+        report.loads_converted += c.members.len() as u64;
+        report.words_2d += c.members.len() as u64 * c.window.vl as u64;
+        report.words_3d += c.window.vl as u64 * c.window.wwords as u64;
+        for (k, &idx) in c.members.iter().enumerate() {
+            rewrites.insert(
+                idx,
+                Rewrite {
+                    dreg: *dreg,
+                    window: c.window,
+                    k,
+                    is_leader: k == 0,
+                    // Pointer advances by delta after every move; the last
+                    // move's update is dead but architecturally performed.
+                    pstride: c.window.delta,
+                    width: c.width,
+                },
+            );
+        }
+    }
+
+    let mut out = Trace::new();
+    for (idx, instr) in trace.iter().enumerate() {
+        let Some(rw) = rewrites.get(&idx) else {
+            out.push(*instr);
+            continue;
+        };
+        let addr_reg = instr
+            .srcs
+            .iter()
+            .find(|r| matches!(r, Reg::Gpr(_)))
+            .expect("vload names its address register");
+        if rw.is_leader {
+            // 3dvload DR <- (base), row_stride, W, b=0
+            let mut dv = Instruction::op(
+                Opcode::DvLoad,
+                &[Reg::D(rw.dreg), Reg::P(rw.dreg.pointer())],
+                &[addr_reg, Reg::Vl],
+            )
+            .with_mem(MemAccess::strided3d(
+                rw.window.base,
+                rw.window.row_stride,
+                rw.window.vl,
+                rw.window.wwords,
+            ))
+            .with_vl(rw.window.vl);
+            dv.data_width = rw.width;
+            out.push(dv);
+        }
+        // 3dvmov MR <- DR, Ps (the original load's destination register).
+        let dst = instr.dsts.iter().next().expect("vload has a destination");
+        let p = Reg::P(rw.dreg.pointer());
+        let mv = Instruction::op(Opcode::DvMov, &[dst, p], &[Reg::D(rw.dreg), p, Reg::Vl])
+            .with_imm(rw.pstride)
+            .with_vl(rw.window.vl)
+            .with_width(rw.width);
+        out.push(mv);
+        let _ = rw.k;
+    }
+
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom3d_isa::{Gpr, MomReg, TraceBuilder, UsimdOp, Width};
+
+    /// Builds a MOM trace shaped like the motion-estimation inner loop:
+    /// `n` candidate loads one byte apart, each followed by compute.
+    fn me_like_trace(n: usize, delta: i64) -> Trace {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let base = tb.li(Gpr::new(1), 0x1_0000);
+        for k in 0..n {
+            let addr = (0x1_0000 + delta * k as i64) as u64;
+            tb.vload(MomReg::new(0), base, addr);
+            tb.vop2(UsimdOp::AbsDiffU(Width::B8), MomReg::new(2), MomReg::new(0), MomReg::new(1));
+        }
+        tb.finish()
+    }
+
+    #[test]
+    fn converts_me_pattern() {
+        let trace = me_like_trace(16, 1);
+        let (out, report) = vectorize(&trace, &VectorizeConfig::default());
+        assert_eq!(report.groups_converted, 1);
+        assert_eq!(report.loads_converted, 16);
+        assert_eq!(report.dvloads_emitted, 1);
+        let dvloads = out.iter().filter(|i| i.opcode == Opcode::DvLoad).count();
+        let dvmovs = out.iter().filter(|i| i.opcode == Opcode::DvMov).count();
+        let vloads = out.iter().filter(|i| i.opcode == Opcode::VLoad).count();
+        assert_eq!((dvloads, dvmovs, vloads), (1, 16, 0));
+        // Compute instructions and their count are untouched.
+        let comps = out.iter().filter(|i| matches!(i.opcode, Opcode::VCompute(_))).count();
+        assert_eq!(comps, 16);
+    }
+
+    #[test]
+    fn traffic_reduction_matches_geometry() {
+        let trace = me_like_trace(16, 1);
+        let (_, report) = vectorize(&trace, &VectorizeConfig::default());
+        // 2D: 16 loads x 8 words; 3D: 8 elements x 3 words (span 23B).
+        assert_eq!(report.words_2d, 128);
+        assert_eq!(report.words_3d, 24);
+        assert!(report.traffic_reduction() > 0.8);
+    }
+
+    #[test]
+    fn leaves_wide_consecutive_patterns_alone() {
+        // jpeg_decode-style: delta 128 exceeds the element span.
+        let trace = me_like_trace(8, 128);
+        let (out, report) = vectorize(&trace, &VectorizeConfig::default());
+        assert_eq!(report.groups_converted, 0);
+        assert_eq!(out.len(), trace.len());
+        assert_eq!(out.iter().filter(|i| i.opcode == Opcode::DvLoad).count(), 0);
+    }
+
+    #[test]
+    fn invariant_stream_reuse() {
+        // The same block re-loaded (delta 0) is served by one 3dvload.
+        let trace = me_like_trace(10, 0);
+        let (out, report) = vectorize(&trace, &VectorizeConfig::default());
+        assert_eq!(report.groups_converted, 1);
+        assert_eq!(report.words_3d, 8); // one 8-row x 1-word fetch
+        assert_eq!(report.words_2d, 80);
+        assert_eq!(out.iter().filter(|i| i.opcode == Opcode::DvMov).count(), 10);
+    }
+
+    #[test]
+    fn store_conflict_splits_group() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let base = tb.li(Gpr::new(1), 0x1_0000);
+        for k in 0..4u64 {
+            tb.vload(MomReg::new(0), base, 0x1_0000 + k);
+        }
+        // A store into the window's envelope.
+        tb.store_scalar(Gpr::new(2), base, 0x1_0000 + 640, 8);
+        for k in 4..8u64 {
+            tb.vload(MomReg::new(0), base, 0x1_0000 + k);
+        }
+        let (out, report) = vectorize(&tb.finish(), &VectorizeConfig::default());
+        assert_eq!(report.store_conflicts, 1);
+        // Both halves are separately converted (4 loads each).
+        assert_eq!(report.groups_converted, 2);
+        assert_eq!(out.iter().filter(|i| i.opcode == Opcode::DvLoad).count(), 2);
+        // The store stays between them.
+        assert_eq!(out.iter().filter(|i| i.opcode.is_store()).count(), 1);
+    }
+
+    #[test]
+    fn non_conflicting_store_does_not_split() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let base = tb.li(Gpr::new(1), 0x1_0000);
+        for k in 0..4u64 {
+            tb.vload(MomReg::new(0), base, 0x1_0000 + k);
+            tb.store_scalar(Gpr::new(2), base, 0x9_0000, 8); // far away
+        }
+        let (_, report) = vectorize(&tb.finish(), &VectorizeConfig::default());
+        assert_eq!(report.store_conflicts, 0);
+        assert_eq!(report.groups_converted, 1);
+    }
+
+    #[test]
+    fn register_pressure_drops_excess_groups() {
+        // Three interleaved groups but only two 3D registers.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let base = tb.li(Gpr::new(1), 0);
+        for k in 0..8u64 {
+            tb.vload(MomReg::new(0), base, 0x1_0000 + k);
+            tb.vload(MomReg::new(1), base, 0x5_0000 + k);
+            tb.vload(MomReg::new(2), base, 0x9_0000 + k);
+        }
+        let (out, report) = vectorize(&tb.finish(), &VectorizeConfig::default());
+        assert_eq!(report.groups_found, 3);
+        assert_eq!(report.groups_converted, 2);
+        assert_eq!(out.iter().filter(|i| i.opcode == Opcode::VLoad).count(), 8);
+    }
+
+    #[test]
+    fn min_group_threshold() {
+        let trace = me_like_trace(3, 1);
+        let cfg = VectorizeConfig { min_group: 4, max_live: 2 };
+        let (_, report) = vectorize(&trace, &cfg);
+        assert_eq!(report.groups_converted, 0);
+    }
+
+    #[test]
+    fn dvmov_pointer_strides_follow_delta() {
+        let trace = me_like_trace(4, 2);
+        let (out, _) = vectorize(&trace, &VectorizeConfig::default());
+        let strides: Vec<i64> =
+            out.iter().filter(|i| i.opcode == Opcode::DvMov).map(|i| i.imm).collect();
+        assert_eq!(strides, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn preserves_destination_registers() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let base = tb.li(Gpr::new(1), 0);
+        tb.vload(MomReg::new(5), base, 0x1_0000);
+        tb.vload(MomReg::new(6), base, 0x1_0001);
+        let (out, _) = vectorize(&tb.finish(), &VectorizeConfig::default());
+        let dsts: Vec<Reg> = out
+            .iter()
+            .filter(|i| i.opcode == Opcode::DvMov)
+            .map(|i| i.dsts.iter().next().unwrap())
+            .collect();
+        assert_eq!(dsts, vec![Reg::Mom(MomReg::new(5)), Reg::Mom(MomReg::new(6))]);
+    }
+}

@@ -1,0 +1,199 @@
+//! 3D window analysis: when can a set of 2D streams be served by one
+//! 3D register?
+
+use crate::stream::Stream2d;
+use mom3d_isa::arch;
+
+/// A plan for serving a group of 2D streams from a single 3D register.
+///
+/// One `3dvload` at `base` with row stride `row_stride` and width
+/// `wwords × 8` bytes fills the register; stream `k` of the group is then
+/// a `3dvmov` whose pointer sits at byte offset `k × delta`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window3d {
+    /// Base address of the `3dvload` (= base of the first stream).
+    pub base: u64,
+    /// Stride between 3D elements — the 2D streams' common row stride.
+    pub row_stride: i64,
+    /// Vector length (rows) — the 2D streams' common VL.
+    pub vl: u8,
+    /// Element width in 64-bit words (`W` field, 1–16).
+    pub wwords: u8,
+    /// Byte offset between consecutive streams' slices (the third
+    /// dimension's stride).
+    pub delta: i64,
+    /// Number of streams the window serves.
+    pub covered: usize,
+}
+
+impl Window3d {
+    /// Bytes fetched by the `3dvload` (blocks may overlap in memory).
+    pub fn fetched_bytes(&self) -> u64 {
+        self.vl as u64 * self.wwords as u64 * 8
+    }
+
+    /// Bytes the original 2D loads would have fetched.
+    pub fn replaced_bytes(&self) -> u64 {
+        self.covered as u64 * self.vl as u64 * 8
+    }
+
+    /// Pointer offset of stream `k`.
+    pub fn offset_of(&self, k: usize) -> i64 {
+        self.delta * k as i64
+    }
+}
+
+/// Analyzes a group of 2D streams and returns the 3D window that serves
+/// all of them, if one exists.
+///
+/// The conditions (paper §3.2/§5.1, "the analysis is commonly trivial"):
+///
+/// 1. all streams share the same `(stride, vl, elem_bytes = 8)`;
+/// 2. consecutive bases differ by a constant `delta ≥ 0`
+///    (`delta = 0` is the loop-invariant-stream reuse case);
+/// 3. the last stream's slice still fits in a 128-byte element:
+///    `delta × (n−1) + 8 ≤ 128`.
+///
+/// Returns `None` when any condition fails — e.g. `jpeg_decode`'s wide
+/// consecutive patterns, whose inter-stream delta (128 bytes) pushes the
+/// slice out of the element.
+pub fn analyze_group(streams: &[Stream2d]) -> Option<Window3d> {
+    let first = *streams.first()?;
+    if first.elem_bytes != 8 {
+        return None;
+    }
+    if streams.len() < 2 {
+        return None;
+    }
+    // Condition 1: identical shape.
+    if streams
+        .iter()
+        .any(|s| s.stride != first.stride || s.vl != first.vl || s.elem_bytes != 8)
+    {
+        return None;
+    }
+    // Condition 2: constant non-negative delta.
+    let delta = (streams[1].base as i64) - (first.base as i64);
+    if delta < 0 {
+        return None;
+    }
+    for w in streams.windows(2) {
+        if (w[1].base as i64) - (w[0].base as i64) != delta {
+            return None;
+        }
+    }
+    // Condition 3: the furthest slice fits in one element.
+    let span = delta * (streams.len() as i64 - 1) + 8;
+    if span > arch::DREG_ELEM_BYTES as i64 {
+        return None;
+    }
+    let wwords = (span as u64).div_ceil(8) as u8;
+    Some(Window3d {
+        base: first.base,
+        row_stride: first.stride,
+        vl: first.vl,
+        wwords,
+        delta,
+        covered: streams.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn candidates(n: usize, delta: i64) -> Vec<Stream2d> {
+        (0..n)
+            .map(|k| Stream2d::new((0x1_0000 + delta * k as i64) as u64, 640, 8, 8))
+            .collect()
+    }
+
+    #[test]
+    fn motion_estimation_window() {
+        // 16 candidates one byte apart: span = 15 + 8 = 23 -> W = 3 words.
+        let w = analyze_group(&candidates(16, 1)).unwrap();
+        assert_eq!(w.delta, 1);
+        assert_eq!(w.wwords, 3);
+        assert_eq!(w.covered, 16);
+        assert_eq!(w.offset_of(15), 15);
+    }
+
+    #[test]
+    fn max_coverage_at_delta_one() {
+        // 121 candidates: span = 120 + 8 = 128 exactly -> W = 16.
+        let w = analyze_group(&candidates(121, 1)).unwrap();
+        assert_eq!(w.wwords, 16);
+        // 122 no longer fit.
+        assert!(analyze_group(&candidates(122, 1)).is_none());
+    }
+
+    #[test]
+    fn jpeg_blocks_delta_eight() {
+        // 16 adjacent 8x8 blocks: delta 8, span = 15*8 + 8 = 128 -> W=16.
+        let w = analyze_group(&candidates(16, 8)).unwrap();
+        assert_eq!(w.wwords, 16);
+        assert!(analyze_group(&candidates(17, 8)).is_none());
+    }
+
+    #[test]
+    fn invariant_streams_delta_zero() {
+        // The same stream re-read each outer iteration: reuse case.
+        let w = analyze_group(&candidates(10, 0)).unwrap();
+        assert_eq!(w.delta, 0);
+        assert_eq!(w.wwords, 1);
+        assert_eq!(w.fetched_bytes(), 8 * 8);
+        assert_eq!(w.replaced_bytes(), 10 * 8 * 8);
+    }
+
+    #[test]
+    fn wide_consecutive_patterns_rejected() {
+        // jpeg_decode-style: dense rows, next load 128 bytes later.
+        assert!(analyze_group(&candidates(4, 128)).is_none());
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let mut g = candidates(4, 1);
+        g[2].vl = 4;
+        assert!(analyze_group(&g).is_none());
+        let mut g = candidates(4, 1);
+        g[1].stride = 320;
+        assert!(analyze_group(&g).is_none());
+    }
+
+    #[test]
+    fn irregular_delta_rejected() {
+        let g = vec![
+            Stream2d::new(0x1000, 640, 8, 8),
+            Stream2d::new(0x1001, 640, 8, 8),
+            Stream2d::new(0x1003, 640, 8, 8), // delta jumps to 2
+        ];
+        assert!(analyze_group(&g).is_none());
+    }
+
+    #[test]
+    fn singleton_and_empty_rejected() {
+        assert!(analyze_group(&[]).is_none());
+        assert!(analyze_group(&candidates(1, 1)).is_none());
+    }
+
+    #[test]
+    fn negative_delta_rejected() {
+        let g = vec![
+            Stream2d::new(0x1010, 640, 8, 8),
+            Stream2d::new(0x100F, 640, 8, 8),
+        ];
+        assert!(analyze_group(&g).is_none());
+    }
+
+    #[test]
+    fn dense_streams_gsm_case() {
+        // GSM LTP: dense 2D streams (stride 8), lags 2 bytes apart.
+        let g: Vec<Stream2d> =
+            (0..40).map(|k| Stream2d::new(0x2000 + 2 * k, 8, 10, 8)).collect();
+        let w = analyze_group(&g).unwrap();
+        assert_eq!(w.delta, 2);
+        assert_eq!(w.row_stride, 8);
+        assert_eq!(w.wwords, (2 * 39u64 + 8).div_ceil(8) as u8);
+    }
+}

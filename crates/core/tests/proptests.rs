@@ -1,0 +1,133 @@
+//! Property-based tests of the 3D vectorization core: register file
+//! semantics, window analysis, and vectorizer equivalence on random
+//! well-formed load patterns.
+
+use mom3d_core::{analyze_group, vectorize, DRegFile, Stream2d, VectorizeConfig};
+use mom3d_isa::{DReg, Gpr, MomReg, TraceBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    /// A `3dvmov` slice equals the bytes the corresponding 2D load would
+    /// have fetched, for any block geometry and offset.
+    #[test]
+    fn slices_match_block_bytes(
+        elems in 1usize..=16,
+        wwords in 1usize..=16,
+        offset in 0usize..120,
+    ) {
+        let width = wwords * 8;
+        prop_assume!(offset + 8 <= width);
+        let blocks: Vec<Vec<u8>> = (0..elems)
+            .map(|e| (0..width).map(|i| (e * 31 + i) as u8).collect())
+            .collect();
+        let mut f = DRegFile::new();
+        f.load(DReg::new(0), &blocks, false);
+        f.set_pointer(DReg::new(0), offset as u8);
+        let out = f.mov(DReg::new(0), elems, 0);
+        for (e, v) in out.iter().enumerate() {
+            let expect = u64::from_le_bytes(
+                blocks[e][offset..offset + 8].try_into().unwrap(),
+            );
+            prop_assert_eq!(*v, expect, "element {}", e);
+        }
+    }
+
+    /// Pointer arithmetic is mod-128 for any stride sequence.
+    #[test]
+    fn pointer_is_mod_128(strides in proptest::collection::vec(-127i16..=127, 1..50)) {
+        let mut f = DRegFile::new();
+        f.load(DReg::new(0), &[vec![0u8; 128]], false);
+        let mut model = 0i32;
+        for s in strides {
+            f.mov(DReg::new(0), 1, s);
+            model = (model + s as i32).rem_euclid(128);
+            prop_assert_eq!(f.pointer(DReg::new(0)) as i32, model);
+        }
+    }
+
+    /// `analyze_group` accepts exactly the geometrically valid groups:
+    /// constant non-negative delta with the last slice inside 128 bytes.
+    #[test]
+    fn window_analysis_matches_geometry(
+        base in 0x1000u64..0x8000,
+        stride in 1i64..2048,
+        vl in 1u8..=16,
+        delta in 0i64..140,
+        n in 2usize..40,
+    ) {
+        let streams: Vec<Stream2d> = (0..n)
+            .map(|k| Stream2d::new(base + (delta as u64) * k as u64, stride, vl, 8))
+            .collect();
+        let valid = delta * (n as i64 - 1) + 8 <= 128;
+        match analyze_group(&streams) {
+            Some(w) => {
+                prop_assert!(valid);
+                prop_assert_eq!(w.delta, delta);
+                prop_assert_eq!(w.covered, n);
+                prop_assert_eq!(w.vl, vl);
+                // Every stream's slice fits in the fetched width.
+                prop_assert!(w.offset_of(n - 1) + 8 <= w.wwords as i64 * 8);
+            }
+            None => prop_assert!(!valid, "valid group rejected: delta={delta} n={n}"),
+        }
+    }
+
+    /// The vectorizer preserves non-load instructions and converts loads
+    /// one-for-one into moves, for arbitrary group shapes.
+    #[test]
+    fn vectorizer_conserves_instructions(
+        delta in 0i64..20,
+        loads in 2usize..40,
+        stride in 16i64..2048,
+    ) {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(stride);
+        let b = tb.li(Gpr::new(1), 0x1_0000);
+        for k in 0..loads {
+            tb.vload(MomReg::new((k % 8) as u8), b, 0x1_0000 + (delta as u64) * k as u64);
+        }
+        let trace = tb.finish();
+        let (out, report) = vectorize(&trace, &VectorizeConfig::default());
+
+        let count = |t: &mom3d_isa::Trace, op: mom3d_isa::Opcode| {
+            t.iter().filter(|i| i.opcode == op).count() as u64
+        };
+        let vloads_in = count(&trace, mom3d_isa::Opcode::VLoad);
+        let vloads_out = count(&out, mom3d_isa::Opcode::VLoad);
+        let movs = count(&out, mom3d_isa::Opcode::DvMov);
+        let dvloads = count(&out, mom3d_isa::Opcode::DvLoad);
+
+        // One move per converted load; untouched loads survive.
+        prop_assert_eq!(movs, report.loads_converted);
+        prop_assert_eq!(vloads_out, vloads_in - report.loads_converted);
+        prop_assert_eq!(dvloads, report.dvloads_emitted);
+        // Non-memory instructions are untouched.
+        let scalars = |t: &mom3d_isa::Trace| {
+            t.iter().filter(|i| !i.opcode.is_vector()).count()
+        };
+        prop_assert_eq!(scalars(&out), scalars(&trace));
+        // Traffic accounting is consistent.
+        if report.groups_converted > 0 {
+            prop_assert!(report.words_3d > 0);
+            prop_assert!(report.words_2d >= report.loads_converted * 8);
+        }
+    }
+
+    /// Stream overlap is symmetric and bounded by the smaller footprint.
+    #[test]
+    fn overlap_symmetry(
+        a_base in 0u64..4096,
+        b_base in 0u64..4096,
+        stride in 8i64..512,
+        vl in 1u8..=16,
+    ) {
+        let a = Stream2d::new(a_base, stride, vl, 8);
+        let b = Stream2d::new(b_base, stride, vl, 8);
+        prop_assert_eq!(a.overlap_bytes(&b), b.overlap_bytes(&a));
+        prop_assert_eq!(a.overlap_bytes(&a), a.total_bytes());
+        if !a.may_overlap(&b) {
+            prop_assert_eq!(a.overlap_bytes(&b), 0);
+        }
+    }
+}

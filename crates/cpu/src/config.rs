@@ -1,0 +1,200 @@
+//! Processor configurations (Table 2 of the paper).
+
+use mom3d_mem::{BankedConfig, HierarchyConfig, VectorCacheConfig};
+
+/// Which vector memory system backs the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemorySystemKind {
+    /// Perfect cache: 1-cycle latency, unbounded bandwidth (the
+    /// normalization baseline of Figures 3 and 9).
+    Ideal,
+    /// 4-port, 8-bank multi-banked cache behind a crossbar (Figure 2-a).
+    MultiBanked,
+    /// Single wide-port vector cache, 4 × 64 bit (Figure 2-b).
+    VectorCache,
+    /// Vector cache plus the second-level 3D vector register file
+    /// (Figure 8-c) — required to execute `3dvload`/`3dvmov`.
+    VectorCache3d,
+}
+
+impl MemorySystemKind {
+    /// True when the configuration includes the 3D register file.
+    pub fn has_3d(self) -> bool {
+        matches!(self, MemorySystemKind::VectorCache3d | MemorySystemKind::Ideal)
+    }
+}
+
+/// Full processor configuration (Table 2 plus the memory system).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorConfig {
+    /// Instructions fetched per cycle (8).
+    pub fetch_rate: usize,
+    /// Graduation (reorder) window entries (128).
+    pub window: usize,
+    /// Load/store queue entries (32).
+    pub lsq: usize,
+    /// Integer issue width (4).
+    pub int_issue: usize,
+    /// Integer functional units (4).
+    pub int_units: usize,
+    /// SIMD issue width (MMX 4, MOM 1).
+    pub simd_issue: usize,
+    /// SIMD functional units (MMX 4, MOM 1).
+    pub simd_units: usize,
+    /// Lanes (clusters) per SIMD unit (MMX 1, MOM 4).
+    pub simd_lanes: usize,
+    /// Memory issue width, shared by scalar and vector memory (MMX 4,
+    /// MOM 2).
+    pub mem_issue: usize,
+    /// Scalar (L1) memory ports (MMX 4, MOM 2).
+    pub l1_ports: usize,
+    /// Commit width (matches fetch).
+    pub commit_rate: usize,
+    /// Outstanding vector memory transactions (miss/transaction buffers
+    /// on the L2 vector port). Bounds how much L2 latency the vector
+    /// pipeline can hide — the knob behind Figure 10's sensitivity.
+    pub vec_outstanding: usize,
+    /// Whether scalar/µSIMD memory models L1 bank conflicts (the
+    /// MMX-like multi-banked configuration).
+    pub l1_banked: bool,
+    /// Pre-touch every line the trace references before timing, so the
+    /// run measures steady-state behaviour (the paper's applications run
+    /// at 90–99% hit rates; our kernels touch their data too few times
+    /// to amortize cold misses otherwise).
+    pub warm_caches: bool,
+    /// The vector memory system.
+    pub memory: MemorySystemKind,
+    /// Cache hierarchy latencies/geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Multi-banked port system parameters.
+    pub banked: BankedConfig,
+    /// Vector cache port parameters.
+    pub vector_cache: VectorCacheConfig,
+}
+
+impl ProcessorConfig {
+    /// The MMX-style configuration of Table 2 (aggressive µSIMD
+    /// superscalar: 4 SIMD FUs, 4 L1 ports).
+    pub fn mmx() -> Self {
+        ProcessorConfig {
+            fetch_rate: 8,
+            window: 128,
+            lsq: 32,
+            int_issue: 4,
+            int_units: 4,
+            simd_issue: 4,
+            simd_units: 4,
+            simd_lanes: 1,
+            mem_issue: 4,
+            l1_ports: 4,
+            commit_rate: 8,
+            vec_outstanding: 4,
+            l1_banked: true,
+            warm_caches: false,
+            memory: MemorySystemKind::MultiBanked,
+            hierarchy: HierarchyConfig::default(),
+            banked: BankedConfig::default(),
+            vector_cache: VectorCacheConfig::default(),
+        }
+    }
+
+    /// The MOM configuration of Table 2 (1 × 4-lane SIMD FU, 2 memory
+    /// issue, one wide L2 vector port).
+    pub fn mom() -> Self {
+        ProcessorConfig {
+            fetch_rate: 8,
+            window: 128,
+            lsq: 32,
+            int_issue: 4,
+            int_units: 4,
+            simd_issue: 1,
+            simd_units: 1,
+            simd_lanes: 4,
+            mem_issue: 2,
+            l1_ports: 2,
+            commit_rate: 8,
+            vec_outstanding: 4,
+            l1_banked: false,
+            warm_caches: false,
+            memory: MemorySystemKind::VectorCache,
+            hierarchy: HierarchyConfig::default(),
+            banked: BankedConfig::default(),
+            vector_cache: VectorCacheConfig::default(),
+        }
+    }
+
+    /// Selects the vector memory system (builder style).
+    pub fn with_memory(mut self, memory: MemorySystemKind) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Overrides the L2 hit latency (Figure 10's 20/40/60-cycle sweep).
+    pub fn with_l2_latency(mut self, cycles: u32) -> Self {
+        self.hierarchy = self.hierarchy.with_l2_latency(cycles);
+        self
+    }
+
+    /// Enables or disables cache pre-warming (builder style).
+    pub fn with_warm_caches(mut self, warm: bool) -> Self {
+        self.warm_caches = warm;
+        self
+    }
+
+    /// Aggregate µSIMD ALU bandwidth in 64-bit operations per cycle
+    /// (identical for the two styles by construction — the paper's
+    /// fairness argument).
+    pub fn simd_bandwidth(&self) -> usize {
+        self.simd_units * self.simd_lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_mmx_column() {
+        let c = ProcessorConfig::mmx();
+        assert_eq!(c.fetch_rate, 8);
+        assert_eq!(c.window, 128);
+        assert_eq!(c.lsq, 32);
+        assert_eq!(c.int_issue, 4);
+        assert_eq!(c.int_units, 4);
+        assert_eq!(c.simd_issue, 4);
+        assert_eq!(c.simd_units, 4);
+        assert_eq!(c.mem_issue, 4);
+        assert_eq!(c.l1_ports, 4);
+    }
+
+    #[test]
+    fn table2_mom_column() {
+        let c = ProcessorConfig::mom();
+        assert_eq!(c.simd_issue, 1);
+        assert_eq!(c.simd_units, 1);
+        assert_eq!(c.simd_lanes, 4);
+        assert_eq!(c.mem_issue, 2);
+        assert_eq!(c.l1_ports, 2);
+    }
+
+    #[test]
+    fn equal_simd_bandwidth_between_styles() {
+        // "providing overall the same FU bandwidth than the MMX processor"
+        assert_eq!(ProcessorConfig::mmx().simd_bandwidth(), ProcessorConfig::mom().simd_bandwidth());
+    }
+
+    #[test]
+    fn l2_latency_sweep_knob() {
+        let c = ProcessorConfig::mom().with_l2_latency(40);
+        assert_eq!(c.hierarchy.l2_latency, 40);
+        assert_eq!(ProcessorConfig::mom().hierarchy.l2_latency, 20);
+    }
+
+    #[test]
+    fn memory_kind_3d_capability() {
+        assert!(MemorySystemKind::VectorCache3d.has_3d());
+        assert!(MemorySystemKind::Ideal.has_3d());
+        assert!(!MemorySystemKind::VectorCache.has_3d());
+        assert!(!MemorySystemKind::MultiBanked.has_3d());
+    }
+}

@@ -1,0 +1,253 @@
+//! Register and memory dependence analysis over a dynamic trace.
+//!
+//! Renaming over the dynamic instruction stream: each instruction's
+//! sources resolve to the trace index of their last writer. Memory
+//! ordering adds one edge from each load to the most recent older store
+//! whose byte envelope overlaps it (media traces rarely alias, but
+//! correctness-sensitive patterns — e.g. motion-compensation writes
+//! followed by re-reads — must serialize).
+
+use mom3d_isa::{Reg, Trace};
+use std::collections::VecDeque;
+
+/// How many recent stores are checked for load-store aliasing, mirroring
+/// the finite associative search of a real load/store queue.
+const STORE_WINDOW: usize = 64;
+
+/// One producer edge: the producing instruction's trace index, and
+/// whether the consumer only needs the producer's *pointer register*
+/// value.
+///
+/// Pointer registers are renamed on every `3dvmov`, and the renamed value
+/// (`pointer + Ps`, or the `b`-flag constant of a `3dvload`) is computable
+/// at rename time — so a pointer-only consumer may issue one cycle after
+/// its producer, without waiting for the data movement to finish. This is
+/// what lets a chain of `3dvmov`s stream at full rate (§5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Producing instruction's trace index.
+    pub producer: u32,
+    /// True when the dependence is carried only by a pointer register.
+    pub ptr_only: bool,
+}
+
+/// Producer edges of every instruction in a trace (CSR layout).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    offsets: Vec<u32>,
+    edges: Vec<DepEdge>,
+}
+
+impl DepGraph {
+    /// Builds the dependence graph for `trace`.
+    pub fn build(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges: Vec<DepEdge> = Vec::with_capacity(n * 2);
+        let mut last_writer: Vec<Option<u32>> = vec![None; Reg::FLAT_COUNT];
+        let mut recent_stores: VecDeque<(u32, (u64, u64))> = VecDeque::new();
+
+        offsets.push(0);
+        for (i, instr) in trace.iter().enumerate() {
+            let start = edges.len();
+            for src in instr.srcs.iter() {
+                if let Some(w) = last_writer[src.flat_index()] {
+                    let is_ptr = matches!(src, Reg::P(_));
+                    if let Some(e) = edges[start..].iter_mut().find(|e| e.producer == w) {
+                        // A producer reached through both a pointer and a
+                        // data register is a data dependence.
+                        e.ptr_only &= is_ptr;
+                    } else {
+                        edges.push(DepEdge { producer: w, ptr_only: is_ptr });
+                    }
+                }
+            }
+            if instr.opcode.is_load() {
+                if let Some(mem) = &instr.mem {
+                    let (lo, hi) = mem.envelope();
+                    // Most recent older store that overlaps.
+                    if let Some(&(s, _)) = recent_stores
+                        .iter()
+                        .rev()
+                        .find(|(_, (slo, shi))| *slo < hi && lo < *shi)
+                    {
+                        if let Some(e) = edges[start..].iter_mut().find(|e| e.producer == s) {
+                            e.ptr_only = false;
+                        } else {
+                            edges.push(DepEdge { producer: s, ptr_only: false });
+                        }
+                    }
+                }
+            }
+            if instr.opcode.is_store() {
+                if let Some(mem) = &instr.mem {
+                    if recent_stores.len() == STORE_WINDOW {
+                        recent_stores.pop_front();
+                    }
+                    recent_stores.push_back((i as u32, mem.envelope()));
+                }
+            }
+            for dst in instr.dsts.iter() {
+                last_writer[dst.flat_index()] = Some(i as u32);
+            }
+            offsets.push(edges.len() as u32);
+        }
+        DepGraph { offsets, edges }
+    }
+
+    /// Producer edges of instruction `i`.
+    pub fn deps(&self, i: usize) -> &[DepEdge] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Producer indices of instruction `i` (ignoring edge kinds).
+    pub fn dep_indices(&self, i: usize) -> impl Iterator<Item = u32> + '_ {
+        self.deps(i).iter().map(|e| e.producer)
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when the graph covers no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Longest dependence-chain length (in instructions) — a quick
+    /// parallelism diagnostic for tests.
+    pub fn critical_path(&self) -> usize {
+        let mut depth = vec![0usize; self.len()];
+        for i in 0..self.len() {
+            depth[i] = self
+                .deps(i)
+                .iter()
+                .map(|e| depth[e.producer as usize] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        depth.into_iter().max().map(|d| d + 1).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom3d_isa::{Gpr, IntOp, MomReg, TraceBuilder};
+
+    fn producers(g: &DepGraph, i: usize) -> Vec<u32> {
+        g.dep_indices(i).collect()
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.li(Gpr::new(1), 1); // 0
+        tb.alui(IntOp::Add, Gpr::new(2), a, 1); // 1 <- 0
+        tb.alui(IntOp::Add, Gpr::new(3), Gpr::new(2), 1); // 2 <- 1
+        let g = DepGraph::build(&tb.finish());
+        assert!(producers(&g, 0).is_empty());
+        assert_eq!(producers(&g, 1), vec![0]);
+        assert_eq!(producers(&g, 2), vec![1]);
+        assert_eq!(g.critical_path(), 3);
+    }
+
+    #[test]
+    fn renaming_breaks_false_dependences() {
+        let mut tb = TraceBuilder::new();
+        tb.li(Gpr::new(1), 1); // 0
+        tb.li(Gpr::new(1), 2); // 1: WAW on r1 — not a dataflow edge
+        tb.alui(IntOp::Add, Gpr::new(2), Gpr::new(1), 0); // 2 <- 1 only
+        let g = DepGraph::build(&tb.finish());
+        assert!(producers(&g, 1).is_empty());
+        assert_eq!(producers(&g, 2), vec![1]);
+    }
+
+    #[test]
+    fn independent_instructions_are_parallel() {
+        let mut tb = TraceBuilder::new();
+        for i in 0..8 {
+            tb.li(Gpr::new(i), i as i64);
+        }
+        let g = DepGraph::build(&tb.finish());
+        assert_eq!(g.critical_path(), 1);
+    }
+
+    #[test]
+    fn load_depends_on_overlapping_store() {
+        let mut tb = TraceBuilder::new();
+        let v = tb.li(Gpr::new(1), 42); // 0
+        tb.store_scalar(v, Gpr::new(0), 0x100, 8); // 1
+        tb.load_scalar(Gpr::new(2), Gpr::new(0), 0x104, 4); // 2: overlaps
+        tb.load_scalar(Gpr::new(3), Gpr::new(0), 0x200, 4); // 3: disjoint
+        let g = DepGraph::build(&tb.finish());
+        assert!(producers(&g, 2).contains(&1));
+        assert!(!producers(&g, 3).contains(&1));
+        // Memory-ordering edges are never pointer-only.
+        assert!(g.deps(2).iter().all(|e| !e.ptr_only));
+    }
+
+    #[test]
+    fn vector_load_sees_scalar_store() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4);
+        tb.set_vs(640);
+        let v = tb.li(Gpr::new(1), 7);
+        tb.store_scalar(v, Gpr::new(0), 0x1_0000 + 640, 1);
+        tb.vload(MomReg::new(0), Gpr::new(0), 0x1_0000);
+        let g = DepGraph::build(&tb.finish());
+        let store_idx = 3; // setvl, setvs, li, store, vload
+        assert!(producers(&g, 4).contains(&store_idx));
+    }
+
+    #[test]
+    fn vl_vs_register_dependence() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4); // index 0 writes VL
+        tb.set_vs(640); // index 1 writes VS (non-default, so not elided)
+        tb.vload(MomReg::new(0), Gpr::new(0), 0); // index 2 reads both
+        let g = DepGraph::build(&tb.finish());
+        assert!(producers(&g, 2).contains(&0));
+        assert!(producers(&g, 2).contains(&1));
+    }
+
+    #[test]
+    fn pointer_edges_are_marked() {
+        use mom3d_isa::DReg;
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4);
+        let b = tb.li(Gpr::new(1), 0x1000);
+        tb.dvload(DReg::new(0), b, 0x1000, 64, 2, false); // 2
+        tb.dvmov(MomReg::new(0), DReg::new(0), 1); // 3 <- 2 (dreg+ptr)
+        tb.dvmov(MomReg::new(1), DReg::new(0), 1); // 4 <- 3 (ptr), 2 (dreg)
+        let g = DepGraph::build(&tb.finish());
+        // Move 3 depends on the dvload through BOTH dreg and pointer:
+        // a data dependence.
+        let e32 = g.deps(3).iter().find(|e| e.producer == 2).unwrap();
+        assert!(!e32.ptr_only);
+        // Move 4 depends on move 3 only through the renamed pointer.
+        let e43 = g.deps(4).iter().find(|e| e.producer == 3).unwrap();
+        assert!(e43.ptr_only, "pointer rename must not serialize the moves");
+        // ...and on the dvload's data.
+        let e42 = g.deps(4).iter().find(|e| e.producer == 2).unwrap();
+        assert!(!e42.ptr_only);
+    }
+
+    #[test]
+    fn store_window_is_bounded() {
+        // 100 stores then a load overlapping the very first store: the
+        // LSQ-like window (64) has forgotten it, so no edge — acceptable
+        // because real hardware would also have retired it long before.
+        let mut tb = TraceBuilder::new();
+        let v = tb.li(Gpr::new(1), 1);
+        tb.store_scalar(v, Gpr::new(0), 0x42, 1);
+        for i in 0..100u64 {
+            tb.store_scalar(v, Gpr::new(0), 0x10_000 + i * 8, 8);
+        }
+        tb.load_scalar(Gpr::new(2), Gpr::new(0), 0x42, 1);
+        let g = DepGraph::build(&tb.finish());
+        let last = g.len() - 1;
+        assert!(!producers(&g, last).contains(&1));
+    }
+}

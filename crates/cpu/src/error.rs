@@ -1,0 +1,51 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the timing simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace uses 3D memory instructions but the configured memory
+    /// system has no 3D register file.
+    No3dRegisterFile {
+        /// Trace position of the offending instruction.
+        index: usize,
+    },
+    /// An instruction lacked a required descriptor.
+    Malformed {
+        /// Trace position.
+        index: usize,
+        /// What was missing.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::No3dRegisterFile { index } => write!(
+                f,
+                "instruction {index} is a 3D memory instruction but the memory system has no 3D register file"
+            ),
+            SimError::Malformed { index, what } => {
+                write!(f, "instruction {index}: malformed ({what})")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::No3dRegisterFile { index: 3 };
+        assert!(e.to_string().contains("3D"));
+        let e: Box<dyn Error> = Box::new(SimError::Malformed { index: 0, what: "mem" });
+        assert!(e.to_string().contains("malformed"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The memory-system adapter: routes accesses to the hierarchy and the
+//! port schedulers, and accumulates bandwidth/activity counters.
+
+use crate::config::{MemorySystemKind, ProcessorConfig};
+use mom3d_isa::MemAccess;
+use mom3d_mem::{
+    distinct_lines, schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig,
+    MemHierarchy, VectorCacheConfig,
+};
+
+/// Extra cycles per additional outstanding L2 miss beyond the first
+/// (misses to main memory are pipelined, not serialized).
+const MISS_PIPELINE_CYCLES: u32 = 8;
+
+/// Timing of one memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemOpTiming {
+    /// Cycles the issuing port is occupied.
+    pub occupancy: u32,
+    /// Cycles from issue until the data is available (added on top of
+    /// the occupancy).
+    pub latency: u32,
+}
+
+/// The vector/scalar memory system of one simulation run.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    kind: MemorySystemKind,
+    hierarchy: MemHierarchy,
+    banked: BankedConfig,
+    vc: VectorCacheConfig,
+    /// Vector-port grant cycles (Figure 6 denominator).
+    pub port_accesses: u64,
+    /// Energy-relevant vector-side L2 accesses (Table 4).
+    pub l2_activity: u64,
+    /// 64-bit words moved by vector memory instructions (Figures 6/7).
+    pub vec_words: u64,
+    /// 3D-register-file element writes performed by `3dvload`s (one lane
+    /// write per fetched element) — the Figure 11 3D-RF energy input.
+    pub d3_writes: u64,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for a processor configuration.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        MemorySystem {
+            kind: config.memory,
+            hierarchy: MemHierarchy::new(config.hierarchy),
+            banked: config.banked,
+            vc: config.vector_cache,
+            port_accesses: 0,
+            l2_activity: 0,
+            vec_words: 0,
+            d3_writes: 0,
+        }
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> MemorySystemKind {
+        self.kind
+    }
+
+    /// Read-only view of the hierarchy (for stats extraction).
+    pub fn hierarchy(&self) -> &MemHierarchy {
+        &self.hierarchy
+    }
+
+    /// Bank index of a scalar address (for L1 bank-conflict modelling).
+    pub fn bank_of(&self, addr: u64) -> usize {
+        self.banked.bank_of(addr)
+    }
+
+    /// Pre-touches every line referenced by `trace` (both cache levels),
+    /// then clears the hierarchy statistics, so a subsequent simulation
+    /// measures steady-state hit behaviour.
+    pub fn warm_from_trace(&mut self, trace: &mom3d_isa::Trace) {
+        if self.kind == MemorySystemKind::Ideal {
+            return;
+        }
+        for instr in trace.iter() {
+            let Some(mem) = &instr.mem else { continue };
+            match instr.opcode.class() {
+                mom3d_isa::ExecClass::Mem => {
+                    self.hierarchy.scalar_access(mem.base, mem.elem_bytes, instr.opcode.is_store());
+                }
+                mom3d_isa::ExecClass::VecMem => {
+                    let blocks: Vec<(u64, u32)> = mem.blocks().collect();
+                    let line_bytes = self.hierarchy.config().l2.line_bytes as u64;
+                    for line in distinct_lines(&blocks, line_bytes) {
+                        self.hierarchy.vector_line_access(line, instr.opcode.is_store());
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.hierarchy.reset_stats();
+    }
+
+    /// Performs a scalar or µSIMD access; returns its latency.
+    pub fn scalar_access(&mut self, mem: &MemAccess, is_write: bool) -> u32 {
+        if self.kind == MemorySystemKind::Ideal {
+            return 1;
+        }
+        self.hierarchy.scalar_access(mem.base, mem.elem_bytes, is_write)
+    }
+
+    /// Performs a vector memory access (2D load/store or `3dvload`);
+    /// returns its port occupancy and completion latency, and updates
+    /// the bandwidth/activity counters.
+    pub fn vector_access(&mut self, mem: &MemAccess, is_store: bool, is_3d: bool) -> MemOpTiming {
+        let blocks: Vec<(u64, u32)> = mem.blocks().collect();
+        if self.kind == MemorySystemKind::Ideal {
+            self.vec_words += mem.total_bytes().div_ceil(8);
+            return MemOpTiming { occupancy: 1, latency: 1 };
+        }
+
+        // Tag lookups: one per distinct L2 line touched.
+        let line_bytes = self.hierarchy.config().l2.line_bytes as u64;
+        let lines = distinct_lines(&blocks, line_bytes);
+        let mut misses = 0u32;
+        for &line in &lines {
+            if !self.hierarchy.vector_line_access(line, is_store).hit {
+                misses += 1;
+            }
+        }
+
+        // Port scheduling: who wins how many words per cycle.
+        let schedule = match (self.kind, is_3d) {
+            (MemorySystemKind::MultiBanked, _) => schedule_multibanked(&self.banked, &blocks),
+            (MemorySystemKind::VectorCache, _) | (MemorySystemKind::VectorCache3d, false) => {
+                schedule_vector_cache(&self.vc, &blocks)
+            }
+            (MemorySystemKind::VectorCache3d, true) => schedule_3d(&blocks),
+            (MemorySystemKind::Ideal, _) => unreachable!("handled above"),
+        };
+        self.port_accesses += schedule.port_cycles as u64;
+        self.l2_activity += schedule.cache_accesses;
+        self.vec_words += schedule.words;
+        if is_3d {
+            self.d3_writes += mem.count as u64;
+        }
+
+        let hierarchy = self.hierarchy.config();
+        let miss_penalty = if misses > 0 {
+            hierarchy.mem_latency + (misses - 1) * MISS_PIPELINE_CYCLES
+        } else {
+            0
+        };
+        MemOpTiming {
+            occupancy: schedule.port_cycles,
+            latency: hierarchy.l2_latency + miss_penalty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessorConfig;
+
+    fn system(kind: MemorySystemKind) -> MemorySystem {
+        MemorySystem::new(&ProcessorConfig::mom().with_memory(kind))
+    }
+
+    #[test]
+    fn ideal_is_flat() {
+        let mut s = system(MemorySystemKind::Ideal);
+        let m = MemAccess::strided2d(0x1000, 640, 8);
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t, MemOpTiming { occupancy: 1, latency: 1 });
+        assert_eq!(s.vec_words, 8);
+        assert_eq!(s.l2_activity, 0);
+    }
+
+    #[test]
+    fn vector_cache_strided_costs_vl_cycles() {
+        let mut s = system(MemorySystemKind::VectorCache);
+        let m = MemAccess::strided2d(0x1000, 640, 8);
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 8, "one element per cycle for non-unit stride");
+        // Cold: 8 distinct lines missed.
+        assert_eq!(t.latency, 20 + 100 + 7 * MISS_PIPELINE_CYCLES);
+        // Warm: same access hits.
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.latency, 20);
+    }
+
+    #[test]
+    fn vector_cache_unit_stride_is_wide() {
+        let mut s = system(MemorySystemKind::VectorCache);
+        let m = MemAccess::strided2d(0x1000, 8, 16);
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 4); // 16 words / 4-wide port
+        assert_eq!(s.port_accesses, 4);
+        assert_eq!(s.vec_words, 16);
+    }
+
+    #[test]
+    fn multibanked_parallel_banks() {
+        let mut s = system(MemorySystemKind::MultiBanked);
+        let m = MemAccess::strided2d(0x1000, 8, 16);
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 4); // 4 ports x 8 banks, unit stride
+        assert_eq!(s.l2_activity, 16, "each element is a bank access");
+    }
+
+    #[test]
+    fn multibanked_conflicts() {
+        let mut s = system(MemorySystemKind::MultiBanked);
+        // Stride 64 B = bank 0 every time.
+        let m = MemAccess::strided2d(0, 64, 8);
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 8);
+    }
+
+    #[test]
+    fn dvload_uses_wide_path() {
+        let mut s = system(MemorySystemKind::VectorCache3d);
+        let m = MemAccess::strided3d(0x1000, 640, 16, 16);
+        let t = s.vector_access(&m, false, true);
+        assert_eq!(t.occupancy, 16, "one 128-byte element per cycle");
+        assert_eq!(s.vec_words, 256);
+        assert_eq!(s.l2_activity, 16);
+        // Effective bandwidth of this access: 16 words per access.
+        assert_eq!(s.vec_words / s.port_accesses, 16);
+    }
+
+    #[test]
+    fn l2_latency_flows_through() {
+        let mut s = MemorySystem::new(
+            &ProcessorConfig::mom()
+                .with_memory(MemorySystemKind::VectorCache)
+                .with_l2_latency(60),
+        );
+        let m = MemAccess::strided2d(0x1000, 640, 4);
+        s.vector_access(&m, false, false); // warm up
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.latency, 60);
+    }
+
+    #[test]
+    fn scalar_goes_through_l1() {
+        let mut s = system(MemorySystemKind::VectorCache);
+        let m = MemAccess::scalar(0x500, 4);
+        let cold = s.scalar_access(&m, false);
+        assert!(cold > 100);
+        let warm = s.scalar_access(&m, false);
+        assert_eq!(warm, 1);
+    }
+}

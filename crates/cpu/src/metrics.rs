@@ -1,0 +1,152 @@
+//! Simulation result metrics.
+
+use std::fmt;
+
+/// Everything the experiment harness needs to regenerate the paper's
+/// tables and figures from one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Dynamic instructions committed.
+    pub instructions: u64,
+    /// Packed scalar operations performed (lanes × elements).
+    pub packed_ops: u64,
+    /// Vector memory instructions executed (2D + 3D).
+    pub vec_mem_instrs: u64,
+    /// Scalar/µSIMD memory instructions executed.
+    pub scalar_mem_instrs: u64,
+    /// Vector-port grant cycles — the Figure 6 "accesses" denominator.
+    pub port_accesses: u64,
+    /// Energy-relevant L2 accesses from the vector side (bank accesses
+    /// for the multi-banked system, wide accesses for the vector cache)
+    /// — the Table 4 activity metric.
+    pub l2_activity: u64,
+    /// 64-bit words moved between the L2 and the register files by
+    /// vector memory instructions — the Figure 6 numerator and the
+    /// Figure 7 traffic metric.
+    pub vec_words: u64,
+    /// `3dvmov` transfers executed.
+    pub mov3d_instrs: u64,
+    /// 64-bit words moved from the 3D register file to MOM registers.
+    pub mov3d_words: u64,
+    /// 3D-register-file element writes performed by `3dvload`s.
+    pub d3_writes: u64,
+    /// L2 lookups from the scalar side.
+    pub l2_scalar_accesses: u64,
+    /// L2 line hits (both sides).
+    pub l2_hits: u64,
+    /// L2 line misses (both sides).
+    pub l2_misses: u64,
+    /// L1 lookups.
+    pub l1_accesses: u64,
+    /// L1 lines invalidated by the exclusive-bit protocol.
+    pub coherence_invalidations: u64,
+}
+
+impl Metrics {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Packed operations per cycle (the paper's motivation metric for
+    /// 2D ISAs: more work per instruction).
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.packed_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Effective memory bandwidth in 64-bit words per cache access
+    /// (Figure 6).
+    pub fn effective_bandwidth(&self) -> f64 {
+        if self.port_accesses == 0 {
+            0.0
+        } else {
+            self.vec_words as f64 / self.port_accesses as f64
+        }
+    }
+
+    /// L2 hit rate over both sides.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let t = self.l2_hits + self.l2_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / t as f64
+        }
+    }
+
+    /// Total energy-relevant L2 activity, including scalar-side lookups
+    /// (Table 4 / Figure 11 input).
+    pub fn total_l2_activity(&self) -> u64 {
+        self.l2_activity + self.l2_scalar_accesses
+    }
+
+    /// Slowdown of this run relative to a baseline cycle count
+    /// (Figures 3 and 9 are slowdowns vs. the MOM-ideal configuration).
+    pub fn slowdown_vs(&self, baseline_cycles: u64) -> f64 {
+        if baseline_cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / baseline_cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} instrs (IPC {:.2}), eff-bw {:.2} words/access, L2 activity {}",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.effective_bandwidth(),
+            self.total_l2_activity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let m = Metrics {
+            cycles: 100,
+            instructions: 250,
+            packed_ops: 800,
+            port_accesses: 10,
+            vec_words: 40,
+            l2_hits: 9,
+            l2_misses: 1,
+            l2_activity: 25,
+            l2_scalar_accesses: 5,
+            ..Default::default()
+        };
+        assert!((m.ipc() - 2.5).abs() < 1e-12);
+        assert!((m.ops_per_cycle() - 8.0).abs() < 1e-12);
+        assert!((m.effective_bandwidth() - 4.0).abs() < 1e-12);
+        assert!((m.l2_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(m.total_l2_activity(), 30);
+        assert!((m.slowdown_vs(80) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let m = Metrics::default();
+        assert_eq!(m.ipc(), 0.0);
+        assert_eq!(m.effective_bandwidth(), 0.0);
+        assert_eq!(m.l2_hit_rate(), 0.0);
+        assert_eq!(m.slowdown_vs(0), 0.0);
+    }
+}

@@ -1,0 +1,570 @@
+//! The cycle-stepped out-of-order pipeline model.
+
+use crate::config::ProcessorConfig;
+use crate::depgraph::DepGraph;
+use crate::error::SimError;
+use crate::memsys::MemorySystem;
+use crate::metrics::Metrics;
+use mom3d_isa::{ExecClass, Opcode, Trace};
+use std::collections::VecDeque;
+
+/// A pool of identical functional units tracked by busy-until cycle.
+#[derive(Debug, Clone)]
+struct Units {
+    busy_until: Vec<u64>,
+}
+
+impl Units {
+    fn new(n: usize) -> Self {
+        Units { busy_until: vec![0; n] }
+    }
+
+    /// Reserves a free unit for `occupancy` cycles starting at `now`.
+    fn acquire(&mut self, now: u64, occupancy: u32) -> bool {
+        if let Some(u) = self.busy_until.iter_mut().find(|b| **b <= now) {
+            *u = now + occupancy as u64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The out-of-order processor model.
+///
+/// See the crate docs for the modeled resources. One `Processor` is a
+/// reusable configuration; [`Processor::run`] simulates one trace and
+/// returns its [`Metrics`].
+#[derive(Debug, Clone)]
+pub struct Processor {
+    config: ProcessorConfig,
+}
+
+impl Processor {
+    /// Creates a processor with the given configuration.
+    pub fn new(config: ProcessorConfig) -> Self {
+        Processor { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Simulates `trace` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::No3dRegisterFile`] if the trace contains 3D
+    /// memory instructions and the configured memory system lacks the 3D
+    /// register file, or [`SimError::Malformed`] for memory opcodes
+    /// without descriptors.
+    pub fn run(&self, trace: &Trace) -> Result<Metrics, SimError> {
+        let cfg = &self.config;
+        let instrs = trace.instrs();
+        let n = instrs.len();
+
+        // Up-front validation.
+        for (index, i) in instrs.iter().enumerate() {
+            match i.opcode {
+                Opcode::DvLoad | Opcode::DvMov if !cfg.memory.has_3d() => {
+                    return Err(SimError::No3dRegisterFile { index });
+                }
+                op if op.is_mem() && i.mem.is_none() => {
+                    return Err(SimError::Malformed { index, what: "memory descriptor" });
+                }
+                _ => {}
+            }
+        }
+
+        let deps = DepGraph::build(trace);
+        let mut memsys = MemorySystem::new(cfg);
+        if cfg.warm_caches {
+            memsys.warm_from_trace(trace);
+        }
+        let mut metrics = Metrics::default();
+
+        let mut done_at: Vec<u64> = vec![u64::MAX; n];
+        // Pointer-register results are available right after rename/issue
+        // (the renamed value is `ptr + Ps` or the `b`-flag constant), so
+        // pointer-only consumers key off this earlier timestamp.
+        let mut ptr_ready_at: Vec<u64> = vec![u64::MAX; n];
+        let mut issued: Vec<bool> = vec![false; n];
+        let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.window);
+        let mut next_fetch = 0usize;
+        let mut lsq_used = 0usize;
+
+        let mut int_units = Units::new(cfg.int_units);
+        let mut simd_units = Units::new(cfg.simd_units);
+        let mut l1_ports = Units::new(cfg.l1_ports);
+        let mut vec_port = Units::new(1);
+        let mut vec_txn = Units::new(cfg.vec_outstanding.max(1));
+        let mut mov3d_unit = Units::new(1);
+
+        let mut now: u64 = 0;
+        // Generous progress bound: every instruction finishes within a few
+        // hundred cycles of being oldest, so exceeding this means a model
+        // bug, not a slow workload.
+        let cycle_bound = 2_000u64 * n as u64 + 1_000_000;
+
+        while next_fetch < n || !window.is_empty() {
+            // ---- commit (in order, up to commit_rate) ---------------------
+            let mut committed = 0usize;
+            while committed < cfg.commit_rate {
+                match window.front() {
+                    Some(&front) if issued[front as usize] && done_at[front as usize] <= now => {
+                        let i = &instrs[front as usize];
+                        if i.opcode.is_mem() {
+                            lsq_used -= 1;
+                        }
+                        metrics.instructions += 1;
+                        metrics.packed_ops += i.packed_ops();
+                        window.pop_front();
+                        committed += 1;
+                    }
+                    _ => break,
+                }
+            }
+
+            // ---- issue (oldest first, per-class budgets) ------------------
+            let mut int_budget = cfg.int_issue;
+            let mut simd_budget = cfg.simd_issue;
+            let mut mem_budget = cfg.mem_issue; // shared: scalar + vector mem
+            let mut mov3d_budget = 1usize;
+            let mut banks_used: u64 = 0; // L1 bank bitmask for this cycle
+
+            for &wi in window.iter() {
+                let idx = wi as usize;
+                if issued[idx] {
+                    continue;
+                }
+                if int_budget == 0 && simd_budget == 0 && mem_budget == 0 && mov3d_budget == 0 {
+                    break;
+                }
+                let instr = &instrs[idx];
+                let ready = deps.deps(idx).iter().all(|e| {
+                    let d = e.producer as usize;
+                    if e.ptr_only {
+                        ptr_ready_at[d] <= now
+                    } else {
+                        done_at[d] <= now
+                    }
+                });
+                if !ready {
+                    continue; // operands not ready
+                }
+                match instr.opcode.class() {
+                    ExecClass::Int => {
+                        if int_budget == 0 || !int_units.acquire(now, 1) {
+                            continue;
+                        }
+                        int_budget -= 1;
+                        done_at[idx] = now + instr.opcode.base_latency() as u64;
+                    }
+                    ExecClass::Simd => {
+                        if simd_budget == 0 {
+                            continue;
+                        }
+                        let occupancy = if instr.opcode.is_vector() {
+                            (instr.vl as usize).div_ceil(cfg.simd_lanes) as u32
+                        } else {
+                            1
+                        };
+                        if !simd_units.acquire(now, occupancy) {
+                            continue;
+                        }
+                        simd_budget -= 1;
+                        done_at[idx] =
+                            now + (occupancy - 1) as u64 + instr.opcode.base_latency() as u64;
+                    }
+                    ExecClass::Mem => {
+                        if mem_budget == 0 {
+                            continue;
+                        }
+                        let mem = instr.mem.expect("validated above");
+                        if cfg.l1_banked && cfg.memory != crate::MemorySystemKind::Ideal {
+                            let bank = memsys.bank_of(mem.base);
+                            if banks_used & (1 << bank) != 0 {
+                                continue; // bank conflict: retry next cycle
+                            }
+                            banks_used |= 1 << bank;
+                        }
+                        if !l1_ports.acquire(now, 1) {
+                            continue;
+                        }
+                        mem_budget -= 1;
+                        let latency = memsys.scalar_access(&mem, instr.opcode.is_store());
+                        metrics.scalar_mem_instrs += 1;
+                        // Stores retire into the store buffer and drain in
+                        // the background; only loads expose access latency.
+                        done_at[idx] = if instr.opcode.is_store() {
+                            now + 1
+                        } else {
+                            now + latency as u64
+                        };
+                    }
+                    ExecClass::VecMem => {
+                        if mem_budget == 0 {
+                            continue;
+                        }
+                        // Probe both the port and a transaction buffer
+                        // before paying for the access (the access mutates
+                        // cache state, so it must not be speculated).
+                        if vec_port.busy_until[0] > now
+                            || !vec_txn.busy_until.iter().any(|&b| b <= now)
+                        {
+                            continue;
+                        }
+                        let mem = instr.mem.expect("validated above");
+                        let is_3d = instr.opcode == Opcode::DvLoad;
+                        let timing =
+                            memsys.vector_access(&mem, instr.opcode.is_store(), is_3d);
+                        let ok = vec_port.acquire(now, timing.occupancy);
+                        debug_assert!(ok, "vector port probed free");
+                        // The transaction buffer is held until the data
+                        // returns, bounding latency overlap.
+                        let ok = vec_txn.acquire(now, timing.occupancy + timing.latency);
+                        debug_assert!(ok, "transaction buffer probed free");
+                        mem_budget -= 1;
+                        metrics.vec_mem_instrs += 1;
+                        // Vector stores hold the port for their occupancy
+                        // but complete without waiting on the L2 write.
+                        done_at[idx] = if instr.opcode.is_store() {
+                            now + timing.occupancy as u64
+                        } else {
+                            now + timing.occupancy as u64 + timing.latency as u64
+                        };
+                    }
+                    ExecClass::Mov3d => {
+                        if mov3d_budget == 0 {
+                            continue;
+                        }
+                        // Four lanes move 4 x 64 bit per cycle.
+                        let occupancy = (instr.vl as usize).div_ceil(4) as u32;
+                        if !mov3d_unit.acquire(now, occupancy) {
+                            continue;
+                        }
+                        mov3d_budget -= 1;
+                        metrics.mov3d_instrs += 1;
+                        metrics.mov3d_words += instr.vl as u64;
+                        done_at[idx] =
+                            now + (occupancy - 1) as u64 + instr.opcode.base_latency() as u64;
+                    }
+                }
+                issued[idx] = true;
+                ptr_ready_at[idx] = now + 1;
+            }
+
+            // ---- fetch (in order, bounded by window and LSQ) ---------------
+            let mut fetched = 0usize;
+            while fetched < cfg.fetch_rate && next_fetch < n && window.len() < cfg.window {
+                let is_mem = instrs[next_fetch].opcode.is_mem();
+                if is_mem && lsq_used == cfg.lsq {
+                    break;
+                }
+                if is_mem {
+                    lsq_used += 1;
+                }
+                window.push_back(next_fetch as u32);
+                next_fetch += 1;
+                fetched += 1;
+            }
+
+            now += 1;
+            assert!(now < cycle_bound, "simulator failed to make progress (model bug)");
+        }
+
+        metrics.cycles = now;
+        metrics.port_accesses = memsys.port_accesses;
+        metrics.l2_activity = memsys.l2_activity;
+        metrics.vec_words = memsys.vec_words;
+        metrics.d3_writes = memsys.d3_writes;
+        let h = memsys.hierarchy().stats();
+        metrics.l2_scalar_accesses = h.l2_scalar_accesses;
+        metrics.l2_hits = h.l2_hits;
+        metrics.l2_misses = h.l2_misses;
+        metrics.l1_accesses = h.l1_accesses;
+        metrics.coherence_invalidations = h.coherence_invalidations;
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemorySystemKind;
+    use mom3d_isa::{DReg, Gpr, IntOp, MmxReg, MomReg, TraceBuilder, UsimdOp, Width};
+
+    fn mom(kind: MemorySystemKind) -> Processor {
+        Processor::new(ProcessorConfig::mom().with_memory(kind))
+    }
+
+    #[test]
+    fn empty_trace() {
+        let m = mom(MemorySystemKind::Ideal).run(&Trace::new()).unwrap();
+        assert_eq!(m.instructions, 0);
+        assert_eq!(m.cycles, 0);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_issue_width() {
+        // 400 independent int ops on a 4-wide int machine: IPC -> ~4.
+        let mut tb = TraceBuilder::new();
+        for i in 0..400 {
+            tb.li(Gpr::new((i % 32) as u8), i as i64);
+        }
+        let m = mom(MemorySystemKind::Ideal).run(&tb.finish()).unwrap();
+        assert!(m.ipc() > 3.0, "IPC {}", m.ipc());
+        assert!(m.ipc() <= 4.1);
+    }
+
+    #[test]
+    fn dependence_chain_serializes() {
+        let mut tb = TraceBuilder::new();
+        tb.li(Gpr::new(1), 0);
+        for _ in 0..200 {
+            tb.alui(IntOp::Add, Gpr::new(1), Gpr::new(1), 1);
+        }
+        let m = mom(MemorySystemKind::Ideal).run(&tb.finish()).unwrap();
+        assert!(m.cycles >= 200, "a chain cannot beat 1 op/cycle");
+        assert!(m.ipc() < 1.2);
+    }
+
+    #[test]
+    fn mmx_simd_wider_than_mom_issue() {
+        // 400 independent usimd ops: MMX has 4 FUs, MOM 1 (x4 lanes).
+        let build = || {
+            let mut tb = TraceBuilder::new();
+            for i in 0..400u32 {
+                let r = (i % 16) as u8;
+                tb.usimd2(
+                    UsimdOp::AddWrap(Width::B8),
+                    MmxReg::new(r),
+                    MmxReg::new(16 + (i % 8) as u8),
+                    MmxReg::new(24 + (i % 8) as u8),
+                );
+            }
+            tb.finish()
+        };
+        let mmx = Processor::new(ProcessorConfig::mmx().with_memory(MemorySystemKind::Ideal))
+            .run(&build())
+            .unwrap();
+        let momp = mom(MemorySystemKind::Ideal).run(&build()).unwrap();
+        assert!(mmx.cycles < momp.cycles, "MMX 4-wide µSIMD beats MOM 1-wide on scalar SIMD");
+    }
+
+    #[test]
+    fn vector_op_occupies_lanes() {
+        // One VL=16 vector op on 4 lanes: 4 cycles of FU occupancy.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(16);
+        for _ in 0..100 {
+            tb.vop2(UsimdOp::AddWrap(Width::B8), MomReg::new(0), MomReg::new(1), MomReg::new(2));
+        }
+        let m = mom(MemorySystemKind::Ideal).run(&tb.finish()).unwrap();
+        // 100 x ceil(16/4) = 400 FU cycles on one unit.
+        assert!(m.cycles >= 400);
+        assert!(m.packed_ops >= 100 * 16 * 8);
+    }
+
+    #[test]
+    fn strided_vload_slower_on_vector_cache_than_multibanked() {
+        // Stride 136 B = 17 words: element k maps to bank k % 8, so the
+        // multi-banked system sustains 4 grants/cycle while the vector
+        // cache degrades to 1 element/cycle. Repeated bases keep the L2
+        // warm after the first pass so port behaviour dominates.
+        let build = || {
+            let mut tb = TraceBuilder::new();
+            tb.set_vl(16);
+            tb.set_vs(136);
+            let b = tb.li(Gpr::new(1), 0x1_0000);
+            for k in 0..64u64 {
+                tb.vload(MomReg::new((k % 8) as u8), b, 0x1_0000 + (k % 4));
+            }
+            tb.finish()
+        };
+        let vc = mom(MemorySystemKind::VectorCache).run(&build()).unwrap();
+        let mb = mom(MemorySystemKind::MultiBanked).run(&build()).unwrap();
+        let ideal = mom(MemorySystemKind::Ideal).run(&build()).unwrap();
+        // Strided: VC serves 1 elem/cycle, MB up to 4 (different banks).
+        assert!(vc.cycles > mb.cycles, "vc {} mb {}", vc.cycles, mb.cycles);
+        assert!(mb.cycles > ideal.cycles);
+        assert!(vc.effective_bandwidth() <= 1.01);
+        assert!(mb.effective_bandwidth() > 1.5);
+    }
+
+    #[test]
+    fn unit_stride_vload_wide_on_vector_cache() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(16);
+        tb.set_vs(8);
+        let b = tb.li(Gpr::new(1), 0x1_0000);
+        for k in 0..64u64 {
+            tb.vload(MomReg::new((k % 8) as u8), b, 0x1_0000 + 128 * k);
+        }
+        let m = mom(MemorySystemKind::VectorCache).run(&tb.finish()).unwrap();
+        assert!((m.effective_bandwidth() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn dvload_requires_3d_register_file() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        let b = tb.li(Gpr::new(1), 0);
+        tb.dvload(DReg::new(0), b, 0, 640, 16, false);
+        let trace = tb.finish();
+        let err = mom(MemorySystemKind::VectorCache).run(&trace).unwrap_err();
+        assert!(matches!(err, SimError::No3dRegisterFile { .. }));
+        assert!(mom(MemorySystemKind::VectorCache3d).run(&trace).is_ok());
+    }
+
+    #[test]
+    fn dvload_bandwidth_beats_2d_strided() {
+        // Same bytes delivered to MOM registers over 8 search windows:
+        // 16 strided 2D loads per window vs one 3dvload + 16 dvmovs.
+        // Several windows amortize the initial cold misses, exposing the
+        // steady-state bandwidth difference.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let b = tb.li(Gpr::new(1), 0x1_0000);
+        for blk in 0..8u64 {
+            for k in 0..16u64 {
+                tb.vload(MomReg::new((k % 8) as u8), b, 0x1_0000 + blk * 16 + k);
+            }
+        }
+        let t2d = tb.finish();
+
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        let b = tb.li(Gpr::new(1), 0x1_0000);
+        for blk in 0..8u64 {
+            tb.dvload(DReg::new(0), b, 0x1_0000 + blk * 16, 640, 3, false);
+            for k in 0..16u8 {
+                tb.dvmov(MomReg::new(k % 8), DReg::new(0), 1);
+            }
+        }
+        let t3d = tb.finish();
+
+        let m2d = mom(MemorySystemKind::VectorCache).run(&t2d).unwrap();
+        let m3d = mom(MemorySystemKind::VectorCache3d).run(&t3d).unwrap();
+        assert!(m3d.cycles < m2d.cycles, "3d {} vs 2d {}", m3d.cycles, m2d.cycles);
+        assert!(m3d.l2_activity < m2d.l2_activity);
+        assert!(m3d.effective_bandwidth() > m2d.effective_bandwidth());
+    }
+
+    #[test]
+    fn l2_latency_sweep_hurts_2d_more_than_3d() {
+        let build_2d = || {
+            let mut tb = TraceBuilder::new();
+            tb.set_vl(8);
+            tb.set_vs(640);
+            let b = tb.li(Gpr::new(1), 0x1_0000);
+            for k in 0..128u64 {
+                tb.vload(MomReg::new(0), b, 0x1_0000 + k);
+                tb.vop2(UsimdOp::AbsDiffU(Width::B8), MomReg::new(2), MomReg::new(0), MomReg::new(1));
+            }
+            tb.finish()
+        };
+        let build_3d = || {
+            let mut tb = TraceBuilder::new();
+            tb.set_vl(8);
+            let b = tb.li(Gpr::new(1), 0x1_0000);
+            for blk in 0..2u64 {
+                tb.dvload(DReg::new(0), b, 0x1_0000 + blk * 64, 640, 9, false);
+                for _ in 0..64 {
+                    tb.dvmov(MomReg::new(0), DReg::new(0), 1);
+                    tb.vop2(
+                        UsimdOp::AbsDiffU(Width::B8),
+                        MomReg::new(2),
+                        MomReg::new(0),
+                        MomReg::new(1),
+                    );
+                }
+            }
+            tb.finish()
+        };
+        let t2 = build_2d();
+        let t3 = build_3d();
+        let p20_2d = mom(MemorySystemKind::VectorCache).run(&t2).unwrap();
+        let p60_2d = Processor::new(
+            ProcessorConfig::mom()
+                .with_memory(MemorySystemKind::VectorCache)
+                .with_l2_latency(60),
+        )
+        .run(&t2)
+        .unwrap();
+        let p20_3d = mom(MemorySystemKind::VectorCache3d).run(&t3).unwrap();
+        let p60_3d = Processor::new(
+            ProcessorConfig::mom()
+                .with_memory(MemorySystemKind::VectorCache3d)
+                .with_l2_latency(60),
+        )
+        .run(&t3)
+        .unwrap();
+        let slow_2d = p60_2d.cycles as f64 / p20_2d.cycles as f64;
+        let slow_3d = p60_3d.cycles as f64 / p20_3d.cycles as f64;
+        assert!(
+            slow_3d < slow_2d,
+            "3D must be more latency tolerant: {slow_3d:.3} vs {slow_2d:.3}"
+        );
+    }
+
+    #[test]
+    fn lsq_bounds_inflight_memory() {
+        // 64 loads with a long-latency first load: the LSQ (32) bounds how
+        // many can be in flight, but everything still completes.
+        let mut tb = TraceBuilder::new();
+        let b = tb.li(Gpr::new(1), 0);
+        for i in 0..64u64 {
+            tb.load_scalar(Gpr::new(2), b, 0x8_0000 + i * 4096, 4);
+        }
+        let m = mom(MemorySystemKind::VectorCache).run(&tb.finish()).unwrap();
+        assert_eq!(m.scalar_mem_instrs, 64);
+        assert_eq!(m.instructions, 65);
+    }
+
+    #[test]
+    fn mmx_bank_conflicts_cost_cycles() {
+        // 4 loads per "iteration" all mapping to bank 0 vs spread banks.
+        let conflicting = {
+            let mut tb = TraceBuilder::new();
+            let b = tb.li(Gpr::new(1), 0);
+            for i in 0..128u64 {
+                tb.load_scalar(Gpr::new((2 + i % 4) as u8), b, (i % 4) * 64, 8);
+            }
+            tb.finish()
+        };
+        let spread = {
+            let mut tb = TraceBuilder::new();
+            let b = tb.li(Gpr::new(1), 0);
+            for i in 0..128u64 {
+                tb.load_scalar(Gpr::new((2 + i % 4) as u8), b, (i % 4) * 8, 8);
+            }
+            tb.finish()
+        };
+        let mmx = |t: &Trace| {
+            Processor::new(ProcessorConfig::mmx().with_memory(MemorySystemKind::MultiBanked))
+                .run(t)
+                .unwrap()
+        };
+        let c = mmx(&conflicting);
+        let s = mmx(&spread);
+        assert!(c.cycles > s.cycles, "conflicts {} vs spread {}", c.cycles, s.cycles);
+    }
+
+    #[test]
+    fn metrics_totals_are_consistent() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let b = tb.li(Gpr::new(1), 0x1_0000);
+        tb.vload(MomReg::new(0), b, 0x1_0000);
+        tb.vstore(MomReg::new(0), b, 0x5_0000);
+        let m = mom(MemorySystemKind::VectorCache).run(&tb.finish()).unwrap();
+        assert_eq!(m.vec_mem_instrs, 2);
+        assert_eq!(m.vec_words, 16); // 8 loaded + 8 stored
+        assert_eq!(m.instructions, 5);
+        assert!(m.l2_misses > 0);
+    }
+}

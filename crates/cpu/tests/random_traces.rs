@@ -1,0 +1,126 @@
+//! Randomized robustness tests of the timing simulator: arbitrary
+//! well-formed traces must simulate to completion with conserved
+//! instruction counts on every memory system.
+
+use mom3d_cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d_isa::{DReg, Gpr, IntOp, MmxReg, MomReg, TraceBuilder, UsimdOp, Width};
+use proptest::prelude::*;
+
+/// One random instruction-emission step.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Alu(u8, u8, i8),
+    Load(u8, u32),
+    Store(u8, u32),
+    Usimd(u8, u8),
+    SetVl(u8),
+    VLoad(u8, u32),
+    VStore(u8, u32),
+    DvLoad(u32, u8),
+    DvMov(u8, i8),
+    Branch(bool),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..30, 0u8..30, any::<i8>()).prop_map(|(d, s, i)| Step::Alu(d, s, i)),
+        (0u8..30, 0u32..0x8000).prop_map(|(d, a)| Step::Load(d, a)),
+        (0u8..30, 0u32..0x8000).prop_map(|(s, a)| Step::Store(s, a)),
+        (0u8..16, 0u8..16).prop_map(|(d, s)| Step::Usimd(d, s)),
+        (1u8..=16).prop_map(Step::SetVl),
+        (0u8..16, 0u32..0x8000).prop_map(|(d, a)| Step::VLoad(d, a)),
+        (0u8..16, 0u32..0x8000).prop_map(|(s, a)| Step::VStore(s, a)),
+        (0u32..0x8000, 1u8..=16).prop_map(|(a, w)| Step::DvLoad(a, w)),
+        (0u8..16, -8i8..=8).prop_map(|(d, p)| Step::DvMov(d, p)),
+        any::<bool>().prop_map(Step::Branch),
+    ]
+}
+
+fn build(steps: &[Step]) -> mom3d_isa::Trace {
+    let mut tb = TraceBuilder::new();
+    tb.set_vl(8);
+    tb.set_vs(64);
+    let base = tb.li(Gpr::new(31), 0x10_0000);
+    for s in steps {
+        match *s {
+            Step::Alu(d, s, imm) => {
+                tb.alui(IntOp::Add, Gpr::new(d % 30), Gpr::new(s % 30), imm as i64);
+            }
+            Step::Load(d, a) => {
+                tb.load_scalar(Gpr::new(d % 30), base, 0x10_0000 + a as u64, 8);
+            }
+            Step::Store(s, a) => {
+                tb.store_scalar(Gpr::new(s % 30), base, 0x10_0000 + a as u64, 8);
+            }
+            Step::Usimd(d, s) => {
+                tb.usimd2(
+                    UsimdOp::AddSatU(Width::B8),
+                    MmxReg::new(d % 16),
+                    MmxReg::new(s % 16),
+                    MmxReg::new((s + 1) % 16),
+                );
+            }
+            Step::SetVl(v) => tb.set_vl(v),
+            Step::VLoad(d, a) => {
+                tb.vload(MomReg::new(d % 16), base, 0x10_0000 + a as u64);
+            }
+            Step::VStore(s, a) => {
+                tb.vstore(MomReg::new(s % 16), base, 0x10_0000 + a as u64);
+            }
+            Step::DvLoad(a, w) => {
+                tb.dvload(DReg::new(0), base, 0x10_0000 + a as u64, 64, w, false);
+            }
+            Step::DvMov(d, p) => {
+                tb.dvmov(MomReg::new(d % 16), DReg::new(0), p as i16);
+            }
+            Step::Branch(t) => tb.branch(Gpr::new(1), t),
+        }
+    }
+    tb.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any well-formed trace simulates to completion on every memory
+    /// system, committing each instruction exactly once.
+    #[test]
+    fn random_traces_complete(steps in proptest::collection::vec(step_strategy(), 1..120)) {
+        let trace = build(&steps);
+        for mem in [
+            MemorySystemKind::Ideal,
+            MemorySystemKind::MultiBanked,
+            MemorySystemKind::VectorCache,
+            MemorySystemKind::VectorCache3d,
+        ] {
+            let cfg = ProcessorConfig::mom().with_memory(mem);
+            let has_3d = trace.iter().any(|i| {
+                matches!(i.opcode, mom3d_isa::Opcode::DvLoad | mom3d_isa::Opcode::DvMov)
+            });
+            match Processor::new(cfg).run(&trace) {
+                Ok(m) => {
+                    prop_assert_eq!(m.instructions, trace.len() as u64, "{:?}", mem);
+                    prop_assert!(m.cycles > 0);
+                    prop_assert!(m.ipc() <= 8.0 + 1e-9);
+                }
+                Err(e) => {
+                    // The only legal failure: 3D instructions without a
+                    // 3D register file.
+                    prop_assert!(has_3d && !mem.has_3d(), "unexpected error: {e} on {mem:?}");
+                }
+            }
+        }
+    }
+
+    /// Cycle counts are deterministic.
+    #[test]
+    fn simulation_is_deterministic(steps in proptest::collection::vec(step_strategy(), 1..80)) {
+        let trace = build(&steps);
+        let p = Processor::new(
+            ProcessorConfig::mom().with_memory(MemorySystemKind::VectorCache3d),
+        );
+        let a = p.run(&trace).expect("runs");
+        let b = p.run(&trace).expect("runs");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,79 @@
+//! Emulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An architectural inconsistency detected while executing a trace.
+///
+/// The emulator is deliberately strict: a trace whose captured vector
+/// state disagrees with the architectural `VL`/`VS` registers indicates a
+/// code-generator bug, and the reproduction treats it as fatal rather
+/// than silently producing wrong data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A vector instruction's captured VL differs from the architectural
+    /// vector-length register.
+    VlMismatch {
+        /// Trace position.
+        index: usize,
+        /// VL captured in the instruction.
+        captured: u8,
+        /// Architectural VL at execution time.
+        architectural: u8,
+    },
+    /// A 2D memory instruction's captured stride differs from the
+    /// architectural vector-stride register.
+    VsMismatch {
+        /// Trace position.
+        index: usize,
+        /// Stride captured in the instruction.
+        captured: i64,
+        /// Architectural VS at execution time.
+        architectural: i64,
+    },
+    /// An instruction was missing a required operand or descriptor.
+    Malformed {
+        /// Trace position.
+        index: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::VlMismatch { index, captured, architectural } => write!(
+                f,
+                "instruction {index}: captured VL {captured} != architectural VL {architectural}"
+            ),
+            EmuError::VsMismatch { index, captured, architectural } => write!(
+                f,
+                "instruction {index}: captured VS {captured} != architectural VS {architectural}"
+            ),
+            EmuError::Malformed { index, what } => {
+                write!(f, "instruction {index}: malformed instruction ({what})")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EmuError::VlMismatch { index: 7, captured: 8, architectural: 16 };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains('8') && s.contains("16"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(EmuError::Malformed { index: 0, what: "no mem" });
+        assert!(e.to_string().contains("malformed"));
+    }
+}

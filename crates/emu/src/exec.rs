@@ -1,0 +1,555 @@
+//! Trace execution.
+
+use crate::error::EmuError;
+use crate::machine::Machine;
+use mom3d_isa::{
+    AccReg, DReg, Instruction, IntOp, MomReg, Opcode, ReduceOp, Reg, UsimdOp, Width,
+};
+use mom3d_simd as simd;
+
+/// Converts the ISA's width tag into the packed-arithmetic crate's.
+fn sw(w: Width) -> simd::Width {
+    match w {
+        Width::B8 => simd::Width::B8,
+        Width::H16 => simd::Width::H16,
+        Width::W32 => simd::Width::W32,
+        Width::D64 => simd::Width::D64,
+    }
+}
+
+/// The functional emulator: a [`Machine`] plus an execution engine.
+#[derive(Debug, Clone, Default)]
+pub struct Emulator {
+    machine: Machine,
+    executed: u64,
+}
+
+impl Emulator {
+    /// A fresh emulator with zeroed state.
+    pub fn new() -> Self {
+        Emulator { machine: Machine::new(), executed: 0 }
+    }
+
+    /// Wraps an existing machine (e.g. with pre-loaded memory).
+    pub fn with_machine(machine: Machine) -> Self {
+        Emulator { machine, executed: 0 }
+    }
+
+    /// The architectural state.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable architectural state (for loading workload data).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Executes an entire trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first architectural inconsistency encountered (see
+    /// [`EmuError`]); the machine state is valid up to the failing
+    /// instruction.
+    pub fn run(&mut self, trace: &mom3d_isa::Trace) -> Result<(), EmuError> {
+        for (index, instr) in trace.iter().enumerate() {
+            self.step(index, instr)?;
+        }
+        Ok(())
+    }
+
+    /// Executes a single instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`EmuError`].
+    pub fn step(&mut self, index: usize, instr: &Instruction) -> Result<(), EmuError> {
+        self.executed += 1;
+        let m = &mut self.machine;
+        match instr.opcode {
+            Opcode::IntAlu(op) => exec_int(m, op, instr, index)?,
+            Opcode::Branch => {} // direction is pre-resolved in the trace
+            Opcode::LoadScalar => {
+                let mem = need_mem(instr, index)?;
+                let dst = only_gpr_dst(instr, index)?;
+                let v = m.mem.read_scalar(mem.base, mem.elem_bytes);
+                m.set_gpr(dst, v);
+            }
+            Opcode::StoreScalar => {
+                let mem = need_mem(instr, index)?;
+                let src = first_gpr_src(instr, index)?;
+                let v = m.gpr(src);
+                m.mem.write_scalar(mem.base, v, mem.elem_bytes);
+            }
+            Opcode::LoadMmx => {
+                let mem = need_mem(instr, index)?;
+                let dst = only_mmx_dst(instr, index)?;
+                let v = m.mem.read_u64(mem.base);
+                m.set_mmx(dst, v);
+            }
+            Opcode::StoreMmx => {
+                let mem = need_mem(instr, index)?;
+                let src = first_mmx_src(instr, index)?;
+                m.mem.write_u64(mem.base, m.mmx(src));
+            }
+            Opcode::Usimd(op) => {
+                let dst = only_mmx_dst(instr, index)?;
+                let srcs: Vec<u64> = instr
+                    .srcs
+                    .iter()
+                    .filter_map(|r| match r {
+                        Reg::Mmx(x) => Some(m.mmx(x)),
+                        _ => None,
+                    })
+                    .collect();
+                let a = *srcs.first().ok_or(EmuError::Malformed { index, what: "usimd source" })?;
+                let b = srcs.get(1).copied().unwrap_or(0);
+                m.set_mmx(dst, apply_usimd(op, a, b, instr.imm));
+            }
+            Opcode::SetVl => m.set_vl(instr.imm as u8),
+            Opcode::SetVs => m.set_vs(instr.imm),
+            Opcode::VLoad => {
+                check_vl(m, instr, index)?;
+                let mem = need_mem(instr, index)?;
+                check_vs(m, mem.stride, index)?;
+                let dst = only_mom_dst(instr, index)?;
+                for e in 0..instr.vl as usize {
+                    let v = m.mem.read_u64(mem.block_addr(e));
+                    m.set_mom(dst, e, v);
+                }
+            }
+            Opcode::VStore => {
+                check_vl(m, instr, index)?;
+                let mem = need_mem(instr, index)?;
+                check_vs(m, mem.stride, index)?;
+                let src = first_mom_src(instr, index)?;
+                for e in 0..instr.vl as usize {
+                    let v = m.mom(src, e);
+                    m.mem.write_u64(mem.block_addr(e), v);
+                }
+            }
+            Opcode::VCompute(op) => {
+                check_vl(m, instr, index)?;
+                let dst = only_mom_dst(instr, index)?;
+                let moms: Vec<MomReg> = instr
+                    .srcs
+                    .iter()
+                    .filter_map(|r| match r {
+                        Reg::Mom(x) => Some(x),
+                        _ => None,
+                    })
+                    .collect();
+                let a = *moms.first().ok_or(EmuError::Malformed { index, what: "vector source" })?;
+                for e in 0..instr.vl as usize {
+                    let av = m.mom(a, e);
+                    let bv = moms.get(1).map(|r| m.mom(*r, e)).unwrap_or(0);
+                    m.set_mom(dst, e, apply_usimd(op, av, bv, instr.imm));
+                }
+            }
+            Opcode::VReduce(op) => {
+                check_vl(m, instr, index)?;
+                let acc = only_acc_dst(instr, index)?;
+                let moms: Vec<MomReg> = instr
+                    .srcs
+                    .iter()
+                    .filter_map(|r| match r {
+                        Reg::Mom(x) => Some(x),
+                        _ => None,
+                    })
+                    .collect();
+                let a = *moms.first().ok_or(EmuError::Malformed { index, what: "reduce source" })?;
+                let mut sum: i128 = 0;
+                for e in 0..instr.vl as usize {
+                    let av = m.mom(a, e);
+                    let bv = moms.get(1).map(|r| m.mom(*r, e)).unwrap_or(0);
+                    sum += reduce_element(op, av, bv);
+                }
+                m.set_acc(acc, m.acc(acc) + sum);
+            }
+            Opcode::ReadAcc => {
+                let dst = only_gpr_dst(instr, index)?;
+                let acc = first_acc_src(instr, index)?;
+                m.set_gpr(dst, m.acc(acc) as u64);
+            }
+            Opcode::DvLoad => {
+                check_vl(m, instr, index)?;
+                let mem = need_mem(instr, index)?;
+                let dst = only_dreg_dst(instr, index)?;
+                let blocks: Vec<Vec<u8>> = (0..instr.vl as usize)
+                    .map(|e| m.mem.read_bytes(mem.block_addr(e), mem.elem_bytes as usize))
+                    .collect();
+                m.dfile_mut().load(dst, &blocks, instr.imm != 0);
+            }
+            Opcode::DvMov => {
+                check_vl(m, instr, index)?;
+                let dst = only_mom_dst(instr, index)?;
+                let src = first_dreg_src(instr, index)?;
+                let slices = m.dfile_mut().mov(src, instr.vl as usize, instr.imm as i16);
+                for (e, v) in slices.into_iter().enumerate() {
+                    m.set_mom(dst, e, v);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn exec_int(m: &mut Machine, op: IntOp, instr: &Instruction, index: usize) -> Result<(), EmuError> {
+    // Operand values: GPRs, MMX (for mmx->gpr moves), accumulators.
+    let vals: Vec<u64> = instr
+        .srcs
+        .iter()
+        .map(|r| match r {
+            Reg::Gpr(x) => m.gpr(x),
+            Reg::Mmx(x) => m.mmx(x),
+            Reg::Acc(x) => m.acc(x) as u64,
+            _ => 0,
+        })
+        .collect();
+    let a = vals.first().copied().unwrap_or(0);
+    let b = vals.get(1).copied().unwrap_or(instr.imm as u64);
+    let result = match op {
+        IntOp::Mov => {
+            if instr.srcs.is_empty() {
+                instr.imm as u64
+            } else {
+                a
+            }
+        }
+        IntOp::Add => a.wrapping_add(b),
+        IntOp::Sub => a.wrapping_sub(b),
+        IntOp::Mul => a.wrapping_mul(b),
+        IntOp::And => a & b,
+        IntOp::Or => a | b,
+        IntOp::Xor => a ^ b,
+        IntOp::Shl => a.wrapping_shl(b as u32),
+        IntOp::Shr => a.wrapping_shr(b as u32),
+        IntOp::Sar => ((a as i64).wrapping_shr(b as u32)) as u64,
+        IntOp::SltS => ((a as i64) < (b as i64)) as u64,
+        IntOp::SltU => (a < b) as u64,
+    };
+    match instr.dsts.iter().next() {
+        Some(Reg::Gpr(dst)) => m.set_gpr(dst, result),
+        Some(Reg::Mmx(dst)) => m.set_mmx(dst, result),
+        Some(Reg::Acc(dst)) => m.set_acc(dst, result as i128),
+        Some(_) => return Err(EmuError::Malformed { index, what: "int destination class" }),
+        None => return Err(EmuError::Malformed { index, what: "missing int destination" }),
+    }
+    Ok(())
+}
+
+/// Applies a µSIMD operation to one 64-bit element pair.
+fn apply_usimd(op: UsimdOp, a: u64, b: u64, imm: i64) -> u64 {
+    match op {
+        UsimdOp::AddWrap(w) => simd::add_wrap(a, b, sw(w)),
+        UsimdOp::SubWrap(w) => simd::sub_wrap(a, b, sw(w)),
+        UsimdOp::AddSatU(w) => simd::add_sat_u(a, b, sw(w)),
+        UsimdOp::SubSatU(w) => simd::sub_sat_u(a, b, sw(w)),
+        UsimdOp::AddSatS(w) => simd::add_sat_s(a, b, sw(w)),
+        UsimdOp::SubSatS(w) => simd::sub_sat_s(a, b, sw(w)),
+        UsimdOp::MinU(w) => simd::min_u(a, b, sw(w)),
+        UsimdOp::MaxU(w) => simd::max_u(a, b, sw(w)),
+        UsimdOp::MinS(w) => simd::min_s(a, b, sw(w)),
+        UsimdOp::MaxS(w) => simd::max_s(a, b, sw(w)),
+        UsimdOp::AbsDiffU(w) => simd::abs_diff_u(a, b, sw(w)),
+        UsimdOp::SadU8 => simd::sad_u8(a, b),
+        UsimdOp::AvgU(w) => simd::avg_u(a, b, sw(w)),
+        UsimdOp::MulLow(w) => simd::mul_low_16(a, b, sw(w)),
+        UsimdOp::MulHighS16 => simd::mul_high_s16(a, b),
+        UsimdOp::MaddS16 => simd::madd_s16(a, b),
+        UsimdOp::Shl(w) => simd::shl(a, imm as u32, sw(w)),
+        UsimdOp::ShrL(w) => simd::shr_logic(a, imm as u32, sw(w)),
+        UsimdOp::ShrA(w) => simd::shr_arith(a, imm as u32, sw(w)),
+        UsimdOp::And => a & b,
+        UsimdOp::Or => a | b,
+        UsimdOp::Xor => a ^ b,
+        UsimdOp::AndNot => !a & b,
+        UsimdOp::CmpEq(w) => simd::cmp_eq(a, b, sw(w)),
+        UsimdOp::CmpGtS(w) => simd::cmp_gt_s(a, b, sw(w)),
+        UsimdOp::PackUs16To8 => simd::pack_s16_to_u8_sat(a, b),
+        UsimdOp::PackSs16To8 => simd::pack_s16_to_s8_sat(a, b),
+        UsimdOp::PackSs32To16 => simd::pack_s32_to_s16_sat(a, b),
+        UsimdOp::UnpackLo(w) => simd::unpack_lo(a, b, sw(w)),
+        UsimdOp::UnpackHi(w) => simd::unpack_hi(a, b, sw(w)),
+    }
+}
+
+/// One element's contribution to a reduction.
+fn reduce_element(op: ReduceOp, a: u64, b: u64) -> i128 {
+    match op {
+        ReduceOp::SadAccumU8 => simd::sad_u8(a, b) as i128,
+        ReduceOp::SumU(w) => simd::hsum_u(a, sw(w)) as i128,
+        ReduceOp::SumS(w) => simd::hsum_s(a, sw(w)) as i128,
+        ReduceOp::DotS16 => {
+            let mut s: i128 = 0;
+            for i in 0..4 {
+                let x = simd::sext(simd::lane(a, i, simd::Width::H16), simd::Width::H16);
+                let y = simd::sext(simd::lane(b, i, simd::Width::H16), simd::Width::H16);
+                s += (x * y) as i128;
+            }
+            s
+        }
+    }
+}
+
+// ---- operand extraction helpers -------------------------------------------
+
+fn need_mem(i: &Instruction, index: usize) -> Result<mom3d_isa::MemAccess, EmuError> {
+    i.mem.ok_or(EmuError::Malformed { index, what: "missing memory descriptor" })
+}
+
+fn check_vl(m: &Machine, i: &Instruction, index: usize) -> Result<(), EmuError> {
+    if i.vl != m.vl() {
+        return Err(EmuError::VlMismatch { index, captured: i.vl, architectural: m.vl() });
+    }
+    Ok(())
+}
+
+fn check_vs(m: &Machine, stride: i64, index: usize) -> Result<(), EmuError> {
+    if stride != m.vs() {
+        return Err(EmuError::VsMismatch { index, captured: stride, architectural: m.vs() });
+    }
+    Ok(())
+}
+
+macro_rules! extract {
+    ($fn_name:ident, $list:ident, $variant:ident, $ty:ty, $what:literal) => {
+        fn $fn_name(i: &Instruction, index: usize) -> Result<$ty, EmuError> {
+            i.$list
+                .iter()
+                .find_map(|r| match r {
+                    Reg::$variant(x) => Some(x),
+                    _ => None,
+                })
+                .ok_or(EmuError::Malformed { index, what: $what })
+        }
+    };
+}
+
+extract!(only_gpr_dst, dsts, Gpr, mom3d_isa::Gpr, "gpr destination");
+extract!(only_mmx_dst, dsts, Mmx, mom3d_isa::MmxReg, "mmx destination");
+extract!(only_mom_dst, dsts, Mom, MomReg, "mom destination");
+extract!(only_dreg_dst, dsts, D, DReg, "3d destination");
+extract!(only_acc_dst, dsts, Acc, AccReg, "accumulator destination");
+extract!(first_gpr_src, srcs, Gpr, mom3d_isa::Gpr, "gpr source");
+extract!(first_mmx_src, srcs, Mmx, mom3d_isa::MmxReg, "mmx source");
+extract!(first_mom_src, srcs, Mom, MomReg, "mom source");
+extract!(first_dreg_src, srcs, D, DReg, "3d source");
+extract!(first_acc_src, srcs, Acc, AccReg, "accumulator source");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom3d_isa::{Gpr, MmxReg, TraceBuilder};
+
+    fn run(tb: TraceBuilder) -> Emulator {
+        let mut emu = Emulator::new();
+        emu.run(&tb.finish()).expect("trace executes");
+        emu
+    }
+
+    #[test]
+    fn scalar_alu_and_memory() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.li(Gpr::new(1), 40);
+        let b = tb.li(Gpr::new(2), 2);
+        tb.alu(IntOp::Add, Gpr::new(3), a, b);
+        tb.alui(IntOp::Shl, Gpr::new(4), Gpr::new(3), 1);
+        tb.store_scalar(Gpr::new(4), Gpr::new(0), 0x500, 4);
+        tb.load_scalar(Gpr::new(5), Gpr::new(0), 0x500, 4);
+        let emu = run(tb);
+        assert_eq!(emu.machine().gpr(Gpr::new(3)), 42);
+        assert_eq!(emu.machine().gpr(Gpr::new(4)), 84);
+        assert_eq!(emu.machine().gpr(Gpr::new(5)), 84);
+    }
+
+    #[test]
+    fn slt_and_branch() {
+        let mut tb = TraceBuilder::new();
+        tb.li(Gpr::new(1), 5);
+        tb.li(Gpr::new(2), 9);
+        tb.alu(IntOp::SltS, Gpr::new(3), Gpr::new(1), Gpr::new(2));
+        tb.branch(Gpr::new(3), true);
+        let emu = run(tb);
+        assert_eq!(emu.machine().gpr(Gpr::new(3)), 1);
+    }
+
+    #[test]
+    fn mmx_roundtrip() {
+        let mut tb = TraceBuilder::new();
+        let b = tb.li(Gpr::new(1), 0x100);
+        tb.movq_load(MmxReg::new(0), b, 0x100, Width::B8);
+        tb.usimd2(UsimdOp::AddSatU(Width::B8), MmxReg::new(1), MmxReg::new(0), MmxReg::new(0));
+        tb.movq_store(MmxReg::new(1), b, 0x200);
+        let mut emu = Emulator::new();
+        emu.machine_mut().mem.write_u64(0x100, u64::from_le_bytes([200, 1, 2, 3, 4, 5, 6, 7]));
+        emu.run(&tb.finish()).unwrap();
+        let out = emu.machine().mem.read_u64(0x200);
+        assert_eq!(out.to_le_bytes(), [255, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn vector_load_compute_store() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4);
+        tb.set_vs(16); // elements two words apart
+        let b = tb.li(Gpr::new(1), 0x1000);
+        tb.vload(mom3d_isa::MomReg::new(0), b, 0x1000);
+        tb.vop2i(UsimdOp::Shl(Width::H16), mom3d_isa::MomReg::new(1), mom3d_isa::MomReg::new(0), 1);
+        tb.set_vs(8);
+        tb.vstore(mom3d_isa::MomReg::new(1), b, 0x2000);
+        let mut emu = Emulator::new();
+        for e in 0..4u64 {
+            emu.machine_mut().mem.write_u64(0x1000 + 16 * e, 0x0001_0002_0003_0004 * (e + 1));
+        }
+        emu.run(&tb.finish()).unwrap();
+        for e in 0..4u64 {
+            let expect = (0x0001_0002_0003_0004u64 * (e + 1)) << 1;
+            // Shl(H16) doubles each halfword; no cross-lane carries here.
+            assert_eq!(emu.machine().mem.read_u64(0x2000 + 8 * e), expect);
+        }
+    }
+
+    #[test]
+    fn vl_mismatch_detected() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        let b = tb.li(Gpr::new(1), 0);
+        tb.vload(mom3d_isa::MomReg::new(0), b, 0);
+        let mut trace = tb.finish();
+        // Corrupt the captured VL.
+        let mut bad = *trace.instrs().last().unwrap();
+        bad.vl = 4;
+        trace.push(bad);
+        let mut emu = Emulator::new();
+        let err = emu.run(&trace).unwrap_err();
+        assert!(matches!(err, EmuError::VlMismatch { captured: 4, architectural: 8, .. }));
+    }
+
+    #[test]
+    fn sad_reduction_accumulates() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(2);
+        tb.set_vs(8);
+        let b = tb.li(Gpr::new(1), 0x100);
+        tb.vload(mom3d_isa::MomReg::new(0), b, 0x100);
+        tb.vload(mom3d_isa::MomReg::new(1), b, 0x110);
+        tb.clear_acc(AccReg::new(0));
+        tb.vreduce(
+            ReduceOp::SadAccumU8,
+            AccReg::new(0),
+            mom3d_isa::MomReg::new(0),
+            Some(mom3d_isa::MomReg::new(1)),
+        );
+        tb.rdacc(Gpr::new(9), AccReg::new(0));
+        let mut emu = Emulator::new();
+        emu.machine_mut().mem.write_bytes(0x100, &[10; 16]);
+        emu.machine_mut().mem.write_bytes(0x110, &[3; 16]);
+        emu.run(&tb.finish()).unwrap();
+        assert_eq!(emu.machine().gpr(Gpr::new(9)), 16 * 7);
+    }
+
+    #[test]
+    fn dvload_dvmov_reconstructs_2d_stream() {
+        // Fill memory with a recognizable ramp over 4 "rows" of 16 bytes,
+        // then check that 3dvload + 3dvmov(offset k) equals a 2D load at
+        // base + k.
+        let mut mem_emu = Emulator::new();
+        for i in 0..4 * 64u64 {
+            mem_emu.machine_mut().mem.write_u8(0x3000 + i, (i % 251) as u8);
+        }
+        let stride = 64i64;
+
+        // Reference: plain 2D loads at offsets 0..3.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4);
+        tb.set_vs(stride);
+        let b = tb.li(Gpr::new(1), 0x3000);
+        for k in 0..4u64 {
+            tb.vload(mom3d_isa::MomReg::new(k as u8), b, 0x3000 + k);
+        }
+        let mut ref_emu = mem_emu.clone();
+        ref_emu.run(&tb.finish()).unwrap();
+
+        // 3D version: one dvload + 4 dvmovs with Ps = 1.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(4);
+        let b = tb.li(Gpr::new(1), 0x3000);
+        tb.dvload(DReg::new(0), b, 0x3000, stride, 2, false); // W = 2 words
+        for k in 0..4u8 {
+            tb.dvmov(mom3d_isa::MomReg::new(k), DReg::new(0), 1);
+        }
+        let mut emu3d = mem_emu.clone();
+        emu3d.run(&tb.finish()).unwrap();
+
+        for k in 0..4u8 {
+            for e in 0..4 {
+                assert_eq!(
+                    emu3d.machine().mom(mom3d_isa::MomReg::new(k), e),
+                    ref_emu.machine().mom(mom3d_isa::MomReg::new(k), e),
+                    "candidate {k} element {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dvload_from_end_walks_backward() {
+        let mut emu = Emulator::new();
+        for i in 0..32u64 {
+            emu.machine_mut().mem.write_u8(0x400 + i, i as u8);
+        }
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(1);
+        let b = tb.li(Gpr::new(1), 0x400);
+        tb.dvload(DReg::new(0), b, 0x400, 0, 4, true); // 32-byte element, from end
+        tb.dvmov(mom3d_isa::MomReg::new(0), DReg::new(0), -8);
+        tb.dvmov(mom3d_isa::MomReg::new(1), DReg::new(0), -8);
+        emu.run(&tb.finish()).unwrap();
+        assert_eq!(
+            emu.machine().mom(mom3d_isa::MomReg::new(0), 0),
+            u64::from_le_bytes([24, 25, 26, 27, 28, 29, 30, 31])
+        );
+        assert_eq!(
+            emu.machine().mom(mom3d_isa::MomReg::new(1), 0),
+            u64::from_le_bytes([16, 17, 18, 19, 20, 21, 22, 23])
+        );
+    }
+
+    #[test]
+    fn madd_and_dot_reduction_agree() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(2);
+        tb.set_vs(8);
+        let b = tb.li(Gpr::new(1), 0x100);
+        tb.vload_w(mom3d_isa::MomReg::new(0), b, 0x100, Width::H16);
+        tb.vload_w(mom3d_isa::MomReg::new(1), b, 0x110, Width::H16);
+        tb.clear_acc(AccReg::new(0));
+        tb.vreduce(
+            ReduceOp::DotS16,
+            AccReg::new(0),
+            mom3d_isa::MomReg::new(0),
+            Some(mom3d_isa::MomReg::new(1)),
+        );
+        tb.rdacc(Gpr::new(2), AccReg::new(0));
+        let mut emu = Emulator::new();
+        // a = [1,2,3,4, 5,6,7,8]; b = [2,2,2,2, 1,1,1,1] (i16 lanes)
+        for (i, v) in [1i16, 2, 3, 4, 5, 6, 7, 8].iter().enumerate() {
+            emu.machine_mut().mem.write_u16(0x100 + 2 * i as u64, *v as u16);
+        }
+        for i in 0..4 {
+            emu.machine_mut().mem.write_u16(0x110 + 2 * i as u64, 2);
+        }
+        for i in 4..8 {
+            emu.machine_mut().mem.write_u16(0x110 + 2 * i as u64, 1);
+        }
+        emu.run(&tb.finish()).unwrap();
+        assert_eq!(emu.machine().gpr(Gpr::new(2)), (1 + 2 + 3 + 4) * 2 + 5 + 6 + 7 + 8);
+    }
+}

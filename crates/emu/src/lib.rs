@@ -1,0 +1,38 @@
+//! # mom3d-emu — functional emulator for the MOM 2D/3D vector ISA
+//!
+//! Architecturally precise execution of [`mom3d_isa::Trace`]s against a
+//! [`mom3d_mem::MainMemory`]. The emulator is the correctness oracle of
+//! the reproduction: every media workload is generated three ways (MMX,
+//! MOM, MOM+3D) and each trace must leave memory bit-identical to the
+//! scalar Rust reference. It is also how the memory-vectorizer pass is
+//! validated — a vectorized trace must produce exactly the same
+//! architectural state as the original.
+//!
+//! ```
+//! use mom3d_emu::Emulator;
+//! use mom3d_isa::{TraceBuilder, Gpr, MomReg, UsimdOp, Width};
+//!
+//! # fn main() -> Result<(), mom3d_emu::EmuError> {
+//! let mut tb = TraceBuilder::new();
+//! tb.set_vl(2);
+//! tb.set_vs(8);
+//! let b = tb.li(Gpr::new(1), 0x100);
+//! tb.vload(MomReg::new(0), b, 0x100);
+//! tb.vop2(UsimdOp::AddWrap(Width::B8), MomReg::new(1), MomReg::new(0), MomReg::new(0));
+//! let trace = tb.finish();
+//!
+//! let mut emu = Emulator::new();
+//! emu.machine_mut().mem.write_u64(0x100, 0x0102_0304);
+//! emu.run(&trace)?;
+//! assert_eq!(emu.machine().mom(MomReg::new(1), 0), 0x0204_0608);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod exec;
+mod machine;
+
+pub use error::EmuError;
+pub use exec::Emulator;
+pub use machine::Machine;

@@ -1,0 +1,150 @@
+//! Architectural machine state.
+
+use mom3d_core::DRegFile;
+use mom3d_isa::{arch, AccReg, Gpr, MmxReg, MomReg};
+use mom3d_mem::MainMemory;
+
+/// The complete architectural state of the modeled machine: scalar,
+/// µSIMD, MOM 2D, 3D and accumulator registers, the `VL`/`VS` registers,
+/// and main memory.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    gprs: [u64; arch::GPR_COUNT],
+    mmx: [u64; arch::MMX_LOGICAL_REGS],
+    mom: [[u64; arch::MOM_ELEMS]; arch::MOM_LOGICAL_REGS],
+    accs: [i128; arch::ACC_LOGICAL_REGS],
+    dfile: DRegFile,
+    vl: u8,
+    vs: i64,
+    /// Byte-addressable main memory.
+    pub mem: MainMemory,
+}
+
+impl Machine {
+    /// A machine with zeroed registers, `VL = 16`, `VS = 8`, and empty
+    /// memory.
+    pub fn new() -> Self {
+        Machine { vl: arch::VL_MAX, vs: 8, ..Default::default() }
+    }
+
+    /// Reads a scalar register.
+    pub fn gpr(&self, r: Gpr) -> u64 {
+        self.gprs[r.index() as usize]
+    }
+
+    /// Writes a scalar register.
+    pub fn set_gpr(&mut self, r: Gpr, v: u64) {
+        self.gprs[r.index() as usize] = v;
+    }
+
+    /// Reads a µSIMD register.
+    pub fn mmx(&self, r: MmxReg) -> u64 {
+        self.mmx[r.index() as usize]
+    }
+
+    /// Writes a µSIMD register.
+    pub fn set_mmx(&mut self, r: MmxReg, v: u64) {
+        self.mmx[r.index() as usize] = v;
+    }
+
+    /// Reads element `e` of a MOM register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 16`.
+    pub fn mom(&self, r: MomReg, e: usize) -> u64 {
+        self.mom[r.index() as usize][e]
+    }
+
+    /// All 16 elements of a MOM register.
+    pub fn mom_elems(&self, r: MomReg) -> &[u64; arch::MOM_ELEMS] {
+        &self.mom[r.index() as usize]
+    }
+
+    /// Writes element `e` of a MOM register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e >= 16`.
+    pub fn set_mom(&mut self, r: MomReg, e: usize, v: u64) {
+        self.mom[r.index() as usize][e] = v;
+    }
+
+    /// Reads an accumulator.
+    pub fn acc(&self, r: AccReg) -> i128 {
+        self.accs[r.index() as usize]
+    }
+
+    /// Writes an accumulator.
+    pub fn set_acc(&mut self, r: AccReg, v: i128) {
+        self.accs[r.index() as usize] = v;
+    }
+
+    /// The 3D register file (shared with `mom3d-core` semantics).
+    pub fn dfile(&self) -> &DRegFile {
+        &self.dfile
+    }
+
+    /// Mutable access to the 3D register file.
+    pub fn dfile_mut(&mut self) -> &mut DRegFile {
+        &mut self.dfile
+    }
+
+    /// Architectural vector length.
+    pub fn vl(&self) -> u8 {
+        self.vl
+    }
+
+    /// Sets the architectural vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` is zero or exceeds 16.
+    pub fn set_vl(&mut self, vl: u8) {
+        assert!(vl >= 1 && vl <= arch::VL_MAX, "VL out of range");
+        self.vl = vl;
+    }
+
+    /// Architectural vector stride (bytes).
+    pub fn vs(&self) -> i64 {
+        self.vs
+    }
+
+    /// Sets the architectural vector stride.
+    pub fn set_vs(&mut self, vs: i64) {
+        self.vs = vs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_machine_defaults() {
+        let m = Machine::new();
+        assert_eq!(m.vl(), 16);
+        assert_eq!(m.vs(), 8);
+        assert_eq!(m.gpr(Gpr::new(5)), 0);
+        assert_eq!(m.mom(MomReg::new(3), 15), 0);
+    }
+
+    #[test]
+    fn register_rw() {
+        let mut m = Machine::new();
+        m.set_gpr(Gpr::new(1), 42);
+        m.set_mmx(MmxReg::new(2), 0xFF);
+        m.set_mom(MomReg::new(3), 7, 0xABCD);
+        m.set_acc(AccReg::new(0), -5);
+        assert_eq!(m.gpr(Gpr::new(1)), 42);
+        assert_eq!(m.mmx(MmxReg::new(2)), 0xFF);
+        assert_eq!(m.mom(MomReg::new(3), 7), 0xABCD);
+        assert_eq!(m.acc(AccReg::new(0)), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "VL out of range")]
+    fn vl_range_enforced() {
+        Machine::new().set_vl(17);
+    }
+}

@@ -1,0 +1,86 @@
+//! Architectural constants of the MOM + 3D machine (paper §4.1, §5.3).
+
+/// Number of 64-bit elements in a MOM 2D vector register.
+pub const MOM_ELEMS: usize = 16;
+
+/// Bytes per MOM register element.
+pub const MOM_ELEM_BYTES: usize = 8;
+
+/// Total bytes in one MOM register (16 × 64 bit = 128 B).
+pub const MOM_REG_BYTES: usize = MOM_ELEMS * MOM_ELEM_BYTES;
+
+/// Number of logical MOM 2D vector registers.
+pub const MOM_LOGICAL_REGS: usize = 16;
+
+/// Number of physical MOM registers in the modeled pipeline (Table 3).
+pub const MOM_PHYSICAL_REGS: usize = 36;
+
+/// Logical µSIMD (MMX-like) registers of the MMX-style configuration.
+pub const MMX_LOGICAL_REGS: usize = 32;
+
+/// Physical µSIMD registers of the MMX-style configuration (Table 3).
+pub const MMX_PHYSICAL_REGS: usize = 80;
+
+/// Number of elements in a 3D vector register.
+pub const DREG_ELEMS: usize = 16;
+
+/// Bytes per 3D vector register element (16 × 64 bit — one L2 line).
+pub const DREG_ELEM_BYTES: usize = 128;
+
+/// Total bytes in one 3D vector register (2 KiB).
+pub const DREG_BYTES: usize = DREG_ELEMS * DREG_ELEM_BYTES;
+
+/// Logical 3D vector registers added by the extension.
+pub const DREG_LOGICAL_REGS: usize = 2;
+
+/// Physical 3D vector registers (Table 3).
+pub const DREG_PHYSICAL_REGS: usize = 4;
+
+/// Physical 3D pointer registers (Table 3: 2 logical / 8 physical).
+pub const PREG_PHYSICAL_REGS: usize = 8;
+
+/// Bits in a 3D pointer register (enough to address 128 bytes).
+pub const PREG_BITS: u32 = 7;
+
+/// Logical accumulator registers (Table 3: 2 logical / 4 physical).
+pub const ACC_LOGICAL_REGS: usize = 2;
+
+/// Accumulator register width in bits (Table 3).
+pub const ACC_BITS: u32 = 192;
+
+/// Vector lanes (clusters) of the MOM pipeline and of the 3D register
+/// file (§5.3: "one SIMD functional unit with four lanes").
+pub const LANES: usize = 4;
+
+/// Number of scalar general-purpose registers we model.
+pub const GPR_COUNT: usize = 32;
+
+/// Maximum legal vector length.
+pub const VL_MAX: u8 = MOM_ELEMS as u8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        // "a 3D vector register contains 16 elements of 128 bytes (16 x 64
+        // bits), enough to fit a typical L2 cache line"
+        assert_eq!(DREG_ELEM_BYTES, 128);
+        assert_eq!(DREG_BYTES, 2048);
+        // "Each 2D vector register is composed of 16 MMX-like elements of
+        // 64-bit each."
+        assert_eq!(MOM_REG_BYTES, 128);
+        // 7-bit pointer addresses any byte of a 128-byte element.
+        assert_eq!(1usize << PREG_BITS, DREG_ELEM_BYTES);
+    }
+
+    #[test]
+    fn register_counts_match_table3() {
+        assert_eq!((MMX_LOGICAL_REGS, MMX_PHYSICAL_REGS), (32, 80));
+        assert_eq!((MOM_LOGICAL_REGS, MOM_PHYSICAL_REGS), (16, 36));
+        assert_eq!((DREG_LOGICAL_REGS, DREG_PHYSICAL_REGS), (2, 4));
+        assert_eq!(PREG_PHYSICAL_REGS, 8);
+        assert_eq!(ACC_BITS, 192);
+    }
+}

@@ -1,0 +1,501 @@
+//! The trace instruction carrier: operands, memory descriptors, display.
+
+use crate::op::{Opcode, Width};
+use crate::regs::{AccReg, DReg, Gpr, MmxReg, MomReg, PReg};
+use std::fmt;
+
+/// Any architectural register, for operand lists and renaming.
+///
+/// `Vl` and `Vs` are the MOM vector-length and vector-stride registers;
+/// they are renamed like ordinary registers (a `setvl` in flight does not
+/// serialize the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// Scalar integer register.
+    Gpr(Gpr),
+    /// µSIMD 64-bit register.
+    Mmx(MmxReg),
+    /// MOM 2D vector register.
+    Mom(MomReg),
+    /// 3D vector register.
+    D(DReg),
+    /// 3D pointer register.
+    P(PReg),
+    /// Accumulator register.
+    Acc(AccReg),
+    /// Vector-length register.
+    Vl,
+    /// Vector-stride register.
+    Vs,
+}
+
+impl Reg {
+    /// Total number of distinct flat indices (for rename tables).
+    pub const FLAT_COUNT: usize = 32 + 32 + 16 + 2 + 2 + 2 + 2;
+
+    /// Maps the register to a dense index in `0..FLAT_COUNT`.
+    pub fn flat_index(self) -> usize {
+        match self {
+            Reg::Gpr(r) => r.index() as usize,
+            Reg::Mmx(r) => 32 + r.index() as usize,
+            Reg::Mom(r) => 64 + r.index() as usize,
+            Reg::D(r) => 80 + r.index() as usize,
+            Reg::P(r) => 82 + r.index() as usize,
+            Reg::Acc(r) => 84 + r.index() as usize,
+            Reg::Vl => 86,
+            Reg::Vs => 87,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Gpr(r) => write!(f, "{r}"),
+            Reg::Mmx(r) => write!(f, "{r}"),
+            Reg::Mom(r) => write!(f, "{r}"),
+            Reg::D(r) => write!(f, "{r}"),
+            Reg::P(r) => write!(f, "{r}"),
+            Reg::Acc(r) => write!(f, "{r}"),
+            Reg::Vl => write!(f, "vl"),
+            Reg::Vs => write!(f, "vs"),
+        }
+    }
+}
+
+impl From<Gpr> for Reg {
+    fn from(r: Gpr) -> Self {
+        Reg::Gpr(r)
+    }
+}
+impl From<MmxReg> for Reg {
+    fn from(r: MmxReg) -> Self {
+        Reg::Mmx(r)
+    }
+}
+impl From<MomReg> for Reg {
+    fn from(r: MomReg) -> Self {
+        Reg::Mom(r)
+    }
+}
+impl From<DReg> for Reg {
+    fn from(r: DReg) -> Self {
+        Reg::D(r)
+    }
+}
+impl From<PReg> for Reg {
+    fn from(r: PReg) -> Self {
+        Reg::P(r)
+    }
+}
+impl From<AccReg> for Reg {
+    fn from(r: AccReg) -> Self {
+        Reg::Acc(r)
+    }
+}
+
+/// A fixed-capacity (4) inline operand list.
+///
+/// Traces hold millions of instructions, so operand lists avoid heap
+/// allocation. Four slots cover the widest operand shapes in the ISA
+/// (e.g. `vstore data, base, vl, vs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegList {
+    regs: [Option<Reg>; 4],
+}
+
+impl RegList {
+    /// Empty list.
+    pub const fn new() -> Self {
+        RegList { regs: [None; 4] }
+    }
+
+    /// Creates a list from up to four registers.
+    pub fn from_slice(regs: &[Reg]) -> Self {
+        let mut list = Self::new();
+        for &r in regs {
+            list.push(r);
+        }
+        list
+    }
+
+    /// Appends a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds four registers.
+    pub fn push(&mut self, r: Reg) {
+        for slot in &mut self.regs {
+            if slot.is_none() {
+                *slot = Some(r);
+                return;
+            }
+        }
+        panic!("operand list overflow (capacity 4)");
+    }
+
+    /// Number of registers held.
+    pub fn len(&self) -> usize {
+        self.regs.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// True when no registers are held.
+    pub fn is_empty(&self) -> bool {
+        self.regs[0].is_none()
+    }
+
+    /// Iterates over the registers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.regs.iter().flatten().copied()
+    }
+}
+
+impl FromIterator<Reg> for RegList {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for r in iter {
+            list.push(r);
+        }
+        list
+    }
+}
+
+/// The memory pattern class of an access (used for stats and port
+/// scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPattern {
+    /// Single scalar access of 1–8 bytes.
+    Scalar,
+    /// Single µSIMD 64-bit access.
+    Unit64,
+    /// MOM 2D strided pattern: `count` elements of 8 bytes.
+    Strided2d,
+    /// 3D pattern: `count` blocks of `elem_bytes` each (up to 128 B).
+    Strided3d,
+}
+
+/// A resolved (trace-time) memory access descriptor.
+///
+/// All accesses are expressed as `count` blocks of `elem_bytes` bytes,
+/// with consecutive block base addresses `stride` bytes apart:
+///
+/// * scalar / MMX: `count = 1`;
+/// * MOM 2D load/store: `count = VL`, `elem_bytes = 8`, `stride = VS`;
+/// * `3dvload`: `count = VL`, `elem_bytes = W × 8`, `stride = VS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Base virtual byte address of block 0.
+    pub base: u64,
+    /// Byte distance between consecutive block bases (may be negative).
+    pub stride: i64,
+    /// Number of blocks (vector length for vector accesses).
+    pub count: u8,
+    /// Bytes per block.
+    pub elem_bytes: u8,
+    /// Pattern class.
+    pub pattern: MemPattern,
+}
+
+impl MemAccess {
+    /// Creates a scalar access of `bytes` bytes.
+    pub fn scalar(base: u64, bytes: u8) -> Self {
+        assert!(bytes >= 1 && bytes <= 8, "scalar access must be 1-8 bytes");
+        MemAccess { base, stride: 0, count: 1, elem_bytes: bytes, pattern: MemPattern::Scalar }
+    }
+
+    /// Creates an MMX 64-bit access.
+    pub fn unit64(base: u64) -> Self {
+        MemAccess { base, stride: 0, count: 1, elem_bytes: 8, pattern: MemPattern::Unit64 }
+    }
+
+    /// Creates a MOM 2D strided access of `vl` 64-bit elements.
+    pub fn strided2d(base: u64, stride: i64, vl: u8) -> Self {
+        assert!(vl >= 1 && vl as usize <= crate::arch::MOM_ELEMS, "2D VL out of range");
+        MemAccess { base, stride, count: vl, elem_bytes: 8, pattern: MemPattern::Strided2d }
+    }
+
+    /// Creates a 3D access of `vl` blocks of `wwords × 8` bytes.
+    pub fn strided3d(base: u64, stride: i64, vl: u8, wwords: u8) -> Self {
+        assert!(vl >= 1 && vl as usize <= crate::arch::DREG_ELEMS, "3D VL out of range");
+        assert!(
+            wwords >= 1 && wwords as usize * 8 <= crate::arch::DREG_ELEM_BYTES,
+            "3D block width out of range"
+        );
+        MemAccess {
+            base,
+            stride,
+            count: vl,
+            elem_bytes: wwords * 8,
+            pattern: MemPattern::Strided3d,
+        }
+    }
+
+    /// Base address of block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.count`.
+    #[inline]
+    pub fn block_addr(&self, i: usize) -> u64 {
+        assert!(i < self.count as usize, "block index out of range");
+        (self.base as i64).wrapping_add(self.stride * i as u64 as i64) as u64
+    }
+
+    /// Iterates over `(address, len)` pairs, one per block.
+    pub fn blocks(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        (0..self.count as usize).map(|i| (self.block_addr(i), self.elem_bytes as u32))
+    }
+
+    /// Total bytes touched (blocks may overlap; this sums block sizes).
+    pub fn total_bytes(&self) -> u64 {
+        self.count as u64 * self.elem_bytes as u64
+    }
+
+    /// Smallest closed-open `[lo, hi)` interval covering all blocks
+    /// (for store-load conflict checks).
+    pub fn envelope(&self) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for (addr, len) in self.blocks() {
+            lo = lo.min(addr);
+            hi = hi.max(addr + len as u64);
+        }
+        (lo, hi)
+    }
+
+    /// True when the byte intervals of `self` and `other` may overlap.
+    pub fn may_overlap(&self, other: &MemAccess) -> bool {
+        let (a_lo, a_hi) = self.envelope();
+        let (b_lo, b_hi) = other.envelope();
+        a_lo < b_hi && b_lo < a_hi
+    }
+}
+
+/// One dynamic (trace) instruction.
+///
+/// Vector state (`vl`, the stride and block geometry) is captured at
+/// trace-generation time, mirroring how the original evaluation
+/// instrumented binaries with ATOM; the architectural `Vl`/`Vs` registers
+/// still appear in the operand lists so renaming sees the true
+/// dependences.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Instruction {
+    /// Operation.
+    pub opcode: Opcode,
+    /// Destination registers (0–2: e.g. `3dvmov` writes a MOM register
+    /// *and* renames its pointer register).
+    pub dsts: RegList,
+    /// Source registers.
+    pub srcs: RegList,
+    /// Immediate operand (shift amounts, added constants, pointer stride
+    /// for `3dvmov`, `b` flag for `3dvload` as 0/1).
+    pub imm: i64,
+    /// Resolved memory access, for memory opcodes.
+    pub mem: Option<MemAccess>,
+    /// Captured vector length (1 for scalar/µSIMD instructions).
+    pub vl: u8,
+    /// Lane width at which the data is produced/consumed (drives the
+    /// first-dimension statistics of Table 1).
+    pub data_width: Width,
+    /// Resolved branch direction (branches only).
+    pub taken: bool,
+}
+
+impl Instruction {
+    /// Creates a non-memory instruction with the given operands.
+    pub fn op(opcode: Opcode, dsts: &[Reg], srcs: &[Reg]) -> Self {
+        Instruction {
+            opcode,
+            dsts: RegList::from_slice(dsts),
+            srcs: RegList::from_slice(srcs),
+            imm: 0,
+            mem: None,
+            vl: 1,
+            data_width: Width::D64,
+            taken: false,
+        }
+    }
+
+    /// Sets the immediate (builder style).
+    pub fn with_imm(mut self, imm: i64) -> Self {
+        self.imm = imm;
+        self
+    }
+
+    /// Sets the memory descriptor (builder style).
+    pub fn with_mem(mut self, mem: MemAccess) -> Self {
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Sets the captured vector length (builder style).
+    pub fn with_vl(mut self, vl: u8) -> Self {
+        self.vl = vl;
+        self
+    }
+
+    /// Sets the data lane width (builder style).
+    pub fn with_width(mut self, w: Width) -> Self {
+        self.data_width = w;
+        self
+    }
+
+    /// Number of packed scalar operations this instruction performs
+    /// (lanes × elements) — the paper's "operations per instruction".
+    pub fn packed_ops(&self) -> u64 {
+        match self.opcode {
+            Opcode::Usimd(_) => self.data_width.lanes() as u64,
+            Opcode::VCompute(_) | Opcode::VReduce(_) => {
+                self.data_width.lanes() as u64 * self.vl as u64
+            }
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        for r in self.dsts.iter() {
+            write!(f, "{}{}", if first { " " } else { ", " }, r)?;
+            first = false;
+        }
+        for r in self.srcs.iter() {
+            write!(f, "{}{}", if first { " " } else { ", " }, r)?;
+            first = false;
+        }
+        if let Some(m) = &self.mem {
+            write!(f, ", [{:#x}", m.base)?;
+            if m.count > 1 {
+                write!(f, " +{}*{}", m.stride, m.count)?;
+            }
+            write!(f, " x{}B]", m.elem_bytes)?;
+        }
+        if self.imm != 0 {
+            write!(f, ", #{}", self.imm)?;
+        }
+        if self.opcode.is_vector() {
+            write!(f, " (vl={})", self.vl)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::IntOp;
+
+    #[test]
+    fn flat_indices_are_dense_and_unique() {
+        let mut seen = vec![false; Reg::FLAT_COUNT];
+        let mut all: Vec<Reg> = Vec::new();
+        all.extend(Gpr::all().map(Reg::Gpr));
+        all.extend(MmxReg::all().map(Reg::Mmx));
+        all.extend(MomReg::all().map(Reg::Mom));
+        all.extend(DReg::all().map(Reg::D));
+        all.extend(PReg::all().map(Reg::P));
+        all.extend(AccReg::all().map(Reg::Acc));
+        all.push(Reg::Vl);
+        all.push(Reg::Vs);
+        assert_eq!(all.len(), Reg::FLAT_COUNT);
+        for r in all {
+            let i = r.flat_index();
+            assert!(!seen[i], "duplicate flat index {i} for {r}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn reglist_push_iter() {
+        let mut l = RegList::new();
+        assert!(l.is_empty());
+        l.push(Reg::Gpr(Gpr::new(1)));
+        l.push(Reg::Vl);
+        assert_eq!(l.len(), 2);
+        let v: Vec<Reg> = l.iter().collect();
+        assert_eq!(v, vec![Reg::Gpr(Gpr::new(1)), Reg::Vl]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn reglist_overflow_panics() {
+        let mut l = RegList::new();
+        for i in 0..5 {
+            l.push(Reg::Gpr(Gpr::new(i)));
+        }
+    }
+
+    #[test]
+    fn strided2d_block_addresses() {
+        let m = MemAccess::strided2d(0x1000, 640, 4);
+        let addrs: Vec<u64> = m.blocks().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1000 + 640, 0x1000 + 1280, 0x1000 + 1920]);
+        assert_eq!(m.total_bytes(), 32);
+    }
+
+    #[test]
+    fn negative_stride_walks_down() {
+        let m = MemAccess::strided2d(0x1000, -16, 3);
+        let addrs: Vec<u64> = m.blocks().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1000 - 16, 0x1000 - 32]);
+        assert_eq!(m.envelope(), (0x1000 - 32, 0x1000 + 8));
+    }
+
+    #[test]
+    fn strided3d_geometry() {
+        let m = MemAccess::strided3d(0x2000, 1, 16, 16);
+        assert_eq!(m.elem_bytes, 128);
+        assert_eq!(m.total_bytes(), 2048);
+        // Overlapping blocks: stride 1 byte, 128-byte blocks.
+        assert_eq!(m.envelope(), (0x2000, 0x2000 + 15 + 128));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = MemAccess::strided2d(0x1000, 64, 4);
+        let b = MemAccess::scalar(0x1000 + 64, 4);
+        let c = MemAccess::scalar(0x5000, 8);
+        assert!(a.may_overlap(&b));
+        assert!(!a.may_overlap(&c));
+        assert!(b.may_overlap(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "2D VL out of range")]
+    fn vl_zero_rejected() {
+        MemAccess::strided2d(0, 8, 0);
+    }
+
+    #[test]
+    fn packed_ops_counts() {
+        let v = Instruction::op(
+            Opcode::VCompute(crate::op::UsimdOp::AddWrap(Width::B8)),
+            &[Reg::Mom(MomReg::new(0))],
+            &[Reg::Mom(MomReg::new(1)), Reg::Mom(MomReg::new(2))],
+        )
+        .with_vl(8)
+        .with_width(Width::B8);
+        assert_eq!(v.packed_ops(), 64);
+        let s = Instruction::op(Opcode::IntAlu(IntOp::Add), &[Reg::Gpr(Gpr::new(0))], &[]);
+        assert_eq!(s.packed_ops(), 1);
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let v = Instruction::op(
+            Opcode::VLoad,
+            &[Reg::Mom(MomReg::new(3))],
+            &[Reg::Gpr(Gpr::new(4)), Reg::Vl, Reg::Vs],
+        )
+        .with_mem(MemAccess::strided2d(0x1_0000, 640, 8))
+        .with_vl(8);
+        let s = v.to_string();
+        assert!(s.contains("vload"), "{s}");
+        assert!(s.contains("mr3"), "{s}");
+        assert!(s.contains("0x10000"), "{s}");
+        assert!(s.contains("vl=8"), "{s}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # mom3d-isa — the MOM 2D vector ISA and its 3D memory extension
+//!
+//! Instruction-set definitions for the system reproduced from MICRO-35
+//! 2002, *"Three-Dimensional Memory Vectorization for High Bandwidth
+//! Media Memory Systems"*:
+//!
+//! * a scalar core repertoire (integer ALU, scalar loads/stores,
+//!   branches) — enough to express the loop and control overhead that the
+//!   timing simulator needs to see;
+//! * the **µSIMD (MMX-like)** repertoire operating on 64-bit packed
+//!   registers;
+//! * **MOM**, the Matrix Oriented Multimedia 2D vector ISA: 16 logical
+//!   registers of 16 × 64-bit elements, a vector-length register
+//!   (`VL ≤ 16`) and a vector-stride register controlling 2D memory
+//!   patterns;
+//! * the paper's **3D memory extension**: two logical 3D vector registers
+//!   of 16 × 128-byte elements with 7-bit pointer registers, and the
+//!   `3dvload` / `3dvmov` instructions.
+//!
+//! The crate defines typed registers, opcodes, the [`Instruction`]
+//! carrier used by traces, a disassembler, and [`TraceBuilder`] — the
+//! code-generation interface used by the media kernels.
+//!
+//! ```
+//! use mom3d_isa::{TraceBuilder, MomReg, Gpr, Width, UsimdOp};
+//!
+//! let mut tb = TraceBuilder::new();
+//! tb.set_vl(8);
+//! tb.set_vs(640); // frame width in bytes
+//! let base = tb.li(Gpr::new(1), 0x1_0000);
+//! tb.vload(MomReg::new(0), base, 0x1_0000);
+//! tb.vload(MomReg::new(1), base, 0x1_0000);
+//! tb.vop2(UsimdOp::AbsDiffU(Width::B8), MomReg::new(2), MomReg::new(0), MomReg::new(1));
+//! let trace = tb.finish();
+//! assert_eq!(trace.len(), 6);
+//! ```
+
+pub mod arch;
+mod instr;
+mod op;
+mod regs;
+mod trace;
+
+pub use arch::*;
+pub use instr::{Instruction, MemAccess, MemPattern, Reg, RegList};
+pub use op::{ExecClass, IntOp, Opcode, ReduceOp, UsimdOp, Width};
+pub use regs::{AccReg, DReg, Gpr, MmxReg, MomReg, PReg};
+pub use trace::{Trace, TraceBuilder, TraceStats};

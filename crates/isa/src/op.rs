@@ -1,0 +1,452 @@
+//! Operation repertoire: scalar, µSIMD, MOM vector and 3D memory opcodes.
+
+use std::fmt;
+
+pub use mom3d_simd_width::Width;
+
+/// Re-export shim: the lane-width type is defined here so `mom3d-isa`
+/// stays dependency-free, and `mom3d-simd` keeps its own identical type.
+/// The emulator converts between the two.
+mod mom3d_simd_width {
+    use std::fmt;
+
+    /// Sub-word lane width of a packed 64-bit value (bytes, halfwords,
+    /// words, doubleword). Identical to `mom3d_simd::Width`; duplicated so
+    /// the ISA crate has no dependencies.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+    pub enum Width {
+        /// Eight 8-bit lanes.
+        B8,
+        /// Four 16-bit lanes.
+        H16,
+        /// Two 32-bit lanes.
+        W32,
+        /// One 64-bit lane.
+        D64,
+    }
+
+    impl Width {
+        /// Number of lanes in a 64-bit word.
+        #[inline]
+        pub const fn lanes(self) -> usize {
+            match self {
+                Width::B8 => 8,
+                Width::H16 => 4,
+                Width::W32 => 2,
+                Width::D64 => 1,
+            }
+        }
+    }
+
+    impl fmt::Display for Width {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let s = match self {
+                Width::B8 => "b",
+                Width::H16 => "h",
+                Width::W32 => "w",
+                Width::D64 => "d",
+            };
+            f.write_str(s)
+        }
+    }
+}
+
+/// Scalar integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// `dst = src1 + src2` (or `src1 + imm`).
+    Add,
+    /// `dst = src1 - src2`.
+    Sub,
+    /// `dst = src1 * src2` (3-cycle latency class).
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left by immediate.
+    Shl,
+    /// Logical shift right by immediate.
+    Shr,
+    /// Arithmetic shift right by immediate.
+    Sar,
+    /// Set-less-than (signed compare producing 0/1).
+    SltS,
+    /// Set-less-than unsigned.
+    SltU,
+    /// Load immediate / register move.
+    Mov,
+}
+
+impl fmt::Display for IntOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IntOp::Add => "add",
+            IntOp::Sub => "sub",
+            IntOp::Mul => "mul",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Shl => "shl",
+            IntOp::Shr => "shr",
+            IntOp::Sar => "sar",
+            IntOp::SltS => "slt",
+            IntOp::SltU => "sltu",
+            IntOp::Mov => "mov",
+        };
+        f.write_str(s)
+    }
+}
+
+/// µSIMD (MMX-like) packed operations on one 64-bit word.
+///
+/// These are the element operations of both the MMX-style ISA (applied to
+/// one [`crate::MmxReg`]) and MOM (applied to every element of a
+/// [`crate::MomReg`]). Shift amounts come from the instruction immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UsimdOp {
+    /// Wrapping packed add.
+    AddWrap(Width),
+    /// Wrapping packed subtract.
+    SubWrap(Width),
+    /// Unsigned saturating add.
+    AddSatU(Width),
+    /// Unsigned saturating subtract.
+    SubSatU(Width),
+    /// Signed saturating add.
+    AddSatS(Width),
+    /// Signed saturating subtract.
+    SubSatS(Width),
+    /// Unsigned minimum.
+    MinU(Width),
+    /// Unsigned maximum.
+    MaxU(Width),
+    /// Signed minimum.
+    MinS(Width),
+    /// Signed maximum.
+    MaxS(Width),
+    /// Unsigned absolute difference.
+    AbsDiffU(Width),
+    /// Sum of absolute differences of 8 bytes → 64-bit scalar lane.
+    SadU8,
+    /// Rounding unsigned average (half-pel interpolation).
+    AvgU(Width),
+    /// Multiply, low half of products (16- or 32-bit lanes).
+    MulLow(Width),
+    /// Signed 16-bit multiply, high half.
+    MulHighS16,
+    /// Multiply-add signed 16-bit pairs into 32-bit lanes.
+    MaddS16,
+    /// Logical left shift by immediate.
+    Shl(Width),
+    /// Logical right shift by immediate.
+    ShrL(Width),
+    /// Arithmetic right shift by immediate.
+    ShrA(Width),
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise and-not (`dst = !a & b`).
+    AndNot,
+    /// Packed equality compare → lane masks.
+    CmpEq(Width),
+    /// Packed signed greater-than compare → lane masks.
+    CmpGtS(Width),
+    /// Pack signed 16-bit to unsigned-saturated bytes (`packuswb`).
+    PackUs16To8,
+    /// Pack signed 16-bit to signed-saturated bytes (`packsswb`).
+    PackSs16To8,
+    /// Pack signed 32-bit to signed-saturated halfwords (`packssdw`).
+    PackSs32To16,
+    /// Interleave low lanes (`punpckl`).
+    UnpackLo(Width),
+    /// Interleave high lanes (`punpckh`).
+    UnpackHi(Width),
+}
+
+impl UsimdOp {
+    /// Execution latency class in cycles (multiplies are longer).
+    pub fn latency(self) -> u32 {
+        match self {
+            UsimdOp::MulLow(_) | UsimdOp::MulHighS16 | UsimdOp::MaddS16 => 3,
+            UsimdOp::SadU8 => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for UsimdOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UsimdOp::AddWrap(w) => write!(f, "padd{w}"),
+            UsimdOp::SubWrap(w) => write!(f, "psub{w}"),
+            UsimdOp::AddSatU(w) => write!(f, "paddus{w}"),
+            UsimdOp::SubSatU(w) => write!(f, "psubus{w}"),
+            UsimdOp::AddSatS(w) => write!(f, "padds{w}"),
+            UsimdOp::SubSatS(w) => write!(f, "psubs{w}"),
+            UsimdOp::MinU(w) => write!(f, "pminu{w}"),
+            UsimdOp::MaxU(w) => write!(f, "pmaxu{w}"),
+            UsimdOp::MinS(w) => write!(f, "pmins{w}"),
+            UsimdOp::MaxS(w) => write!(f, "pmaxs{w}"),
+            UsimdOp::AbsDiffU(w) => write!(f, "pabsdiff{w}"),
+            UsimdOp::SadU8 => write!(f, "psadbw"),
+            UsimdOp::AvgU(w) => write!(f, "pavg{w}"),
+            UsimdOp::MulLow(w) => write!(f, "pmull{w}"),
+            UsimdOp::MulHighS16 => write!(f, "pmulhw"),
+            UsimdOp::MaddS16 => write!(f, "pmaddwd"),
+            UsimdOp::Shl(w) => write!(f, "psll{w}"),
+            UsimdOp::ShrL(w) => write!(f, "psrl{w}"),
+            UsimdOp::ShrA(w) => write!(f, "psra{w}"),
+            UsimdOp::And => write!(f, "pand"),
+            UsimdOp::Or => write!(f, "por"),
+            UsimdOp::Xor => write!(f, "pxor"),
+            UsimdOp::AndNot => write!(f, "pandn"),
+            UsimdOp::CmpEq(w) => write!(f, "pcmpeq{w}"),
+            UsimdOp::CmpGtS(w) => write!(f, "pcmpgt{w}"),
+            UsimdOp::PackUs16To8 => write!(f, "packuswb"),
+            UsimdOp::PackSs16To8 => write!(f, "packsswb"),
+            UsimdOp::PackSs32To16 => write!(f, "packssdw"),
+            UsimdOp::UnpackLo(w) => write!(f, "punpckl{w}"),
+            UsimdOp::UnpackHi(w) => write!(f, "punpckh{w}"),
+        }
+    }
+}
+
+/// Vector reduction operations writing the accumulator register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Accumulate the sum of absolute byte differences of two registers
+    /// (the motion-estimation kernel: `acc += Σ |a_i − b_i|`).
+    SadAccumU8,
+    /// Accumulate the unsigned sum of every lane.
+    SumU(Width),
+    /// Accumulate the signed sum of every lane.
+    SumS(Width),
+    /// Accumulate signed 16-bit dot products (`acc += Σ a_i · b_i`).
+    DotS16,
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReduceOp::SadAccumU8 => write!(f, "vsad.acc"),
+            ReduceOp::SumU(w) => write!(f, "vsumu{w}.acc"),
+            ReduceOp::SumS(w) => write!(f, "vsums{w}.acc"),
+            ReduceOp::DotS16 => write!(f, "vdoth.acc"),
+        }
+    }
+}
+
+/// Instruction opcode.
+///
+/// The same opcode enum covers the three ISA styles the paper compares;
+/// which opcodes a generator may emit is a property of the workload
+/// variant (MMX code never contains `VLoad`, MOM code never contains
+/// `DvLoad` unless the 3D extension is enabled, and so on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Scalar integer ALU operation.
+    IntAlu(IntOp),
+    /// Scalar load (1–8 bytes, through L1).
+    LoadScalar,
+    /// Scalar store (1–8 bytes, through L1).
+    StoreScalar,
+    /// Conditional branch; the trace records the resolved direction.
+    Branch,
+    /// µSIMD operation on 64-bit MMX registers.
+    Usimd(UsimdOp),
+    /// MMX 64-bit load (through L1 on the MMX configuration).
+    LoadMmx,
+    /// MMX 64-bit store.
+    StoreMmx,
+    /// MOM vector compute: applies a µSIMD op to `VL` elements.
+    VCompute(UsimdOp),
+    /// MOM 2D vector load: `VL` 64-bit elements, stride `VS` bytes apart.
+    VLoad,
+    /// MOM 2D vector store.
+    VStore,
+    /// MOM vector reduction into an accumulator register.
+    VReduce(ReduceOp),
+    /// Read the low 64 bits of an accumulator into a scalar register.
+    ReadAcc,
+    /// Set the vector-length register.
+    SetVl,
+    /// Set the vector-stride register.
+    SetVs,
+    /// `3dvload DRi ← (Rj), Rk, W, b`: load `VL` blocks of `W × 64` bits.
+    DvLoad,
+    /// `3dvmov MRi ← DRj, Ps`: move `VL` byte-aligned 64-bit slices from a
+    /// 3D register into a MOM register, then advance the pointer by `Ps`.
+    DvMov,
+}
+
+/// Issue/execution steering class of an instruction (Table 2 resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Scalar integer ALU / branch resolution.
+    Int,
+    /// Scalar or MMX memory access (L1 ports).
+    Mem,
+    /// µSIMD / MOM vector computation (SIMD FUs).
+    Simd,
+    /// Vector memory access (the L2 vector port on MOM configurations).
+    VecMem,
+    /// 3D-register-file to MOM-register-file transfer.
+    Mov3d,
+}
+
+impl Opcode {
+    /// The execution class that determines which issue slot and
+    /// functional unit the instruction competes for.
+    pub fn class(self) -> ExecClass {
+        match self {
+            Opcode::IntAlu(_) | Opcode::Branch | Opcode::SetVl | Opcode::SetVs | Opcode::ReadAcc => {
+                ExecClass::Int
+            }
+            Opcode::LoadScalar | Opcode::StoreScalar | Opcode::LoadMmx | Opcode::StoreMmx => {
+                ExecClass::Mem
+            }
+            Opcode::Usimd(_) | Opcode::VCompute(_) | Opcode::VReduce(_) => ExecClass::Simd,
+            Opcode::VLoad | Opcode::VStore | Opcode::DvLoad => ExecClass::VecMem,
+            Opcode::DvMov => ExecClass::Mov3d,
+        }
+    }
+
+    /// True for every opcode that references memory.
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            Opcode::LoadScalar
+                | Opcode::StoreScalar
+                | Opcode::LoadMmx
+                | Opcode::StoreMmx
+                | Opcode::VLoad
+                | Opcode::VStore
+                | Opcode::DvLoad
+        )
+    }
+
+    /// True for loads (memory reads).
+    pub fn is_load(self) -> bool {
+        matches!(
+            self,
+            Opcode::LoadScalar | Opcode::LoadMmx | Opcode::VLoad | Opcode::DvLoad
+        )
+    }
+
+    /// True for stores (memory writes).
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::StoreScalar | Opcode::StoreMmx | Opcode::VStore)
+    }
+
+    /// True for MOM / 3D vector instructions (multi-element).
+    pub fn is_vector(self) -> bool {
+        matches!(
+            self,
+            Opcode::VCompute(_)
+                | Opcode::VLoad
+                | Opcode::VStore
+                | Opcode::VReduce(_)
+                | Opcode::DvLoad
+                | Opcode::DvMov
+        )
+    }
+
+    /// Base execution latency in cycles, excluding memory time and
+    /// multi-element occupancy (the timing simulator adds those).
+    pub fn base_latency(self) -> u32 {
+        match self {
+            Opcode::IntAlu(IntOp::Mul) => 3,
+            Opcode::IntAlu(_) | Opcode::Branch | Opcode::SetVl | Opcode::SetVs => 1,
+            Opcode::ReadAcc => 1,
+            Opcode::Usimd(op) | Opcode::VCompute(op) => op.latency(),
+            Opcode::VReduce(_) => 2,
+            Opcode::LoadScalar | Opcode::LoadMmx => 1,
+            Opcode::StoreScalar | Opcode::StoreMmx => 1,
+            Opcode::VLoad | Opcode::VStore => 1,
+            Opcode::DvLoad => 1,
+            // §5.3: "3 cycles of latency for the 3D vector register file
+            // (but 1 cycle per transfer)".
+            Opcode::DvMov => 3,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::IntAlu(op) => write!(f, "{op}"),
+            Opcode::LoadScalar => write!(f, "ld"),
+            Opcode::StoreScalar => write!(f, "st"),
+            Opcode::Branch => write!(f, "br"),
+            Opcode::Usimd(op) => write!(f, "{op}"),
+            Opcode::LoadMmx => write!(f, "movq.ld"),
+            Opcode::StoreMmx => write!(f, "movq.st"),
+            Opcode::VCompute(op) => write!(f, "v{op}"),
+            Opcode::VLoad => write!(f, "vload"),
+            Opcode::VStore => write!(f, "vstore"),
+            Opcode::VReduce(op) => write!(f, "{op}"),
+            Opcode::ReadAcc => write!(f, "rdacc"),
+            Opcode::SetVl => write!(f, "setvl"),
+            Opcode::SetVs => write!(f, "setvs"),
+            Opcode::DvLoad => write!(f, "3dvload"),
+            Opcode::DvMov => write!(f, "3dvmov"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_route_to_expected_resources() {
+        assert_eq!(Opcode::IntAlu(IntOp::Add).class(), ExecClass::Int);
+        assert_eq!(Opcode::LoadScalar.class(), ExecClass::Mem);
+        assert_eq!(Opcode::LoadMmx.class(), ExecClass::Mem);
+        assert_eq!(Opcode::Usimd(UsimdOp::SadU8).class(), ExecClass::Simd);
+        assert_eq!(Opcode::VCompute(UsimdOp::SadU8).class(), ExecClass::Simd);
+        assert_eq!(Opcode::VLoad.class(), ExecClass::VecMem);
+        assert_eq!(Opcode::DvLoad.class(), ExecClass::VecMem);
+        assert_eq!(Opcode::DvMov.class(), ExecClass::Mov3d);
+    }
+
+    #[test]
+    fn memory_predicates() {
+        assert!(Opcode::VLoad.is_load());
+        assert!(Opcode::DvLoad.is_load());
+        assert!(!Opcode::DvMov.is_mem());
+        assert!(Opcode::VStore.is_store());
+        assert!(!Opcode::VStore.is_load());
+        assert!(Opcode::StoreScalar.is_mem());
+    }
+
+    #[test]
+    fn vector_predicates() {
+        assert!(Opcode::VCompute(UsimdOp::AddWrap(Width::B8)).is_vector());
+        assert!(Opcode::DvMov.is_vector());
+        assert!(!Opcode::Usimd(UsimdOp::AddWrap(Width::B8)).is_vector());
+        assert!(!Opcode::LoadScalar.is_vector());
+    }
+
+    #[test]
+    fn latencies() {
+        assert_eq!(Opcode::IntAlu(IntOp::Mul).base_latency(), 3);
+        assert_eq!(Opcode::DvMov.base_latency(), 3);
+        assert_eq!(Opcode::Usimd(UsimdOp::MaddS16).base_latency(), 3);
+        assert_eq!(Opcode::Usimd(UsimdOp::AddWrap(Width::B8)).base_latency(), 1);
+    }
+
+    #[test]
+    fn disassembly_spellings() {
+        assert_eq!(Opcode::DvLoad.to_string(), "3dvload");
+        assert_eq!(Opcode::VCompute(UsimdOp::SadU8).to_string(), "vpsadbw");
+        assert_eq!(Opcode::Usimd(UsimdOp::AddSatU(Width::B8)).to_string(), "paddusb");
+        assert_eq!(Opcode::VReduce(ReduceOp::SadAccumU8).to_string(), "vsad.acc");
+    }
+}

@@ -1,0 +1,142 @@
+//! Typed architectural register names.
+//!
+//! Each register class is a newtype over its index so that instructions
+//! cannot mix, say, a MOM 2D register with a 3D register (C-NEWTYPE).
+
+use crate::arch;
+use std::fmt;
+
+macro_rules! reg_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $max:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Number of architectural (logical) registers in this class.
+            pub const COUNT: usize = $max;
+
+            /// Creates a register name.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= Self::COUNT`.
+            #[inline]
+            pub const fn new(index: u8) -> Self {
+                assert!(
+                    (index as usize) < $max,
+                    concat!(stringify!($name), " index out of range"),
+                );
+                Self(index)
+            }
+
+            /// The register index.
+            #[inline]
+            pub fn index(self) -> u8 {
+                self.0
+            }
+
+            /// Iterates over every register of the class.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..$max as u8).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+reg_newtype!(
+    /// Scalar general-purpose (integer) register `r0..r31`.
+    Gpr,
+    "r",
+    arch::GPR_COUNT
+);
+
+reg_newtype!(
+    /// µSIMD (MMX-like) 64-bit register `mm0..mm31`.
+    MmxReg,
+    "mm",
+    arch::MMX_LOGICAL_REGS
+);
+
+reg_newtype!(
+    /// MOM 2D vector register `mr0..mr15` (16 × 64-bit elements).
+    MomReg,
+    "mr",
+    arch::MOM_LOGICAL_REGS
+);
+
+reg_newtype!(
+    /// 3D vector register `dr0..dr1` (16 × 128-byte elements).
+    DReg,
+    "dr",
+    arch::DREG_LOGICAL_REGS
+);
+
+reg_newtype!(
+    /// 3D pointer register `pr0..pr1` (7-bit byte offset, paired with the
+    /// like-numbered [`DReg`]).
+    PReg,
+    "pr",
+    arch::DREG_LOGICAL_REGS
+);
+
+reg_newtype!(
+    /// 192-bit accumulator register `acc0..acc1`.
+    AccReg,
+    "acc",
+    arch::ACC_LOGICAL_REGS
+);
+
+impl DReg {
+    /// The pointer register architecturally paired with this 3D register.
+    #[inline]
+    pub fn pointer(self) -> PReg {
+        PReg::new(self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::new(3).to_string(), "r3");
+        assert_eq!(MmxReg::new(7).to_string(), "mm7");
+        assert_eq!(MomReg::new(15).to_string(), "mr15");
+        assert_eq!(DReg::new(1).to_string(), "dr1");
+        assert_eq!(PReg::new(0).to_string(), "pr0");
+        assert_eq!(AccReg::new(1).to_string(), "acc1");
+    }
+
+    #[test]
+    fn counts_match_arch() {
+        assert_eq!(Gpr::all().count(), 32);
+        assert_eq!(MomReg::all().count(), 16);
+        assert_eq!(DReg::all().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_mom_reg_panics() {
+        MomReg::new(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_dreg_panics() {
+        DReg::new(2);
+    }
+
+    #[test]
+    fn dreg_pointer_pairing() {
+        assert_eq!(DReg::new(0).pointer(), PReg::new(0));
+        assert_eq!(DReg::new(1).pointer(), PReg::new(1));
+    }
+}

@@ -1,0 +1,714 @@
+//! Dynamic instruction traces and the code-generation builder.
+
+use crate::arch;
+use crate::instr::{Instruction, MemAccess, Reg};
+use crate::op::{ExecClass, IntOp, Opcode, ReduceOp, UsimdOp, Width};
+use crate::regs::{AccReg, DReg, Gpr, MmxReg, MomReg};
+use std::fmt;
+
+/// A dynamic instruction trace, as produced by the workload generators
+/// (the moral equivalent of the paper's ATOM-instrumented runs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    instrs: Vec<Instruction>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the trace holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instruction) {
+        self.instrs.push(instr);
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// Computes summary statistics (instruction mix, Table 1 vector
+    /// lengths, memory footprint).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+}
+
+impl FromIterator<Instruction> for Trace {
+    fn from_iter<I: IntoIterator<Item = Instruction>>(iter: I) -> Self {
+        Trace { instrs: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+/// Aggregate statistics of a trace.
+///
+/// `dim1_*` is the sub-word (µSIMD) dimension, `dim2_*` the MOM vector
+/// dimension, `dim3_*` the 3D dimension — the three rows of Table 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Scalar integer + branch instructions.
+    pub scalar: u64,
+    /// µSIMD compute instructions.
+    pub usimd: u64,
+    /// MOM vector compute/reduce instructions.
+    pub vcompute: u64,
+    /// Scalar/MMX memory instructions.
+    pub mem_scalar: u64,
+    /// MOM 2D vector memory instructions.
+    pub mem_2d: u64,
+    /// 3D vector loads.
+    pub mem_3d: u64,
+    /// `3dvmov` transfers.
+    pub mov_3d: u64,
+    /// Total packed scalar operations (lanes × elements summed).
+    pub packed_ops: u64,
+    /// Sum of µSIMD lane counts over memory instructions (dimension 1).
+    pub dim1_lanes_sum: u64,
+    /// Memory instructions counted in `dim1_lanes_sum`.
+    pub dim1_count: u64,
+    /// Sum of VL over vector memory instructions (dimension 2; 3D loads
+    /// contribute their VL here too — their elements are the second
+    /// dimension's rows).
+    pub dim2_vl_sum: u64,
+    /// Vector memory instructions counted in `dim2_vl_sum`.
+    pub dim2_count: u64,
+    /// Total `3dvmov` slices served by 3D loads (dimension 3: each move
+    /// extracts one 2D stream from the loaded 3D pattern).
+    pub dim3_vl_sum: u64,
+    /// 3D loads counted.
+    pub dim3_count: u64,
+    /// Maximum slices served by a single 3D load.
+    pub dim3_vl_max: u64,
+    /// Total bytes requested by memory instructions.
+    pub bytes_accessed: u64,
+}
+
+impl TraceStats {
+    fn from_trace(trace: &Trace) -> Self {
+        let mut s = TraceStats::default();
+        // Slices served by the most recent 3dvload of each 3D register.
+        let mut open_loads: [Option<usize>; crate::arch::DREG_LOGICAL_REGS] = Default::default();
+        let mut served: Vec<u64> = Vec::new();
+        for i in trace.iter() {
+            s.total += 1;
+            s.packed_ops += i.packed_ops();
+            match i.opcode.class() {
+                ExecClass::Int => s.scalar += 1,
+                ExecClass::Simd => {
+                    if i.opcode.is_vector() {
+                        s.vcompute += 1;
+                    } else {
+                        s.usimd += 1;
+                    }
+                }
+                ExecClass::Mem => s.mem_scalar += 1,
+                ExecClass::VecMem => {}
+                ExecClass::Mov3d => s.mov_3d += 1,
+            }
+            match i.opcode {
+                Opcode::DvLoad => {
+                    if let Some(Reg::D(dr)) = i.dsts.iter().find(|r| matches!(r, Reg::D(_))) {
+                        served.push(0);
+                        open_loads[dr.index() as usize] = Some(served.len() - 1);
+                    }
+                }
+                Opcode::DvMov => {
+                    if let Some(Reg::D(dr)) = i.srcs.iter().find(|r| matches!(r, Reg::D(_))) {
+                        if let Some(slot) = open_loads[dr.index() as usize] {
+                            served[slot] += 1;
+                        }
+                    }
+                    // The move delivers data at a µSIMD width, standing in
+                    // for the 2D load it replaced (dimension 1).
+                    s.dim1_lanes_sum += i.data_width.lanes() as u64;
+                    s.dim1_count += 1;
+                }
+                _ => {}
+            }
+            if let Some(m) = &i.mem {
+                s.bytes_accessed += m.total_bytes();
+                match i.opcode {
+                    Opcode::VLoad | Opcode::VStore => {
+                        s.mem_2d += 1;
+                        s.dim1_lanes_sum += i.data_width.lanes() as u64;
+                        s.dim1_count += 1;
+                        s.dim2_vl_sum += i.vl as u64;
+                        s.dim2_count += 1;
+                    }
+                    Opcode::DvLoad => {
+                        s.mem_3d += 1;
+                        s.dim2_vl_sum += i.vl as u64;
+                        s.dim2_count += 1;
+                    }
+                    Opcode::LoadMmx | Opcode::StoreMmx => {
+                        s.dim1_lanes_sum += i.data_width.lanes() as u64;
+                        s.dim1_count += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        s.dim3_count = served.len() as u64;
+        s.dim3_vl_sum = served.iter().sum();
+        s.dim3_vl_max = served.iter().copied().max().unwrap_or(0);
+        s
+    }
+
+    /// Average µSIMD lanes per vector/MMX memory instruction (Table 1,
+    /// first dimension).
+    pub fn avg_dim1(&self) -> f64 {
+        ratio(self.dim1_lanes_sum, self.dim1_count)
+    }
+
+    /// Average VL per vector memory instruction (Table 1, second
+    /// dimension).
+    pub fn avg_dim2(&self) -> f64 {
+        ratio(self.dim2_vl_sum, self.dim2_count)
+    }
+
+    /// Average 2D streams served per 3D load (Table 1, third dimension),
+    /// `None` when the trace has no 3D loads.
+    pub fn avg_dim3(&self) -> Option<f64> {
+        (self.dim3_count > 0).then(|| ratio(self.dim3_vl_sum, self.dim3_count))
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instrs (scalar {}, usimd {}, vcompute {}, mem {}+{}2D+{}3D, 3dvmov {})",
+            self.total,
+            self.scalar,
+            self.usimd,
+            self.vcompute,
+            self.mem_scalar,
+            self.mem_2d,
+            self.mem_3d,
+            self.mov_3d
+        )
+    }
+}
+
+/// Code-generation builder for instruction traces.
+///
+/// Tracks the architectural `VL`/`VS` values so vector instructions
+/// capture them, and emits the `setvl`/`setvs` instructions that a real
+/// compiler would schedule. All memory addresses are resolved trace-time
+/// values; the register carrying the address is still named so that the
+/// timing simulator sees the address-generation dependence.
+///
+/// ```
+/// use mom3d_isa::{TraceBuilder, Gpr, MomReg};
+/// let mut tb = TraceBuilder::new();
+/// tb.set_vl(4);
+/// tb.set_vs(64);
+/// let b = tb.li(Gpr::new(2), 0x1000);
+/// tb.vload(MomReg::new(0), b, 0x1000);
+/// assert_eq!(tb.finish().stats().mem_2d, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    trace: Trace,
+    vl: u8,
+    vs: i64,
+}
+
+impl TraceBuilder {
+    /// New builder with `VL = 16`, `VS = 8` (dense pattern).
+    pub fn new() -> Self {
+        TraceBuilder { trace: Trace::new(), vl: arch::VL_MAX, vs: 8 }
+    }
+
+    /// Consumes the builder and returns the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+
+    /// Current vector length.
+    pub fn vl(&self) -> u8 {
+        self.vl
+    }
+
+    /// Current vector stride in bytes.
+    pub fn vs(&self) -> i64 {
+        self.vs
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// True when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, instr: Instruction) {
+        self.trace.push(instr);
+    }
+
+    // ---- scalar helpers -------------------------------------------------
+
+    /// `mov dst, #imm` — load immediate; returns `dst` for chaining.
+    pub fn li(&mut self, dst: Gpr, imm: i64) -> Gpr {
+        self.push(Instruction::op(Opcode::IntAlu(IntOp::Mov), &[dst.into()], &[]).with_imm(imm));
+        dst
+    }
+
+    /// Three-register scalar ALU op.
+    pub fn alu(&mut self, op: IntOp, dst: Gpr, a: Gpr, b: Gpr) -> Gpr {
+        self.push(Instruction::op(Opcode::IntAlu(op), &[dst.into()], &[a.into(), b.into()]));
+        dst
+    }
+
+    /// Register–immediate scalar ALU op.
+    pub fn alui(&mut self, op: IntOp, dst: Gpr, a: Gpr, imm: i64) -> Gpr {
+        self.push(Instruction::op(Opcode::IntAlu(op), &[dst.into()], &[a.into()]).with_imm(imm));
+        dst
+    }
+
+    /// Conditional branch on `cond` with the resolved direction `taken`.
+    pub fn branch(&mut self, cond: Gpr, taken: bool) {
+        let mut i = Instruction::op(Opcode::Branch, &[], &[cond.into()]);
+        i.taken = taken;
+        self.push(i);
+    }
+
+    /// Scalar load of `bytes` bytes at `addr` into `dst`; `addr_reg`
+    /// carries the address dependence.
+    pub fn load_scalar(&mut self, dst: Gpr, addr_reg: Gpr, addr: u64, bytes: u8) -> Gpr {
+        self.push(
+            Instruction::op(Opcode::LoadScalar, &[dst.into()], &[addr_reg.into()])
+                .with_mem(MemAccess::scalar(addr, bytes)),
+        );
+        dst
+    }
+
+    /// Scalar store of `bytes` bytes of `src` at `addr`.
+    pub fn store_scalar(&mut self, src: Gpr, addr_reg: Gpr, addr: u64, bytes: u8) {
+        self.push(
+            Instruction::op(Opcode::StoreScalar, &[], &[src.into(), addr_reg.into()])
+                .with_mem(MemAccess::scalar(addr, bytes)),
+        );
+    }
+
+    // ---- µSIMD (MMX) helpers --------------------------------------------
+
+    /// MMX 64-bit load.
+    pub fn movq_load(&mut self, dst: MmxReg, addr_reg: Gpr, addr: u64, width: Width) -> MmxReg {
+        self.push(
+            Instruction::op(Opcode::LoadMmx, &[dst.into()], &[addr_reg.into()])
+                .with_mem(MemAccess::unit64(addr))
+                .with_width(width),
+        );
+        dst
+    }
+
+    /// MMX 64-bit store.
+    pub fn movq_store(&mut self, src: MmxReg, addr_reg: Gpr, addr: u64) {
+        self.push(
+            Instruction::op(Opcode::StoreMmx, &[], &[src.into(), addr_reg.into()])
+                .with_mem(MemAccess::unit64(addr)),
+        );
+    }
+
+    /// Two-source µSIMD op.
+    pub fn usimd2(&mut self, op: UsimdOp, dst: MmxReg, a: MmxReg, b: MmxReg) -> MmxReg {
+        let w = usimd_width(op);
+        self.push(
+            Instruction::op(Opcode::Usimd(op), &[dst.into()], &[a.into(), b.into()]).with_width(w),
+        );
+        dst
+    }
+
+    /// One-source-plus-immediate µSIMD op (shifts).
+    pub fn usimd2i(&mut self, op: UsimdOp, dst: MmxReg, a: MmxReg, imm: i64) -> MmxReg {
+        let w = usimd_width(op);
+        self.push(
+            Instruction::op(Opcode::Usimd(op), &[dst.into()], &[a.into()])
+                .with_imm(imm)
+                .with_width(w),
+        );
+        dst
+    }
+
+    /// Move a µSIMD register into a scalar register (e.g. SAD result).
+    pub fn mmx_to_gpr(&mut self, dst: Gpr, src: MmxReg) -> Gpr {
+        self.push(Instruction::op(Opcode::IntAlu(IntOp::Mov), &[dst.into()], &[src.into()]));
+        dst
+    }
+
+    // ---- MOM vector helpers ----------------------------------------------
+
+    /// Emits `setvl` and records the new vector length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl` is zero or exceeds [`arch::VL_MAX`].
+    pub fn set_vl(&mut self, vl: u8) {
+        assert!(vl >= 1 && vl <= arch::VL_MAX, "VL must be in 1..={}", arch::VL_MAX);
+        if vl == self.vl && !self.trace.is_empty() {
+            return; // compilers hoist redundant setvl
+        }
+        self.vl = vl;
+        self.push(Instruction::op(Opcode::SetVl, &[Reg::Vl], &[]).with_imm(vl as i64));
+    }
+
+    /// Emits `setvs` and records the new vector stride (bytes).
+    pub fn set_vs(&mut self, vs: i64) {
+        if vs == self.vs && !self.trace.is_empty() {
+            return;
+        }
+        self.vs = vs;
+        self.push(Instruction::op(Opcode::SetVs, &[Reg::Vs], &[]).with_imm(vs));
+    }
+
+    /// MOM 2D vector load of `vl()` elements at the current stride.
+    pub fn vload(&mut self, dst: MomReg, addr_reg: Gpr, addr: u64) -> MomReg {
+        self.vload_w(dst, addr_reg, addr, Width::B8)
+    }
+
+    /// MOM 2D vector load, annotating the consumed lane width.
+    pub fn vload_w(&mut self, dst: MomReg, addr_reg: Gpr, addr: u64, width: Width) -> MomReg {
+        self.push(
+            Instruction::op(Opcode::VLoad, &[dst.into()], &[addr_reg.into(), Reg::Vl, Reg::Vs])
+                .with_mem(MemAccess::strided2d(addr, self.vs, self.vl))
+                .with_vl(self.vl)
+                .with_width(width),
+        );
+        dst
+    }
+
+    /// MOM 2D vector store.
+    pub fn vstore(&mut self, src: MomReg, addr_reg: Gpr, addr: u64) {
+        self.vstore_w(src, addr_reg, addr, Width::B8)
+    }
+
+    /// MOM 2D vector store, annotating the lane width.
+    pub fn vstore_w(&mut self, src: MomReg, addr_reg: Gpr, addr: u64, width: Width) {
+        self.push(
+            Instruction::op(
+                Opcode::VStore,
+                &[],
+                &[src.into(), addr_reg.into(), Reg::Vl, Reg::Vs],
+            )
+            .with_mem(MemAccess::strided2d(addr, self.vs, self.vl))
+            .with_vl(self.vl)
+            .with_width(width),
+        );
+    }
+
+    /// Two-source MOM vector compute.
+    pub fn vop2(&mut self, op: UsimdOp, dst: MomReg, a: MomReg, b: MomReg) -> MomReg {
+        let w = usimd_width(op);
+        self.push(
+            Instruction::op(Opcode::VCompute(op), &[dst.into()], &[a.into(), b.into(), Reg::Vl])
+                .with_vl(self.vl)
+                .with_width(w),
+        );
+        dst
+    }
+
+    /// One-source-plus-immediate MOM vector compute (shifts).
+    pub fn vop2i(&mut self, op: UsimdOp, dst: MomReg, a: MomReg, imm: i64) -> MomReg {
+        let w = usimd_width(op);
+        self.push(
+            Instruction::op(Opcode::VCompute(op), &[dst.into()], &[a.into(), Reg::Vl])
+                .with_imm(imm)
+                .with_vl(self.vl)
+                .with_width(w),
+        );
+        dst
+    }
+
+    /// Vector reduction of `a` (and `b` for two-source reductions like
+    /// SAD) into accumulator `acc`.
+    pub fn vreduce(&mut self, op: ReduceOp, acc: AccReg, a: MomReg, b: Option<MomReg>) {
+        let mut srcs = vec![Reg::Mom(a)];
+        if let Some(b) = b {
+            srcs.push(Reg::Mom(b));
+        }
+        srcs.push(Reg::Acc(acc));
+        srcs.push(Reg::Vl);
+        let w = match op {
+            ReduceOp::SadAccumU8 => Width::B8,
+            ReduceOp::SumU(w) | ReduceOp::SumS(w) => w,
+            ReduceOp::DotS16 => Width::H16,
+        };
+        self.push(
+            Instruction::op(Opcode::VReduce(op), &[Reg::Acc(acc)], &[])
+                .with_vl(self.vl)
+                .with_width(w)
+                .with_srcs(srcs),
+        );
+    }
+
+    /// Clears an accumulator (modeled as a reduce with VL captured 1).
+    pub fn clear_acc(&mut self, acc: AccReg) {
+        self.push(
+            Instruction::op(Opcode::IntAlu(IntOp::Mov), &[Reg::Acc(acc)], &[]).with_imm(0),
+        );
+    }
+
+    /// Reads the low 64 bits of `acc` into `dst`.
+    pub fn rdacc(&mut self, dst: Gpr, acc: AccReg) -> Gpr {
+        self.push(Instruction::op(Opcode::ReadAcc, &[dst.into()], &[Reg::Acc(acc)]));
+        dst
+    }
+
+    // ---- 3D extension helpers ---------------------------------------------
+
+    /// `3dvload dreg ← (addr), stride, W=wwords, b=from_end`.
+    ///
+    /// Loads `vl()` blocks of `wwords × 64` bits into the 3D register and
+    /// initializes its pointer register to the beginning (or end, when
+    /// `from_end`) of the loaded data.
+    pub fn dvload(
+        &mut self,
+        dst: DReg,
+        addr_reg: Gpr,
+        addr: u64,
+        stride: i64,
+        wwords: u8,
+        from_end: bool,
+    ) -> DReg {
+        self.push(
+            Instruction::op(
+                Opcode::DvLoad,
+                &[dst.into(), Reg::P(dst.pointer())],
+                &[addr_reg.into(), Reg::Vl],
+            )
+            .with_mem(MemAccess::strided3d(addr, stride, self.vl, wwords))
+            .with_vl(self.vl)
+            .with_imm(from_end as i64),
+        );
+        dst
+    }
+
+    /// `3dvmov mom ← dreg, Ps=pstride`.
+    ///
+    /// Moves `vl()` byte-aligned 64-bit slices (one per 3D element,
+    /// starting at the pointer offset) into `dst`, then adds `pstride`
+    /// to the pointer register (renaming it).
+    pub fn dvmov(&mut self, dst: MomReg, src: DReg, pstride: i16) -> MomReg {
+        self.dvmov_w(dst, src, pstride, Width::B8)
+    }
+
+    /// `3dvmov` with explicit lane-width annotation.
+    pub fn dvmov_w(&mut self, dst: MomReg, src: DReg, pstride: i16, width: Width) -> MomReg {
+        let p = Reg::P(src.pointer());
+        self.push(
+            Instruction::op(Opcode::DvMov, &[dst.into(), p], &[src.into(), p, Reg::Vl])
+                .with_vl(self.vl)
+                .with_imm(pstride as i64)
+                .with_width(width),
+        );
+        dst
+    }
+}
+
+impl Instruction {
+    fn with_srcs(mut self, srcs: Vec<Reg>) -> Self {
+        self.srcs = srcs.into_iter().collect();
+        self
+    }
+}
+
+fn usimd_width(op: UsimdOp) -> Width {
+    match op {
+        UsimdOp::AddWrap(w)
+        | UsimdOp::SubWrap(w)
+        | UsimdOp::AddSatU(w)
+        | UsimdOp::SubSatU(w)
+        | UsimdOp::AddSatS(w)
+        | UsimdOp::SubSatS(w)
+        | UsimdOp::MinU(w)
+        | UsimdOp::MaxU(w)
+        | UsimdOp::MinS(w)
+        | UsimdOp::MaxS(w)
+        | UsimdOp::AbsDiffU(w)
+        | UsimdOp::AvgU(w)
+        | UsimdOp::MulLow(w)
+        | UsimdOp::Shl(w)
+        | UsimdOp::ShrL(w)
+        | UsimdOp::ShrA(w)
+        | UsimdOp::CmpEq(w)
+        | UsimdOp::CmpGtS(w)
+        | UsimdOp::UnpackLo(w)
+        | UsimdOp::UnpackHi(w) => w,
+        UsimdOp::SadU8 | UsimdOp::PackUs16To8 | UsimdOp::PackSs16To8 => Width::B8,
+        UsimdOp::MulHighS16 | UsimdOp::MaddS16 | UsimdOp::PackSs32To16 => Width::H16,
+        UsimdOp::And | UsimdOp::Or | UsimdOp::Xor | UsimdOp::AndNot => Width::D64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_vl_vs() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        assert_eq!(tb.vl(), 8);
+        assert_eq!(tb.vs(), 640);
+        let b = tb.li(Gpr::new(1), 0x1000);
+        tb.vload(MomReg::new(0), b, 0x1000);
+        let t = tb.finish();
+        let v = t.instrs().last().unwrap();
+        assert_eq!(v.vl, 8);
+        assert_eq!(v.mem.unwrap().stride, 640);
+    }
+
+    #[test]
+    fn redundant_setvl_is_elided() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        let n = tb.len();
+        tb.set_vl(8);
+        assert_eq!(tb.len(), n);
+        tb.set_vl(4);
+        assert_eq!(tb.len(), n + 1);
+    }
+
+    #[test]
+    fn dvload_writes_register_and_pointer() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(16);
+        let b = tb.li(Gpr::new(1), 0x2000);
+        tb.dvload(DReg::new(0), b, 0x2000, 640, 16, false);
+        let t = tb.finish();
+        let i = t.instrs().last().unwrap();
+        assert_eq!(i.opcode, Opcode::DvLoad);
+        let dsts: Vec<Reg> = i.dsts.iter().collect();
+        assert!(dsts.contains(&Reg::D(DReg::new(0))));
+        assert!(dsts.contains(&Reg::P(DReg::new(0).pointer())));
+        assert_eq!(i.mem.unwrap().elem_bytes, 128);
+    }
+
+    #[test]
+    fn dvmov_reads_and_renames_pointer() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.dvmov(MomReg::new(2), DReg::new(1), 8);
+        let t = tb.finish();
+        let i = t.instrs().last().unwrap();
+        let p = Reg::P(DReg::new(1).pointer());
+        assert!(i.dsts.iter().any(|r| r == p));
+        assert!(i.srcs.iter().any(|r| r == p));
+        assert_eq!(i.imm, 8);
+    }
+
+    #[test]
+    fn stats_capture_table1_dimensions() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.set_vs(640);
+        let b = tb.li(Gpr::new(1), 0x1000);
+        tb.vload_w(MomReg::new(0), b, 0x1000, Width::B8); // 8 lanes
+        tb.vload_w(MomReg::new(1), b, 0x2000, Width::H16); // 4 lanes
+        // First 3D load serves 3 slices, second serves 1.
+        tb.dvload(DReg::new(0), b, 0x3000, 1, 16, false);
+        tb.dvmov(MomReg::new(2), DReg::new(0), 1);
+        tb.dvmov(MomReg::new(3), DReg::new(0), 1);
+        tb.dvmov(MomReg::new(4), DReg::new(0), 1);
+        tb.dvload(DReg::new(0), b, 0x4000, 1, 16, false);
+        tb.dvmov(MomReg::new(5), DReg::new(0), 1);
+        let s = tb.finish().stats();
+        assert_eq!(s.mem_2d, 2);
+        assert_eq!(s.mem_3d, 2);
+        // Two 2D loads (8 + 4 lanes) plus four B8 dvmovs (8 lanes each).
+        assert!((s.avg_dim1() - 44.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.avg_dim2(), 8.0); // all four vector memory ops VL=8
+        assert_eq!(s.avg_dim3(), Some(2.0)); // (3 + 1) / 2 slices per load
+        assert_eq!(s.dim3_vl_max, 3);
+        assert_eq!(s.mov_3d, 4);
+    }
+
+    #[test]
+    fn stats_no_3d_is_none() {
+        let mut tb = TraceBuilder::new();
+        let b = tb.li(Gpr::new(0), 0);
+        tb.vload(MomReg::new(0), b, 0);
+        assert_eq!(tb.finish().stats().avg_dim3(), None);
+    }
+
+    #[test]
+    fn instruction_mix_counts() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.li(Gpr::new(0), 1);
+        let b = tb.li(Gpr::new(1), 2);
+        tb.alu(IntOp::Add, Gpr::new(2), a, b);
+        tb.branch(Gpr::new(2), true);
+        tb.movq_load(MmxReg::new(0), a, 0x100, Width::B8);
+        tb.usimd2(UsimdOp::AddWrap(Width::B8), MmxReg::new(1), MmxReg::new(0), MmxReg::new(0));
+        let s = tb.finish().stats();
+        assert_eq!(s.scalar, 4);
+        assert_eq!(s.mem_scalar, 1);
+        assert_eq!(s.usimd, 1);
+        assert_eq!(s.total, 6);
+    }
+
+    #[test]
+    fn vreduce_reads_accumulator_and_sources() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        tb.vreduce(ReduceOp::SadAccumU8, AccReg::new(0), MomReg::new(0), Some(MomReg::new(1)));
+        let t = tb.finish();
+        let i = t.instrs().last().unwrap();
+        assert_eq!(i.dsts.iter().next(), Some(Reg::Acc(AccReg::new(0))));
+        let srcs: Vec<Reg> = i.srcs.iter().collect();
+        assert!(srcs.contains(&Reg::Mom(MomReg::new(0))));
+        assert!(srcs.contains(&Reg::Mom(MomReg::new(1))));
+        assert!(srcs.contains(&Reg::Acc(AccReg::new(0))));
+    }
+
+    #[test]
+    fn packed_ops_accumulate() {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(16);
+        tb.vop2(UsimdOp::AddWrap(Width::B8), MomReg::new(0), MomReg::new(1), MomReg::new(2));
+        let s = tb.finish().stats();
+        // setvl (1) + vector op (16 elements x 8 lanes).
+        assert_eq!(s.packed_ops, 1 + 128);
+    }
+}

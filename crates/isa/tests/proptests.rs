@@ -1,0 +1,92 @@
+//! Property-based tests of the ISA layer: memory descriptors, operand
+//! lists, and trace statistics.
+
+use mom3d_isa::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Block addresses follow the arithmetic progression and the
+    /// envelope bounds every block.
+    #[test]
+    fn mem_access_geometry(
+        base in 0x1000u64..0x100_0000,
+        stride in -4096i64..4096,
+        vl in 1u8..=16,
+    ) {
+        let m = MemAccess::strided2d(base, stride, vl);
+        let (lo, hi) = m.envelope();
+        for (i, (addr, len)) in m.blocks().enumerate() {
+            prop_assert_eq!(addr, (base as i64 + stride * i as i64) as u64);
+            prop_assert!(addr >= lo && addr + len as u64 <= hi);
+        }
+        prop_assert_eq!(m.total_bytes(), vl as u64 * 8);
+        // Envelope is tight: both ends touched.
+        prop_assert!(m.blocks().any(|(a, _)| a == lo));
+        prop_assert!(m.blocks().any(|(a, l)| a + l as u64 == hi));
+    }
+
+    /// Overlap is symmetric and detects shared bytes exactly for scalar
+    /// pairs.
+    #[test]
+    fn overlap_exactness(a in 0u64..512, b in 0u64..512, la in 1u8..=8, lb in 1u8..=8) {
+        let x = MemAccess::scalar(a, la);
+        let y = MemAccess::scalar(b, lb);
+        let really = a < b + lb as u64 && b < a + la as u64;
+        prop_assert_eq!(x.may_overlap(&y), really);
+        prop_assert_eq!(x.may_overlap(&y), y.may_overlap(&x));
+    }
+
+    /// RegList preserves order and never exceeds capacity.
+    #[test]
+    fn reglist_order(indices in proptest::collection::vec(0u8..32, 0..4)) {
+        let regs: Vec<Reg> = indices.iter().map(|&i| Reg::Gpr(Gpr::new(i))).collect();
+        let list = RegList::from_slice(&regs);
+        prop_assert_eq!(list.len(), regs.len());
+        let back: Vec<Reg> = list.iter().collect();
+        prop_assert_eq!(back, regs);
+    }
+
+    /// Trace statistics tally exactly with a straightforward recount.
+    #[test]
+    fn stats_agree_with_recount(
+        n_scalar in 0usize..30,
+        n_vload in 0usize..30,
+        vl in 1u8..=16,
+    ) {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(vl);
+        tb.set_vs(640);
+        let b = tb.li(Gpr::new(1), 0x1000);
+        for i in 0..n_scalar {
+            tb.alui(IntOp::Add, Gpr::new((2 + i % 8) as u8), b, i as i64);
+        }
+        for k in 0..n_vload {
+            tb.vload(MomReg::new((k % 16) as u8), b, 0x1000 + k as u64);
+        }
+        let trace = tb.finish();
+        let s = trace.stats();
+        prop_assert_eq!(s.total as usize, trace.len());
+        prop_assert_eq!(s.mem_2d as usize, n_vload);
+        if n_vload > 0 {
+            prop_assert!((s.avg_dim2() - vl as f64).abs() < 1e-9);
+        }
+        let recount = trace.iter().filter(|i| i.opcode.is_mem()).count();
+        prop_assert_eq!(recount, n_vload);
+    }
+
+    /// Display never panics and always names the opcode.
+    #[test]
+    fn display_total(vl in 1u8..=16, stride in -1000i64..1000) {
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(vl);
+        tb.set_vs(stride);
+        let b = tb.li(Gpr::new(0), 0);
+        tb.vload(MomReg::new(3), b, 0x2000);
+        tb.dvload(DReg::new(1), b, 0x3000, stride, 16, true);
+        tb.dvmov(MomReg::new(4), DReg::new(1), -3);
+        for i in tb.finish().iter() {
+            let s = i.to_string();
+            prop_assert!(!s.is_empty());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic synthetic media data.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A grayscale frame (row-major, one byte per pixel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// Generates a deterministic frame: smooth gradients plus bounded
+    /// noise, so motion search has structure to lock onto but blocks are
+    /// not trivially identical.
+    pub fn synthetic(width: usize, height: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                let base = ((x * 5) ^ (y * 3)) as u32 % 200;
+                let noise: u32 = rng.gen_range(0..40);
+                pixels.push((base + noise).min(255) as u8);
+            }
+        }
+        Frame { width, height, pixels }
+    }
+
+    /// A frame whose content is `self` shifted left by `dx` pixels with
+    /// added noise — the "next video frame" for motion estimation. Pixels
+    /// shifted in from beyond the right edge wrap.
+    pub fn shifted(&self, dx: usize, noise_seed: u64) -> Frame {
+        let mut rng = SmallRng::seed_from_u64(noise_seed);
+        let mut pixels = Vec::with_capacity(self.pixels.len());
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let sx = (x + dx) % self.width;
+                let p = self.pixel(sx, y) as i32 + rng.gen_range(-3..=3);
+                pixels.push(p.clamp(0, 255) as u8);
+            }
+        }
+        Frame { width: self.width, height: self.height, pixels }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Raw row-major bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.pixels
+    }
+}
+
+/// A 16-bit PCM audio buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AudioBuf {
+    samples: Vec<i16>,
+}
+
+impl AudioBuf {
+    /// Generates deterministic pseudo-speech: a couple of sinusoid-ish
+    /// components (integer-approximated) plus noise, bounded to ±`amp`.
+    ///
+    /// Keeping samples within ±4096 guarantees 40-sample correlations
+    /// fit in an `i32` — the same headroom real GSM relies on.
+    pub fn synthetic(len: usize, amp: i16, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut samples = Vec::with_capacity(len);
+        let mut phase: i64 = 0;
+        for i in 0..len {
+            phase += 37 + (i as i64 % 11);
+            // Triangle-ish waves at two periods + noise.
+            let t1 = (phase % 200 - 100).abs() - 50;
+            let t2 = ((phase / 3) % 140 - 70).abs() - 35;
+            let noise = rng.gen_range(-64..=64);
+            let v = (t1 * 24 + t2 * 18 + noise).clamp(-(amp as i64), amp as i64);
+            samples.push(v as i16);
+        }
+        AudioBuf { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample at `i`.
+    pub fn sample(&self, i: usize) -> i16 {
+        self.samples[i]
+    }
+
+    /// Little-endian byte serialization.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        self.samples.iter().flat_map(|s| s.to_le_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_deterministic() {
+        let a = Frame::synthetic(64, 16, 7);
+        let b = Frame::synthetic(64, 16, 7);
+        assert_eq!(a, b);
+        let c = Frame::synthetic(64, 16, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shifted_frame_correlates_at_shift() {
+        let f = Frame::synthetic(128, 8, 1);
+        let g = f.shifted(5, 2);
+        // SAD at the true shift must beat SAD at a wrong shift.
+        let sad = |dx: usize| -> u32 {
+            let mut s = 0u32;
+            for y in 0..8 {
+                for x in 0..32 {
+                    s += (f.pixel(x + dx, y) as i32 - g.pixel(x, y) as i32).unsigned_abs();
+                }
+            }
+            s
+        };
+        assert!(sad(5) < sad(0));
+        assert!(sad(5) < sad(9));
+    }
+
+    #[test]
+    fn audio_is_bounded_and_deterministic() {
+        let a = AudioBuf::synthetic(1000, 4096, 3);
+        assert_eq!(a.len(), 1000);
+        assert!(a.samples.iter().all(|&s| (-4096..=4096).contains(&s)));
+        assert_eq!(a, AudioBuf::synthetic(1000, 4096, 3));
+        // Not silent.
+        assert!(a.samples.iter().any(|&s| s.abs() > 100));
+    }
+
+    #[test]
+    fn audio_bytes_roundtrip() {
+        let a = AudioBuf::synthetic(4, 4096, 1);
+        let b = a.to_le_bytes();
+        assert_eq!(b.len(), 8);
+        assert_eq!(i16::from_le_bytes([b[0], b[1]]), a.sample(0));
+    }
+}

@@ -1,0 +1,205 @@
+//! `jpeg decode` — upsampling + color reconstruction over wide
+//! consecutive rows.
+//!
+//! The decode side of JPEG walks whole image rows: dense, unit-stride
+//! byte streams that already exploit the vector cache's wide port at
+//! full rate. The paper found **no suitable 3D memory patterns** here —
+//! the next row chunk sits 128 bytes away, outside the 3D element span —
+//! so the `Mom3d` variant is identical to `Mom` (and the vectorizer pass
+//! declines the trace too; see the crate's integration tests).
+
+use crate::data::Frame;
+use crate::layout::Arena;
+use crate::workload::{IsaVariant, RegionCheck, Workload, WorkloadKind};
+use mom3d_isa::{Gpr, IntOp, MmxReg, MomReg, TraceBuilder, UsimdOp, Width};
+
+/// Bytes processed per vector iteration (one full MOM register).
+const CHUNK: usize = 128;
+/// Chroma bias added after blending.
+const BIAS: u8 = 16;
+
+/// Parameters of the JPEG-decode workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JpegDecodeParams {
+    /// Image width in pixels (must be a multiple of 128).
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Data-generator seed.
+    pub seed: u64,
+}
+
+impl Default for JpegDecodeParams {
+    fn default() -> Self {
+        JpegDecodeParams { width: 512, height: 96, seed: 3 }
+    }
+}
+
+impl JpegDecodeParams {
+    /// Default geometry with a specific data seed.
+    pub fn with_seed(seed: u64) -> Self {
+        JpegDecodeParams { seed, ..Default::default() }
+    }
+
+    /// Reduced geometry for fast (debug-build) test runs.
+    pub fn small_with_seed(seed: u64) -> Self {
+        JpegDecodeParams { width: 128, height: 16, seed }
+    }
+}
+
+/// Scalar reference: `out = sat_u8(avg_round(y, c) + BIAS)` per pixel.
+fn reference(y: &Frame, c: &Frame) -> Vec<u8> {
+    y.bytes()
+        .iter()
+        .zip(c.bytes().iter())
+        .map(|(&yp, &cp)| {
+            let avg = (yp as u16 + cp as u16 + 1) >> 1;
+            (avg + BIAS as u16).min(255) as u8
+        })
+        .collect()
+}
+
+const R_Y: Gpr = Gpr::new(1);
+const R_C: Gpr = Gpr::new(2);
+const R_O: Gpr = Gpr::new(3);
+const R_B: Gpr = Gpr::new(4);
+const R_T: Gpr = Gpr::new(5);
+
+/// Builds the workload for one ISA variant.
+pub(crate) fn build(params: &JpegDecodeParams, variant: IsaVariant) -> Workload {
+    assert!(params.width % CHUNK == 0, "width must be a multiple of 128");
+    let yf = Frame::synthetic(params.width, params.height, params.seed);
+    let cf = Frame::synthetic(params.width, params.height, params.seed + 1);
+
+    let mut arena = Arena::new();
+    let y_addr = arena.place(yf.bytes());
+    let c_addr = arena.place(cf.bytes());
+    let bias_addr = arena.place(&[BIAS; CHUNK]);
+    let out_addr = arena.reserve((params.width * params.height) as u64);
+    let expected = reference(&yf, &cf);
+
+    let mut tb = TraceBuilder::new();
+    match variant {
+        // The paper leaves jpeg decode without 3D instructions; both MOM
+        // variants emit the same code.
+        IsaVariant::Mom | IsaVariant::Mom3d => {
+            tb.set_vl(16);
+            tb.set_vs(8);
+            // Bias vector stays register-resident.
+            tb.li(R_B, bias_addr as i64);
+            tb.vload(MomReg::new(2), R_B, bias_addr);
+            for off in (0..params.width * params.height).step_by(CHUNK) {
+                let off = off as u64;
+                tb.li(R_Y, (y_addr + off) as i64);
+                tb.vload(MomReg::new(0), R_Y, y_addr + off);
+                tb.li(R_C, (c_addr + off) as i64);
+                tb.vload(MomReg::new(1), R_C, c_addr + off);
+                tb.vop2(UsimdOp::AvgU(Width::B8), MomReg::new(3), MomReg::new(0), MomReg::new(1));
+                tb.vop2(
+                    UsimdOp::AddSatU(Width::B8),
+                    MomReg::new(4),
+                    MomReg::new(3),
+                    MomReg::new(2),
+                );
+                tb.li(R_O, (out_addr + off) as i64);
+                tb.vstore(MomReg::new(4), R_O, out_addr + off);
+            }
+        }
+        IsaVariant::Mmx => {
+            // Bias word stays register-resident in mm8.
+            tb.li(R_B, bias_addr as i64);
+            tb.movq_load(MmxReg::new(8), R_B, bias_addr, Width::B8);
+            for off in (0..params.width * params.height).step_by(CHUNK) {
+                let off = off as u64;
+                tb.li(R_Y, (y_addr + off) as i64);
+                tb.li(R_C, (c_addr + off) as i64);
+                tb.li(R_O, (out_addr + off) as i64);
+                for w in 0..CHUNK / 8 {
+                    let wo = w as u64 * 8;
+                    tb.alui(IntOp::Add, R_T, R_Y, wo as i64);
+                    tb.movq_load(MmxReg::new(0), R_T, y_addr + off + wo, Width::B8);
+                    tb.alui(IntOp::Add, R_T, R_C, wo as i64);
+                    tb.movq_load(MmxReg::new(1), R_T, c_addr + off + wo, Width::B8);
+                    tb.usimd2(
+                        UsimdOp::AvgU(Width::B8),
+                        MmxReg::new(2),
+                        MmxReg::new(0),
+                        MmxReg::new(1),
+                    );
+                    tb.usimd2(
+                        UsimdOp::AddSatU(Width::B8),
+                        MmxReg::new(3),
+                        MmxReg::new(2),
+                        MmxReg::new(8),
+                    );
+                    tb.alui(IntOp::Add, R_T, R_O, wo as i64);
+                    tb.movq_store(MmxReg::new(3), R_T, out_addr + off + wo);
+                }
+            }
+        }
+    }
+
+    Workload::from_parts(
+        WorkloadKind::JpegDecode,
+        variant,
+        tb.finish(),
+        arena.into_memory(),
+        vec![RegionCheck { what: "reconstructed pixels", addr: out_addr, expected }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> JpegDecodeParams {
+        JpegDecodeParams { width: 128, height: 8, seed: 21 }
+    }
+
+    #[test]
+    fn all_variants_verify() {
+        for v in IsaVariant::ALL {
+            build(&tiny(), v).verify().unwrap_or_else(|e| panic!("{v} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn mom3d_is_identical_to_mom() {
+        // The paper: "only jpeg decode did not have suitable
+        // 3-dimensional memory patterns".
+        let a = build(&tiny(), IsaVariant::Mom);
+        let b = build(&tiny(), IsaVariant::Mom3d);
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(b.trace().stats().mem_3d, 0);
+    }
+
+    #[test]
+    fn streams_are_unit_stride() {
+        let wl = build(&tiny(), IsaVariant::Mom);
+        for i in wl.trace().iter() {
+            if let Some(m) = &i.mem {
+                if i.opcode.is_vector() {
+                    assert_eq!(m.stride, 8, "dense rows only");
+                }
+            }
+        }
+        // High second-dimension length, like the paper's 15.9.
+        assert!((wl.trace().stats().avg_dim2() - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reference_is_shifted_average() {
+        let p = tiny();
+        let y = Frame::synthetic(p.width, p.height, p.seed);
+        let c = Frame::synthetic(p.width, p.height, p.seed + 1);
+        let out = reference(&y, &c);
+        assert_eq!(out.len(), p.width * p.height);
+        // Every output is avg + bias (saturating), so it is at least as
+        // bright as the bias and at least as bright as min(y,c)/2.
+        for (i, &o) in out.iter().enumerate() {
+            assert!(o >= BIAS, "pixel {i} below bias");
+            let lo = (y.bytes()[i].min(c.bytes()[i]) / 2).saturating_add(BIAS);
+            assert!(o >= lo);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Address-space layout helper for workload memory images.
+
+use mom3d_mem::MainMemory;
+
+/// A bump allocator over the simulated address space.
+///
+/// Workloads place their arrays (frames, residuals, output buffers) at
+/// aligned addresses and write the initial data into a [`MainMemory`]
+/// image that both the emulator and the trace generators share.
+#[derive(Debug)]
+pub struct Arena {
+    next: u64,
+    memory: MainMemory,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// Base address of the first allocation (keeps workloads away from
+    /// the null page).
+    pub const BASE: u64 = 0x10_0000;
+
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena { next: Self::BASE, memory: MainMemory::new() }
+    }
+
+    /// Reserves `len` bytes aligned to `align` and returns the base
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, len: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + len;
+        base
+    }
+
+    /// Reserves space for `bytes` (128-byte aligned, matching an L2
+    /// line), writes them, and returns the base address.
+    pub fn place(&mut self, bytes: &[u8]) -> u64 {
+        let base = self.alloc(bytes.len() as u64, 128);
+        self.memory.write_bytes(base, bytes);
+        base
+    }
+
+    /// Reserves a zeroed output region.
+    pub fn reserve(&mut self, len: u64) -> u64 {
+        self.alloc(len, 128)
+    }
+
+    /// Consumes the arena, returning the initial memory image.
+    pub fn into_memory(self) -> MainMemory {
+        self.memory
+    }
+
+    /// Total bytes spanned so far.
+    pub fn used(&self) -> u64 {
+        self.next - Self::BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut a = Arena::new();
+        let x = a.alloc(100, 64);
+        let y = a.alloc(10, 64);
+        assert_eq!(x % 64, 0);
+        assert_eq!(y % 64, 0);
+        assert!(y >= x + 100);
+    }
+
+    #[test]
+    fn place_writes_data() {
+        let mut a = Arena::new();
+        let addr = a.place(&[1, 2, 3, 4]);
+        assert_eq!(addr % 128, 0);
+        let mem = a.into_memory();
+        assert_eq!(mem.read_bytes(addr, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        Arena::new().alloc(8, 3);
+    }
+
+    #[test]
+    fn used_tracks_footprint() {
+        let mut a = Arena::new();
+        assert_eq!(a.used(), 0);
+        a.alloc(1000, 128);
+        assert!(a.used() >= 1000);
+    }
+}

@@ -1,0 +1,55 @@
+//! # mom3d-kernels — the five Mediabench-equivalent media workloads
+//!
+//! The paper evaluates five rewritten Mediabench applications:
+//! `mpeg2 encode`, `mpeg2 decode`, `jpeg encode`, `jpeg decode` and
+//! `gsm encode`, each hand-vectorized for a 1D µSIMD ISA (MMX-like) and
+//! for MOM, with 3D memory instructions added to the MOM versions where
+//! the patterns allow. We do not have those binaries (nor ATOM, the
+//! Alpha-only tracer they used), so each workload is rebuilt natively:
+//!
+//! * a **scalar Rust reference** computes the expected outputs;
+//! * three **code generators** emit dynamic instruction traces in the
+//!   [`mom3d_isa`] IR — one per [`IsaVariant`] — over synthetic media
+//!   data;
+//! * [`Workload::verify`] executes the trace on the functional emulator
+//!   and demands bit-identical outputs to the reference.
+//!
+//! The kernels preserve the paper's memory-pattern taxonomy (the basis
+//! of every evaluation figure): motion-estimation candidate streams one
+//! byte apart (`mpeg2_encode`), half-pel interpolation pairs and row
+//! re-reads (`mpeg2_decode`), adjacent 8×8 blocks on the image x-axis
+//! (`jpeg_encode`), wide consecutive rows with *no* 3D patterns
+//! (`jpeg_decode`), and lag-shifted dense windows (`gsm_encode`).
+//! Arithmetic inside the blocks is representative rather than
+//! codec-conformant — the evaluation targets the memory system, and
+//! every variant is still checked bit-exactly against the same scalar
+//! reference.
+//!
+//! ```
+//! use mom3d_kernels::{Workload, WorkloadKind, IsaVariant};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let wl = Workload::build(WorkloadKind::GsmEncode, IsaVariant::Mom3d, 42)?;
+//! wl.verify()?; // emulate + compare against the scalar reference
+//! assert!(wl.trace().stats().mem_3d > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod data;
+mod gsm_encode;
+mod jpeg_decode;
+mod jpeg_encode;
+mod layout;
+mod mpeg2_decode;
+mod mpeg2_encode;
+mod workload;
+
+pub use data::{AudioBuf, Frame};
+pub use gsm_encode::GsmEncodeParams;
+pub use jpeg_decode::JpegDecodeParams;
+pub use jpeg_encode::JpegEncodeParams;
+pub use layout::Arena;
+pub use mpeg2_decode::Mpeg2DecodeParams;
+pub use mpeg2_encode::{build_shift_trick as mpeg2_encode_shift_trick, Mpeg2EncodeParams};
+pub use workload::{IsaVariant, RegionCheck, VerifyError, Workload, WorkloadKind};

@@ -1,0 +1,469 @@
+//! `mpeg2 encode` — full-search motion estimation (the paper's Figure 1
+//! running example).
+//!
+//! For every 8×8 block of the current frame, the kernel scans
+//! `candidates` positions along the reference frame's x-axis (the `k`
+//! loop of the paper's `fullsearch`), computing a sum of absolute
+//! differences per candidate and keeping the minimum. The `k` loop is
+//! not vectorizable (the min update carries a dependence) but its
+//! *memory accesses* are — candidate streams sit one byte apart, the
+//! canonical 3D pattern.
+
+use crate::data::Frame;
+use crate::layout::Arena;
+use crate::workload::{IsaVariant, RegionCheck, Workload, WorkloadKind};
+use mom3d_isa::{
+    AccReg, DReg, Gpr, IntOp, MmxReg, MomReg, ReduceOp, TraceBuilder, UsimdOp, Width,
+};
+
+/// Parameters of the motion-estimation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mpeg2EncodeParams {
+    /// Frame width in pixels (and bytes — grayscale).
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Search positions per block along the x-axis.
+    pub candidates: usize,
+    /// Horizontal shift applied to the synthetic current frame (the
+    /// "true" motion the search should find).
+    pub true_shift: usize,
+    /// Data-generator seed.
+    pub seed: u64,
+}
+
+/// Block edge in pixels (the paper's inner 8×8 SAD).
+const BLOCK: usize = 8;
+/// Max candidates served per `3dvload` (keeps the third dimension within
+/// Table 1's observed maximum of 16).
+const CHUNK: usize = 16;
+
+impl Default for Mpeg2EncodeParams {
+    fn default() -> Self {
+        // CIF-style width: 352 bytes = 44 words, so strided rows spread
+        // over the L2 banks the way Mediabench frames did (a width that
+        // is a multiple of 64 bytes would alias every row element onto
+        // one bank and unfairly cripple the multi-banked system).
+        Mpeg2EncodeParams { width: 352, height: 32, candidates: 32, true_shift: 5, seed: 1 }
+    }
+}
+
+impl Mpeg2EncodeParams {
+    /// Default geometry with a specific data seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Mpeg2EncodeParams { seed, ..Default::default() }
+    }
+
+    /// Reduced geometry for fast (debug-build) test runs.
+    pub fn small_with_seed(seed: u64) -> Self {
+        Mpeg2EncodeParams { width: 64, height: 16, candidates: 16, true_shift: 3, seed }
+    }
+
+    fn block_positions(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        let max_bx = self.width - BLOCK - self.candidates;
+        for by in (0..=self.height - BLOCK).step_by(BLOCK) {
+            for bx in (0..=max_bx).step_by(BLOCK) {
+                v.push((bx, by));
+            }
+        }
+        v
+    }
+}
+
+/// Scalar reference: per block, `(min SAD, argmin position)` with strict
+/// `<` (first minimum wins), exactly the paper's C code.
+fn reference(params: &Mpeg2EncodeParams, rf: &Frame, cf: &Frame) -> Vec<(u32, u32)> {
+    params
+        .block_positions()
+        .iter()
+        .map(|&(bx, by)| {
+            let mut min = u32::MAX;
+            let mut pos = 0u32;
+            for k in 0..params.candidates {
+                let mut d = 0u32;
+                for j in 0..BLOCK {
+                    for i in 0..BLOCK {
+                        let a = rf.pixel(bx + k + i, by + j) as i32;
+                        let b = cf.pixel(bx + i, by + j) as i32;
+                        d += (a - b).unsigned_abs();
+                    }
+                }
+                if d < min {
+                    min = d;
+                    pos = k as u32;
+                }
+            }
+            (min, pos)
+        })
+        .collect()
+}
+
+/// Per-candidate SAD (used to resolve branch directions at trace time).
+fn sad_at(rf: &Frame, cf: &Frame, bx: usize, by: usize, k: usize) -> u32 {
+    let mut d = 0u32;
+    for j in 0..BLOCK {
+        for i in 0..BLOCK {
+            d += (rf.pixel(bx + k + i, by + j) as i32 - cf.pixel(bx + i, by + j) as i32)
+                .unsigned_abs();
+        }
+    }
+    d
+}
+
+// Register conventions.
+const R_ABASE: Gpr = Gpr::new(1);
+const R_BBASE: Gpr = Gpr::new(2);
+const R_ADDR: Gpr = Gpr::new(3);
+const R_OUT: Gpr = Gpr::new(4);
+const R_OUT2: Gpr = Gpr::new(5);
+const R_ROW: Gpr = Gpr::new(6);
+const R_D: Gpr = Gpr::new(10);
+const R_CMP: Gpr = Gpr::new(11);
+const R_MIN: Gpr = Gpr::new(20);
+const R_POS: Gpr = Gpr::new(21);
+
+/// Emits the SAD + min-update tail shared by all variants' candidate
+/// loops. `d` is the candidate's true SAD; `min` tracks the running
+/// minimum for branch-direction resolution.
+fn emit_min_update(tb: &mut TraceBuilder, k: usize, d: u32, min: &mut u32, pos: &mut u32) {
+    tb.alu(IntOp::SltU, R_CMP, R_D, R_MIN);
+    let taken = d < *min;
+    tb.branch(R_CMP, taken);
+    if taken {
+        tb.alui(IntOp::Mov, R_MIN, R_D, 0);
+        tb.li(R_POS, k as i64);
+        *min = d;
+        *pos = k as u32;
+    }
+}
+
+fn emit_result_stores(tb: &mut TraceBuilder, out: u64) {
+    tb.li(R_OUT, out as i64);
+    tb.store_scalar(R_MIN, R_OUT, out, 4);
+    tb.alui(IntOp::Add, R_OUT2, R_OUT, 4);
+    tb.store_scalar(R_POS, R_OUT2, out + 4, 4);
+}
+
+/// Builds the §7 "related work" coding of motion estimation: plain MOM
+/// plus the vector **shift&mask register trick** — candidate `k+1`'s
+/// rows are reconstructed from candidate `k`'s register by shifting each
+/// element down one byte and merging a freshly loaded byte column,
+/// instead of reloading the full block.
+///
+/// The paper argues this mimics 3D reuse "at the cost of a high
+/// instruction overhead, and an increase in pressure over the 2D
+/// register file", while still being unable to exploit wide-block
+/// fetches. This builder makes that comparison measurable (see the
+/// `ablation` experiment binary).
+pub fn build_shift_trick(params: &Mpeg2EncodeParams) -> Workload {
+    let rf = Frame::synthetic(params.width, params.height, params.seed);
+    let cf = rf.shifted(params.true_shift, params.seed + 1);
+
+    let mut arena = Arena::new();
+    let ref_addr = arena.place(rf.bytes());
+    let cur_addr = arena.place(cf.bytes());
+    let blocks = params.block_positions();
+    let out_addr = arena.reserve(blocks.len() as u64 * 8);
+
+    let expected: Vec<u8> = reference(params, &rf, &cf)
+        .iter()
+        .flat_map(|&(min, pos)| {
+            let mut b = min.to_le_bytes().to_vec();
+            b.extend_from_slice(&pos.to_le_bytes());
+            b
+        })
+        .collect();
+
+    let w = params.width as u64;
+    let mut tb = TraceBuilder::new();
+    tb.set_vl(BLOCK as u8);
+    tb.set_vs(w as i64);
+    for (b_idx, &(bx, by)) in blocks.iter().enumerate() {
+        let a_base = ref_addr + (by as u64 * w + bx as u64);
+        let b_base = cur_addr + (by as u64 * w + bx as u64);
+        tb.li(R_ABASE, a_base as i64);
+        tb.li(R_BBASE, b_base as i64);
+        // The current block stays register-resident (the trick's whole
+        // point is avoiding reloads).
+        tb.vload(MomReg::new(1), R_BBASE, b_base);
+        // Candidate 0: one full reload.
+        tb.vload(MomReg::new(0), R_ABASE, a_base);
+        tb.li(R_MIN, 1 << 30);
+        tb.li(R_POS, 0);
+        let (mut min, mut pos) = (u32::MAX, 0u32);
+        for k in 0..params.candidates {
+            if k > 0 {
+                // Reconstruct candidate k from candidate k-1:
+                //   row' = (row >> 8) | (incoming_byte << 56)
+                // The incoming byte column sits 8 bytes past the old base;
+                // the column load still costs a strided cache access per
+                // row — the trick saves *registers*, not port time.
+                let col = a_base + k as u64 + 7;
+                tb.alui(IntOp::Add, R_ADDR, R_ABASE, (k + 7) as i64);
+                tb.vload(MomReg::new(2), R_ADDR, col);
+                tb.vop2i(UsimdOp::ShrL(Width::D64), MomReg::new(0), MomReg::new(0), 8);
+                tb.vop2i(UsimdOp::Shl(Width::D64), MomReg::new(2), MomReg::new(2), 56);
+                tb.vop2(UsimdOp::Or, MomReg::new(0), MomReg::new(0), MomReg::new(2));
+            }
+            tb.clear_acc(AccReg::new(0));
+            tb.vreduce(
+                ReduceOp::SadAccumU8,
+                AccReg::new(0),
+                MomReg::new(0),
+                Some(MomReg::new(1)),
+            );
+            tb.rdacc(R_D, AccReg::new(0));
+            let d = sad_at(&rf, &cf, bx, by, k);
+            emit_min_update(&mut tb, k, d, &mut min, &mut pos);
+        }
+        emit_result_stores(&mut tb, out_addr + b_idx as u64 * 8);
+    }
+
+    Workload::from_parts(
+        WorkloadKind::Mpeg2Encode,
+        IsaVariant::Mom,
+        tb.finish(),
+        arena.into_memory(),
+        vec![RegionCheck { what: "motion vectors (min SAD, position)", addr: out_addr, expected }],
+    )
+}
+
+/// Builds the workload for one ISA variant.
+pub(crate) fn build(params: &Mpeg2EncodeParams, variant: IsaVariant) -> Workload {
+    let rf = Frame::synthetic(params.width, params.height, params.seed);
+    let cf = rf.shifted(params.true_shift, params.seed + 1);
+
+    let mut arena = Arena::new();
+    let ref_addr = arena.place(rf.bytes());
+    let cur_addr = arena.place(cf.bytes());
+    let blocks = params.block_positions();
+    let out_addr = arena.reserve(blocks.len() as u64 * 8);
+
+    let expected: Vec<u8> = reference(params, &rf, &cf)
+        .iter()
+        .flat_map(|&(min, pos)| {
+            let mut b = min.to_le_bytes().to_vec();
+            b.extend_from_slice(&pos.to_le_bytes());
+            b
+        })
+        .collect();
+
+    let w = params.width as u64;
+    let mut tb = TraceBuilder::new();
+    match variant {
+        IsaVariant::Mom => {
+            tb.set_vl(BLOCK as u8);
+            tb.set_vs(w as i64);
+            for (b_idx, &(bx, by)) in blocks.iter().enumerate() {
+                let a_base = ref_addr + (by as u64 * w + bx as u64);
+                let b_base = cur_addr + (by as u64 * w + bx as u64);
+                tb.li(R_ABASE, a_base as i64);
+                tb.li(R_BBASE, b_base as i64);
+                tb.li(R_MIN, 1 << 30);
+                tb.li(R_POS, 0);
+                let (mut min, mut pos) = (u32::MAX, 0u32);
+                for k in 0..params.candidates {
+                    tb.alui(IntOp::Add, R_ADDR, R_ABASE, k as i64);
+                    tb.vload(MomReg::new(0), R_ADDR, a_base + k as u64);
+                    tb.vload(MomReg::new(1), R_BBASE, b_base);
+                    tb.clear_acc(AccReg::new(0));
+                    tb.vreduce(
+                        ReduceOp::SadAccumU8,
+                        AccReg::new(0),
+                        MomReg::new(0),
+                        Some(MomReg::new(1)),
+                    );
+                    tb.rdacc(R_D, AccReg::new(0));
+                    let d = sad_at(&rf, &cf, bx, by, k);
+                    emit_min_update(&mut tb, k, d, &mut min, &mut pos);
+                }
+                emit_result_stores(&mut tb, out_addr + b_idx as u64 * 8);
+            }
+        }
+        IsaVariant::Mom3d => {
+            tb.set_vl(BLOCK as u8);
+            for (b_idx, &(bx, by)) in blocks.iter().enumerate() {
+                let a_base = ref_addr + (by as u64 * w + bx as u64);
+                let b_base = cur_addr + (by as u64 * w + bx as u64);
+                tb.li(R_ABASE, a_base as i64);
+                tb.li(R_BBASE, b_base as i64);
+                // The invariant current block: one 3dvload serves every
+                // candidate's re-read (the paper's delta-0 reuse case).
+                tb.dvload(DReg::new(1), R_BBASE, b_base, w as i64, 1, false);
+                tb.li(R_MIN, 1 << 30);
+                tb.li(R_POS, 0);
+                let (mut min, mut pos) = (u32::MAX, 0u32);
+                for chunk_start in (0..params.candidates).step_by(CHUNK) {
+                    let chunk = CHUNK.min(params.candidates - chunk_start);
+                    // Candidate slices are 1 byte apart: span = chunk-1+8.
+                    let wwords = (chunk - 1 + 8).div_ceil(8) as u8;
+                    tb.alui(IntOp::Add, R_ADDR, R_ABASE, chunk_start as i64);
+                    tb.dvload(
+                        DReg::new(0),
+                        R_ADDR,
+                        a_base + chunk_start as u64,
+                        w as i64,
+                        wwords,
+                        false,
+                    );
+                    for ki in 0..chunk {
+                        let k = chunk_start + ki;
+                        tb.dvmov(MomReg::new(0), DReg::new(0), 1);
+                        tb.dvmov(MomReg::new(1), DReg::new(1), 0);
+                        tb.clear_acc(AccReg::new(0));
+                        tb.vreduce(
+                            ReduceOp::SadAccumU8,
+                            AccReg::new(0),
+                            MomReg::new(0),
+                            Some(MomReg::new(1)),
+                        );
+                        tb.rdacc(R_D, AccReg::new(0));
+                        let d = sad_at(&rf, &cf, bx, by, k);
+                        emit_min_update(&mut tb, k, d, &mut min, &mut pos);
+                    }
+                }
+                emit_result_stores(&mut tb, out_addr + b_idx as u64 * 8);
+            }
+        }
+        IsaVariant::Mmx => {
+            for (b_idx, &(bx, by)) in blocks.iter().enumerate() {
+                let a_base = ref_addr + (by as u64 * w + bx as u64);
+                let b_base = cur_addr + (by as u64 * w + bx as u64);
+                // Load the current block's rows into mm8..mm15 once.
+                tb.li(R_BBASE, b_base as i64);
+                for j in 0..BLOCK {
+                    tb.alui(IntOp::Add, R_ROW, R_BBASE, (j as u64 * w) as i64);
+                    tb.movq_load(MmxReg::new(8 + j as u8), R_ROW, b_base + j as u64 * w, Width::B8);
+                }
+                tb.li(R_ABASE, a_base as i64);
+                tb.li(R_MIN, 1 << 30);
+                tb.li(R_POS, 0);
+                let (mut min, mut pos) = (u32::MAX, 0u32);
+                for k in 0..params.candidates {
+                    tb.alui(IntOp::Add, R_ADDR, R_ABASE, k as i64);
+                    tb.usimd2(UsimdOp::Xor, MmxReg::new(7), MmxReg::new(7), MmxReg::new(7));
+                    for j in 0..BLOCK {
+                        tb.alui(IntOp::Add, R_ROW, R_ADDR, (j as u64 * w) as i64);
+                        tb.movq_load(
+                            MmxReg::new(0),
+                            R_ROW,
+                            a_base + k as u64 + j as u64 * w,
+                            Width::B8,
+                        );
+                        tb.usimd2(
+                            UsimdOp::SadU8,
+                            MmxReg::new(1),
+                            MmxReg::new(0),
+                            MmxReg::new(8 + j as u8),
+                        );
+                        tb.usimd2(
+                            UsimdOp::AddWrap(Width::D64),
+                            MmxReg::new(7),
+                            MmxReg::new(7),
+                            MmxReg::new(1),
+                        );
+                    }
+                    tb.mmx_to_gpr(R_D, MmxReg::new(7));
+                    let d = sad_at(&rf, &cf, bx, by, k);
+                    emit_min_update(&mut tb, k, d, &mut min, &mut pos);
+                }
+                emit_result_stores(&mut tb, out_addr + b_idx as u64 * 8);
+            }
+        }
+    }
+
+    Workload::from_parts(
+        WorkloadKind::Mpeg2Encode,
+        variant,
+        tb.finish(),
+        arena.into_memory(),
+        vec![RegionCheck { what: "motion vectors (min SAD, position)", addr: out_addr, expected }],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mpeg2EncodeParams {
+        Mpeg2EncodeParams { width: 64, height: 16, candidates: 12, true_shift: 3, seed: 9 }
+    }
+
+    #[test]
+    fn reference_finds_true_shift() {
+        let p = tiny();
+        let rf = Frame::synthetic(p.width, p.height, p.seed);
+        let cf = rf.shifted(p.true_shift, p.seed + 1);
+        let results = reference(&p, &rf, &cf);
+        // With a mildly noisy shifted frame, most blocks lock onto the
+        // true shift.
+        let hits = results.iter().filter(|(_, pos)| *pos == p.true_shift as u32).count();
+        assert!(hits * 2 > results.len(), "{hits}/{} blocks found the shift", results.len());
+    }
+
+    #[test]
+    fn all_variants_verify() {
+        let p = tiny();
+        for v in IsaVariant::ALL {
+            let wl = build(&p, v);
+            wl.verify().unwrap_or_else(|e| panic!("{v} variant failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn mmx_trace_is_much_longer_than_mom() {
+        let p = tiny();
+        let mmx = build(&p, IsaVariant::Mmx).trace().len();
+        let mom = build(&p, IsaVariant::Mom).trace().len();
+        assert!(mmx as f64 > 2.5 * mom as f64, "mmx {mmx} vs mom {mom}");
+    }
+
+    #[test]
+    fn mom3d_has_3d_instructions_and_fewer_2d_loads() {
+        let p = tiny();
+        let s3 = build(&p, IsaVariant::Mom3d).trace().stats();
+        let s2 = build(&p, IsaVariant::Mom).trace().stats();
+        assert!(s3.mem_3d > 0);
+        assert!(s3.mov_3d > 0);
+        assert_eq!(s3.mem_2d, 0, "all candidate loads become 3D");
+        assert!(s2.mem_2d > 0);
+        // Third dimension length is bounded by the chunking.
+        assert!(s3.dim3_vl_max <= CHUNK as u64);
+        assert!(s3.avg_dim3().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn bytes_fetched_shrink_with_3d() {
+        let p = tiny();
+        let b2 = build(&p, IsaVariant::Mom).trace().stats().bytes_accessed;
+        let b3 = build(&p, IsaVariant::Mom3d).trace().stats().bytes_accessed;
+        assert!(b3 * 2 < b2, "3D {b3} bytes vs 2D {b2} bytes");
+    }
+
+    #[test]
+    fn default_sizes_are_simulable() {
+        let p = Mpeg2EncodeParams::default();
+        let wl = build(&p, IsaVariant::Mom);
+        assert!(wl.trace().len() > 10_000);
+        assert!(wl.trace().len() < 200_000);
+    }
+
+    #[test]
+    fn shift_trick_verifies_bit_exact() {
+        let wl = build_shift_trick(&tiny());
+        wl.verify().expect("shift&mask coding reproduces the reference");
+    }
+
+    #[test]
+    fn shift_trick_trades_loads_for_compute() {
+        let p = tiny();
+        let plain = build(&p, IsaVariant::Mom).trace().stats();
+        let trick = build_shift_trick(&p).trace().stats();
+        // Fewer 2D loads (one column load instead of two full reloads)...
+        assert!(trick.mem_2d < plain.mem_2d);
+        // ...but substantially more vector compute — the paper's
+        // "high instruction overhead".
+        assert!(trick.vcompute > 2 * plain.vcompute);
+    }
+}

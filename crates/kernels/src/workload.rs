@@ -1,0 +1,316 @@
+//! The workload container: trace + memory image + expected outputs.
+
+use crate::{gsm_encode, jpeg_decode, jpeg_encode, mpeg2_decode, mpeg2_encode};
+use mom3d_emu::{EmuError, Emulator, Machine};
+use mom3d_isa::Trace;
+use mom3d_mem::MainMemory;
+use std::error::Error;
+use std::fmt;
+
+/// Which benchmark (paper §5.1's Mediabench selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// JPEG compression: block transform + quantization over 8×8 blocks
+    /// laid out along the image x-axis.
+    JpegEncode,
+    /// JPEG decompression: wide consecutive row patterns; **no** 3D
+    /// memory patterns (the paper leaves it unchanged).
+    JpegDecode,
+    /// MPEG-2 decoding: half-pel motion compensation + residual add +
+    /// saturation, with row re-reads.
+    Mpeg2Decode,
+    /// MPEG-2 encoding: full-search motion estimation (the paper's
+    /// running example; the most memory-bound workload).
+    Mpeg2Encode,
+    /// GSM speech encoding: long-term-prediction cross-correlation over
+    /// lag-shifted dense 16-bit windows.
+    GsmEncode,
+}
+
+impl WorkloadKind {
+    /// All five workloads in the paper's figure order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::JpegEncode,
+        WorkloadKind::JpegDecode,
+        WorkloadKind::Mpeg2Decode,
+        WorkloadKind::Mpeg2Encode,
+        WorkloadKind::GsmEncode,
+    ];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::JpegEncode => "jpeg encode",
+            WorkloadKind::JpegDecode => "jpeg decode",
+            WorkloadKind::Mpeg2Decode => "mpeg2 decode",
+            WorkloadKind::Mpeg2Encode => "mpeg2 encode",
+            WorkloadKind::GsmEncode => "gsm encode",
+        }
+    }
+
+    /// True when the paper found exploitable 3D patterns (all but
+    /// `jpeg decode`).
+    pub fn has_3d_patterns(self) -> bool {
+        !matches!(self, WorkloadKind::JpegDecode)
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which ISA style the trace is generated for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IsaVariant {
+    /// 1D µSIMD, MMX-like (the paper's baseline processor style).
+    Mmx,
+    /// The MOM 2D vector ISA.
+    Mom,
+    /// MOM plus the 3D memory instructions.
+    Mom3d,
+}
+
+impl IsaVariant {
+    /// All variants.
+    pub const ALL: [IsaVariant; 3] = [IsaVariant::Mmx, IsaVariant::Mom, IsaVariant::Mom3d];
+}
+
+impl fmt::Display for IsaVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IsaVariant::Mmx => "MMX",
+            IsaVariant::Mom => "MOM",
+            IsaVariant::Mom3d => "MOM+3D",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An expected-output region: after emulation, memory at `addr` must
+/// equal `expected`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionCheck {
+    /// What this region holds (for error messages).
+    pub what: &'static str,
+    /// Base address.
+    pub addr: u64,
+    /// Expected bytes (computed by the scalar reference).
+    pub expected: Vec<u8>,
+}
+
+/// Verification failure: emulation error or output mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The emulator rejected the trace.
+    Emulation(EmuError),
+    /// An output region differs from the scalar reference.
+    Mismatch {
+        /// Which region.
+        what: &'static str,
+        /// First differing byte's address.
+        addr: u64,
+        /// Expected byte.
+        expected: u8,
+        /// Byte the trace produced.
+        actual: u8,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Emulation(e) => write!(f, "emulation failed: {e}"),
+            VerifyError::Mismatch { what, addr, expected, actual } => write!(
+                f,
+                "{what}: output mismatch at {addr:#x}: expected {expected:#04x}, got {actual:#04x}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Emulation(e) => Some(e),
+            VerifyError::Mismatch { .. } => None,
+        }
+    }
+}
+
+impl From<EmuError> for VerifyError {
+    fn from(e: EmuError) -> Self {
+        VerifyError::Emulation(e)
+    }
+}
+
+/// A ready-to-run benchmark instance: instruction trace, initial memory
+/// image, and the scalar reference's expected outputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    kind: WorkloadKind,
+    variant: IsaVariant,
+    trace: Trace,
+    memory: MainMemory,
+    checks: Vec<RegionCheck>,
+}
+
+impl Workload {
+    /// Builds a workload with each kernel's default parameters.
+    ///
+    /// `seed` drives the synthetic data generators; the same seed always
+    /// yields bit-identical workloads.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (the result type leaves room for
+    /// parameterized builders to validate); kept for API stability.
+    pub fn build(
+        kind: WorkloadKind,
+        variant: IsaVariant,
+        seed: u64,
+    ) -> Result<Workload, Box<dyn Error>> {
+        Ok(match kind {
+            WorkloadKind::Mpeg2Encode => {
+                mpeg2_encode::build(&mpeg2_encode::Mpeg2EncodeParams::with_seed(seed), variant)
+            }
+            WorkloadKind::Mpeg2Decode => {
+                mpeg2_decode::build(&mpeg2_decode::Mpeg2DecodeParams::with_seed(seed), variant)
+            }
+            WorkloadKind::JpegEncode => {
+                jpeg_encode::build(&jpeg_encode::JpegEncodeParams::with_seed(seed), variant)
+            }
+            WorkloadKind::JpegDecode => {
+                jpeg_decode::build(&jpeg_decode::JpegDecodeParams::with_seed(seed), variant)
+            }
+            WorkloadKind::GsmEncode => {
+                gsm_encode::build(&gsm_encode::GsmEncodeParams::with_seed(seed), variant)
+            }
+        })
+    }
+
+    /// Builds a reduced-geometry workload — same memory-pattern shapes,
+    /// far fewer dynamic instructions. Intended for (debug-build) test
+    /// suites; the experiment harness uses [`Workload::build`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::build`].
+    pub fn build_small(
+        kind: WorkloadKind,
+        variant: IsaVariant,
+        seed: u64,
+    ) -> Result<Workload, Box<dyn Error>> {
+        Ok(match kind {
+            WorkloadKind::Mpeg2Encode => mpeg2_encode::build(
+                &mpeg2_encode::Mpeg2EncodeParams::small_with_seed(seed),
+                variant,
+            ),
+            WorkloadKind::Mpeg2Decode => mpeg2_decode::build(
+                &mpeg2_decode::Mpeg2DecodeParams::small_with_seed(seed),
+                variant,
+            ),
+            WorkloadKind::JpegEncode => {
+                jpeg_encode::build(&jpeg_encode::JpegEncodeParams::small_with_seed(seed), variant)
+            }
+            WorkloadKind::JpegDecode => {
+                jpeg_decode::build(&jpeg_decode::JpegDecodeParams::small_with_seed(seed), variant)
+            }
+            WorkloadKind::GsmEncode => {
+                gsm_encode::build(&gsm_encode::GsmEncodeParams::small_with_seed(seed), variant)
+            }
+        })
+    }
+
+    /// Assembles a workload from parts (used by the kernel modules).
+    pub(crate) fn from_parts(
+        kind: WorkloadKind,
+        variant: IsaVariant,
+        trace: Trace,
+        memory: MainMemory,
+        checks: Vec<RegionCheck>,
+    ) -> Self {
+        Workload { kind, variant, trace, memory, checks }
+    }
+
+    /// The benchmark kind.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// The ISA variant.
+    pub fn variant(&self) -> IsaVariant {
+        self.variant
+    }
+
+    /// The dynamic instruction trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The initial memory image.
+    pub fn initial_memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// The expected-output regions.
+    pub fn checks(&self) -> &[RegionCheck] {
+        &self.checks
+    }
+
+    /// A machine pre-loaded with the initial memory image.
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::new();
+        m.mem = self.memory.clone();
+        m
+    }
+
+    /// Executes the trace on the functional emulator and compares every
+    /// output region against the scalar reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns the emulation error or the first mismatching byte.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        let mut emu = Emulator::with_machine(self.machine());
+        emu.run(&self.trace)?;
+        for check in &self.checks {
+            let actual = emu.machine().mem.read_bytes(check.addr, check.expected.len());
+            for (i, (&e, &a)) in check.expected.iter().zip(actual.iter()).enumerate() {
+                if e != a {
+                    return Err(VerifyError::Mismatch {
+                        what: check.what,
+                        addr: check.addr + i as u64,
+                        expected: e,
+                        actual: a,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_spellings() {
+        assert_eq!(WorkloadKind::Mpeg2Encode.name(), "mpeg2 encode");
+        assert_eq!(WorkloadKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn only_jpeg_decode_lacks_3d_patterns() {
+        let without: Vec<_> =
+            WorkloadKind::ALL.iter().filter(|k| !k.has_3d_patterns()).collect();
+        assert_eq!(without, vec![&WorkloadKind::JpegDecode]);
+    }
+
+    #[test]
+    fn variant_display() {
+        assert_eq!(IsaVariant::Mom3d.to_string(), "MOM+3D");
+    }
+}

@@ -1,0 +1,320 @@
+//! The two-level cache hierarchy with exclusive-bit scalar/vector
+//! coherence (§5.3).
+//!
+//! Scalar accesses flow through the L1; MOM/3D vector accesses bypass the
+//! L1 and reference the L2 directly. Because a line can be touched from
+//! both sides, the paper adopts "a simple coherence protocol, based on an
+//! exclusive-bit policy": we model it by invalidating the L1 copies of
+//! any line a vector access touches (write-through L1 means the L2 is
+//! always up to date, so invalidation never loses data).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+
+/// Latency and geometry configuration of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 geometry (scalar side).
+    pub l1: CacheConfig,
+    /// L2 geometry (shared).
+    pub l2: CacheConfig,
+    /// L1 hit latency in cycles (paper: 1).
+    pub l1_latency: u32,
+    /// L2 hit latency in cycles (paper: 20; swept 20/40/60 in Figure 10).
+    pub l2_latency: u32,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: u32,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            l1: CacheConfig::l1_64kb(),
+            l2: CacheConfig::l2_2mb(),
+            l1_latency: 1,
+            l2_latency: 20,
+            mem_latency: 100,
+        }
+    }
+}
+
+impl HierarchyConfig {
+    /// Returns the configuration with a different L2 latency (Figure 10's
+    /// sweep knob).
+    pub fn with_l2_latency(mut self, cycles: u32) -> Self {
+        self.l2_latency = cycles;
+        self
+    }
+}
+
+/// Counters accumulated by the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Scalar-side L1 lookups.
+    pub l1_accesses: u64,
+    /// L2 lookups from the scalar side (L1 misses + write-throughs).
+    pub l2_scalar_accesses: u64,
+    /// L2 line lookups from the vector side.
+    pub l2_vector_accesses: u64,
+    /// L2 hits (both sides).
+    pub l2_hits: u64,
+    /// L2 misses (both sides).
+    pub l2_misses: u64,
+    /// Lines filled from main memory.
+    pub mem_fills: u64,
+    /// Dirty lines written back to main memory.
+    pub mem_writebacks: u64,
+    /// L1 lines invalidated by vector accesses (coherence actions).
+    pub coherence_invalidations: u64,
+}
+
+impl HierarchyStats {
+    /// Total L2 lookups.
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2_scalar_accesses + self.l2_vector_accesses
+    }
+}
+
+/// Outcome of a vector-side line access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorAccessOutcome {
+    /// True when the line was resident in L2.
+    pub hit: bool,
+    /// Cycles until the data is available (L2 latency, plus memory on a
+    /// miss).
+    pub latency: u32,
+}
+
+/// The L1 + L2 hierarchy.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    stats: HierarchyStats,
+}
+
+impl MemHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(config: HierarchyConfig) -> Self {
+        MemHierarchy { config, l1: Cache::new(config.l1), l2: Cache::new(config.l2), stats: HierarchyStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Resets all counters (hierarchy and per-cache) without touching
+    /// cache contents — used after warming the caches to steady state.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1.reset_stats();
+        self.l2.reset_stats();
+    }
+
+    /// L1 tag-array statistics.
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 tag-array statistics.
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// Performs a scalar access of `bytes` bytes at `addr` through the
+    /// L1, returning the access latency in cycles.
+    ///
+    /// Write-through, no-write-allocate L1: stores update the L2
+    /// unconditionally; loads fill the L1 on a miss. An access straddling
+    /// an L1 line boundary touches both lines.
+    pub fn scalar_access(&mut self, addr: u64, bytes: u8, is_write: bool) -> u32 {
+        let mut latency = self.config.l1_latency;
+        let first_line = self.config.l1.line_of(addr);
+        let last_line = self.config.l1.line_of(addr + bytes.max(1) as u64 - 1);
+        let mut line = first_line;
+        loop {
+            self.stats.l1_accesses += 1;
+            let l1_hit = self.l1.access(line, is_write).hit;
+            if is_write {
+                // Write-through: the store is forwarded to the L2.
+                latency = latency.max(self.l2_line_access(line, true));
+            } else if !l1_hit {
+                latency = latency.max(self.config.l1_latency + self.l2_line_access(line, false));
+            }
+            if line == last_line {
+                break;
+            }
+            line += self.config.l1.line_bytes as u64;
+        }
+        latency
+    }
+
+    /// L2 lookup from the scalar side for one line; returns latency.
+    fn l2_line_access(&mut self, addr: u64, is_write: bool) -> u32 {
+        self.stats.l2_scalar_accesses += 1;
+        let r = self.l2.access(addr, is_write);
+        self.record_l2(r.hit, r.writeback.is_some());
+        if r.hit {
+            self.config.l2_latency
+        } else {
+            self.config.l2_latency + self.config.mem_latency
+        }
+    }
+
+    /// Performs a vector-side access to the L2 line containing `addr`
+    /// (MOM loads/stores and `3dvload` blocks), applying the
+    /// exclusive-bit coherence rule: any L1 copies of the line are
+    /// invalidated first.
+    pub fn vector_line_access(&mut self, addr: u64, is_write: bool) -> VectorAccessOutcome {
+        // Invalidate every L1 line overlapping this L2 line.
+        let l2_line = self.config.l2.line_of(addr);
+        let mut l1_line = l2_line;
+        while l1_line < l2_line + self.config.l2.line_bytes as u64 {
+            if self.l1.probe(l1_line) {
+                // The L1 is write-through, so invalidation never loses
+                // data; a dirty return here would indicate a model bug.
+                let dirty = self.l1.invalidate(l1_line);
+                debug_assert!(dirty.is_none(), "write-through L1 line cannot be dirty");
+                self.stats.coherence_invalidations += 1;
+            }
+            l1_line += self.config.l1.line_bytes as u64;
+        }
+
+        self.stats.l2_vector_accesses += 1;
+        let r = self.l2.access(l2_line, is_write);
+        self.record_l2(r.hit, r.writeback.is_some());
+        let latency = if r.hit {
+            self.config.l2_latency
+        } else {
+            self.config.l2_latency + self.config.mem_latency
+        };
+        VectorAccessOutcome { hit: r.hit, latency }
+    }
+
+    fn record_l2(&mut self, hit: bool, writeback: bool) {
+        if hit {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+            self.stats.mem_fills += 1;
+        }
+        if writeback {
+            self.stats.mem_writebacks += 1;
+        }
+    }
+
+    /// Overall L2 hit rate across both sides.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.stats.l2_hits + self.stats.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.stats.l2_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemHierarchy {
+        MemHierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn scalar_load_l1_hit_is_fast() {
+        let mut h = hierarchy();
+        let cold = h.scalar_access(0x1000, 8, false);
+        assert_eq!(cold, 1 + 20 + 100); // L1 miss, L2 miss, memory
+        let warm = h.scalar_access(0x1000, 8, false);
+        assert_eq!(warm, 1);
+        let l2_only = h.scalar_access(0x1000 + 32, 8, false); // same L2 line, next L1 line
+        assert_eq!(l2_only, 1 + 20);
+    }
+
+    #[test]
+    fn scalar_store_write_through() {
+        let mut h = hierarchy();
+        h.scalar_access(0x2000, 8, true);
+        // Store reached L2 (write-back allocates there).
+        assert_eq!(h.stats().l2_scalar_accesses, 1);
+        // L1 did not allocate (no-write-allocate).
+        let lat = h.scalar_access(0x2000, 8, false);
+        assert_eq!(lat, 1 + 20, "read after WT store: L1 miss, L2 hit");
+    }
+
+    #[test]
+    fn vector_access_bypasses_l1() {
+        let mut h = hierarchy();
+        let r = h.vector_line_access(0x8000, false);
+        assert!(!r.hit);
+        assert_eq!(r.latency, 20 + 100);
+        let r = h.vector_line_access(0x8000, false);
+        assert!(r.hit);
+        assert_eq!(r.latency, 20);
+        assert_eq!(h.stats().l1_accesses, 0);
+    }
+
+    #[test]
+    fn exclusive_bit_invalidates_l1_copies() {
+        let mut h = hierarchy();
+        // Scalar warms four L1 lines inside one L2 line.
+        for i in 0..4u64 {
+            h.scalar_access(0x4000 + i * 32, 8, false);
+        }
+        assert_eq!(h.scalar_access(0x4000, 8, false), 1); // L1 hit
+        // Vector touches the L2 line -> L1 copies invalidated.
+        h.vector_line_access(0x4000, false);
+        assert!(h.stats().coherence_invalidations >= 4);
+        assert_eq!(h.scalar_access(0x4000, 8, false), 1 + 20); // back to L2
+    }
+
+    #[test]
+    fn l2_latency_knob() {
+        let mut h = MemHierarchy::new(HierarchyConfig::default().with_l2_latency(60));
+        h.vector_line_access(0x0, false);
+        let r = h.vector_line_access(0x0, false);
+        assert_eq!(r.latency, 60);
+    }
+
+    #[test]
+    fn straddling_scalar_access_touches_two_lines() {
+        let mut h = hierarchy();
+        h.scalar_access(0x101E, 8, false); // crosses the 32-byte boundary at 0x1020
+        assert_eq!(h.stats().l1_accesses, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = hierarchy();
+        h.vector_line_access(0x0, false);
+        h.vector_line_access(0x80, false);
+        h.vector_line_access(0x0, true);
+        let s = h.stats();
+        assert_eq!(s.l2_vector_accesses, 3);
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.l2_misses, 2);
+        assert_eq!(s.l2_accesses(), 3);
+        assert!((h.l2_hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_store_marks_dirty_and_writes_back() {
+        let mut h = hierarchy();
+        h.vector_line_access(0x0, true); // dirty line at set 0
+        // Evict it by filling the set: lines mapping to set 0 are
+        // 0, 4096*128, 2*4096*128, ... (4096 sets x 128B lines).
+        let set_stride = 4096u64 * 128;
+        for i in 1..=4u64 {
+            h.vector_line_access(i * set_stride, false);
+        }
+        assert_eq!(h.stats().mem_writebacks, 1);
+    }
+}

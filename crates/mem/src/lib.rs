@@ -1,0 +1,45 @@
+//! # mom3d-mem — the memory hierarchy substrate
+//!
+//! Memory-system models for the MICRO-35 2002 3D memory vectorization
+//! paper:
+//!
+//! * [`MainMemory`] — a sparse, byte-addressable backing store used by
+//!   the functional emulator and the workload generators;
+//! * [`Cache`] — a set-associative tag array (LRU, write-through or
+//!   write-back) used for timing; data correctness lives in
+//!   [`MainMemory`], so the caches track only presence and dirtiness;
+//! * [`MemHierarchy`] — the paper's §5.3 hierarchy: a 64 KB 2-way 32 B
+//!   write-through L1 for scalar accesses, a 2 MB 4-way 128 B write-back
+//!   L2 that vector accesses reach directly (bypassing L1), and the
+//!   exclusive-bit coherence rule between the two sides;
+//! * port schedulers for the three vector memory organizations compared
+//!   in the paper (§3.1, Figure 2 and Figure 8): the **multi-banked**
+//!   cache (4 ports × 8 banks behind a crossbar), the **vector cache**
+//!   (one wide port, interchange + shift&mask, wide grants only for
+//!   consecutive words) and the **3D path** (one whole L2 line per cycle
+//!   into a 3D register-file lane).
+//!
+//! ```
+//! use mom3d_mem::{MainMemory, Cache, CacheConfig, WritePolicy};
+//!
+//! let mut mem = MainMemory::new();
+//! mem.write_u64(0x1000, 0xDEAD_BEEF);
+//! assert_eq!(mem.read_u64(0x1000), 0xDEAD_BEEF);
+//!
+//! let mut l2 = Cache::new(CacheConfig::l2_2mb());
+//! assert!(!l2.access(0x1000, false).hit); // cold miss
+//! assert!(l2.access(0x1000, false).hit); // now resident
+//! ```
+
+mod cache;
+mod hierarchy;
+mod main_mem;
+mod ports;
+
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, WritePolicy};
+pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy, VectorAccessOutcome};
+pub use main_mem::MainMemory;
+pub use ports::{
+    distinct_lines, schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig,
+    PortSchedule, VectorCacheConfig,
+};

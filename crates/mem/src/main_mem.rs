@@ -1,0 +1,190 @@
+//! Sparse byte-addressable main memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse, paged, byte-addressable memory.
+///
+/// Unwritten bytes read as zero, so workload generators can lay out data
+/// anywhere in a 64-bit address space without preallocating.
+///
+/// ```
+/// let mut m = mom3d_mem::MainMemory::new();
+/// m.write_bytes(0xFF00, &[1, 2, 3]);
+/// assert_eq!(m.read_bytes(0xFF00, 4), vec![1, 2, 3, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident pages (for tests / footprint checks).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Reads `len` bytes into `buf`.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr + 1)])
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_into(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads a little-endian scalar of `bytes` bytes (1–8), zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 8.
+    pub fn read_scalar(&self, addr: u64, bytes: u8) -> u64 {
+        assert!((1..=8).contains(&bytes), "scalar width must be 1-8 bytes");
+        let mut v = 0u64;
+        for i in 0..bytes as u64 {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `bytes` bytes of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 8.
+    pub fn write_scalar(&mut self, addr: u64, value: u64, bytes: u8) {
+        assert!((1..=8).contains(&bytes), "scalar width must be 1-8 bytes");
+        for i in 0..bytes as u64 {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xFFFF_FFFF_FFFF_0000), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_all_widths() {
+        let mut m = MainMemory::new();
+        m.write_u8(10, 0xAB);
+        m.write_u16(20, 0xBEEF);
+        m.write_u32(30, 0xDEAD_BEEF);
+        m.write_u64(40, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(10), 0xAB);
+        assert_eq!(m.read_u16(20), 0xBEEF);
+        assert_eq!(m.read_u32(30), 0xDEAD_BEEF);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MainMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles the page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn scalar_widths() {
+        let mut m = MainMemory::new();
+        m.write_scalar(0, 0x1234_5678, 3);
+        assert_eq!(m.read_scalar(0, 3), 0x34_5678);
+        assert_eq!(m.read_u8(3), 0); // byte 3 untouched
+        m.write_scalar(100, u64::MAX, 8);
+        assert_eq!(m.read_scalar(100, 8), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-8 bytes")]
+    fn scalar_zero_width_panics() {
+        MainMemory::new().read_scalar(0, 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MainMemory::new();
+        m.write_u32(0, 0x0A0B_0C0D);
+        assert_eq!(m.read_u8(0), 0x0D);
+        assert_eq!(m.read_u8(3), 0x0A);
+    }
+}

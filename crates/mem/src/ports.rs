@@ -1,0 +1,349 @@
+//! Vector memory port schedulers.
+//!
+//! The paper compares three ways of feeding a SIMD pipeline from the L2
+//! cache (§3.1 Figure 2, §5.3 Figure 8). Given the resolved element
+//! addresses of one vector memory instruction, each scheduler computes
+//!
+//! * how many cycles the port (or bank array) is occupied,
+//! * how many energy-relevant cache accesses are performed (the Table 4
+//!   "activity" / Figure 11 power metric), and
+//! * how many 64-bit words are transferred to the register files (the
+//!   Figure 6 effective-bandwidth and Figure 7 traffic metric).
+//!
+//! The schedulers are pure functions so they can be property-tested and
+//! reused by both the timing simulator and the analytical harness.
+
+/// Result of scheduling one vector memory instruction on a port system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortSchedule {
+    /// Cycles the port/bank array is busy servicing this instruction.
+    pub port_cycles: u32,
+    /// Energy-relevant cache accesses (bank reads for the multi-banked
+    /// organization, wide-port accesses for the vector cache and 3D path).
+    pub cache_accesses: u64,
+    /// 64-bit words transferred between the cache and a register file.
+    pub words: u64,
+}
+
+impl PortSchedule {
+    /// Effective bandwidth of this instruction in words per access
+    /// — the paper's Figure 6 metric. Zero when nothing was transferred.
+    pub fn words_per_access(&self) -> f64 {
+        if self.port_cycles == 0 {
+            0.0
+        } else {
+            self.words as f64 / self.port_cycles as f64
+        }
+    }
+
+    /// Accumulates another schedule (for whole-trace totals).
+    pub fn merge(&mut self, other: &PortSchedule) {
+        self.port_cycles += other.port_cycles;
+        self.cache_accesses += other.cache_accesses;
+        self.words += other.words;
+    }
+}
+
+/// Multi-banked cache configuration (Figure 2-a): `ports` references per
+/// cycle served by `banks` interleaved banks behind a crossbar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankedConfig {
+    /// Concurrent references per cycle (the paper evaluates 4).
+    pub ports: usize,
+    /// Number of banks (the paper evaluates 8).
+    pub banks: usize,
+    /// Bank interleaving granularity in bytes (64-bit words).
+    pub interleave_bytes: u64,
+}
+
+impl Default for BankedConfig {
+    fn default() -> Self {
+        BankedConfig { ports: 4, banks: 8, interleave_bytes: 8 }
+    }
+}
+
+impl BankedConfig {
+    /// Bank servicing byte address `addr`.
+    #[inline]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.interleave_bytes) % self.banks as u64) as usize
+    }
+}
+
+/// Vector cache configuration (Figure 2-b): one port of `width_words`
+/// 64-bit words, fed by two interleaved line banks with an interchange
+/// switch and shift&mask network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VectorCacheConfig {
+    /// Words deliverable per access (the paper evaluates 4 × 64 bit).
+    pub width_words: usize,
+    /// L2 line size in bytes (bounds a wide access to two lines).
+    pub line_bytes: u64,
+}
+
+impl Default for VectorCacheConfig {
+    fn default() -> Self {
+        VectorCacheConfig { width_words: 4, line_bytes: 128 }
+    }
+}
+
+/// Schedules one vector instruction's element references on a
+/// multi-banked cache.
+///
+/// Elements are granted greedily: each cycle takes up to `ports`
+/// references whose banks do not collide, scanning the pending queue in
+/// order (references blocked by a bank conflict retry next cycle; younger
+/// references may bypass them, as a crossbar permits). Every granted
+/// reference is one bank access — the multi-banked organization cannot
+/// combine two references to the same line, which is exactly why its
+/// Table 4 activity is high.
+///
+/// `blocks` holds `(address, length-in-bytes)` pairs; blocks wider than
+/// the interleave granularity are split into words first.
+pub fn schedule_multibanked(cfg: &BankedConfig, blocks: &[(u64, u32)]) -> PortSchedule {
+    // Split into word references.
+    let mut pending: Vec<u64> = Vec::new();
+    for &(addr, len) in blocks {
+        let mut off = 0;
+        while off < len as u64 {
+            pending.push(addr + off);
+            off += cfg.interleave_bytes;
+        }
+    }
+    let words = pending.len() as u64;
+    let mut schedule = PortSchedule { port_cycles: 0, cache_accesses: words, words };
+    let mut done = vec![false; pending.len()];
+    let mut remaining = pending.len();
+    while remaining > 0 {
+        schedule.port_cycles += 1;
+        let mut used_banks = vec![false; cfg.banks];
+        let mut granted = 0;
+        for (i, &addr) in pending.iter().enumerate() {
+            if done[i] || granted == cfg.ports {
+                continue;
+            }
+            let bank = cfg.bank_of(addr);
+            if !used_banks[bank] {
+                used_banks[bank] = true;
+                done[i] = true;
+                granted += 1;
+                remaining -= 1;
+            }
+        }
+        debug_assert!(granted > 0, "scheduler must make progress");
+    }
+    schedule
+}
+
+/// Schedules one vector instruction on the vector cache's single wide
+/// port.
+///
+/// Elements are serviced strictly in order. A run of references to
+/// *consecutive ascending* words is combined into a single wide access of
+/// up to `width_words` words (the shift&mask network extracts them from
+/// the two fetched lines). Any other stride degrades to one element per
+/// access — the §3.1 limitation that motivates the 3D extension.
+pub fn schedule_vector_cache(cfg: &VectorCacheConfig, blocks: &[(u64, u32)]) -> PortSchedule {
+    // Expand blocks into word references, preserving order.
+    let mut refs: Vec<u64> = Vec::new();
+    for &(addr, len) in blocks {
+        let mut off = 0;
+        while off < len as u64 {
+            refs.push(addr + off);
+            off += 8;
+        }
+    }
+    let mut schedule = PortSchedule { port_cycles: 0, cache_accesses: 0, words: refs.len() as u64 };
+    let mut i = 0;
+    while i < refs.len() {
+        // Extend a consecutive ascending run from refs[i].
+        let mut run = 1;
+        while run < cfg.width_words
+            && i + run < refs.len()
+            && refs[i + run] == refs[i + run - 1] + 8
+        {
+            run += 1;
+        }
+        schedule.port_cycles += 1;
+        schedule.cache_accesses += 1;
+        i += run;
+    }
+    schedule
+}
+
+/// Schedules one `3dvload` on the vector cache + 3D register file path.
+///
+/// Each 3D register element (up to a whole 128-byte L2 line, at any byte
+/// alignment thanks to the two interleaved line banks) is written into
+/// one 3D-register-file lane per cycle: one wide access per element
+/// (Figure 8-c).
+pub fn schedule_3d(blocks: &[(u64, u32)]) -> PortSchedule {
+    let mut schedule = PortSchedule::default();
+    for &(_, len) in blocks {
+        schedule.port_cycles += 1;
+        schedule.cache_accesses += 1;
+        schedule.words += (len as u64).div_ceil(8);
+    }
+    schedule
+}
+
+/// Distinct line-aligned addresses touched by a set of blocks, in first-
+/// touch order (used for L2 hit/miss accounting).
+pub fn distinct_lines(blocks: &[(u64, u32)], line_bytes: u64) -> Vec<u64> {
+    debug_assert!(line_bytes.is_power_of_two());
+    let mut lines: Vec<u64> = Vec::new();
+    for &(addr, len) in blocks {
+        let mut line = addr & !(line_bytes - 1);
+        let end = addr + len as u64;
+        while line < end {
+            if !lines.contains(&line) {
+                lines.push(line);
+            }
+            line += line_bytes;
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_blocks(base: u64, stride: i64, n: usize) -> Vec<(u64, u32)> {
+        (0..n)
+            .map(|i| ((base as i64 + stride * i as i64) as u64, 8))
+            .collect()
+    }
+
+    #[test]
+    fn multibanked_unit_stride_uses_all_ports() {
+        // 8 consecutive words over 8 banks: 4 ports -> 2 cycles.
+        let s = schedule_multibanked(&BankedConfig::default(), &unit_blocks(0, 8, 8));
+        assert_eq!(s.port_cycles, 2);
+        assert_eq!(s.cache_accesses, 8);
+        assert_eq!(s.words, 8);
+        assert_eq!(s.words_per_access(), 4.0);
+    }
+
+    #[test]
+    fn multibanked_bank_conflicts_serialize() {
+        // Stride of 64 bytes = 8 words: every reference maps to bank 0.
+        let s = schedule_multibanked(&BankedConfig::default(), &unit_blocks(0, 64, 8));
+        assert_eq!(s.port_cycles, 8);
+        assert_eq!(s.words_per_access(), 1.0);
+    }
+
+    #[test]
+    fn multibanked_moderate_stride() {
+        // Stride 16B = 2 words: banks 0,2,4,6,0,2,4,6 -> 4 distinct banks
+        // per cycle, ports=4 -> 2 cycles.
+        let s = schedule_multibanked(&BankedConfig::default(), &unit_blocks(0, 16, 8));
+        assert_eq!(s.port_cycles, 2);
+    }
+
+    #[test]
+    fn multibanked_splits_wide_blocks() {
+        // One 32-byte block = 4 word references.
+        let s = schedule_multibanked(&BankedConfig::default(), &[(0, 32)]);
+        assert_eq!(s.words, 4);
+        assert_eq!(s.port_cycles, 1);
+        assert_eq!(s.cache_accesses, 4);
+    }
+
+    #[test]
+    fn vector_cache_unit_stride_wide_grants() {
+        // 8 consecutive words -> two 4-word accesses.
+        let s = schedule_vector_cache(&VectorCacheConfig::default(), &unit_blocks(0, 8, 8));
+        assert_eq!(s.port_cycles, 2);
+        assert_eq!(s.cache_accesses, 2);
+        assert_eq!(s.words, 8);
+        assert_eq!(s.words_per_access(), 4.0);
+    }
+
+    #[test]
+    fn vector_cache_strided_degrades_to_one_per_cycle() {
+        // The paper's §3.1 limitation: stride != 1 word -> 1 ref/cycle.
+        let s = schedule_vector_cache(&VectorCacheConfig::default(), &unit_blocks(0, 640, 8));
+        assert_eq!(s.port_cycles, 8);
+        assert_eq!(s.words_per_access(), 1.0);
+    }
+
+    #[test]
+    fn vector_cache_partial_tail_run() {
+        // 6 consecutive words -> 4 + 2.
+        let s = schedule_vector_cache(&VectorCacheConfig::default(), &unit_blocks(0, 8, 6));
+        assert_eq!(s.port_cycles, 2);
+        assert_eq!(s.words, 6);
+    }
+
+    #[test]
+    fn vector_cache_descending_not_combined() {
+        let s = schedule_vector_cache(&VectorCacheConfig::default(), &unit_blocks(0x1000, -8, 4));
+        assert_eq!(s.port_cycles, 4);
+    }
+
+    #[test]
+    fn vector_cache_wide_block_crosses_lines() {
+        // A 128-byte block at unaligned base: 16 words consecutive ->
+        // 4 accesses of 4 words regardless of alignment.
+        let s = schedule_vector_cache(&VectorCacheConfig::default(), &[(0x1F4, 128)]);
+        assert_eq!(s.port_cycles, 4);
+        assert_eq!(s.words, 16);
+    }
+
+    #[test]
+    fn schedule_3d_one_line_per_cycle() {
+        // 16 blocks of 128 B: one per cycle, 16 words each.
+        let blocks: Vec<(u64, u32)> = (0..16).map(|i| (0x1000 + i, 128)).collect();
+        let s = schedule_3d(&blocks);
+        assert_eq!(s.port_cycles, 16);
+        assert_eq!(s.cache_accesses, 16);
+        assert_eq!(s.words, 256);
+        assert_eq!(s.words_per_access(), 16.0);
+    }
+
+    #[test]
+    fn schedule_3d_narrow_blocks() {
+        let blocks: Vec<(u64, u32)> = (0..4).map(|i| (i * 640, 64)).collect();
+        let s = schedule_3d(&blocks);
+        assert_eq!(s.port_cycles, 4);
+        assert_eq!(s.words, 32);
+    }
+
+    #[test]
+    fn distinct_lines_dedups_and_spans() {
+        // Two overlapping 128-byte blocks 1 byte apart on 128B lines.
+        let lines = distinct_lines(&[(0x100, 128), (0x101, 128)], 128);
+        assert_eq!(lines, vec![0x100, 0x180]);
+        // Strided 8-byte elements far apart: one line each.
+        let blocks = unit_blocks(0, 640, 4);
+        let lines = distinct_lines(&blocks, 128);
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn distinct_lines_straddle() {
+        // 8-byte access straddling a line boundary touches two lines.
+        let lines = distinct_lines(&[(0x7C, 8)], 128);
+        assert_eq!(lines, vec![0x00, 0x80]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut total = PortSchedule::default();
+        total.merge(&PortSchedule { port_cycles: 2, cache_accesses: 2, words: 8 });
+        total.merge(&PortSchedule { port_cycles: 8, cache_accesses: 8, words: 8 });
+        assert_eq!(total.port_cycles, 10);
+        assert_eq!(total.words, 16);
+        assert!((total.words_per_access() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_mapping() {
+        let cfg = BankedConfig::default();
+        assert_eq!(cfg.bank_of(0), 0);
+        assert_eq!(cfg.bank_of(8), 1);
+        assert_eq!(cfg.bank_of(56), 7);
+        assert_eq!(cfg.bank_of(64), 0);
+    }
+}

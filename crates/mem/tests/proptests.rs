@@ -1,0 +1,110 @@
+//! Property-based tests of the memory substrate.
+
+use mom3d_mem::{
+    distinct_lines, schedule_multibanked, schedule_vector_cache, BankedConfig, Cache,
+    CacheConfig, MainMemory, VectorCacheConfig, WritePolicy,
+};
+use proptest::prelude::*;
+
+fn small_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 1024,
+        assoc: 2,
+        line_bytes: 32,
+        write_policy: WritePolicy::WriteBack,
+    })
+}
+
+proptest! {
+    /// Memory reads always return the last value written, regardless of
+    /// access width mixing.
+    #[test]
+    fn memory_read_your_writes(ops in proptest::collection::vec(
+        (0u64..0x1_0000, any::<u64>(), 1u8..=8), 1..50)) {
+        let mut mem = MainMemory::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for (addr, value, width) in ops {
+            mem.write_scalar(addr, value, width);
+            for i in 0..width as u64 {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for (addr, byte) in model {
+            prop_assert_eq!(mem.read_u8(addr), byte);
+        }
+    }
+
+    /// A line accessed twice in a row always hits the second time, and
+    /// residency never exceeds capacity.
+    #[test]
+    fn cache_rehit_and_capacity(addrs in proptest::collection::vec(0u64..0x10_0000, 1..200)) {
+        let mut c = small_cache();
+        for &a in &addrs {
+            c.access(a, false);
+            prop_assert!(c.access(a, false).hit, "immediate re-access must hit");
+            prop_assert!(c.resident_lines() <= 1024 / 32);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert!(s.hits >= addrs.len() as u64, "one guaranteed hit per pair");
+    }
+
+    /// Writebacks only ever name lines that were written.
+    #[test]
+    fn writebacks_are_dirty_lines(ops in proptest::collection::vec(
+        (0u64..0x4000, any::<bool>()), 1..300)) {
+        let mut c = small_cache();
+        let mut written = std::collections::HashSet::new();
+        for (addr, is_write) in ops {
+            let line = addr & !31;
+            if is_write {
+                written.insert(line);
+            }
+            if let Some(wb) = c.access(addr, is_write).writeback {
+                prop_assert!(written.contains(&wb), "writeback of never-written line {wb:#x}");
+            }
+        }
+    }
+
+    /// Both schedulers conserve words: everything requested is
+    /// delivered, in bounded cycles.
+    #[test]
+    fn schedulers_conserve_words(
+        base in 0u64..0x1_0000,
+        stride in -512i64..512,
+        vl in 1usize..16,
+    ) {
+        let blocks: Vec<(u64, u32)> =
+            (0..vl).map(|i| ((base as i64 + stride * i as i64).unsigned_abs(), 8)).collect();
+        let mb = schedule_multibanked(&BankedConfig::default(), &blocks);
+        let vc = schedule_vector_cache(&VectorCacheConfig::default(), &blocks);
+        prop_assert_eq!(mb.words, vl as u64);
+        prop_assert_eq!(vc.words, vl as u64);
+        // Multi-banked: between vl/ports and vl cycles.
+        prop_assert!(mb.port_cycles as usize >= vl.div_ceil(4));
+        prop_assert!(mb.port_cycles as usize <= vl);
+        // Vector cache: between vl/width and vl accesses.
+        prop_assert!(vc.port_cycles as usize >= vl.div_ceil(4));
+        prop_assert!(vc.port_cycles as usize <= vl);
+        // Each granted element is one bank access on the banked system.
+        prop_assert_eq!(mb.cache_accesses, vl as u64);
+    }
+
+    /// `distinct_lines` covers every accessed byte exactly once.
+    #[test]
+    fn distinct_lines_cover(blocks in proptest::collection::vec(
+        (0u64..0x1_0000, 1u32..200), 1..20)) {
+        let lines = distinct_lines(&blocks, 128);
+        // No duplicates.
+        let set: std::collections::HashSet<_> = lines.iter().collect();
+        prop_assert_eq!(set.len(), lines.len());
+        // Every byte of every block lies in some returned line.
+        for (addr, len) in blocks {
+            for b in addr..addr + len as u64 {
+                prop_assert!(lines.contains(&(b & !127)), "byte {b:#x} uncovered");
+            }
+        }
+        // All lines aligned.
+        prop_assert!(lines.iter().all(|l| l % 128 == 0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Rixner-style register file area model (Table 3).
+
+/// Area of the cache buses charged to the non-3D configurations in
+/// Table 3 (square wire tracks): the 4 × 64-bit L1/L2 buses feeding the
+/// µSIMD/MOM register files directly. The 3D configuration replaces them
+/// with the 3D register file's own bitline array, so the paper reports
+/// "n/a" for it.
+pub const CACHE_BUS_WIRE_TRACKS: u64 = 262_144;
+
+/// Geometry of one register file for the area/power models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFileSpec {
+    /// Descriptive name (used in reports).
+    pub name: &'static str,
+    /// Physical registers.
+    pub registers: u64,
+    /// Bits per register (whole register, across lanes).
+    pub bits_per_register: u64,
+    /// Read ports per lane.
+    pub read_ports: u32,
+    /// Write ports per lane.
+    pub write_ports: u32,
+    /// Lanes (clusters); ports are per lane, storage is divided among
+    /// lanes.
+    pub lanes: u32,
+}
+
+impl RegFileSpec {
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u64 {
+        self.registers * self.bits_per_register
+    }
+
+    /// Ports seen by each storage cell.
+    pub fn ports(&self) -> u32 {
+        self.read_ports + self.write_ports
+    }
+
+    /// Area in square wire tracks: `bits × (3 + P) × (4 + P)`.
+    ///
+    /// This is Rixner's grid model with one word line per port in one
+    /// dimension and one bit line per port in the other, plus the fixed
+    /// cell width/height (3 × 4 tracks).
+    pub fn area_wire_tracks(&self) -> u64 {
+        let p = self.ports() as u64;
+        self.total_bits() * (3 + p) * (4 + p)
+    }
+
+    /// The MMX-style µSIMD register file (Table 3): 80 physical 64-bit
+    /// registers, 12 read / 8 write ports.
+    pub fn mmx() -> Self {
+        RegFileSpec {
+            name: "MMX register file",
+            registers: 80,
+            bits_per_register: 64,
+            read_ports: 12,
+            write_ports: 8,
+            lanes: 1,
+        }
+    }
+
+    /// The MOM 2D vector register file: 36 physical registers of
+    /// 16 × 64 bit, 3 read / 2 write ports per lane, 4 lanes.
+    pub fn mom() -> Self {
+        RegFileSpec {
+            name: "MOM register file",
+            registers: 36,
+            bits_per_register: 16 * 64,
+            read_ports: 3,
+            write_ports: 2,
+            lanes: 4,
+        }
+    }
+
+    /// The 192-bit accumulator register file: 4 physical registers,
+    /// 1 read / 1 write port.
+    pub fn accumulator() -> Self {
+        RegFileSpec {
+            name: "accumulator register file",
+            registers: 4,
+            bits_per_register: 192,
+            read_ports: 1,
+            write_ports: 1,
+            lanes: 1,
+        }
+    }
+
+    /// The 3D vector register file: 4 physical registers of
+    /// 16 × 16 × 64 bit, 1 read / 1 write port per lane, 4 lanes.
+    pub fn dreg_3d() -> Self {
+        RegFileSpec {
+            name: "3D vector register file",
+            registers: 4,
+            bits_per_register: 16 * 16 * 64,
+            read_ports: 1,
+            write_ports: 1,
+            lanes: 4,
+        }
+    }
+
+    /// The 3D pointer register file: 8 physical 7-bit registers,
+    /// 2 read / 2 write ports.
+    pub fn pointer_3d() -> Self {
+        RegFileSpec {
+            name: "3D pointer register file",
+            registers: 8,
+            bits_per_register: 7,
+            read_ports: 2,
+            write_ports: 2,
+            lanes: 1,
+        }
+    }
+}
+
+/// Total multimedia register-file area of one processor configuration
+/// (a Table 3 column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigArea {
+    /// Configuration name.
+    pub name: &'static str,
+    /// The register files included.
+    pub files: Vec<RegFileSpec>,
+    /// Cache-bus area charged to this configuration.
+    pub bus_wire_tracks: u64,
+}
+
+impl ConfigArea {
+    /// The MMX column of Table 3.
+    pub fn mmx() -> Self {
+        ConfigArea {
+            name: "MMX",
+            files: vec![RegFileSpec::mmx()],
+            bus_wire_tracks: CACHE_BUS_WIRE_TRACKS,
+        }
+    }
+
+    /// The MOM column of Table 3.
+    pub fn mom() -> Self {
+        ConfigArea {
+            name: "MOM",
+            files: vec![RegFileSpec::mom(), RegFileSpec::accumulator()],
+            bus_wire_tracks: CACHE_BUS_WIRE_TRACKS,
+        }
+    }
+
+    /// The MOM + 3D column of Table 3 (the 3D register file's bitline
+    /// array replaces the cache buses).
+    pub fn mom_3d() -> Self {
+        ConfigArea {
+            name: "MOM + 3D",
+            files: vec![
+                RegFileSpec::mom(),
+                RegFileSpec::accumulator(),
+                RegFileSpec::dreg_3d(),
+                RegFileSpec::pointer_3d(),
+            ],
+            bus_wire_tracks: 0,
+        }
+    }
+
+    /// Total area in square wire tracks (register files + buses).
+    pub fn total_wire_tracks(&self) -> u64 {
+        self.files.iter().map(RegFileSpec::area_wire_tracks).sum::<u64>() + self.bus_wire_tracks
+    }
+
+    /// Area normalized to the MMX configuration (the paper's bottom
+    /// row: 1.00 / 0.95 / 1.50).
+    pub fn normalized_to_mmx(&self) -> f64 {
+        self.total_wire_tracks() as f64 / ConfigArea::mmx().total_wire_tracks() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_mmx_rf_area_exact() {
+        assert_eq!(RegFileSpec::mmx().area_wire_tracks(), 2_826_240);
+    }
+
+    #[test]
+    fn table3_mom_rf_area_exact() {
+        assert_eq!(RegFileSpec::mom().area_wire_tracks(), 2_654_208);
+    }
+
+    #[test]
+    fn table3_accumulator_area_exact() {
+        assert_eq!(RegFileSpec::accumulator().area_wire_tracks(), 23_040);
+    }
+
+    #[test]
+    fn table3_3d_rf_area_exact() {
+        assert_eq!(RegFileSpec::dreg_3d().area_wire_tracks(), 1_966_080);
+    }
+
+    #[test]
+    fn table3_pointer_rf_area_exact() {
+        assert_eq!(RegFileSpec::pointer_3d().area_wire_tracks(), 3_136);
+    }
+
+    #[test]
+    fn table3_config_totals_exact() {
+        assert_eq!(ConfigArea::mmx().total_wire_tracks(), 3_088_384);
+        assert_eq!(ConfigArea::mom().total_wire_tracks(), 2_939_392);
+        assert_eq!(ConfigArea::mom_3d().total_wire_tracks(), 4_646_464);
+    }
+
+    #[test]
+    fn table3_normalized_areas() {
+        assert!((ConfigArea::mmx().normalized_to_mmx() - 1.00).abs() < 1e-12);
+        assert!((ConfigArea::mom().normalized_to_mmx() - 0.95).abs() < 0.005);
+        // "At the investment of a 50% more area than a regular SIMD
+        // register file": 1.50 normalized.
+        assert!((ConfigArea::mom_3d().normalized_to_mmx() - 1.50).abs() < 0.005);
+    }
+
+    #[test]
+    fn max_bandwidth_geometry() {
+        // Table 3: MOM RF max memory bandwidth 4 (words/cycle), 3D RF 16.
+        // Bandwidth = write ports x lanes x (element words movable/cycle).
+        let mom = RegFileSpec::mom();
+        assert_eq!(mom.lanes, 4);
+        let d3 = RegFileSpec::dreg_3d();
+        // One 128-byte line per cycle = 16 words across the lanes.
+        assert_eq!(d3.bits_per_register / 16 / 64, 16);
+    }
+
+    #[test]
+    fn ports_dominate_area() {
+        // The 3D RF holds 8x the MMX file's bits but is smaller, because
+        // P=2 vs P=20 — the paper's key area argument.
+        let mmx = RegFileSpec::mmx();
+        let d3 = RegFileSpec::dreg_3d();
+        assert!(d3.total_bits() > 8 * mmx.total_bits());
+        assert!(d3.area_wire_tracks() < mmx.area_wire_tracks());
+    }
+}

@@ -1,0 +1,172 @@
+//! Capacitance-based energy model for register files and the L2 cache
+//! (Figure 11).
+//!
+//! Both models are of the Rixner family: energy per access is the
+//! switched wire capacitance (bitlines + wordlines, with array
+//! dimensions taken from the same wire-track geometry as the area model)
+//! times `Vdd²`. The paper notes its own numbers are approximations that
+//! ignore hierarchical/differential bitline tricks; ours are calibrated
+//! by the same wire-track geometry that reproduces Table 3 exactly.
+
+use crate::area::RegFileSpec;
+
+/// Process/technology parameters (defaults: the paper's 0.18 µm CMOS at
+/// 1 GHz, 1.8 V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessParams {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Wire track pitch in micrometres.
+    pub wire_pitch_um: f64,
+    /// Wire capacitance in femtofarads per micrometre.
+    pub wire_cap_ff_per_um: f64,
+    /// Storage-cell capacitance charged per accessed bit (fF).
+    pub cell_cap_ff: f64,
+    /// Clock frequency in hertz.
+    pub freq_hz: f64,
+}
+
+impl Default for ProcessParams {
+    fn default() -> Self {
+        ProcessParams {
+            vdd: 1.8,
+            wire_pitch_um: 0.8,
+            wire_cap_ff_per_um: 0.30,
+            cell_cap_ff: 2.0,
+            freq_hz: 1.0e9,
+        }
+    }
+}
+
+impl ProcessParams {
+    /// Energy (joules) to switch `length_um` micrometres of wire.
+    fn wire_energy(&self, length_um: f64) -> f64 {
+        length_um * self.wire_cap_ff_per_um * 1e-15 * self.vdd * self.vdd
+    }
+
+    /// Energy (joules) per access to one lane of a register file.
+    ///
+    /// The accessed word's bitlines run the height of the lane array
+    /// (registers × cell height) and its wordline runs the width
+    /// (bits-per-lane × cell width); cell dimensions grow with port
+    /// count exactly as in the area model.
+    pub fn regfile_access_energy(&self, spec: &RegFileSpec) -> f64 {
+        let p = spec.ports() as f64;
+        let cell_w = (3.0 + p) * self.wire_pitch_um;
+        let cell_h = (4.0 + p) * self.wire_pitch_um;
+        let bits_per_lane = spec.bits_per_register as f64 / spec.lanes as f64;
+        // Word accessed per lane per cycle: 64 bits (one element slice).
+        let word_bits = 64.0_f64.min(bits_per_lane);
+        let bitline_len = spec.registers as f64 * cell_h;
+        let wordline_len = bits_per_lane * cell_w;
+        let bitlines = word_bits * self.wire_energy(bitline_len);
+        let wordline = self.wire_energy(wordline_len);
+        let cells = word_bits * self.cell_cap_ff * 1e-15 * self.vdd * self.vdd;
+        bitlines + wordline + cells
+    }
+}
+
+/// Geometry of the on-chip L2 (paper §5.3/§6.3: 2 MB, 128-byte lines,
+/// physically distributed across 32 memory sub-arrays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Params {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Number of sub-arrays; one access activates one sub-array.
+    pub subarrays: u32,
+    /// Bits read/written per access (one wide access = up to a line).
+    pub access_bits: u32,
+}
+
+impl Default for L2Params {
+    fn default() -> Self {
+        L2Params { size_bytes: 2 * 1024 * 1024, subarrays: 32, access_bits: 128 * 8 }
+    }
+}
+
+impl L2Params {
+    /// Energy (joules) per L2 access under `process`.
+    ///
+    /// One sub-array (size/subarrays bytes, modeled square-ish: rows =
+    /// sqrt(bits)) activates its wordline and `access_bits` bitline
+    /// pairs; SRAM cells sit at ~1.5 × 1.5 wire tracks (6T, single
+    /// ported).
+    pub fn access_energy(&self, process: &ProcessParams) -> f64 {
+        let bits = (self.size_bytes * 8 / self.subarrays as u64) as f64;
+        let rows = bits.sqrt().ceil();
+        let cols = bits / rows;
+        let cell = 1.5 * process.wire_pitch_um;
+        let bitline_len = rows * cell;
+        let wordline_len = cols * cell;
+        let bitlines = self.access_bits as f64 * process.wire_energy(bitline_len);
+        let wordline = process.wire_energy(wordline_len);
+        let sense = self.access_bits as f64 * process.cell_cap_ff * 1e-15
+            * process.vdd
+            * process.vdd;
+        bitlines + wordline + sense
+    }
+}
+
+/// Average power in watts of `accesses` events of `energy_per_access`
+/// joules over `cycles` cycles at `freq_hz`.
+pub fn average_power_watts(accesses: u64, energy_per_access: f64, cycles: u64, freq_hz: f64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let seconds = cycles as f64 / freq_hz;
+    accesses as f64 * energy_per_access / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_access_energy_is_nanojoule_scale() {
+        // A 2 MB 0.18 µm SRAM access lands in the 0.1-10 nJ range.
+        let e = L2Params::default().access_energy(&ProcessParams::default());
+        assert!(e > 0.05e-9 && e < 10e-9, "L2 access energy {e:.3e} J");
+    }
+
+    #[test]
+    fn regfile_access_is_much_cheaper_than_l2() {
+        // The paper's Figure 11 argument: 3D RF accesses are cheap
+        // compared with L2 accesses.
+        let p = ProcessParams::default();
+        let rf = p.regfile_access_energy(&RegFileSpec::dreg_3d());
+        let l2 = L2Params::default().access_energy(&p);
+        assert!(rf * 10.0 < l2, "rf {rf:.3e} J vs l2 {l2:.3e} J");
+    }
+
+    #[test]
+    fn more_ports_cost_more_energy() {
+        let p = ProcessParams::default();
+        let mmx = p.regfile_access_energy(&RegFileSpec::mmx());
+        let d3 = p.regfile_access_energy(&RegFileSpec::dreg_3d());
+        assert!(mmx > d3, "a 20-port access beats a 2-port access in energy");
+    }
+
+    #[test]
+    fn average_power_math() {
+        // 1e9 accesses of 1 nJ over 1e9 cycles at 1 GHz = 1 J / 1 s = 1 W.
+        let w = average_power_watts(1_000_000_000, 1e-9, 1_000_000_000, 1e9);
+        assert!((w - 1.0).abs() < 1e-9);
+        assert_eq!(average_power_watts(5, 1.0, 0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn power_scales_with_activity() {
+        let e = L2Params::default().access_energy(&ProcessParams::default());
+        let lo = average_power_watts(1_000_000, e, 10_000_000, 1e9);
+        let hi = average_power_watts(2_000_000, e, 10_000_000, 1e9);
+        assert!((hi / lo - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pointer_file_power_is_negligible() {
+        let p = ProcessParams::default();
+        let ptr = p.regfile_access_energy(&RegFileSpec::pointer_3d());
+        let l2 = L2Params::default().access_energy(&p);
+        assert!(ptr * 1000.0 < l2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mom3d-power — register-file area and power models
+//!
+//! The paper estimates register-file areas with the models of Rixner
+//! et al. ("Register Organization for Media Processing", HPCA-6) and
+//! power with the same family of capacitance models, for a 0.18 µm,
+//! 1 GHz processor whose 2 MB L2 is distributed over 32 sub-arrays.
+//!
+//! For the published area numbers (Table 3), Rixner's grid model reduces
+//! to
+//!
+//! ```text
+//! area = bits × (3 + P) × (4 + P)   square wire tracks,
+//! ```
+//!
+//! with `P` the number of read+write ports seen by each storage cell
+//! (per lane, for clustered register files). This crate reproduces every
+//! Table 3 entry **exactly** — see [`RegFileSpec::area_wire_tracks`] and
+//! the `table3` tests — which is also what calibrates the technology
+//! constants used by the energy model behind Figure 11.
+//!
+//! ```
+//! use mom3d_power::RegFileSpec;
+//!
+//! // The paper's MMX register file: 80 x 64-bit, 12R/8W ports.
+//! assert_eq!(RegFileSpec::mmx().area_wire_tracks(), 2_826_240);
+//! // The 3D vector register file costs less area than the MMX file
+//! // despite holding 8x the bytes, thanks to 1R/1W clustered ports.
+//! assert_eq!(RegFileSpec::dreg_3d().area_wire_tracks(), 1_966_080);
+//! ```
+
+mod area;
+mod energy;
+
+pub use area::{ConfigArea, RegFileSpec, CACHE_BUS_WIRE_TRACKS};
+pub use energy::{average_power_watts, L2Params, ProcessParams};

@@ -1,0 +1,241 @@
+//! Lane geometry of packed 64-bit values.
+
+use std::fmt;
+
+/// Sub-word lane width of a packed 64-bit value.
+///
+/// Mirrors the data types of MMX/MOM: packed bytes, halfwords (16-bit),
+/// words (32-bit) and a single doubleword (64-bit).
+///
+/// ```
+/// use mom3d_simd::Width;
+/// assert_eq!(Width::B8.lanes(), 8);
+/// assert_eq!(Width::H16.bits(), 16);
+/// assert_eq!(Width::W32.mask(), 0xFFFF_FFFF);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// Eight 8-bit lanes (pixels).
+    B8,
+    /// Four 16-bit lanes (audio samples, DCT coefficients).
+    H16,
+    /// Two 32-bit lanes (accumulators, products).
+    W32,
+    /// One 64-bit lane.
+    D64,
+}
+
+impl Width {
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::B8, Width::H16, Width::W32, Width::D64];
+
+    /// Number of lanes in a 64-bit word.
+    #[inline]
+    pub const fn lanes(self) -> usize {
+        match self {
+            Width::B8 => 8,
+            Width::H16 => 4,
+            Width::W32 => 2,
+            Width::D64 => 1,
+        }
+    }
+
+    /// Bits per lane.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        match self {
+            Width::B8 => 8,
+            Width::H16 => 16,
+            Width::W32 => 32,
+            Width::D64 => 64,
+        }
+    }
+
+    /// Bytes per lane.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// All-ones mask covering one lane.
+    #[inline]
+    pub const fn mask(self) -> u64 {
+        match self {
+            Width::B8 => 0xFF,
+            Width::H16 => 0xFFFF,
+            Width::W32 => 0xFFFF_FFFF,
+            Width::D64 => u64::MAX,
+        }
+    }
+
+    /// Largest unsigned lane value.
+    #[inline]
+    pub const fn umax(self) -> u64 {
+        self.mask()
+    }
+
+    /// Largest signed lane value (e.g. `127` for [`Width::B8`]).
+    #[inline]
+    pub const fn smax(self) -> i64 {
+        (self.mask() >> 1) as i64
+    }
+
+    /// Smallest signed lane value (e.g. `-128` for [`Width::B8`]).
+    #[inline]
+    pub const fn smin(self) -> i64 {
+        -(self.smax()) - 1
+    }
+
+    /// Width with twice the lane size, if one exists.
+    #[inline]
+    pub const fn widen(self) -> Option<Width> {
+        match self {
+            Width::B8 => Some(Width::H16),
+            Width::H16 => Some(Width::W32),
+            Width::W32 => Some(Width::D64),
+            Width::D64 => None,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Width::B8 => "b",
+            Width::H16 => "h",
+            Width::W32 => "w",
+            Width::D64 => "d",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Extracts lane `i` of `v` (zero-extended).
+///
+/// # Panics
+///
+/// Panics if `i >= w.lanes()`.
+#[inline]
+pub fn lane(v: u64, i: usize, w: Width) -> u64 {
+    assert!(i < w.lanes(), "lane index {i} out of range for {w:?}");
+    (v >> (i as u32 * w.bits())) & w.mask()
+}
+
+/// Returns `v` with lane `i` replaced by the low bits of `x`.
+///
+/// # Panics
+///
+/// Panics if `i >= w.lanes()`.
+#[inline]
+pub fn set_lane(v: u64, i: usize, x: u64, w: Width) -> u64 {
+    assert!(i < w.lanes(), "lane index {i} out of range for {w:?}");
+    let sh = i as u32 * w.bits();
+    let cleared = v & !(w.mask().wrapping_shl(sh));
+    cleared | ((x & w.mask()) << sh)
+}
+
+/// Sign-extends a lane value (as produced by [`lane`]) to `i64`.
+#[inline]
+pub fn sext(v: u64, w: Width) -> i64 {
+    let shift = 64 - w.bits();
+    ((v << shift) as i64) >> shift
+}
+
+/// Applies `f` to every lane of `v`, truncating the result into the lane.
+#[inline]
+pub fn map_lanes(v: u64, w: Width, mut f: impl FnMut(u64) -> u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..w.lanes() {
+        out = set_lane(out, i, f(lane(v, i, w)), w);
+    }
+    out
+}
+
+/// Applies `f` lane-wise to `a` and `b`, truncating results into lanes.
+#[inline]
+pub fn map_lanes2(a: u64, b: u64, w: Width, mut f: impl FnMut(u64, u64) -> u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..w.lanes() {
+        out = set_lane(out, i, f(lane(a, i, w), lane(b, i, w)), w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_geometry_is_consistent() {
+        for w in Width::ALL {
+            assert_eq!(w.lanes() * w.bits() as usize, 64);
+            assert_eq!(w.bytes() * 8, w.bits() as usize);
+            if w != Width::D64 {
+                assert_eq!(w.mask(), (1u64 << w.bits()) - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn signed_bounds() {
+        assert_eq!(Width::B8.smax(), 127);
+        assert_eq!(Width::B8.smin(), -128);
+        assert_eq!(Width::H16.smax(), 32767);
+        assert_eq!(Width::H16.smin(), -32768);
+        assert_eq!(Width::W32.smax(), i32::MAX as i64);
+        assert_eq!(Width::D64.smax(), i64::MAX);
+        assert_eq!(Width::D64.smin(), i64::MIN);
+    }
+
+    #[test]
+    fn lane_extract_and_insert_roundtrip() {
+        let v = 0x0123_4567_89AB_CDEFu64;
+        for w in Width::ALL {
+            let mut rebuilt = 0u64;
+            for i in 0..w.lanes() {
+                rebuilt = set_lane(rebuilt, i, lane(v, i, w), w);
+            }
+            assert_eq!(rebuilt, v, "width {w:?}");
+        }
+    }
+
+    #[test]
+    fn lane_order_is_little_endian() {
+        let v = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(lane(v, 0, Width::B8), 1);
+        assert_eq!(lane(v, 7, Width::B8), 8);
+        assert_eq!(lane(v, 0, Width::H16), 0x0201);
+        assert_eq!(lane(v, 1, Width::W32), 0x0807_0605);
+    }
+
+    #[test]
+    fn sext_works() {
+        assert_eq!(sext(0xFF, Width::B8), -1);
+        assert_eq!(sext(0x7F, Width::B8), 127);
+        assert_eq!(sext(0x8000, Width::H16), -32768);
+        assert_eq!(sext(0xFFFF_FFFF, Width::W32), -1);
+        assert_eq!(sext(u64::MAX, Width::D64), -1);
+    }
+
+    #[test]
+    fn widen_chain() {
+        assert_eq!(Width::B8.widen(), Some(Width::H16));
+        assert_eq!(Width::H16.widen(), Some(Width::W32));
+        assert_eq!(Width::W32.widen(), Some(Width::D64));
+        assert_eq!(Width::D64.widen(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index")]
+    fn lane_out_of_range_panics() {
+        lane(0, 2, Width::W32);
+    }
+
+    #[test]
+    fn map_lanes2_add_bytes() {
+        let a = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = u64::from_le_bytes([10, 20, 30, 40, 50, 60, 70, 80]);
+        let c = map_lanes2(a, b, Width::B8, |x, y| x + y);
+        assert_eq!(c.to_le_bytes(), [11, 22, 33, 44, 55, 66, 77, 88]);
+    }
+}

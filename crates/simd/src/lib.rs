@@ -1,0 +1,40 @@
+//! # mom3d-simd — packed µSIMD arithmetic
+//!
+//! Functional semantics of the MMX-like µSIMD operations used by the MOM
+//! 2D vector ISA (MICRO-35 2002, "Three-Dimensional Memory Vectorization
+//! for High Bandwidth Media Memory Systems"). Every MOM computation
+//! instruction applies one of these packed operations to each 64-bit
+//! element of a 2D vector register; an MMX-style processor applies them to
+//! a single 64-bit register.
+//!
+//! A packed value is an ordinary `u64` whose lanes are interpreted
+//! according to a [`Width`]: eight bytes, four halfwords, two words or one
+//! doubleword, in little-endian lane order (lane 0 = least-significant).
+//!
+//! ```
+//! use mom3d_simd::{Width, add_sat_u};
+//!
+//! // Saturating unsigned byte add: 0xF0 + 0x20 saturates to 0xFF.
+//! let a = u64::from_le_bytes([0xF0, 1, 2, 3, 4, 5, 6, 7]);
+//! let b = u64::from_le_bytes([0x20, 1, 1, 1, 1, 1, 1, 1]);
+//! let c = add_sat_u(a, b, Width::B8);
+//! assert_eq!(c.to_le_bytes()[0], 0xFF);
+//! assert_eq!(c.to_le_bytes()[1], 2);
+//! ```
+
+mod lanes;
+mod ops;
+mod pack;
+mod reduce;
+
+pub use lanes::{lane, map_lanes, map_lanes2, sext, set_lane, Width};
+pub use ops::{
+    abs_diff_u, add_sat_s, add_sat_u, add_wrap, avg_u, cmp_eq, cmp_gt_s, madd_s16, max_s, max_u,
+    min_s, min_u, mul_high_s16, mul_low_16, sad_u8, shl, shr_arith, shr_logic, sub_sat_s,
+    sub_sat_u, sub_wrap,
+};
+pub use pack::{
+    pack_s16_to_s8_sat, pack_s16_to_u8_sat, pack_s32_to_s16_sat, pack_s32_to_u16_sat, unpack_hi,
+    unpack_lo, zext_hi_u8, zext_lo_u8,
+};
+pub use reduce::{hsum_s, hsum_u, Accumulator};

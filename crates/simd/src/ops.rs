@@ -1,0 +1,363 @@
+//! Packed arithmetic, comparison and shift operations.
+
+use crate::lanes::{lane, map_lanes2, set_lane, sext, Width};
+
+/// Lane-wise wrapping (modular) addition — `padd`.
+#[inline]
+pub fn add_wrap(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.wrapping_add(y))
+}
+
+/// Lane-wise wrapping (modular) subtraction — `psub`.
+#[inline]
+pub fn sub_wrap(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.wrapping_sub(y))
+}
+
+/// Lane-wise unsigned saturating addition — `paddus`.
+#[inline]
+pub fn add_sat_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| (x as u128 + y as u128).min(w.umax() as u128) as u64)
+}
+
+/// Lane-wise unsigned saturating subtraction — `psubus`.
+#[inline]
+pub fn sub_sat_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.saturating_sub(y))
+}
+
+/// Lane-wise signed saturating addition — `padds`.
+#[inline]
+pub fn add_sat_s(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| {
+        let s = sext(x, w) as i128 + sext(y, w) as i128;
+        s.clamp(w.smin() as i128, w.smax() as i128) as u64
+    })
+}
+
+/// Lane-wise signed saturating subtraction — `psubs`.
+#[inline]
+pub fn sub_sat_s(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| {
+        let s = sext(x, w) as i128 - sext(y, w) as i128;
+        s.clamp(w.smin() as i128, w.smax() as i128) as u64
+    })
+}
+
+/// Lane-wise unsigned minimum — `pminu`.
+#[inline]
+pub fn min_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.min(y))
+}
+
+/// Lane-wise unsigned maximum — `pmaxu`.
+#[inline]
+pub fn max_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.max(y))
+}
+
+/// Lane-wise signed minimum — `pmins`.
+#[inline]
+pub fn min_s(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| {
+        if sext(x, w) <= sext(y, w) {
+            x
+        } else {
+            y
+        }
+    })
+}
+
+/// Lane-wise signed maximum — `pmaxs`.
+#[inline]
+pub fn max_s(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| {
+        if sext(x, w) >= sext(y, w) {
+            x
+        } else {
+            y
+        }
+    })
+}
+
+/// Lane-wise unsigned absolute difference `|a - b|`.
+///
+/// The building block of motion-estimation SAD kernels.
+#[inline]
+pub fn abs_diff_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.abs_diff(y))
+}
+
+/// Sum of absolute differences of the eight unsigned bytes — `psadbw`.
+///
+/// Returns the 16-bit sum zero-extended into a 64-bit word, exactly like
+/// the MMX/SSE `PSADBW` result (maximum value `8 * 255 = 2040`).
+///
+/// ```
+/// let a = u64::from_le_bytes([10, 0, 0, 0, 0, 0, 0, 0]);
+/// let b = u64::from_le_bytes([3, 0, 0, 0, 0, 0, 0, 0]);
+/// assert_eq!(mom3d_simd::sad_u8(a, b), 7);
+/// ```
+#[inline]
+pub fn sad_u8(a: u64, b: u64) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..8 {
+        sum += lane(a, i, Width::B8).abs_diff(lane(b, i, Width::B8));
+    }
+    sum
+}
+
+/// Lane-wise rounding unsigned average `(a + b + 1) >> 1` — `pavg`.
+///
+/// Used by MPEG-2 half-pel motion compensation.
+#[inline]
+pub fn avg_u(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| ((x as u128 + y as u128 + 1) >> 1) as u64)
+}
+
+/// Lane-wise multiply keeping the low half of each product — `pmull`.
+///
+/// Defined for 16-bit and 32-bit lanes (the MMX repertoire).
+#[inline]
+pub fn mul_low_16(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| x.wrapping_mul(y))
+}
+
+/// Lane-wise signed 16-bit multiply keeping the high half — `pmulhw`.
+#[inline]
+pub fn mul_high_s16(a: u64, b: u64) -> u64 {
+    map_lanes2(a, b, Width::H16, |x, y| {
+        let p = sext(x, Width::H16) * sext(y, Width::H16);
+        ((p >> 16) as u64) & 0xFFFF
+    })
+}
+
+/// Multiply-accumulate of signed 16-bit pairs — `pmaddwd`.
+///
+/// Lanes `(0,1)` and `(2,3)` of the 16-bit products are summed into two
+/// signed 32-bit results. The workhorse of dot products (DCT, GSM LTP
+/// cross-correlation).
+#[inline]
+pub fn madd_s16(a: u64, b: u64) -> u64 {
+    let mut out = 0u64;
+    for p in 0..2 {
+        let i = 2 * p;
+        let s0 = sext(lane(a, i, Width::H16), Width::H16) * sext(lane(b, i, Width::H16), Width::H16);
+        let s1 = sext(lane(a, i + 1, Width::H16), Width::H16)
+            * sext(lane(b, i + 1, Width::H16), Width::H16);
+        out = set_lane(out, p, (s0 + s1) as u64, Width::W32);
+    }
+    out
+}
+
+/// Lane-wise logical left shift by an immediate — `psll`.
+///
+/// Shift amounts `>= w.bits()` zero the lanes, as on real hardware.
+#[inline]
+pub fn shl(a: u64, amount: u32, w: Width) -> u64 {
+    if amount >= w.bits() {
+        return 0;
+    }
+    map_lanes2(a, 0, w, |x, _| x << amount)
+}
+
+/// Lane-wise logical right shift by an immediate — `psrl`.
+#[inline]
+pub fn shr_logic(a: u64, amount: u32, w: Width) -> u64 {
+    if amount >= w.bits() {
+        return 0;
+    }
+    map_lanes2(a, 0, w, |x, _| x >> amount)
+}
+
+/// Lane-wise arithmetic right shift by an immediate — `psra`.
+///
+/// Shift amounts `>= w.bits()` replicate the sign bit across the lane.
+#[inline]
+pub fn shr_arith(a: u64, amount: u32, w: Width) -> u64 {
+    let amount = amount.min(w.bits() - 1);
+    map_lanes2(a, 0, w, |x, _| (sext(x, w) >> amount) as u64)
+}
+
+/// Lane-wise equality compare producing all-ones / all-zeros masks — `pcmpeq`.
+#[inline]
+pub fn cmp_eq(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| if x == y { w.mask() } else { 0 })
+}
+
+/// Lane-wise signed greater-than compare producing masks — `pcmpgt`.
+#[inline]
+pub fn cmp_gt_s(a: u64, b: u64, w: Width) -> u64 {
+    map_lanes2(a, b, w, |x, y| if sext(x, w) > sext(y, w) { w.mask() } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(xs: [u8; 8]) -> u64 {
+        u64::from_le_bytes(xs)
+    }
+
+    fn h(xs: [u16; 4]) -> u64 {
+        let mut v = 0u64;
+        for (i, x) in xs.into_iter().enumerate() {
+            v |= (x as u64) << (16 * i);
+        }
+        v
+    }
+
+    #[test]
+    fn wrapping_add_bytes_wraps() {
+        let r = add_wrap(b([250, 1, 2, 3, 4, 5, 6, 7]), b([10, 1, 1, 1, 1, 1, 1, 1]), Width::B8);
+        assert_eq!(r.to_le_bytes(), [4, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn wrapping_does_not_leak_between_lanes() {
+        // 0xFF + 1 in lane 0 must not carry into lane 1.
+        let r = add_wrap(b([0xFF, 0, 0, 0, 0, 0, 0, 0]), b([1, 0, 0, 0, 0, 0, 0, 0]), Width::B8);
+        assert_eq!(r, 0);
+    }
+
+    #[test]
+    fn saturating_unsigned_add() {
+        let r = add_sat_u(b([250, 1, 0, 0, 0, 0, 0, 0]), b([10, 1, 0, 0, 0, 0, 0, 0]), Width::B8);
+        assert_eq!(r.to_le_bytes()[0], 255);
+        assert_eq!(r.to_le_bytes()[1], 2);
+    }
+
+    #[test]
+    fn saturating_unsigned_sub_floors_at_zero() {
+        let r = sub_sat_u(b([3, 10, 0, 0, 0, 0, 0, 0]), b([10, 3, 0, 0, 0, 0, 0, 0]), Width::B8);
+        assert_eq!(r.to_le_bytes()[0], 0);
+        assert_eq!(r.to_le_bytes()[1], 7);
+    }
+
+    #[test]
+    fn saturating_signed_add_halfwords() {
+        let r = add_sat_s(h([32000, 0x8000, 5, 0]), h([1000, 0xFFFF, 5, 0]), Width::H16);
+        assert_eq!(lane(r, 0, Width::H16), 32767); // clamped high
+        assert_eq!(sext(lane(r, 1, Width::H16), Width::H16), -32768); // clamped low
+        assert_eq!(lane(r, 2, Width::H16), 10);
+    }
+
+    #[test]
+    fn saturating_signed_sub_halfwords() {
+        let r = sub_sat_s(h([0x8000, 32000, 0, 0]), h([1, 0x8000, 0, 0]), Width::H16);
+        assert_eq!(sext(lane(r, 0, Width::H16), Width::H16), -32768);
+        assert_eq!(lane(r, 1, Width::H16), 32767);
+    }
+
+    #[test]
+    fn min_max_unsigned() {
+        let a = b([1, 200, 3, 4, 5, 6, 7, 8]);
+        let c = b([2, 100, 3, 0, 9, 9, 0, 9]);
+        assert_eq!(min_u(a, c, Width::B8).to_le_bytes(), [1, 100, 3, 0, 5, 6, 0, 8]);
+        assert_eq!(max_u(a, c, Width::B8).to_le_bytes(), [2, 200, 3, 4, 9, 9, 7, 9]);
+    }
+
+    #[test]
+    fn min_max_signed_respects_sign() {
+        let a = h([0xFFFF, 5, 0, 0]); // -1, 5
+        let c = h([1, 0x8000, 0, 0]); // 1, -32768
+        assert_eq!(sext(lane(min_s(a, c, Width::H16), 0, Width::H16), Width::H16), -1);
+        assert_eq!(sext(lane(min_s(a, c, Width::H16), 1, Width::H16), Width::H16), -32768);
+        assert_eq!(lane(max_s(a, c, Width::H16), 0, Width::H16), 1);
+        assert_eq!(lane(max_s(a, c, Width::H16), 1, Width::H16), 5);
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        let a = b([10, 3, 200, 0, 1, 2, 3, 4]);
+        let c = b([3, 10, 0, 200, 1, 2, 3, 4]);
+        assert_eq!(abs_diff_u(a, c, Width::B8), abs_diff_u(c, a, Width::B8));
+        assert_eq!(abs_diff_u(a, c, Width::B8).to_le_bytes(), [7, 7, 200, 200, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sad_matches_scalar() {
+        let a = b([10, 20, 30, 40, 50, 60, 70, 80]);
+        let c = b([80, 70, 60, 50, 40, 30, 20, 10]);
+        let expected: u64 = a
+            .to_le_bytes()
+            .iter()
+            .zip(c.to_le_bytes().iter())
+            .map(|(x, y)| (*x as i32 - *y as i32).unsigned_abs() as u64)
+            .sum();
+        assert_eq!(sad_u8(a, c), expected);
+    }
+
+    #[test]
+    fn sad_max_value() {
+        assert_eq!(sad_u8(u64::MAX, 0), 8 * 255);
+    }
+
+    #[test]
+    fn avg_rounds_up() {
+        let r = avg_u(b([1, 2, 0, 0, 0, 0, 0, 0]), b([2, 2, 0, 0, 0, 0, 0, 0]), Width::B8);
+        assert_eq!(r.to_le_bytes()[0], 2); // (1+2+1)>>1
+        assert_eq!(r.to_le_bytes()[1], 2);
+        // 255 avg 255 must not overflow the lane.
+        assert_eq!(avg_u(u64::MAX, u64::MAX, Width::B8), u64::MAX);
+    }
+
+    #[test]
+    fn mul_low_and_high() {
+        let a = h([300, 0xFFFF, 2, 0]);
+        let c = h([300, 2, 3, 0]);
+        // 300*300 = 90000 = 0x15F90; low 16 = 0x5F90, high 16 = 1.
+        assert_eq!(lane(mul_low_16(a, c, Width::H16), 0, Width::H16), 0x5F90);
+        assert_eq!(lane(mul_high_s16(a, c), 0, Width::H16), 1);
+        // -1 * 2 = -2 → high half = 0xFFFF.
+        assert_eq!(lane(mul_high_s16(a, c), 1, Width::H16), 0xFFFF);
+    }
+
+    #[test]
+    fn madd_pairs() {
+        let a = h([1, 2, 3, 0xFFFF]); // 1, 2, 3, -1
+        let c = h([10, 20, 30, 40]);
+        let r = madd_s16(a, c);
+        assert_eq!(sext(lane(r, 0, Width::W32), Width::W32), 1 * 10 + 2 * 20);
+        assert_eq!(sext(lane(r, 1, Width::W32), Width::W32), 3 * 30 - 40);
+    }
+
+    #[test]
+    fn madd_extreme_no_overflow() {
+        // (-32768 * -32768) * 2 = 2^31 exactly wraps in i32 on x86; the spec
+        // says the result is 0x80000000. Our i64 math then truncates the same.
+        let a = h([0x8000, 0x8000, 0, 0]);
+        let r = madd_s16(a, a);
+        assert_eq!(lane(r, 0, Width::W32), 0x8000_0000);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = h([0x8001, 0x0F0F, 0, 0]);
+        assert_eq!(lane(shl(a, 4, Width::H16), 0, Width::H16), 0x0010);
+        assert_eq!(lane(shr_logic(a, 4, Width::H16), 0, Width::H16), 0x0800);
+        assert_eq!(sext(lane(shr_arith(a, 4, Width::H16), 0, Width::H16), Width::H16), -2048 + 0,);
+        // sanity: arithmetic shift keeps sign
+        assert!(sext(lane(shr_arith(a, 1, Width::H16), 0, Width::H16), Width::H16) < 0);
+    }
+
+    #[test]
+    fn shift_amount_saturation() {
+        let a = h([0x8000, 1, 1, 1]);
+        assert_eq!(shl(a, 16, Width::H16), 0);
+        assert_eq!(shr_logic(a, 16, Width::H16), 0);
+        // Arithmetic shift by >= width replicates the sign bit.
+        assert_eq!(lane(shr_arith(a, 16, Width::H16), 0, Width::H16), 0xFFFF);
+        assert_eq!(lane(shr_arith(a, 16, Width::H16), 1, Width::H16), 0);
+    }
+
+    #[test]
+    fn compares_produce_masks() {
+        let a = b([1, 5, 3, 0, 0, 0, 0, 0]);
+        let c = b([1, 3, 5, 0, 0, 0, 0, 0]);
+        assert_eq!(cmp_eq(a, c, Width::B8).to_le_bytes()[0], 0xFF);
+        assert_eq!(cmp_eq(a, c, Width::B8).to_le_bytes()[1], 0);
+        assert_eq!(cmp_gt_s(a, c, Width::B8).to_le_bytes()[1], 0xFF);
+        assert_eq!(cmp_gt_s(a, c, Width::B8).to_le_bytes()[2], 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pack, unpack and interleave operations (`pack*`, `punpck*`).
+
+use crate::lanes::{lane, set_lane, sext, Width};
+
+#[inline]
+fn sat_u8(v: i64) -> u64 {
+    v.clamp(0, 255) as u64
+}
+
+#[inline]
+fn sat_s8(v: i64) -> u64 {
+    (v.clamp(-128, 127) as u64) & 0xFF
+}
+
+#[inline]
+fn sat_s16(v: i64) -> u64 {
+    (v.clamp(-32768, 32767) as u64) & 0xFFFF
+}
+
+#[inline]
+fn sat_u16(v: i64) -> u64 {
+    v.clamp(0, 65535) as u64
+}
+
+/// Packs eight signed 16-bit lanes (from `lo`, then `hi`) into eight
+/// unsigned-saturated bytes — `packuswb`.
+///
+/// The classic final step of IDCT + motion compensation: clamp pixel
+/// values into `[0, 255]`.
+#[inline]
+pub fn pack_s16_to_u8_sat(lo: u64, hi: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..4 {
+        out = set_lane(out, i, sat_u8(sext(lane(lo, i, Width::H16), Width::H16)), Width::B8);
+        out = set_lane(out, i + 4, sat_u8(sext(lane(hi, i, Width::H16), Width::H16)), Width::B8);
+    }
+    out
+}
+
+/// Packs eight signed 16-bit lanes into signed-saturated bytes — `packsswb`.
+#[inline]
+pub fn pack_s16_to_s8_sat(lo: u64, hi: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..4 {
+        out = set_lane(out, i, sat_s8(sext(lane(lo, i, Width::H16), Width::H16)), Width::B8);
+        out = set_lane(out, i + 4, sat_s8(sext(lane(hi, i, Width::H16), Width::H16)), Width::B8);
+    }
+    out
+}
+
+/// Packs four signed 32-bit lanes into signed-saturated halfwords — `packssdw`.
+#[inline]
+pub fn pack_s32_to_s16_sat(lo: u64, hi: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..2 {
+        out = set_lane(out, i, sat_s16(sext(lane(lo, i, Width::W32), Width::W32)), Width::H16);
+        out = set_lane(out, i + 2, sat_s16(sext(lane(hi, i, Width::W32), Width::W32)), Width::H16);
+    }
+    out
+}
+
+/// Packs four signed 32-bit lanes into unsigned-saturated halfwords.
+#[inline]
+pub fn pack_s32_to_u16_sat(lo: u64, hi: u64) -> u64 {
+    let mut out = 0u64;
+    for i in 0..2 {
+        out = set_lane(out, i, sat_u16(sext(lane(lo, i, Width::W32), Width::W32)), Width::H16);
+        out = set_lane(out, i + 2, sat_u16(sext(lane(hi, i, Width::W32), Width::W32)), Width::H16);
+    }
+    out
+}
+
+/// Interleaves the low lanes of `a` and `b` — `punpckl`.
+///
+/// Result lane `2i` comes from `a`, lane `2i + 1` from `b`, using the low
+/// half of each source.
+#[inline]
+pub fn unpack_lo(a: u64, b: u64, w: Width) -> u64 {
+    assert!(w != Width::D64, "cannot interleave 64-bit lanes within a 64-bit word");
+    let mut out = 0u64;
+    for i in 0..w.lanes() / 2 {
+        out = set_lane(out, 2 * i, lane(a, i, w), w);
+        out = set_lane(out, 2 * i + 1, lane(b, i, w), w);
+    }
+    out
+}
+
+/// Interleaves the high lanes of `a` and `b` — `punpckh`.
+#[inline]
+pub fn unpack_hi(a: u64, b: u64, w: Width) -> u64 {
+    assert!(w != Width::D64, "cannot interleave 64-bit lanes within a 64-bit word");
+    let half = w.lanes() / 2;
+    let mut out = 0u64;
+    for i in 0..half {
+        out = set_lane(out, 2 * i, lane(a, half + i, w), w);
+        out = set_lane(out, 2 * i + 1, lane(b, half + i, w), w);
+    }
+    out
+}
+
+/// Zero-extends the low four unsigned bytes to 16-bit lanes.
+///
+/// Equivalent to `punpcklbw a, 0`: the standard way to promote pixels
+/// before 16-bit arithmetic.
+#[inline]
+pub fn zext_lo_u8(a: u64) -> u64 {
+    unpack_lo(a, 0, Width::B8)
+}
+
+/// Zero-extends the high four unsigned bytes to 16-bit lanes.
+#[inline]
+pub fn zext_hi_u8(a: u64) -> u64 {
+    unpack_hi(a, 0, Width::B8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(xs: [u16; 4]) -> u64 {
+        let mut v = 0u64;
+        for (i, x) in xs.into_iter().enumerate() {
+            v |= (x as u64) << (16 * i);
+        }
+        v
+    }
+
+    #[test]
+    fn packuswb_clamps() {
+        // -5 -> 0, 300 -> 255, 17 -> 17, 0 -> 0
+        let lo = h([0xFFFB, 300, 17, 0]);
+        let hi = h([255, 256, 1, 0x8000]);
+        let r = pack_s16_to_u8_sat(lo, hi);
+        assert_eq!(r.to_le_bytes(), [0, 255, 17, 0, 255, 255, 1, 0]);
+    }
+
+    #[test]
+    fn packsswb_clamps_signed() {
+        let lo = h([200, 0xFF00, 5, 0]); // 200 -> 127, -256 -> -128
+        let r = pack_s16_to_s8_sat(lo, 0);
+        assert_eq!(r.to_le_bytes()[0], 127);
+        assert_eq!(r.to_le_bytes()[1] as i8, -128);
+        assert_eq!(r.to_le_bytes()[2], 5);
+    }
+
+    #[test]
+    fn packssdw_clamps() {
+        let lo = (0x0001_0000u64) | ((0xFFFF_0000u64) << 32); // 65536, -65536
+        let r = pack_s32_to_s16_sat(lo, 0);
+        assert_eq!(lane(r, 0, Width::H16), 32767);
+        assert_eq!(sext(lane(r, 1, Width::H16), Width::H16), -32768);
+    }
+
+    #[test]
+    fn pack_s32_to_u16_clamps_at_zero() {
+        let lo = (70000u64) | ((0xFFFF_FFFFu64) << 32); // 70000, -1
+        let r = pack_s32_to_u16_sat(lo, 0);
+        assert_eq!(lane(r, 0, Width::H16), 65535);
+        assert_eq!(lane(r, 1, Width::H16), 0);
+    }
+
+    #[test]
+    fn unpack_lo_bytes_interleaves() {
+        let a = u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = u64::from_le_bytes([11, 12, 13, 14, 15, 16, 17, 18]);
+        assert_eq!(unpack_lo(a, b, Width::B8).to_le_bytes(), [1, 11, 2, 12, 3, 13, 4, 14]);
+        assert_eq!(unpack_hi(a, b, Width::B8).to_le_bytes(), [5, 15, 6, 16, 7, 17, 8, 18]);
+    }
+
+    #[test]
+    fn unpack_halfwords() {
+        let a = h([1, 2, 3, 4]);
+        let b = h([5, 6, 7, 8]);
+        assert_eq!(unpack_lo(a, b, Width::H16), h([1, 5, 2, 6]));
+        assert_eq!(unpack_hi(a, b, Width::H16), h([3, 7, 4, 8]));
+    }
+
+    #[test]
+    fn zext_promotes_pixels() {
+        let a = u64::from_le_bytes([255, 1, 128, 0, 9, 10, 11, 12]);
+        assert_eq!(zext_lo_u8(a), h([255, 1, 128, 0]));
+        assert_eq!(zext_hi_u8(a), h([9, 10, 11, 12]));
+    }
+
+    #[test]
+    #[should_panic(expected = "64-bit lanes")]
+    fn unpack_d64_panics() {
+        unpack_lo(0, 0, Width::D64);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_bytes() {
+        // Zero-extend then pack must reproduce the original bytes.
+        let a = u64::from_le_bytes([0, 1, 127, 128, 200, 255, 33, 66]);
+        let lo = zext_lo_u8(a);
+        let hi = zext_hi_u8(a);
+        assert_eq!(pack_s16_to_u8_sat(lo, hi), a);
+    }
+}

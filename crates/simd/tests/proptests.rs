@@ -1,0 +1,168 @@
+//! Property-based tests for the packed arithmetic kernels.
+
+use mom3d_simd::*;
+use proptest::prelude::*;
+
+fn widths() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::B8),
+        Just(Width::H16),
+        Just(Width::W32),
+        Just(Width::D64)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn add_wrap_is_commutative(a: u64, b: u64, w in widths()) {
+        prop_assert_eq!(add_wrap(a, b, w), add_wrap(b, a, w));
+    }
+
+    #[test]
+    fn add_sub_wrap_roundtrip(a: u64, b: u64, w in widths()) {
+        prop_assert_eq!(sub_wrap(add_wrap(a, b, w), b, w), a);
+    }
+
+    #[test]
+    fn add_wrap_matches_scalar_per_lane(a: u64, b: u64, w in widths()) {
+        let r = add_wrap(a, b, w);
+        for i in 0..w.lanes() {
+            let expect = (lane(a, i, w).wrapping_add(lane(b, i, w))) & w.mask();
+            prop_assert_eq!(lane(r, i, w), expect);
+        }
+    }
+
+    #[test]
+    fn saturating_unsigned_bounds(a: u64, b: u64, w in widths()) {
+        let r = add_sat_u(a, b, w);
+        for i in 0..w.lanes() {
+            let exact = lane(a, i, w) as u128 + lane(b, i, w) as u128;
+            let lane_v = lane(r, i, w) as u128;
+            prop_assert_eq!(lane_v, exact.min(w.umax() as u128));
+        }
+    }
+
+    #[test]
+    fn saturating_signed_bounds(a: u64, b: u64, w in widths()) {
+        let r = add_sat_s(a, b, w);
+        for i in 0..w.lanes() {
+            let exact = sext(lane(a, i, w), w) as i128 + sext(lane(b, i, w), w) as i128;
+            let clamped = exact.clamp(w.smin() as i128, w.smax() as i128);
+            prop_assert_eq!(sext(lane(r, i, w), w) as i128, clamped);
+        }
+    }
+
+    #[test]
+    fn min_max_partition(a: u64, b: u64, w in widths()) {
+        // Every lane of min is <= the corresponding lane of max, and
+        // {min,max} lanes are a permutation of the inputs' lanes.
+        let lo = min_u(a, b, w);
+        let hi = max_u(a, b, w);
+        for i in 0..w.lanes() {
+            prop_assert!(lane(lo, i, w) <= lane(hi, i, w));
+            let pair = (lane(lo, i, w), lane(hi, i, w));
+            let input = (lane(a, i, w).min(lane(b, i, w)), lane(a, i, w).max(lane(b, i, w)));
+            prop_assert_eq!(pair, input);
+        }
+    }
+
+    #[test]
+    fn abs_diff_triangle(a: u64, b: u64, c: u64) {
+        // Per-lane triangle inequality on bytes: |a-c| <= |a-b| + |b-c|.
+        for i in 0..8 {
+            let (x, y, z) = (lane(a, i, Width::B8), lane(b, i, Width::B8), lane(c, i, Width::B8));
+            prop_assert!(x.abs_diff(z) <= x.abs_diff(y) + y.abs_diff(z));
+        }
+    }
+
+    #[test]
+    fn sad_is_hsum_of_absdiff(a: u64, b: u64) {
+        prop_assert_eq!(sad_u8(a, b), hsum_u(abs_diff_u(a, b, Width::B8), Width::B8));
+        prop_assert_eq!(sad_u8(a, b), sad_u8(b, a));
+        prop_assert_eq!(sad_u8(a, a), 0);
+    }
+
+    #[test]
+    fn avg_between_min_and_max(a: u64, b: u64, w in widths()) {
+        let r = avg_u(a, b, w);
+        for i in 0..w.lanes() {
+            let (x, y) = (lane(a, i, w), lane(b, i, w));
+            prop_assert!(lane(r, i, w) >= x.min(y));
+            prop_assert!(lane(r, i, w) <= x.max(y).saturating_add(1));
+        }
+    }
+
+    #[test]
+    fn unpack_preserves_lanes(a: u64, b: u64) {
+        let lo = unpack_lo(a, b, Width::B8);
+        let hi = unpack_hi(a, b, Width::B8);
+        let mut from_a: Vec<u64> = (0..8).map(|i| lane(a, i, Width::B8)).collect();
+        let mut from_interleave: Vec<u64> = (0..4)
+            .map(|i| lane(lo, 2 * i, Width::B8))
+            .chain((0..4).map(|i| lane(hi, 2 * i, Width::B8)))
+            .collect();
+        from_a.sort_unstable();
+        from_interleave.sort_unstable();
+        prop_assert_eq!(from_a, from_interleave);
+    }
+
+    #[test]
+    fn zext_then_pack_roundtrips(a: u64) {
+        prop_assert_eq!(pack_s16_to_u8_sat(zext_lo_u8(a), zext_hi_u8(a)), a);
+    }
+
+    #[test]
+    fn shifts_match_scalar(a: u64, amt in 0u32..70, w in widths()) {
+        let r = shl(a, amt, w);
+        for i in 0..w.lanes() {
+            let expect = if amt >= w.bits() { 0 } else { (lane(a, i, w) << amt) & w.mask() };
+            prop_assert_eq!(lane(r, i, w), expect);
+        }
+        let r = shr_logic(a, amt, w);
+        for i in 0..w.lanes() {
+            let expect = if amt >= w.bits() { 0 } else { lane(a, i, w) >> amt };
+            prop_assert_eq!(lane(r, i, w), expect);
+        }
+        let r = shr_arith(a, amt, w);
+        for i in 0..w.lanes() {
+            let expect = (sext(lane(a, i, w), w) >> amt.min(w.bits() - 1)) as u64 & w.mask();
+            prop_assert_eq!(lane(r, i, w), expect);
+        }
+    }
+
+    #[test]
+    fn madd_matches_scalar(a: u64, b: u64) {
+        let r = madd_s16(a, b);
+        for p in 0..2 {
+            let i = 2 * p;
+            let expect = sext(lane(a, i, Width::H16), Width::H16)
+                * sext(lane(b, i, Width::H16), Width::H16)
+                + sext(lane(a, i + 1, Width::H16), Width::H16)
+                    * sext(lane(b, i + 1, Width::H16), Width::H16);
+            prop_assert_eq!(sext(lane(r, p, Width::W32), Width::W32), (expect as i32) as i64);
+        }
+    }
+
+    #[test]
+    fn cmp_masks_are_all_or_nothing(a: u64, b: u64, w in widths()) {
+        let eq = cmp_eq(a, b, w);
+        let gt = cmp_gt_s(a, b, w);
+        for i in 0..w.lanes() {
+            prop_assert!(lane(eq, i, w) == 0 || lane(eq, i, w) == w.mask());
+            prop_assert!(lane(gt, i, w) == 0 || lane(gt, i, w) == w.mask());
+            // A lane cannot be both equal and strictly greater.
+            prop_assert!(!(lane(eq, i, w) == w.mask() && lane(gt, i, w) == w.mask()));
+        }
+    }
+
+    #[test]
+    fn accumulator_matches_i128_sum(vals in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let mut acc = Accumulator::new();
+        let mut expect = 0i128;
+        for v in &vals {
+            acc.add_packed_u(*v, Width::H16);
+            expect += hsum_u(*v, Width::H16) as i128;
+        }
+        prop_assert_eq!(acc.value(), expect);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 10 in miniature: how L2 latency hurts MOM vs MOM+3D.
+//!
+//! Longer memory instructions act like binding prefetch: a `3dvload`
+//! fetches data many cycles before the `3dvmov`s consume it, so the 3D
+//! configuration tolerates a slow (or on-chip-DRAM, VIRAM-style) memory
+//! far better.
+//!
+//! ```sh
+//! cargo run --release --example latency_robustness
+//! ```
+
+use mom3d::cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kind = WorkloadKind::GsmEncode;
+    let mom = Workload::build(kind, IsaVariant::Mom, 7)?;
+    let m3d = Workload::build(kind, IsaVariant::Mom3d, 7)?;
+    mom.verify()?;
+    m3d.verify()?;
+
+    println!("{kind}: normalized execution time vs L2 hit latency\n");
+    println!("{:>10} {:>12} {:>12} {:>20}", "L2 cycles", "MOM", "MOM+3D", "relative speedup");
+
+    let mut base = None;
+    for latency in [20, 30, 40, 50, 60] {
+        let run = |wl: &Workload, mem| {
+            Processor::new(
+                ProcessorConfig::mom()
+                    .with_memory(mem)
+                    .with_l2_latency(latency)
+                    .with_warm_caches(true),
+            )
+            .run(wl.trace())
+        };
+        let c2 = run(&mom, MemorySystemKind::VectorCache)?.cycles;
+        let c3 = run(&m3d, MemorySystemKind::VectorCache3d)?.cycles;
+        let b = *base.get_or_insert(c2) as f64;
+        println!(
+            "{latency:>10} {:>12.3} {:>12.3} {:>19.2}x",
+            c2 as f64 / b,
+            c3 as f64 / b,
+            c2 as f64 / c3 as f64
+        );
+    }
+    println!(
+        "\nThe MOM curve climbs with latency; the MOM+3D curve barely moves —\n\
+         the paper's §6.2 robustness result."
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! The paper's running example, end to end: full-search motion
+//! estimation in all three ISA styles (Figure 1 / Figure 4).
+//!
+//! Shows how the 2D MOM ISA collapses the MMX instruction stream, and
+//! how the 3D extension then collapses the *memory* stream: candidate
+//! blocks one byte apart are fetched once into a 3D register and
+//! re-sliced by `3dvmov`.
+//!
+//! ```sh
+//! cargo run --release --example motion_estimation
+//! ```
+
+use mom3d::cpu::{MemorySystemKind, Metrics, Processor, ProcessorConfig};
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn simulate(wl: &Workload, mem: MemorySystemKind) -> Result<Metrics, mom3d::cpu::SimError> {
+    let base = match wl.variant() {
+        IsaVariant::Mmx => ProcessorConfig::mmx(),
+        _ => ProcessorConfig::mom(),
+    };
+    Processor::new(base.with_memory(mem).with_warm_caches(true)).run(wl.trace())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 7;
+    println!("full-search motion estimation ({} candidate positions/block)\n", 32);
+
+    let mut baseline_cycles = None;
+    for (variant, mem) in [
+        (IsaVariant::Mmx, MemorySystemKind::MultiBanked),
+        (IsaVariant::Mom, MemorySystemKind::VectorCache),
+        (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d),
+    ] {
+        let wl = Workload::build(WorkloadKind::Mpeg2Encode, variant, seed)?;
+        wl.verify()?;
+        let stats = wl.trace().stats();
+        let m = simulate(&wl, mem)?;
+        if baseline_cycles.is_none() {
+            baseline_cycles = Some(m.cycles);
+        }
+        println!("{variant} on {mem:?}:");
+        println!("  trace: {stats}");
+        if let Some(d3) = stats.avg_dim3() {
+            println!(
+                "  3rd dimension: {:.1} streams served per 3dvload (max {})",
+                d3, stats.dim3_vl_max
+            );
+        }
+        println!(
+            "  {} cycles ({:.2}x vs MMX), {:.1} packed ops/cycle, \
+             {:.2} words/access, L2 activity {}",
+            m.cycles,
+            baseline_cycles.unwrap() as f64 / m.cycles as f64,
+            m.ops_per_cycle(),
+            m.effective_bandwidth(),
+            m.total_l2_activity(),
+        );
+        println!();
+    }
+    println!(
+        "The k loop is not vectorizable (the min-update carries a dependence),\n\
+         yet its memory accesses are: that is the paper's 3D memory vectorization."
+    );
+    Ok(())
+}

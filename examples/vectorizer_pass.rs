@@ -1,0 +1,68 @@
+//! The §5.1 memory-vectorizer pass, run as a compiler would run it:
+//! take the plain MOM trace of a real kernel, rewrite its 2D load groups
+//! into `3dvload`/`3dvmov` sequences, prove functional equivalence, and
+//! measure what the rewrite bought.
+//!
+//! ```sh
+//! cargo run --release --example vectorizer_pass
+//! ```
+
+use mom3d::core::{vectorize, VectorizeConfig};
+use mom3d::cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d::emu::Emulator;
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode, WorkloadKind::JpegDecode] {
+        let wl = Workload::build(kind, IsaVariant::Mom, 7)?;
+        let (rewritten, report) = vectorize(wl.trace(), &VectorizeConfig::default());
+
+        println!("{kind}:");
+        println!(
+            "  {} candidate groups, {} converted; {} 2D loads became 3dvmovs \
+             behind {} 3dvloads",
+            report.groups_found,
+            report.groups_converted,
+            report.loads_converted,
+            report.dvloads_emitted
+        );
+        println!(
+            "  load traffic: {} -> {} words ({:.0}% reduction)",
+            report.words_2d,
+            report.words_3d,
+            report.traffic_reduction() * 100.0
+        );
+
+        // Equivalence: execute the rewritten trace against the same
+        // memory image and re-check the workload's expected outputs.
+        let mut emu = Emulator::with_machine(wl.machine());
+        emu.run(&rewritten)?;
+        for check in wl.checks() {
+            let actual = emu.machine().mem.read_bytes(check.addr, check.expected.len());
+            assert_eq!(actual, check.expected, "{kind}: {} mismatch", check.what);
+        }
+        println!("  rewritten trace reproduces the scalar reference exactly");
+
+        // Timing: what the pass is worth on the vector cache.
+        if report.groups_converted > 0 {
+            let run = |t, mem| {
+                Processor::new(
+                    ProcessorConfig::mom().with_memory(mem).with_warm_caches(true),
+                )
+                .run(t)
+            };
+            let before = run(wl.trace(), MemorySystemKind::VectorCache)?;
+            let after = run(&rewritten, MemorySystemKind::VectorCache3d)?;
+            println!(
+                "  cycles {} -> {} ({:.2}x) without touching a line of kernel code",
+                before.cycles,
+                after.cycles,
+                before.cycles as f64 / after.cycles as f64
+            );
+        } else {
+            println!("  (no profitable windows — the pass correctly declines)");
+        }
+        println!();
+    }
+    Ok(())
+}

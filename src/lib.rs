@@ -1,0 +1,52 @@
+//! # mom3d — Three-Dimensional Memory Vectorization
+//!
+//! Umbrella crate for a full reproduction of Corbal, Espasa & Valero,
+//! *"Three-Dimensional Memory Vectorization for High Bandwidth Media
+//! Memory Systems"*, MICRO-35 (2002).
+//!
+//! The paper extends MOM — a 2-dimensional matrix/vector multimedia ISA —
+//! with a second-level **3D vector register file** plus two instructions
+//! (`3dvload`, `3dvmov`) that vectorize *memory accesses* along a third
+//! loop dimension even when that loop is not computationally
+//! vectorizable. This workspace implements the whole system stack the
+//! paper evaluates:
+//!
+//! * [`simd`] — µSIMD (MMX-like) packed arithmetic on 64-bit words;
+//! * [`isa`] — the MOM 2D vector ISA and its 3D memory extension;
+//! * [`mem`] — main memory, L1/L2 caches, the multi-banked and
+//!   vector-cache port systems;
+//! * [`emu`] — a functional (architecturally precise) emulator;
+//! * [`core`] — the paper's contribution: the 3D register file, pointer
+//!   registers, stream overlap analysis and the memory-vectorizer pass;
+//! * [`cpu`] — a Jinks-like 8-way out-of-order timing simulator;
+//! * [`kernels`] — the five Mediabench-equivalent media workloads in
+//!   MMX, MOM and MOM+3D form;
+//! * [`power`] — Rixner-style register-file area and power models plus
+//!   an L2 energy model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mom3d::kernels::{Workload, WorkloadKind, IsaVariant};
+//! use mom3d::cpu::{Processor, ProcessorConfig, MemorySystemKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build a small MPEG-2 motion-estimation workload in MOM+3D form.
+//! let wl = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, 7)?;
+//!
+//! // Run it through the timing simulator with the vector cache + 3D RF.
+//! let cfg = ProcessorConfig::mom().with_memory(MemorySystemKind::VectorCache3d);
+//! let metrics = Processor::new(cfg).run(wl.trace())?;
+//! assert!(metrics.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mom3d_core as core;
+pub use mom3d_cpu as cpu;
+pub use mom3d_emu as emu;
+pub use mom3d_isa as isa;
+pub use mom3d_kernels as kernels;
+pub use mom3d_mem as mem;
+pub use mom3d_power as power;
+pub use mom3d_simd as simd;

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests asserting the qualitative shape of
+//! every evaluation result, on reduced-geometry workloads (these run in
+//! debug builds). Absolute magnitudes are checked loosely; orderings —
+//! who wins, where 3D pays off, where it cannot — are checked strictly.
+
+use mom3d::cpu::{MemorySystemKind, Metrics, Processor, ProcessorConfig};
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn sim(wl: &Workload, mem: MemorySystemKind, l2: u32) -> Metrics {
+    let base = match wl.variant() {
+        IsaVariant::Mmx => ProcessorConfig::mmx(),
+        _ => ProcessorConfig::mom(),
+    };
+    Processor::new(base.with_memory(mem).with_l2_latency(l2).with_warm_caches(true))
+        .run(wl.trace())
+        .expect("simulation succeeds")
+}
+
+fn wl(kind: WorkloadKind, variant: IsaVariant) -> Workload {
+    let w = Workload::build_small(kind, variant, 5).expect("workload builds");
+    w.verify().expect("workload verifies");
+    w
+}
+
+/// Figure 3 shape: realistic memory systems slow MOM down on every
+/// workload, and the cheap vector cache stays in the same league as the
+/// multi-banked cache.
+#[test]
+fn fig3_realistic_memory_slows_mom_down() {
+    for kind in WorkloadKind::ALL {
+        let mom = wl(kind, IsaVariant::Mom);
+        let ideal = sim(&mom, MemorySystemKind::Ideal, 20).cycles;
+        let mb = sim(&mom, MemorySystemKind::MultiBanked, 20).cycles;
+        let vc = sim(&mom, MemorySystemKind::VectorCache, 20).cycles;
+        assert!(mb > ideal, "{kind}: multi-banked must cost cycles");
+        assert!(vc > ideal, "{kind}: vector cache must cost cycles");
+        // "reasonably similar": within 2x of each other on every workload.
+        let ratio = vc as f64 / mb as f64;
+        assert!((0.5..=2.0).contains(&ratio), "{kind}: vc/mb ratio {ratio:.2}");
+    }
+}
+
+/// Figure 6 shape: 3D vectorization lifts the vector cache's effective
+/// bandwidth on the bandwidth-starved workloads, to or above the
+/// multi-banked cache.
+#[test]
+fn fig6_3d_lifts_effective_bandwidth() {
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode] {
+        let vc = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::VectorCache, 20);
+        let mb = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::MultiBanked, 20);
+        let d3 = sim(&wl(kind, IsaVariant::Mom3d), MemorySystemKind::VectorCache3d, 20);
+        assert!(
+            d3.effective_bandwidth() > vc.effective_bandwidth(),
+            "{kind}: 3D must beat the plain vector cache"
+        );
+        assert!(
+            d3.effective_bandwidth() >= mb.effective_bandwidth(),
+            "{kind}: 3D must match or beat the multi-banked cache ({:.2} vs {:.2})",
+            d3.effective_bandwidth(),
+            mb.effective_bandwidth()
+        );
+    }
+}
+
+/// Figure 7 shape: traffic reduction is large for the overlap-heavy
+/// workloads, moderate for mpeg2 decode, zero for jpeg decode.
+#[test]
+fn fig7_traffic_reduction_ordering() {
+    let words = |kind, variant, mem| sim(&wl(kind, variant), mem, 20).vec_words;
+    let reduction = |kind| {
+        let w2 = words(kind, IsaVariant::Mom, MemorySystemKind::VectorCache) as f64;
+        let w3 = words(kind, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d) as f64;
+        1.0 - w3 / w2
+    };
+    assert!(reduction(WorkloadKind::Mpeg2Encode) > 0.5);
+    assert!(reduction(WorkloadKind::GsmEncode) > 0.5);
+    let dec = reduction(WorkloadKind::Mpeg2Decode);
+    assert!(dec > 0.05 && dec < 0.5, "mpeg2 decode moderate, got {dec:.2}");
+    assert_eq!(reduction(WorkloadKind::JpegDecode), 0.0);
+}
+
+/// Figure 9 shape: with realistic memory, MOM+3D is the fastest
+/// configuration on every workload with 3D patterns, and leaves
+/// jpeg decode untouched.
+#[test]
+fn fig9_mom3d_wins_where_patterns_exist() {
+    for kind in WorkloadKind::ALL {
+        let vc = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::VectorCache, 20).cycles;
+        let d3 = sim(&wl(kind, IsaVariant::Mom3d), MemorySystemKind::VectorCache3d, 20).cycles;
+        if kind.has_3d_patterns() {
+            assert!(d3 < vc, "{kind}: 3D must win ({d3} vs {vc})");
+        } else {
+            assert_eq!(d3, vc, "{kind}: no patterns, no change");
+        }
+    }
+}
+
+/// Figure 9 shape: the MMX-style processor is limited by fetch/issue,
+/// not memory — its ideal-memory configuration is still slower than
+/// MOM's ideal configuration.
+#[test]
+fn fig9_mmx_is_issue_bound() {
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode] {
+        let mmx_ideal = sim(&wl(kind, IsaVariant::Mmx), MemorySystemKind::Ideal, 20).cycles;
+        let mom_ideal = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::Ideal, 20).cycles;
+        assert!(
+            mmx_ideal > mom_ideal,
+            "{kind}: MMX ideal ({mmx_ideal}) must trail MOM ideal ({mom_ideal})"
+        );
+        // And giving MMX a realistic memory barely moves it (compute
+        // bound): within 30%.
+        let mmx_mb = sim(&wl(kind, IsaVariant::Mmx), MemorySystemKind::MultiBanked, 20).cycles;
+        assert!((mmx_mb as f64) < 1.3 * mmx_ideal as f64, "{kind}: MMX should be compute-bound");
+    }
+}
+
+/// Figure 10 shape: raising L2 latency from 20 to 60 cycles hurts MOM
+/// substantially more than MOM+3D on the memory-bound workloads.
+#[test]
+fn fig10_3d_is_latency_robust() {
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode] {
+        let mom = wl(kind, IsaVariant::Mom);
+        let m3d = wl(kind, IsaVariant::Mom3d);
+        let slow2 = sim(&mom, MemorySystemKind::VectorCache, 60).cycles as f64
+            / sim(&mom, MemorySystemKind::VectorCache, 20).cycles as f64;
+        let slow3 = sim(&m3d, MemorySystemKind::VectorCache3d, 60).cycles as f64
+            / sim(&m3d, MemorySystemKind::VectorCache3d, 20).cycles as f64;
+        assert!(
+            slow3 < slow2,
+            "{kind}: 3D slowdown {slow3:.2} must be below MOM slowdown {slow2:.2}"
+        );
+        assert!(slow2 > 1.1, "{kind}: MOM must actually feel the latency");
+    }
+}
+
+/// Table 4 shape: L2 activity drops from multi-banked to vector cache,
+/// and again with the 3D register file.
+#[test]
+fn table4_activity_ordering() {
+    let mut vc_saves = 0;
+    for kind in WorkloadKind::ALL {
+        let mb = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::MultiBanked, 20)
+            .total_l2_activity();
+        let vc = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::VectorCache, 20)
+            .total_l2_activity();
+        let d3 = sim(&wl(kind, IsaVariant::Mom3d), MemorySystemKind::VectorCache3d, 20)
+            .total_l2_activity();
+        assert!(vc <= mb, "{kind}: wide accesses cannot exceed bank accesses");
+        if vc < mb {
+            vc_saves += 1;
+        }
+        if kind.has_3d_patterns() {
+            assert!(d3 < vc, "{kind}: 3D must reduce activity");
+        } else {
+            assert_eq!(d3, vc);
+        }
+    }
+    assert!(vc_saves >= 3, "vector cache must save activity on most workloads");
+}
+
+/// Figure 11 shape: 3D register file accesses are far cheaper than the
+/// L2 accesses they displace, so the 3D configuration's memory
+/// sub-system energy per workload drops where patterns exist.
+#[test]
+fn fig11_energy_drops_with_3d() {
+    use mom3d::power::{L2Params, ProcessParams, RegFileSpec};
+    let process = ProcessParams::default();
+    let e_l2 = L2Params::default().access_energy(&process);
+    let e_rf = process.regfile_access_energy(&RegFileSpec::dreg_3d());
+    assert!(e_rf * 10.0 < e_l2);
+    for kind in [WorkloadKind::Mpeg2Encode, WorkloadKind::GsmEncode] {
+        let vc = sim(&wl(kind, IsaVariant::Mom), MemorySystemKind::VectorCache, 20);
+        let d3 = sim(&wl(kind, IsaVariant::Mom3d), MemorySystemKind::VectorCache3d, 20);
+        let energy_vc = vc.total_l2_activity() as f64 * e_l2;
+        let energy_d3 = d3.total_l2_activity() as f64 * e_l2
+            + (d3.d3_writes + d3.mov3d_words) as f64 * e_rf;
+        assert!(
+            energy_d3 < energy_vc,
+            "{kind}: memory energy must drop ({energy_d3:.3e} vs {energy_vc:.3e})"
+        );
+    }
+}
+
+/// Table 1 shape: jpeg decode has the longest 2D vectors and no third
+/// dimension; the 3D variants report their per-dimension lengths.
+#[test]
+fn table1_dimensions() {
+    let s_dec = wl(WorkloadKind::JpegDecode, IsaVariant::Mom).trace().stats();
+    assert!(s_dec.avg_dim2() > 12.0, "jpeg decode uses long dense vectors");
+    for kind in WorkloadKind::ALL {
+        let s = wl(kind, IsaVariant::Mom3d).trace().stats();
+        if kind.has_3d_patterns() {
+            let d3 = s.avg_dim3().expect("has 3D loads");
+            assert!(d3 >= 1.0 && d3 <= 32.0, "{kind}: dim3 {d3}");
+        } else {
+            assert_eq!(s.avg_dim3(), None);
+        }
+        assert!(s.avg_dim1() >= 3.0, "{kind}: subword parallelism present");
+    }
+}

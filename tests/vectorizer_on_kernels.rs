@@ -1,0 +1,117 @@
+//! The compiler story, end to end: run the §5.1 memory-vectorizer pass
+//! on the *real kernel traces* (not synthetic patterns), prove bit-exact
+//! equivalence through the emulator, and check the pass's decisions
+//! match the paper's per-benchmark findings.
+
+use mom3d::core::{vectorize, VectorizeConfig};
+use mom3d::cpu::{MemorySystemKind, Processor, ProcessorConfig};
+use mom3d::emu::Emulator;
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+
+fn vectorized(kind: WorkloadKind) -> (Workload, mom3d::isa::Trace, mom3d::core::VectorizeReport) {
+    let wl = Workload::build_small(kind, IsaVariant::Mom, 3).expect("builds");
+    wl.verify().expect("verifies");
+    let (trace, report) = vectorize(wl.trace(), &VectorizeConfig::default());
+    (wl, trace, report)
+}
+
+/// The rewritten trace must reproduce the scalar reference on every
+/// workload, converted or not.
+#[test]
+fn rewritten_traces_stay_bit_exact() {
+    for kind in WorkloadKind::ALL {
+        let (wl, trace, _) = vectorized(kind);
+        let mut emu = Emulator::with_machine(wl.machine());
+        emu.run(&trace).unwrap_or_else(|e| panic!("{kind}: emulation failed: {e}"));
+        for check in wl.checks() {
+            let actual = emu.machine().mem.read_bytes(check.addr, check.expected.len());
+            assert_eq!(actual, check.expected, "{kind}: {}", check.what);
+        }
+    }
+}
+
+/// The pass converts the motion-estimation candidate streams (the
+/// paper's flagship pattern).
+#[test]
+fn pass_converts_motion_estimation() {
+    let (_, _, report) = vectorized(WorkloadKind::Mpeg2Encode);
+    assert!(report.groups_converted >= 1, "{report:?}");
+    assert!(report.loads_converted > 10, "{report:?}");
+    assert!(report.traffic_reduction() > 0.5, "{report:?}");
+}
+
+/// The pass converts the GSM lag windows.
+#[test]
+fn pass_converts_gsm_lags() {
+    let (_, _, report) = vectorized(WorkloadKind::GsmEncode);
+    assert!(report.groups_converted >= 1, "{report:?}");
+    assert!(report.traffic_reduction() > 0.3, "{report:?}");
+}
+
+/// The pass declines jpeg decode — the paper found no suitable patterns,
+/// and a correct analysis must agree.
+#[test]
+fn pass_declines_jpeg_decode() {
+    let (wl, trace, report) = vectorized(WorkloadKind::JpegDecode);
+    assert_eq!(report.groups_converted, 0, "{report:?}");
+    assert_eq!(trace.len(), wl.trace().len());
+}
+
+/// Compiler-output quality: the automatically vectorized
+/// motion-estimation trace must recover most of the hand-coded 3D
+/// version's cycle improvement.
+#[test]
+fn pass_output_performs_close_to_hand_code() {
+    let (wl, auto_trace, _) = vectorized(WorkloadKind::Mpeg2Encode);
+    let hand = Workload::build_small(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, 3).unwrap();
+
+    let run = |t: &mom3d::isa::Trace, mem| {
+        Processor::new(ProcessorConfig::mom().with_memory(mem).with_warm_caches(true))
+            .run(t)
+            .expect("runs")
+    };
+    let plain = run(wl.trace(), MemorySystemKind::VectorCache).cycles;
+    let auto_cycles = run(&auto_trace, MemorySystemKind::VectorCache3d).cycles;
+    let hand_cycles = run(hand.trace(), MemorySystemKind::VectorCache3d).cycles;
+
+    assert!(auto_cycles < plain, "the pass must pay for itself ({auto_cycles} vs {plain})");
+    // Within 2x of hand-written 3D code.
+    assert!(
+        (auto_cycles as f64) < 2.0 * hand_cycles as f64,
+        "auto {auto_cycles} vs hand {hand_cycles}"
+    );
+}
+
+/// Repeated application reaches a fixpoint: each pass converts loads the
+/// previous one had to drop for 3D-register pressure, conversions
+/// decrease monotonically, and the fixpoint trace is still bit-exact.
+#[test]
+fn pass_reaches_a_correct_fixpoint() {
+    use mom3d::core::vectorize_to_fixpoint;
+    let wl = Workload::build_small(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, 3).unwrap();
+    let (fixed, reports) = vectorize_to_fixpoint(wl.trace(), &VectorizeConfig::default(), 10);
+    assert!(reports.len() >= 2, "expected more than one productive pass");
+    for w in reports.windows(2) {
+        assert!(
+            w[1].loads_converted <= w[0].loads_converted,
+            "conversions must shrink: {reports:?}"
+        );
+    }
+    assert_eq!(reports.last().unwrap().loads_converted, 0, "fixpoint reached");
+    // Most loads convert; what remains are windows that genuinely cannot
+    // get one of the two 3D registers (three live windows at once).
+    let before = wl
+        .trace()
+        .iter()
+        .filter(|i| i.opcode == mom3d::isa::Opcode::VLoad)
+        .count();
+    let after = fixed.iter().filter(|i| i.opcode == mom3d::isa::Opcode::VLoad).count();
+    assert!(after * 2 < before, "{after} of {before} loads left unconverted");
+    // And the result is still correct.
+    let mut emu = Emulator::with_machine(wl.machine());
+    emu.run(&fixed).expect("fixpoint trace executes");
+    for check in wl.checks() {
+        let actual = emu.machine().mem.read_bytes(check.addr, check.expected.len());
+        assert_eq!(actual, check.expected, "{}", check.what);
+    }
+}
