@@ -306,11 +306,17 @@ pub fn fig11(r: &mut Runner) -> Fig11 {
     Fig11 { rows }
 }
 
+/// Per-dimension vector lengths of a MOM variant: `(d1, d2)`.
+pub type MomDims = (f64, f64);
+/// Per-dimension vector lengths of a MOM+3D variant:
+/// `(d1, d2, d3 avg, d3 max)`.
+pub type Mom3dDims = (f64, f64, Option<f64>, u64);
+
 /// Table 1 data: memory-instruction vector length per dimension.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
-    /// `(workload, MOM (d1, d2), MOM+3D (d1, d2, d3 avg, d3 max))`.
-    pub rows: Vec<(WorkloadKind, (f64, f64), (f64, f64, Option<f64>, u64))>,
+    /// `(workload, MOM dims, MOM+3D dims)`.
+    pub rows: Vec<(WorkloadKind, MomDims, Mom3dDims)>,
 }
 
 impl fmt::Display for Table1 {

@@ -101,7 +101,7 @@ impl Machine {
     ///
     /// Panics if `vl` is zero or exceeds 16.
     pub fn set_vl(&mut self, vl: u8) {
-        assert!(vl >= 1 && vl <= arch::VL_MAX, "VL out of range");
+        assert!((1..=arch::VL_MAX).contains(&vl), "VL out of range");
         self.vl = vl;
     }
 

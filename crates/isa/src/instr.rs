@@ -199,7 +199,7 @@ pub struct MemAccess {
 impl MemAccess {
     /// Creates a scalar access of `bytes` bytes.
     pub fn scalar(base: u64, bytes: u8) -> Self {
-        assert!(bytes >= 1 && bytes <= 8, "scalar access must be 1-8 bytes");
+        assert!((1..=8).contains(&bytes), "scalar access must be 1-8 bytes");
         MemAccess { base, stride: 0, count: 1, elem_bytes: bytes, pattern: MemPattern::Scalar }
     }
 
@@ -389,7 +389,7 @@ mod tests {
 
     #[test]
     fn flat_indices_are_dense_and_unique() {
-        let mut seen = vec![false; Reg::FLAT_COUNT];
+        let mut seen = [false; Reg::FLAT_COUNT];
         let mut all: Vec<Reg> = Vec::new();
         all.extend(Gpr::all().map(Reg::Gpr));
         all.extend(MmxReg::all().map(Reg::Mmx));

@@ -384,7 +384,7 @@ impl TraceBuilder {
     ///
     /// Panics if `vl` is zero or exceeds [`arch::VL_MAX`].
     pub fn set_vl(&mut self, vl: u8) {
-        assert!(vl >= 1 && vl <= arch::VL_MAX, "VL must be in 1..={}", arch::VL_MAX);
+        assert!((1..=arch::VL_MAX).contains(&vl), "VL must be in 1..={}", arch::VL_MAX);
         if vl == self.vl && !self.trace.is_empty() {
             return; // compilers hoist redundant setvl
         }

@@ -37,7 +37,7 @@ impl Frame {
         for y in 0..self.height {
             for x in 0..self.width {
                 let sx = (x + dx) % self.width;
-                let p = self.pixel(sx, y) as i32 + rng.gen_range(-3..=3);
+                let p = self.pixel(sx, y) as i32 + rng.gen_range(-3i32..=3);
                 pixels.push(p.clamp(0, 255) as u8);
             }
         }
@@ -91,7 +91,7 @@ impl AudioBuf {
             // Triangle-ish waves at two periods + noise.
             let t1 = (phase % 200 - 100).abs() - 50;
             let t2 = ((phase / 3) % 140 - 70).abs() - 35;
-            let noise = rng.gen_range(-64..=64);
+            let noise = rng.gen_range(-64i64..=64);
             let v = (t1 * 24 + t2 * 18 + noise).clamp(-(amp as i64), amp as i64);
             samples.push(v as i16);
         }

@@ -67,7 +67,7 @@ const R_T: Gpr = Gpr::new(5);
 
 /// Builds the workload for one ISA variant.
 pub(crate) fn build(params: &JpegDecodeParams, variant: IsaVariant) -> Workload {
-    assert!(params.width % CHUNK == 0, "width must be a multiple of 128");
+    assert!(params.width.is_multiple_of(CHUNK), "width must be a multiple of 128");
     let yf = Frame::synthetic(params.width, params.height, params.seed);
     let cf = Frame::synthetic(params.width, params.height, params.seed + 1);
 

@@ -112,8 +112,8 @@ const R_D: Gpr = Gpr::new(10);
 
 /// Builds the workload for one ISA variant.
 pub(crate) fn build(params: &JpegEncodeParams, variant: IsaVariant) -> Workload {
-    assert!(params.width % BLOCK == 0, "width must be a multiple of 8");
-    assert!(params.height % BLOCK == 0, "height must be a multiple of 8");
+    assert!(params.width.is_multiple_of(BLOCK), "width must be a multiple of 8");
+    assert!(params.height.is_multiple_of(BLOCK), "height must be a multiple of 8");
     let f = Frame::synthetic(params.width, params.height, params.seed);
     let qbias = qbias_table(params);
 

@@ -307,7 +307,7 @@ mod tests {
         let s = build(&tiny(), IsaVariant::Mom3d).trace().stats();
         assert!(s.mem_3d > 0);
         let d3 = s.avg_dim3().unwrap();
-        assert!(d3 >= 2.0 && d3 <= 4.0, "avg dim3 {d3}");
+        assert!((2.0..=4.0).contains(&d3), "avg dim3 {d3}");
         assert!(s.dim3_vl_max <= 4);
     }
 

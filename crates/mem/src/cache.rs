@@ -60,7 +60,7 @@ impl CacheConfig {
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
-            self.size_bytes % (self.assoc * self.line_bytes) == 0,
+            self.size_bytes.is_multiple_of(self.assoc * self.line_bytes),
             "size must be a multiple of assoc * line size"
         );
         assert!(self.sets().is_power_of_two(), "set count must be a power of two");
@@ -297,7 +297,7 @@ mod tests {
         assert_eq!(l1.sets(), 1024);
         let l2 = CacheConfig::l2_2mb();
         assert_eq!(l2.sets(), 4096);
-        assert_eq!(l2.line_of(0x1234), 0x1200 + 0x00); // 128-byte aligned
+        assert_eq!(l2.line_of(0x1234), 0x1200); // 128-byte aligned
         assert_eq!(l2.line_of(0x127F), 0x1200);
         assert_eq!(l2.line_of(0x1280), 0x1280);
     }

@@ -318,7 +318,7 @@ mod tests {
         let a = h([1, 2, 3, 0xFFFF]); // 1, 2, 3, -1
         let c = h([10, 20, 30, 40]);
         let r = madd_s16(a, c);
-        assert_eq!(sext(lane(r, 0, Width::W32), Width::W32), 1 * 10 + 2 * 20);
+        assert_eq!(sext(lane(r, 0, Width::W32), Width::W32), 10 + 2 * 20);
         assert_eq!(sext(lane(r, 1, Width::W32), Width::W32), 3 * 30 - 40);
     }
 
@@ -336,7 +336,7 @@ mod tests {
         let a = h([0x8001, 0x0F0F, 0, 0]);
         assert_eq!(lane(shl(a, 4, Width::H16), 0, Width::H16), 0x0010);
         assert_eq!(lane(shr_logic(a, 4, Width::H16), 0, Width::H16), 0x0800);
-        assert_eq!(sext(lane(shr_arith(a, 4, Width::H16), 0, Width::H16), Width::H16), -2048 + 0,);
+        assert_eq!(sext(lane(shr_arith(a, 4, Width::H16), 0, Width::H16), Width::H16), -2048,);
         // sanity: arithmetic shift keeps sign
         assert!(sext(lane(shr_arith(a, 1, Width::H16), 0, Width::H16), Width::H16) < 0);
     }

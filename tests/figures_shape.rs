@@ -191,7 +191,7 @@ fn table1_dimensions() {
         let s = wl(kind, IsaVariant::Mom3d).trace().stats();
         if kind.has_3d_patterns() {
             let d3 = s.avg_dim3().expect("has 3D loads");
-            assert!(d3 >= 1.0 && d3 <= 32.0, "{kind}: dim3 {d3}");
+            assert!((1.0..=32.0).contains(&d3), "{kind}: dim3 {d3}");
         } else {
             assert_eq!(s.avg_dim3(), None);
         }

@@ -1,0 +1,123 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Supports the benchmark surface this workspace uses: `Criterion`,
+//! `benchmark_group`, `Throughput`, `Bencher::iter`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed briefly, then timed for a fixed measurement window, and the
+//! mean time per iteration (plus derived throughput, when declared) is
+//! printed. There are no statistical comparisons, plots or baselines —
+//! this exists so `cargo bench` works in a network-less environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a group's element/byte counts convert times into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup { _criterion: self, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iterations` calls of `routine` back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: run single iterations until we know roughly how long one
+    // takes, then size the measurement run to ~200 ms.
+    let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(200);
+    let iterations = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean_ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.1} Melem/s)", n as f64 * 1e3 / mean_ns),
+        Throughput::Bytes(n) => format!(" ({:.1} MB/s)", n as f64 * 1e3 / mean_ns),
+    });
+    println!(
+        "  {id}: {mean_ns:.0} ns/iter over {} iters{}",
+        b.iterations,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collects benchmark functions under one name, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,132 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The workspace builds without crates.io access, so the property-test
+//! surface the suite uses is reimplemented here:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, ranges, tuples, [`strategy::Just`],
+//!   [`strategy::Union`] (behind [`prop_oneof!`]);
+//! * [`arbitrary::any`] for primitives;
+//! * [`collection::vec`];
+//! * the [`proptest!`] macro with `name: Type` and `pat in strategy`
+//!   parameters and an optional `#![proptest_config(..)]` header;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from upstream: cases are sampled from a per-test
+//! deterministic RNG (seeded from the test name, so runs are
+//! reproducible), there is **no shrinking** — a failing case panics with
+//! the normal assertion message — and `prop_assume!` skips the case
+//! without counting it as a success. Case count defaults to
+//! [`test_runner::Config::DEFAULT_CASES`] and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Entry macro: expands each property into a `#[test]` fn that samples
+/// its parameters `cases` times and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.resolved_cases() {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $crate::__proptest_bind! { __rng, ($($params)*) $body }
+            }
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Parameter binder: `pat in strategy` samples the strategy, `name: Type`
+/// samples `any::<Type>()`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, () $body:block) => { $body };
+    ($rng:ident, ($pat:pat in $strat:expr, $($rest:tt)*) $body:block) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)*) $body }
+    };
+    ($rng:ident, ($pat:pat in $strat:expr) $body:block) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng, () $body }
+    };
+    ($rng:ident, ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind! { $rng, ($($rest)*) $body }
+    };
+    ($rng:ident, ($name:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_bind! { $rng, ($name: $ty,) $body }
+    };
+}
+
+/// Union of boxed strategies sampled uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// No shrinking here, so these are plain assertions with the sampled
+/// values visible in the panic message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when the assumption fails. Only meaningful
+/// directly inside a `proptest!` body (it `continue`s the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

@@ -1,0 +1,71 @@
+//! Deterministic per-test RNG and case-count configuration.
+
+/// Mirror of `proptest::test_runner::Config`, reduced to the case count.
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    /// Default case count — deliberately modest so the whole workspace
+    /// suite stays well under the CI time budget. Override per-block with
+    /// `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+    /// with the `PROPTEST_CASES` environment variable.
+    pub const DEFAULT_CASES: u32 = 64;
+
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: Self::DEFAULT_CASES }
+    }
+}
+
+/// SplitMix64 stream seeded from the test name and case index, so every
+/// test sees a different but fully reproducible sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw below `span` (`span > 0`), multiply-shift reduction.
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        let x = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        let (hi, lo) = (x >> 64, x & u64::MAX as u128);
+        (hi * span + ((lo * span) >> 64)) >> 64
+    }
+}
