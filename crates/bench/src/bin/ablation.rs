@@ -16,10 +16,21 @@ use mom3d_mem::VectorCacheConfig;
 
 fn main() {
     let seed = seed_from_args();
-    let mom = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, seed).unwrap();
-    let m3d = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, seed).unwrap();
-    mom.verify().unwrap();
-    m3d.verify().unwrap();
+    // Build + verify the two trace variants concurrently (both are
+    // full-size mpeg2 encode, the most expensive workload to verify).
+    let (mom, m3d) = std::thread::scope(|s| {
+        let mom = s.spawn(|| {
+            let wl = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, seed).unwrap();
+            wl.verify().unwrap();
+            wl
+        });
+        let m3d = s.spawn(|| {
+            let wl = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, seed).unwrap();
+            wl.verify().unwrap();
+            wl
+        });
+        (mom.join().expect("MOM build"), m3d.join().expect("MOM+3D build"))
+    });
 
     println!("Ablation: vector cache width (mpeg2 encode, cycles)");
     println!("{:>12} {:>12} {:>12}", "width", "MOM", "MOM+3D");

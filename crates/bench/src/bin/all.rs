@@ -1,8 +1,15 @@
 //! Runs the complete experiment matrix in paper order — the input for
 //! `EXPERIMENTS.md`.
+//!
+//! The whole matrix is simulated up front by the parallel sweep engine
+//! (`MOM3D_SWEEP_THREADS` workers, default all cores); the figure and
+//! table formatters below then read the pre-filled cache. A
+//! machine-readable report with wall-clock per cell is written to
+//! `BENCH_sweep.json` (override with `MOM3D_SWEEP_JSON`).
 
 use mom3d_bench::{
-    fig10, fig11, fig3, fig6, fig7, fig9, seed_from_args, table1, table2, table3, table4, Runner,
+    fig10, fig11, fig3, fig6, fig7, fig9, seed_from_args, sweep, table1, table2, table3, table4,
+    Runner,
 };
 
 fn main() {
@@ -10,6 +17,19 @@ fn main() {
     let mut r = Runner::new(seed);
     println!("mom3d full experiment matrix (seed {seed})");
     println!("=========================================\n");
+
+    // full_grid() covers every (workload, variant) pair table1 needs, so
+    // its internal prebuild batches all 15 workload builds at once.
+    let threads = sweep::threads_from_env();
+    let report = sweep::run(&mut r, &sweep::full_grid(), threads);
+    eprintln!(
+        "sweep: {} cells ({} simulated) on {} threads in {:.2?}",
+        report.cells.len(),
+        report.fresh_cells(),
+        report.threads,
+        report.wall
+    );
+
     print!("{}", table2());
     println!();
     print!("{}", fig3(&mut r));
@@ -29,4 +49,10 @@ fn main() {
     print!("{}", table4(&mut r));
     println!();
     print!("{}", fig11(&mut r));
+
+    let path = sweep::json_path_from_env();
+    match report.write_json(&path) {
+        Ok(()) => eprintln!("sweep report written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }

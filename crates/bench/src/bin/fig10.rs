@@ -1,8 +1,9 @@
 //! Regenerates Figure 10: normalized execution time vs L2 latency.
 
-use mom3d_bench::{fig10, seed_from_args, Runner};
+use mom3d_bench::{fig10, seed_from_args, sweep, Runner};
 
 fn main() {
     let mut r = Runner::new(seed_from_args());
+    sweep::run(&mut r, &sweep::cells_fig10(), sweep::threads_from_env());
     print!("{}", fig10(&mut r));
 }

@@ -1,8 +1,9 @@
 //! Regenerates Figure 3: slowdown of realistic MOM memory systems.
 
-use mom3d_bench::{fig3, seed_from_args, Runner};
+use mom3d_bench::{fig3, seed_from_args, sweep, Runner};
 
 fn main() {
     let mut r = Runner::new(seed_from_args());
+    sweep::run(&mut r, &sweep::cells_fig3(), sweep::threads_from_env());
     print!("{}", fig3(&mut r));
 }

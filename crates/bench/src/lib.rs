@@ -20,15 +20,22 @@
 //! (`cargo run -p mom3d-bench --bin fig9 -- 42`). Workloads are verified
 //! against their scalar references before being timed, so the harness
 //! can only report numbers produced by functionally correct traces.
+//!
+//! Every cell of the experiment matrix is an independent simulation, so
+//! the binaries fill the [`Runner`] cache through the parallel [`sweep`]
+//! engine (worker count: `MOM3D_SWEEP_THREADS`, default all cores) and
+//! only then format their reports; `all` additionally writes the
+//! machine-readable `BENCH_sweep.json` with wall-clock per cell.
 
 mod report;
 mod runner;
+pub mod sweep;
 
 pub use report::{
     fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10, Fig11,
     SlowdownReport, Table1, Table4, TrafficReport,
 };
-pub use runner::Runner;
+pub use runner::{Runner, SimKey};
 
 /// Parses the conventional single optional CLI seed argument.
 pub fn seed_from_args() -> u64 {

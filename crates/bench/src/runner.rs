@@ -3,23 +3,49 @@
 use mom3d_cpu::{MemorySystemKind, Metrics, Processor, ProcessorConfig};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
+/// One point of the experiment matrix: which workload trace runs on
+/// which processor/memory configuration. The key of the [`Runner`]
+/// simulation cache and the unit of work of the [`crate::sweep`] engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct SimKey {
-    kind: WorkloadKind,
-    variant: IsaVariant,
-    memory: MemorySystemKind,
-    l2_latency: u32,
+pub struct SimKey {
+    /// Benchmark.
+    pub kind: WorkloadKind,
+    /// ISA variant the trace was generated for.
+    pub variant: IsaVariant,
+    /// Vector memory system backing the processor.
+    pub memory: MemorySystemKind,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+}
+
+impl SimKey {
+    /// The processor configuration this key simulates under — the single
+    /// source of truth shared by the serial path ([`Runner::metrics`])
+    /// and the parallel sweep workers, so both produce bit-identical
+    /// metrics.
+    pub fn config(&self) -> ProcessorConfig {
+        let base = match self.variant {
+            IsaVariant::Mmx => ProcessorConfig::mmx(),
+            IsaVariant::Mom | IsaVariant::Mom3d => ProcessorConfig::mom(),
+        };
+        base.with_memory(self.memory).with_l2_latency(self.l2_latency).with_warm_caches(true)
+    }
 }
 
 /// Builds workloads (verifying each against its scalar reference) and
 /// runs timing simulations, caching both so that figures sharing
 /// configurations do not recompute them.
+///
+/// Workloads are stored behind [`Arc`] so the parallel sweep engine can
+/// hand the same verified trace to several worker threads without
+/// cloning it.
 #[derive(Debug, Default)]
 pub struct Runner {
     seed: u64,
     small: bool,
-    workloads: HashMap<(WorkloadKind, IsaVariant), Workload>,
+    workloads: HashMap<(WorkloadKind, IsaVariant), Arc<Workload>>,
     sims: HashMap<SimKey, Metrics>,
 }
 
@@ -39,25 +65,81 @@ impl Runner {
         self.seed
     }
 
+    /// True when this runner builds reduced-geometry workloads.
+    pub fn is_small(&self) -> bool {
+        self.small
+    }
+
+    /// Builds and verifies one workload for this runner's seed/geometry
+    /// without touching the cache (the sweep engine builds off-thread
+    /// and inserts the results afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to build or fails verification
+    /// against its scalar reference — a harness that times broken traces
+    /// would be meaningless.
+    pub fn build_workload(&self, kind: WorkloadKind, variant: IsaVariant) -> Workload {
+        let wl = if self.small {
+            Workload::build_small(kind, variant, self.seed)
+        } else {
+            Workload::build(kind, variant, self.seed)
+        }
+        .unwrap_or_else(|e| panic!("building {kind} {variant}: {e}"));
+        wl.verify().unwrap_or_else(|e| panic!("verifying {kind} {variant}: {e}"));
+        wl
+    }
+
+    /// Builds (and caches) the workload if it is not cached yet.
+    fn ensure_workload(&mut self, kind: WorkloadKind, variant: IsaVariant) {
+        if !self.workloads.contains_key(&(kind, variant)) {
+            let wl = Arc::new(self.build_workload(kind, variant));
+            self.workloads.insert((kind, variant), wl);
+        }
+    }
+
     /// Returns (building and verifying on first use) a workload.
     ///
     /// # Panics
     ///
-    /// Panics if the workload fails verification against its scalar
-    /// reference — a harness that times broken traces would be
-    /// meaningless.
+    /// See [`Runner::build_workload`].
     pub fn workload(&mut self, kind: WorkloadKind, variant: IsaVariant) -> &Workload {
-        let (seed, small) = (self.seed, self.small);
-        self.workloads.entry((kind, variant)).or_insert_with(|| {
-            let wl = if small {
-                Workload::build_small(kind, variant, seed)
-            } else {
-                Workload::build(kind, variant, seed)
-            }
-            .unwrap_or_else(|e| panic!("building {kind} {variant}: {e}"));
-            wl.verify().unwrap_or_else(|e| panic!("verifying {kind} {variant}: {e}"));
-            wl
-        })
+        self.ensure_workload(kind, variant);
+        &self.workloads[&(kind, variant)]
+    }
+
+    /// Like [`Runner::workload`], but hands out the shared [`Arc`]
+    /// (what the sweep engine distributes to its workers).
+    ///
+    /// # Panics
+    ///
+    /// See [`Runner::build_workload`].
+    pub fn workload_arc(&mut self, kind: WorkloadKind, variant: IsaVariant) -> Arc<Workload> {
+        self.ensure_workload(kind, variant);
+        Arc::clone(&self.workloads[&(kind, variant)])
+    }
+
+    /// Inserts an externally built (and verified) workload into the
+    /// cache. Later [`Runner::workload`] calls return it instead of
+    /// rebuilding.
+    pub fn insert_workload(&mut self, wl: Arc<Workload>) {
+        self.workloads.insert((wl.kind(), wl.variant()), wl);
+    }
+
+    /// True when the workload is already built and cached.
+    pub fn has_workload(&self, kind: WorkloadKind, variant: IsaVariant) -> bool {
+        self.workloads.contains_key(&(kind, variant))
+    }
+
+    /// The cached metrics for `key`, if that cell was already simulated.
+    pub fn cached_metrics(&self, key: &SimKey) -> Option<Metrics> {
+        self.sims.get(key).copied()
+    }
+
+    /// Inserts an externally simulated cell into the cache (how the
+    /// sweep engine publishes its workers' results).
+    pub fn insert_metrics(&mut self, key: SimKey, metrics: Metrics) {
+        self.sims.insert(key, metrics);
     }
 
     /// Simulates a workload on a processor/memory configuration at the
@@ -73,15 +155,8 @@ impl Runner {
         if let Some(m) = self.sims.get(&key) {
             return *m;
         }
-        let base = match variant {
-            IsaVariant::Mmx => ProcessorConfig::mmx(),
-            IsaVariant::Mom | IsaVariant::Mom3d => ProcessorConfig::mom(),
-        };
-        let config = base.with_memory(memory).with_l2_latency(l2_latency).with_warm_caches(true);
-        let trace = self.workload(kind, variant).trace().clone();
-        let metrics = Processor::new(config)
-            .run(&trace)
-            .unwrap_or_else(|e| panic!("simulating {kind} {variant} on {memory:?}: {e}"));
+        let wl = self.workload_arc(kind, variant);
+        let metrics = simulate(&key, &wl);
         self.sims.insert(key, metrics);
         metrics
     }
@@ -91,6 +166,19 @@ impl Runner {
     pub fn mom_ideal_cycles(&mut self, kind: WorkloadKind) -> u64 {
         self.metrics(kind, IsaVariant::Mom, MemorySystemKind::Ideal, 20).cycles
     }
+}
+
+/// Runs one simulation cell. Pure apart from the panic on simulator
+/// errors; called from the serial [`Runner::metrics`] path and from the
+/// sweep worker threads alike.
+///
+/// # Panics
+///
+/// Panics if the simulator rejects the trace.
+pub(crate) fn simulate(key: &SimKey, wl: &Workload) -> Metrics {
+    Processor::new(key.config())
+        .run(wl.trace())
+        .unwrap_or_else(|e| panic!("simulating {} {} on {:?}: {e}", key.kind, key.variant, key.memory))
 }
 
 #[cfg(test)]
@@ -113,6 +201,13 @@ mod tests {
             20,
         );
         assert_eq!(a, b);
+        let key = SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache,
+            l2_latency: 20,
+        };
+        assert_eq!(r.cached_metrics(&key), Some(a));
     }
 
     #[test]
@@ -128,5 +223,19 @@ mod tests {
             )
             .cycles;
         assert!(ideal < vc);
+    }
+
+    #[test]
+    fn inserted_metrics_shadow_simulation() {
+        let mut r = Runner::small(1);
+        let key = SimKey {
+            kind: WorkloadKind::JpegDecode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::Ideal,
+            l2_latency: 20,
+        };
+        let sentinel = Metrics { cycles: 42, ..Default::default() };
+        r.insert_metrics(key, sentinel);
+        assert_eq!(r.metrics(key.kind, key.variant, key.memory, key.l2_latency), sentinel);
     }
 }

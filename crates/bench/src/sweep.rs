@@ -1,0 +1,489 @@
+//! Parallel sweep engine for the experiment matrix.
+//!
+//! The paper's evaluation is a cross-product of workloads × ISA variants
+//! × memory systems × L2 latencies, and every cell of that product is an
+//! independent pure computation: build + verify a workload (once per
+//! `(workload, variant)` pair), then run one deterministic timing
+//! simulation. This module exploits that independence:
+//!
+//! 1. [`prebuild_workloads`] builds and verifies the needed workloads in
+//!    parallel (building dominates the cold-start cost — each build runs
+//!    the functional emulator against the scalar reference);
+//! 2. [`run`] partitions the simulation cells over [`std::thread::scope`]
+//!    workers pulling from an atomic work queue, sharing the verified
+//!    workloads read-only behind [`Arc`];
+//! 3. the per-worker [`Metrics`] are merged back into the [`Runner`]
+//!    cache in deterministic (enumeration) order, so the figure/table
+//!    formatters downstream see exactly what a serial run would have
+//!    computed — bit-identical, since each cell's simulation is pure and
+//!    its configuration is derived from the same [`SimKey::config`].
+//!
+//! Worker count comes from [`threads_from_env`] (`MOM3D_SWEEP_THREADS`,
+//! default: all available cores). [`SweepReport::write_json`] emits a
+//! machine-readable `BENCH_sweep.json` with wall-clock per cell.
+//!
+//! ```no_run
+//! use mom3d_bench::{fig9, sweep, Runner};
+//!
+//! let mut r = Runner::new(7);
+//! let report = sweep::run(&mut r, &sweep::full_grid(), sweep::threads_from_env());
+//! println!("{} cells in {:?}", report.cells.len(), report.wall);
+//! print!("{}", fig9(&mut r)); // served entirely from the cache
+//! report.write_json(&sweep::json_path_from_env()).unwrap();
+//! ```
+
+use crate::runner::{simulate, Runner, SimKey};
+use mom3d_cpu::{MemorySystemKind, Metrics};
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// The sweep hands workloads and metrics across threads; keep that a
+// compile-time fact rather than a runtime surprise.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+    assert_send_sync::<Metrics>();
+    assert_send_sync::<SimKey>();
+};
+
+/// One simulated cell of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// Which cell.
+    pub key: SimKey,
+    /// The simulation's metrics (bit-identical to a serial run).
+    pub metrics: Metrics,
+    /// Wall-clock of this cell's simulation ([`Duration::ZERO`] when the
+    /// cell was served from the runner's cache).
+    pub wall: Duration,
+    /// True when the cell was already cached and not re-simulated.
+    pub reused: bool,
+}
+
+/// Everything one [`run`] call did, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The runner's data seed.
+    pub seed: u64,
+    /// True when reduced-geometry workloads were swept.
+    pub small: bool,
+    /// Worker threads actually spawned for the simulation phase (the
+    /// requested count, clamped to the number of uncached cells — 1
+    /// when everything was served from the cache).
+    pub threads: usize,
+    /// End-to-end wall-clock of the sweep (workload building included).
+    pub wall: Duration,
+    /// Per-cell results, in enumeration order.
+    pub cells: Vec<CellResult>,
+}
+
+impl SweepReport {
+    /// Roll-up of every cell's counters (via [`Metrics::merge`]):
+    /// aggregate simulated cycles, instructions, activity across the
+    /// whole sweep.
+    pub fn total(&self) -> Metrics {
+        let mut total = Metrics::default();
+        for cell in &self.cells {
+            total.merge(&cell.metrics);
+        }
+        total
+    }
+
+    /// Cells actually simulated by this run (not served from cache).
+    pub fn fresh_cells(&self) -> usize {
+        self.cells.iter().filter(|c| !c.reused).count()
+    }
+
+    /// The report as a JSON document (the `BENCH_sweep.json` schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024 + 512 * self.cells.len());
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"mom3d/sweep/v1\",\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"small\": {},\n", self.small));
+        s.push_str(&format!("  \"threads\": {},\n", self.threads));
+        s.push_str(&format!("  \"wall_ns\": {},\n", self.wall.as_nanos()));
+        s.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"isa\": \"{}\", \"memory\": \"{}\", \
+                 \"l2_latency\": {}, \"wall_ns\": {}, \"reused\": {}, \"metrics\": {}}}{}\n",
+                cell.key.kind,
+                cell.key.variant,
+                memory_label(cell.key.memory),
+                cell.key.l2_latency,
+                cell.wall.as_nanos(),
+                cell.reused,
+                metrics_json(&cell.metrics),
+                if i + 1 == self.cells.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"totals\": {}\n", metrics_json(&self.total())));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Writes [`SweepReport::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Stable machine-readable label of a memory system.
+fn memory_label(memory: MemorySystemKind) -> &'static str {
+    match memory {
+        MemorySystemKind::Ideal => "ideal",
+        MemorySystemKind::MultiBanked => "multi-banked",
+        MemorySystemKind::VectorCache => "vector-cache",
+        MemorySystemKind::VectorCache3d => "vector-cache-3d",
+    }
+}
+
+fn metrics_json(m: &Metrics) -> String {
+    format!(
+        "{{\"cycles\": {}, \"instructions\": {}, \"packed_ops\": {}, \
+         \"vec_mem_instrs\": {}, \"scalar_mem_instrs\": {}, \"port_accesses\": {}, \
+         \"l2_activity\": {}, \"vec_words\": {}, \"mov3d_instrs\": {}, \
+         \"mov3d_words\": {}, \"d3_writes\": {}, \"l2_scalar_accesses\": {}, \
+         \"l2_hits\": {}, \"l2_misses\": {}, \"l1_accesses\": {}, \
+         \"coherence_invalidations\": {}}}",
+        m.cycles,
+        m.instructions,
+        m.packed_ops,
+        m.vec_mem_instrs,
+        m.scalar_mem_instrs,
+        m.port_accesses,
+        m.l2_activity,
+        m.vec_words,
+        m.mov3d_instrs,
+        m.mov3d_words,
+        m.d3_writes,
+        m.l2_scalar_accesses,
+        m.l2_hits,
+        m.l2_misses,
+        m.l1_accesses,
+        m.coherence_invalidations,
+    )
+}
+
+/// Worker-thread count: `MOM3D_SWEEP_THREADS` when set to a positive
+/// integer, otherwise every available core.
+pub fn threads_from_env() -> usize {
+    std::env::var("MOM3D_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Where the JSON report goes: `MOM3D_SWEEP_JSON` when set, otherwise
+/// `BENCH_sweep.json` in the working directory.
+pub fn json_path_from_env() -> PathBuf {
+    std::env::var_os("MOM3D_SWEEP_JSON").map_or_else(|| PathBuf::from("BENCH_sweep.json"), PathBuf::from)
+}
+
+/// Builds (and verifies) every listed workload that the runner does not
+/// already hold, distributing the builds over `threads` scoped workers,
+/// and inserts the results into the runner's cache.
+///
+/// # Panics
+///
+/// Panics if any workload fails to build or verify (see
+/// [`Runner::build_workload`]), or if a worker thread panics.
+pub fn prebuild_workloads(
+    runner: &mut Runner,
+    pairs: &[(WorkloadKind, IsaVariant)],
+    threads: usize,
+) {
+    let mut seen = HashSet::new();
+    let todo: Vec<(WorkloadKind, IsaVariant)> = pairs
+        .iter()
+        .copied()
+        .filter(|&(k, v)| seen.insert((k, v)) && !runner.has_workload(k, v))
+        .collect();
+    if todo.is_empty() {
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let shared: &Runner = runner;
+    let mut built: Vec<(usize, Workload)> = Vec::with_capacity(todo.len());
+    std::thread::scope(|s| {
+        let workers = threads.clamp(1, todo.len());
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(kind, variant)) = todo.get(i) else { break };
+                        out.push((i, shared.build_workload(kind, variant)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            built.extend(h.join().expect("workload build worker panicked"));
+        }
+    });
+    built.sort_by_key(|&(i, _)| i);
+    for (_, wl) in built {
+        runner.insert_workload(Arc::new(wl));
+    }
+}
+
+/// Runs a sweep: simulates every not-yet-cached cell of `cells` on
+/// `threads` worker threads and merges the metrics into the runner's
+/// cache, returning per-cell results (cached cells included, flagged
+/// `reused`) in first-occurrence enumeration order.
+///
+/// Workers pull cells from a shared atomic queue (cells differ wildly in
+/// cost — `mpeg2 encode` dwarfs `gsm encode` — so static partitioning
+/// would idle most threads); determinism is unaffected because every
+/// cell is an independent pure simulation and results are published in
+/// enumeration order.
+///
+/// # Panics
+///
+/// Panics if a workload fails to build/verify, a simulation fails, or a
+/// worker thread panics.
+pub fn run(runner: &mut Runner, cells: &[SimKey], threads: usize) -> SweepReport {
+    let start = Instant::now();
+    let threads = threads.max(1);
+
+    let mut seen = HashSet::new();
+    let unique: Vec<SimKey> = cells.iter().copied().filter(|&c| seen.insert(c)).collect();
+
+    // Phase 1: make every needed workload available behind an Arc.
+    let pairs: Vec<(WorkloadKind, IsaVariant)> = unique
+        .iter()
+        .filter(|c| runner.cached_metrics(c).is_none())
+        .map(|c| (c.kind, c.variant))
+        .collect();
+    prebuild_workloads(runner, &pairs, threads);
+
+    // Phase 2: simulate the uncached cells.
+    let mut jobs: Vec<(SimKey, Arc<Workload>)> = Vec::new();
+    for &c in &unique {
+        if runner.cached_metrics(&c).is_none() {
+            jobs.push((c, runner.workload_arc(c.kind, c.variant)));
+        }
+    }
+    let next = AtomicUsize::new(0);
+    let mut fresh: Vec<(usize, Metrics, Duration)> = Vec::with_capacity(jobs.len());
+    let workers = threads.clamp(1, jobs.len().max(1));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some((key, wl)) = jobs.get(i) else { break };
+                        let t0 = Instant::now();
+                        let metrics = simulate(key, wl);
+                        out.push((i, metrics, t0.elapsed()));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            fresh.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    // Phase 3: publish into the runner cache in enumeration order.
+    fresh.sort_by_key(|&(i, ..)| i);
+    let mut walls: HashMap<SimKey, Duration> = HashMap::with_capacity(fresh.len());
+    for (i, metrics, wall) in fresh {
+        runner.insert_metrics(jobs[i].0, metrics);
+        walls.insert(jobs[i].0, wall);
+    }
+
+    let cells = unique
+        .into_iter()
+        .map(|key| {
+            let metrics = runner.cached_metrics(&key).expect("cell simulated or cached");
+            match walls.get(&key) {
+                Some(&wall) => CellResult { key, metrics, wall, reused: false },
+                None => CellResult { key, metrics, wall: Duration::ZERO, reused: true },
+            }
+        })
+        .collect();
+    SweepReport {
+        seed: runner.seed(),
+        small: runner.is_small(),
+        threads: workers,
+        wall: start.elapsed(),
+        cells,
+    }
+}
+
+fn cell(
+    kind: WorkloadKind,
+    variant: IsaVariant,
+    memory: MemorySystemKind,
+    l2_latency: u32,
+) -> SimKey {
+    SimKey { kind, variant, memory, l2_latency }
+}
+
+/// Figure 3 cells: MOM on ideal (baseline), multi-banked and vector
+/// cache, all workloads, 20-cycle L2.
+pub fn cells_fig3() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        for memory in [
+            MemorySystemKind::Ideal,
+            MemorySystemKind::MultiBanked,
+            MemorySystemKind::VectorCache,
+        ] {
+            cells.push(cell(kind, IsaVariant::Mom, memory, 20));
+        }
+    }
+    cells
+}
+
+/// Figure 6 / Figure 11 / Table 4 cells: the three realistic memory
+/// systems under their native ISA variants.
+pub fn cells_fig6() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::MultiBanked, 20));
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::VectorCache, 20));
+        cells.push(cell(kind, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d, 20));
+    }
+    cells
+}
+
+/// Figure 7 cells: MOM vs MOM+3D traffic on the vector cache only (the
+/// multi-banked column of [`cells_fig6`] is not read by the Figure 7
+/// formatter).
+pub fn cells_fig7() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::VectorCache, 20));
+        cells.push(cell(kind, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d, 20));
+    }
+    cells
+}
+
+/// Figure 9 cells: the full ISA × memory-system slowdown matrix.
+pub fn cells_fig9() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in WorkloadKind::ALL {
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::Ideal, 20));
+        cells.push(cell(kind, IsaVariant::Mmx, MemorySystemKind::MultiBanked, 20));
+        cells.push(cell(kind, IsaVariant::Mmx, MemorySystemKind::Ideal, 20));
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::MultiBanked, 20));
+        cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::VectorCache, 20));
+        cells.push(cell(kind, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d, 20));
+    }
+    cells
+}
+
+/// Figure 10 cells: the L2-latency sweep (20/40/60 cycles) on the four
+/// workloads the paper plots.
+pub fn cells_fig10() -> Vec<SimKey> {
+    let kinds = [
+        WorkloadKind::Mpeg2Decode,
+        WorkloadKind::Mpeg2Encode,
+        WorkloadKind::GsmEncode,
+        WorkloadKind::JpegEncode,
+    ];
+    let mut cells = Vec::new();
+    for kind in kinds {
+        for l2 in [20, 40, 60] {
+            cells.push(cell(kind, IsaVariant::Mom, MemorySystemKind::VectorCache, l2));
+            cells.push(cell(kind, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d, l2));
+        }
+    }
+    cells
+}
+
+/// Workload pairs Table 1 needs (trace statistics only — no simulation).
+pub fn pairs_table1() -> Vec<(WorkloadKind, IsaVariant)> {
+    WorkloadKind::ALL
+        .into_iter()
+        .flat_map(|k| [(k, IsaVariant::Mom), (k, IsaVariant::Mom3d)])
+        .collect()
+}
+
+/// Every cell any figure or table binary needs — the `all` binary's
+/// sweep, and the full-geometry Figure 9 reproduction grid.
+pub fn full_grid() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    cells.extend(cells_fig3());
+    cells.extend(cells_fig6());
+    cells.extend(cells_fig9());
+    cells.extend(cells_fig10());
+    let mut seen = HashSet::new();
+    cells.retain(|&c| seen.insert(c));
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_has_no_duplicates_and_covers_figures() {
+        let grid = full_grid();
+        let set: HashSet<_> = grid.iter().copied().collect();
+        assert_eq!(set.len(), grid.len());
+        for cells in [cells_fig3(), cells_fig6(), cells_fig7(), cells_fig9(), cells_fig10()] {
+            for c in cells {
+                assert!(set.contains(&c), "{c:?} missing from full grid");
+            }
+        }
+        // 5 workloads x 6 fig9 configs + fig10 extras; everything else
+        // overlaps.
+        assert_eq!(grid.len(), 30 + 4 * 2 * 2);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = SweepReport {
+            seed: 7,
+            small: true,
+            threads: 2,
+            wall: Duration::from_nanos(5),
+            cells: vec![CellResult {
+                key: cell(
+                    WorkloadKind::GsmEncode,
+                    IsaVariant::Mom,
+                    MemorySystemKind::VectorCache,
+                    20,
+                ),
+                metrics: Metrics { cycles: 1, ..Default::default() },
+                wall: Duration::from_nanos(3),
+                reused: false,
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"schema\": \"mom3d/sweep/v1\""));
+        assert!(json.contains("\"workload\": \"gsm encode\""));
+        assert!(json.contains("\"memory\": \"vector-cache\""));
+        assert!(json.contains("\"wall_ns\": 3"));
+        assert!(json.contains("\"cycles\": 1"));
+    }
+
+    #[test]
+    fn threads_env_parsing() {
+        // Only asserts the fallback shape; the env var itself is tested
+        // end-to-end by the binaries.
+        assert!(threads_from_env() >= 1);
+    }
+}

@@ -4,7 +4,7 @@
 use crate::config::{MemorySystemKind, ProcessorConfig};
 use mom3d_isa::MemAccess;
 use mom3d_mem::{
-    distinct_lines, schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig,
+    schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig, LineSet,
     MemHierarchy, VectorCacheConfig,
 };
 
@@ -38,6 +38,11 @@ pub struct MemorySystem {
     /// 3D-register-file element writes performed by `3dvload`s (one lane
     /// write per fetched element) — the Figure 11 3D-RF energy input.
     pub d3_writes: u64,
+    /// Scratch block list, reused across accesses so the per-instruction
+    /// path does not allocate in steady state.
+    blocks_buf: Vec<(u64, u32)>,
+    /// Scratch line deduplicator, reused for the same reason.
+    line_set: LineSet,
 }
 
 impl MemorySystem {
@@ -52,6 +57,8 @@ impl MemorySystem {
             l2_activity: 0,
             vec_words: 0,
             d3_writes: 0,
+            blocks_buf: Vec::new(),
+            line_set: LineSet::new(),
         }
     }
 
@@ -84,9 +91,11 @@ impl MemorySystem {
                     self.hierarchy.scalar_access(mem.base, mem.elem_bytes, instr.opcode.is_store());
                 }
                 mom3d_isa::ExecClass::VecMem => {
-                    let blocks: Vec<(u64, u32)> = mem.blocks().collect();
+                    self.blocks_buf.clear();
+                    self.blocks_buf.extend(mem.blocks());
                     let line_bytes = self.hierarchy.config().l2.line_bytes as u64;
-                    for line in distinct_lines(&blocks, line_bytes) {
+                    self.line_set.collect(&self.blocks_buf, line_bytes);
+                    for &line in self.line_set.lines() {
                         self.hierarchy.vector_line_access(line, instr.opcode.is_store());
                     }
                 }
@@ -108,17 +117,18 @@ impl MemorySystem {
     /// returns its port occupancy and completion latency, and updates
     /// the bandwidth/activity counters.
     pub fn vector_access(&mut self, mem: &MemAccess, is_store: bool, is_3d: bool) -> MemOpTiming {
-        let blocks: Vec<(u64, u32)> = mem.blocks().collect();
         if self.kind == MemorySystemKind::Ideal {
             self.vec_words += mem.total_bytes().div_ceil(8);
             return MemOpTiming { occupancy: 1, latency: 1 };
         }
+        self.blocks_buf.clear();
+        self.blocks_buf.extend(mem.blocks());
 
         // Tag lookups: one per distinct L2 line touched.
         let line_bytes = self.hierarchy.config().l2.line_bytes as u64;
-        let lines = distinct_lines(&blocks, line_bytes);
+        self.line_set.collect(&self.blocks_buf, line_bytes);
         let mut misses = 0u32;
-        for &line in &lines {
+        for &line in self.line_set.lines() {
             if !self.hierarchy.vector_line_access(line, is_store).hit {
                 misses += 1;
             }
@@ -126,11 +136,13 @@ impl MemorySystem {
 
         // Port scheduling: who wins how many words per cycle.
         let schedule = match (self.kind, is_3d) {
-            (MemorySystemKind::MultiBanked, _) => schedule_multibanked(&self.banked, &blocks),
-            (MemorySystemKind::VectorCache, _) | (MemorySystemKind::VectorCache3d, false) => {
-                schedule_vector_cache(&self.vc, &blocks)
+            (MemorySystemKind::MultiBanked, _) => {
+                schedule_multibanked(&self.banked, &self.blocks_buf)
             }
-            (MemorySystemKind::VectorCache3d, true) => schedule_3d(&blocks),
+            (MemorySystemKind::VectorCache, _) | (MemorySystemKind::VectorCache3d, false) => {
+                schedule_vector_cache(&self.vc, &self.blocks_buf)
+            }
+            (MemorySystemKind::VectorCache3d, true) => schedule_3d(&self.blocks_buf),
             (MemorySystemKind::Ideal, _) => unreachable!("handled above"),
         };
         self.port_accesses += schedule.port_cycles as u64;

@@ -90,6 +90,47 @@ impl Metrics {
         self.l2_activity + self.l2_scalar_accesses
     }
 
+    /// Accumulates another run's counters into this one (used by the
+    /// sweep engine for whole-sweep roll-ups). Every field is a sum, so
+    /// `cycles` becomes the *aggregate* simulated cycles across the
+    /// merged runs, not a wall-clock of any single one.
+    pub fn merge(&mut self, other: &Metrics) {
+        let Metrics {
+            cycles,
+            instructions,
+            packed_ops,
+            vec_mem_instrs,
+            scalar_mem_instrs,
+            port_accesses,
+            l2_activity,
+            vec_words,
+            mov3d_instrs,
+            mov3d_words,
+            d3_writes,
+            l2_scalar_accesses,
+            l2_hits,
+            l2_misses,
+            l1_accesses,
+            coherence_invalidations,
+        } = other;
+        self.cycles += cycles;
+        self.instructions += instructions;
+        self.packed_ops += packed_ops;
+        self.vec_mem_instrs += vec_mem_instrs;
+        self.scalar_mem_instrs += scalar_mem_instrs;
+        self.port_accesses += port_accesses;
+        self.l2_activity += l2_activity;
+        self.vec_words += vec_words;
+        self.mov3d_instrs += mov3d_instrs;
+        self.mov3d_words += mov3d_words;
+        self.d3_writes += d3_writes;
+        self.l2_scalar_accesses += l2_scalar_accesses;
+        self.l2_hits += l2_hits;
+        self.l2_misses += l2_misses;
+        self.l1_accesses += l1_accesses;
+        self.coherence_invalidations += coherence_invalidations;
+    }
+
     /// Slowdown of this run relative to a baseline cycle count
     /// (Figures 3 and 9 are slowdowns vs. the MOM-ideal configuration).
     pub fn slowdown_vs(&self, baseline_cycles: u64) -> f64 {
@@ -139,6 +180,44 @@ mod tests {
         assert!((m.l2_hit_rate() - 0.9).abs() < 1e-12);
         assert_eq!(m.total_l2_activity(), 30);
         assert!((m.slowdown_vs(80) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = Metrics {
+            cycles: 1,
+            instructions: 2,
+            packed_ops: 3,
+            vec_mem_instrs: 4,
+            scalar_mem_instrs: 5,
+            port_accesses: 6,
+            l2_activity: 7,
+            vec_words: 8,
+            mov3d_instrs: 9,
+            mov3d_words: 10,
+            d3_writes: 11,
+            l2_scalar_accesses: 12,
+            l2_hits: 13,
+            l2_misses: 14,
+            l1_accesses: 15,
+            coherence_invalidations: 16,
+        };
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(total.cycles, 2);
+        assert_eq!(total.coherence_invalidations, 32);
+        assert_eq!(total.total_l2_activity(), 2 * (7 + 12));
+        // Merging the default is the identity.
+        let mut b = a;
+        b.merge(&Metrics::default());
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn metrics_cross_threads() {
+        // The sweep engine moves Metrics out of worker threads.
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Metrics>();
     }
 
     #[test]

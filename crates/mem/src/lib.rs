@@ -41,5 +41,5 @@ pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy, VectorAccessO
 pub use main_mem::MainMemory;
 pub use ports::{
     distinct_lines, schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig,
-    PortSchedule, VectorCacheConfig,
+    LineSet, PortSchedule, VectorCacheConfig,
 };

@@ -11,7 +11,25 @@
 //!   Figure 6 effective-bandwidth and Figure 7 traffic metric).
 //!
 //! The schedulers are pure functions so they can be property-tested and
-//! reused by both the timing simulator and the analytical harness.
+//! reused by both the timing simulator and the analytical harness. They
+//! sit on the innermost loop of every timing simulation (one call per
+//! vector memory instruction), so [`schedule_vector_cache`] streams its
+//! word references directly from the `(address, length)` blocks without
+//! materializing them, and line deduplication ([`LineSet`],
+//! [`distinct_lines`]) is linear in the number of touched lines.
+//!
+//! ```
+//! use mom3d_mem::{schedule_vector_cache, VectorCacheConfig};
+//!
+//! // Eight consecutive 64-bit words through a 4-word-wide port: two
+//! // wide accesses, each delivering four words.
+//! let blocks: Vec<(u64, u32)> = (0..8).map(|i| (0x1000 + 8 * i, 8)).collect();
+//! let s = schedule_vector_cache(&VectorCacheConfig::default(), &blocks);
+//! assert_eq!(s.port_cycles, 2);
+//! assert_eq!(s.words_per_access(), 4.0);
+//! ```
+
+use std::collections::HashSet;
 
 /// Result of scheduling one vector memory instruction on a port system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +118,19 @@ impl Default for VectorCacheConfig {
 ///
 /// `blocks` holds `(address, length-in-bytes)` pairs; blocks wider than
 /// the interleave granularity are split into words first.
+///
+/// ```
+/// use mom3d_mem::{schedule_multibanked, BankedConfig};
+///
+/// // A 64-byte stride maps every reference to bank 0: full serialization.
+/// let conflicting: Vec<(u64, u32)> = (0..8).map(|i| (64 * i, 8)).collect();
+/// let s = schedule_multibanked(&BankedConfig::default(), &conflicting);
+/// assert_eq!(s.port_cycles, 8);
+/// // Unit stride spreads over all 8 banks: 4 ports grant 4 words/cycle.
+/// let dense: Vec<(u64, u32)> = (0..8).map(|i| (8 * i, 8)).collect();
+/// let s = schedule_multibanked(&BankedConfig::default(), &dense);
+/// assert_eq!(s.port_cycles, 2);
+/// ```
 pub fn schedule_multibanked(cfg: &BankedConfig, blocks: &[(u64, u32)]) -> PortSchedule {
     // Split into word references.
     let mut pending: Vec<u64> = Vec::new();
@@ -135,6 +166,15 @@ pub fn schedule_multibanked(cfg: &BankedConfig, blocks: &[(u64, u32)]) -> PortSc
     schedule
 }
 
+/// Word references of a block list in order: every 64-bit word of every
+/// `(address, length-in-bytes)` block, `len` rounded up to whole words.
+#[inline]
+fn word_refs(blocks: &[(u64, u32)]) -> impl Iterator<Item = u64> + '_ {
+    blocks
+        .iter()
+        .flat_map(|&(addr, len)| (0..(len as u64).div_ceil(8)).map(move |k| addr + 8 * k))
+}
+
 /// Schedules one vector instruction on the vector cache's single wide
 /// port.
 ///
@@ -143,30 +183,37 @@ pub fn schedule_multibanked(cfg: &BankedConfig, blocks: &[(u64, u32)]) -> PortSc
 /// up to `width_words` words (the shift&mask network extracts them from
 /// the two fetched lines). Any other stride degrades to one element per
 /// access — the §3.1 limitation that motivates the 3D extension.
+///
+/// The runs are detected by streaming the word references straight off
+/// the block list; the scheduling loop performs no heap allocation.
+///
+/// ```
+/// use mom3d_mem::{schedule_vector_cache, VectorCacheConfig};
+///
+/// // The §3.1 limitation: a 640-byte stride gets one word per access…
+/// let strided: Vec<(u64, u32)> = (0..8).map(|i| (640 * i, 8)).collect();
+/// let s = schedule_vector_cache(&VectorCacheConfig::default(), &strided);
+/// assert_eq!((s.port_cycles, s.words), (8, 8));
+/// // …while one dense 128-byte block fills the 4-word port every cycle.
+/// let s = schedule_vector_cache(&VectorCacheConfig::default(), &[(0x1F4, 128)]);
+/// assert_eq!((s.port_cycles, s.words), (4, 16));
+/// ```
 pub fn schedule_vector_cache(cfg: &VectorCacheConfig, blocks: &[(u64, u32)]) -> PortSchedule {
-    // Expand blocks into word references, preserving order.
-    let mut refs: Vec<u64> = Vec::new();
-    for &(addr, len) in blocks {
-        let mut off = 0;
-        while off < len as u64 {
-            refs.push(addr + off);
-            off += 8;
-        }
-    }
-    let mut schedule = PortSchedule { port_cycles: 0, cache_accesses: 0, words: refs.len() as u64 };
-    let mut i = 0;
-    while i < refs.len() {
-        // Extend a consecutive ascending run from refs[i].
-        let mut run = 1;
-        while run < cfg.width_words
-            && i + run < refs.len()
-            && refs[i + run] == refs[i + run - 1] + 8
-        {
+    let mut schedule = PortSchedule::default();
+    // Length of the current consecutive ascending run (0 = none yet) and
+    // the previous word's address.
+    let mut run = 0usize;
+    let mut prev = 0u64;
+    for word in word_refs(blocks) {
+        schedule.words += 1;
+        if run > 0 && run < cfg.width_words && word == prev + 8 {
             run += 1;
+        } else {
+            schedule.port_cycles += 1;
+            schedule.cache_accesses += 1;
+            run = 1;
         }
-        schedule.port_cycles += 1;
-        schedule.cache_accesses += 1;
-        i += run;
+        prev = word;
     }
     schedule
 }
@@ -177,6 +224,16 @@ pub fn schedule_vector_cache(cfg: &VectorCacheConfig, blocks: &[(u64, u32)]) -> 
 /// alignment thanks to the two interleaved line banks) is written into
 /// one 3D-register-file lane per cycle: one wide access per element
 /// (Figure 8-c).
+///
+/// ```
+/// use mom3d_mem::schedule_3d;
+///
+/// // Four 128-byte candidate rows, one per cycle: 16 words per access.
+/// let blocks: Vec<(u64, u32)> = (0..4).map(|i| (0x1000 + 640 * i, 128)).collect();
+/// let s = schedule_3d(&blocks);
+/// assert_eq!((s.port_cycles, s.words), (4, 64));
+/// assert_eq!(s.words_per_access(), 16.0);
+/// ```
 pub fn schedule_3d(blocks: &[(u64, u32)]) -> PortSchedule {
     let mut schedule = PortSchedule::default();
     for &(_, len) in blocks {
@@ -187,22 +244,178 @@ pub fn schedule_3d(blocks: &[(u64, u32)]) -> PortSchedule {
     schedule
 }
 
-/// Distinct line-aligned addresses touched by a set of blocks, in first-
-/// touch order (used for L2 hit/miss accounting).
-pub fn distinct_lines(blocks: &[(u64, u32)], line_bytes: u64) -> Vec<u64> {
-    debug_assert!(line_bytes.is_power_of_two());
-    let mut lines: Vec<u64> = Vec::new();
-    for &(addr, len) in blocks {
-        let mut line = addr & !(line_bytes - 1);
-        let end = addr + len as u64;
-        while line < end {
-            if !lines.contains(&line) {
-                lines.push(line);
+/// Reusable first-touch-order line deduplicator.
+///
+/// The timing simulator needs the distinct L2 lines of every vector
+/// memory instruction (tag lookups, hit/miss accounting, warm-up).
+/// Collecting them with a `Vec::contains` scan is quadratic in the line
+/// count; this set pairs the ordered `Vec` with a [`HashSet`] membership
+/// index so each line is O(1), and both buffers are reused across calls
+/// so the steady-state scheduling path stops allocating.
+///
+/// ```
+/// use mom3d_mem::LineSet;
+///
+/// let mut set = LineSet::new();
+/// // An 8-byte access straddling a 128-byte line boundary: two lines.
+/// set.collect(&[(0x7C, 8)], 128);
+/// assert_eq!(set.lines(), &[0x00, 0x80]);
+/// // Buffers are cleared and reused by the next collect.
+/// set.collect(&[(0x100, 128), (0x101, 128)], 128);
+/// assert_eq!(set.lines(), &[0x100, 0x180]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LineSet {
+    lines: Vec<u64>,
+    seen: HashSet<u64>,
+}
+
+impl LineSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        LineSet::default()
+    }
+
+    /// Clears the set and collects the distinct line-aligned addresses
+    /// touched by `blocks`, in first-touch order.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `line_bytes` is a power of two.
+    pub fn collect(&mut self, blocks: &[(u64, u32)], line_bytes: u64) {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.lines.clear();
+        self.seen.clear();
+        for &(addr, len) in blocks {
+            let mut line = addr & !(line_bytes - 1);
+            let end = addr + len as u64;
+            while line < end {
+                if self.seen.insert(line) {
+                    self.lines.push(line);
+                }
+                line += line_bytes;
             }
-            line += line_bytes;
         }
     }
-    lines
+
+    /// The collected lines, in first-touch order.
+    pub fn lines(&self) -> &[u64] {
+        &self.lines
+    }
+}
+
+/// Distinct line-aligned addresses touched by a set of blocks, in first-
+/// touch order (used for L2 hit/miss accounting).
+///
+/// One-shot convenience over [`LineSet`]; hot loops should hold a
+/// `LineSet` and [`LineSet::collect`] into it instead.
+///
+/// ```
+/// use mom3d_mem::distinct_lines;
+///
+/// // Two overlapping 128-byte blocks one byte apart: two 128-byte lines.
+/// assert_eq!(distinct_lines(&[(0x100, 128), (0x101, 128)], 128), vec![0x100, 0x180]);
+/// ```
+pub fn distinct_lines(blocks: &[(u64, u32)], line_bytes: u64) -> Vec<u64> {
+    let mut set = LineSet::new();
+    set.collect(blocks, line_bytes);
+    set.lines
+}
+
+/// The pre-rewrite implementations, kept verbatim as oracles for the
+/// equivalence property tests: `schedule_vector_cache` used to
+/// materialize every word reference in a `Vec<u64>` before scanning, and
+/// `distinct_lines` deduplicated with a quadratic `Vec::contains` scan.
+#[cfg(test)]
+mod reference {
+    use super::{PortSchedule, VectorCacheConfig};
+
+    pub fn schedule_vector_cache(cfg: &VectorCacheConfig, blocks: &[(u64, u32)]) -> PortSchedule {
+        let mut refs: Vec<u64> = Vec::new();
+        for &(addr, len) in blocks {
+            let mut off = 0;
+            while off < len as u64 {
+                refs.push(addr + off);
+                off += 8;
+            }
+        }
+        let mut schedule =
+            PortSchedule { port_cycles: 0, cache_accesses: 0, words: refs.len() as u64 };
+        let mut i = 0;
+        while i < refs.len() {
+            let mut run = 1;
+            while run < cfg.width_words
+                && i + run < refs.len()
+                && refs[i + run] == refs[i + run - 1] + 8
+            {
+                run += 1;
+            }
+            schedule.port_cycles += 1;
+            schedule.cache_accesses += 1;
+            i += run;
+        }
+        schedule
+    }
+
+    pub fn distinct_lines(blocks: &[(u64, u32)], line_bytes: u64) -> Vec<u64> {
+        let mut lines: Vec<u64> = Vec::new();
+        for &(addr, len) in blocks {
+            let mut line = addr & !(line_bytes - 1);
+            let end = addr + len as u64;
+            while line < end {
+                if !lines.contains(&line) {
+                    lines.push(line);
+                }
+                line += line_bytes;
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_blocks() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        proptest::collection::vec((0u64..0x2_0000, 1u32..300), 1..40)
+    }
+
+    proptest! {
+        /// The streaming scheduler matches the old materialize-then-scan
+        /// implementation on arbitrary block lists and port widths.
+        #[test]
+        fn vector_cache_streaming_matches_reference(
+            blocks in arb_blocks(),
+            width in 1usize..9,
+        ) {
+            let cfg = VectorCacheConfig { width_words: width, line_bytes: 128 };
+            prop_assert_eq!(
+                schedule_vector_cache(&cfg, &blocks),
+                reference::schedule_vector_cache(&cfg, &blocks)
+            );
+        }
+
+        /// The hash-indexed dedup returns exactly the old quadratic
+        /// scan's lines, in the same first-touch order.
+        #[test]
+        fn distinct_lines_matches_reference(blocks in arb_blocks()) {
+            prop_assert_eq!(
+                distinct_lines(&blocks, 128),
+                reference::distinct_lines(&blocks, 128)
+            );
+        }
+
+        /// A reused LineSet gives the same answer as a fresh one.
+        #[test]
+        fn line_set_reuse_is_stateless(a in arb_blocks(), b in arb_blocks()) {
+            let mut reused = LineSet::new();
+            reused.collect(&a, 128);
+            reused.collect(&b, 128);
+            prop_assert_eq!(reused.lines(), distinct_lines(&b, 128).as_slice());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,88 @@
+//! The parallel sweep engine must be a pure optimization: identical
+//! [`Metrics`] to the serial `Runner::metrics` path, bit for bit, for
+//! every cell, at any worker count.
+
+use mom3d::cpu::{MemorySystemKind, Metrics};
+use mom3d::kernels::{IsaVariant, WorkloadKind};
+use mom3d_bench::{sweep, Runner, SimKey};
+
+const SEED: u64 = 11;
+
+/// A small but representative grid: two workloads (one with 3D
+/// patterns, one without), every memory system, and a non-default L2
+/// latency.
+fn grid() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in [WorkloadKind::GsmEncode, WorkloadKind::JpegDecode] {
+        for (variant, memory) in [
+            (IsaVariant::Mom, MemorySystemKind::Ideal),
+            (IsaVariant::Mom, MemorySystemKind::MultiBanked),
+            (IsaVariant::Mom, MemorySystemKind::VectorCache),
+            (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d),
+        ] {
+            cells.push(SimKey { kind, variant, memory, l2_latency: 20 });
+        }
+        cells.push(SimKey {
+            kind,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache,
+            l2_latency: 60,
+        });
+    }
+    cells
+}
+
+fn serial_metrics(cells: &[SimKey]) -> Vec<Metrics> {
+    let mut r = Runner::small(SEED);
+    cells.iter().map(|c| r.metrics(c.kind, c.variant, c.memory, c.l2_latency)).collect()
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+
+    let mut r = Runner::small(SEED);
+    let report = sweep::run(&mut r, &cells, 4);
+    assert!(report.threads >= 2, "test must actually exercise multiple workers");
+    assert_eq!(report.cells.len(), cells.len());
+    assert_eq!(report.fresh_cells(), cells.len(), "nothing was cached beforehand");
+
+    for (cell, expected) in report.cells.iter().zip(&serial) {
+        assert_eq!(
+            cell.metrics, *expected,
+            "parallel sweep diverged from serial path on {:?}",
+            cell.key
+        );
+        // The cache the figure formatters read must agree too.
+        assert_eq!(r.cached_metrics(&cell.key), Some(*expected));
+    }
+}
+
+#[test]
+fn one_worker_and_many_workers_agree() {
+    let cells = grid();
+    let mut r1 = Runner::small(SEED);
+    let mut r4 = Runner::small(SEED);
+    let one = sweep::run(&mut r1, &cells, 1);
+    let four = sweep::run(&mut r4, &cells, 4);
+    for (a, b) in one.cells.iter().zip(&four.cells) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.metrics, b.metrics, "thread count changed metrics of {:?}", a.key);
+    }
+    // Whole-sweep roll-ups therefore agree as well.
+    assert_eq!(one.total(), four.total());
+}
+
+#[test]
+fn second_sweep_is_served_from_cache() {
+    let cells = grid();
+    let mut r = Runner::small(SEED);
+    let first = sweep::run(&mut r, &cells, 2);
+    let second = sweep::run(&mut r, &cells, 2);
+    assert_eq!(second.fresh_cells(), 0);
+    for (a, b) in first.cells.iter().zip(&second.cells) {
+        assert_eq!(a.metrics, b.metrics);
+        assert!(b.reused);
+    }
+}

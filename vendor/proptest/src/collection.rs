@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length range for [`vec`]; built from `usize` ranges.
+/// Length range for [`vec()`]; built from `usize` ranges.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
