@@ -1,27 +1,43 @@
 //! Runs the complete experiment matrix in paper order — the input for
 //! `EXPERIMENTS.md`.
 //!
-//! The whole matrix is simulated up front by the parallel sweep engine
-//! (`MOM3D_SWEEP_THREADS` workers, default all cores); the figure and
-//! table formatters below then read the pre-filled cache. A
-//! machine-readable report with wall-clock per cell is written to
-//! `BENCH_sweep.json` (override with `MOM3D_SWEEP_JSON`).
+//! The whole matrix is simulated up front by the parallel sweep engine;
+//! the figure and table formatters below then read the pre-filled
+//! cache. A machine-readable report with wall-clock per cell is written
+//! to `BENCH_sweep.json`.
+//!
+//! ```text
+//! all [SEED] [--threads N] [--json PATH] [--all-backends]
+//! ```
+//!
+//! `--threads` and `--json` override the `MOM3D_SWEEP_THREADS` and
+//! `MOM3D_SWEEP_JSON` environment variables; `--all-backends` extends
+//! the sweep to every backend in the memory-backend registry and
+//! appends the registry-driven backend matrix to the report.
 
+use mom3d_bench::cli::{parse_all_args, ALL_USAGE};
 use mom3d_bench::{
-    fig10, fig11, fig3, fig6, fig7, fig9, seed_from_args, sweep, table1, table2, table3, table4,
+    backend_matrix, fig10, fig11, fig3, fig6, fig7, fig9, sweep, table1, table2, table3, table4,
     Runner,
 };
 
 fn main() {
-    let seed = seed_from_args();
+    let args = match parse_all_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n{ALL_USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args.seed();
     let mut r = Runner::new(seed);
     println!("mom3d full experiment matrix (seed {seed})");
     println!("=========================================\n");
 
-    // full_grid() covers every (workload, variant) pair table1 needs, so
-    // its internal prebuild batches all 15 workload builds at once.
-    let threads = sweep::threads_from_env();
-    let report = sweep::run(&mut r, &sweep::full_grid(), threads);
+    // The grid covers every (workload, variant) pair table1 needs, so
+    // its internal prebuild batches all workload builds at once.
+    let grid = if args.all_backends { sweep::extended_grid() } else { sweep::full_grid() };
+    let report = sweep::run(&mut r, &grid, args.threads());
     eprintln!(
         "sweep: {} cells ({} simulated) on {} threads in {:.2?}",
         report.cells.len(),
@@ -49,8 +65,12 @@ fn main() {
     print!("{}", table4(&mut r));
     println!();
     print!("{}", fig11(&mut r));
+    if args.all_backends {
+        println!();
+        print!("{}", backend_matrix(&mut r));
+    }
 
-    let path = sweep::json_path_from_env();
+    let path = args.json_path();
     match report.write_json(&path) {
         Ok(()) => eprintln!("sweep report written to {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

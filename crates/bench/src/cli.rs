@@ -1,0 +1,141 @@
+//! Argument parsing for the `all` binary.
+//!
+//! `all` grew beyond the conventional single seed argument: thread
+//! count and JSON path used to be controllable only through the
+//! `MOM3D_SWEEP_THREADS`/`MOM3D_SWEEP_JSON` environment variables; the
+//! `--threads`/`--json` flags now expose them directly (flags win over
+//! the environment), and `--all-backends` opts into sweeping every
+//! registered memory backend instead of just the paper grid.
+
+use std::path::PathBuf;
+
+/// Parsed `all` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AllArgs {
+    /// Workload data seed (positional; default 7).
+    pub seed: Option<u64>,
+    /// `--threads N`: sweep worker count (overrides
+    /// `MOM3D_SWEEP_THREADS`).
+    pub threads: Option<usize>,
+    /// `--json PATH`: sweep report path (overrides `MOM3D_SWEEP_JSON`).
+    pub json: Option<PathBuf>,
+    /// `--all-backends`: sweep and report every registered backend, not
+    /// just the four paper organizations.
+    pub all_backends: bool,
+}
+
+impl AllArgs {
+    /// The seed to use.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(7)
+    }
+
+    /// Effective worker count: the flag, else the environment/default
+    /// ([`crate::sweep::threads_from_env`]).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(crate::sweep::threads_from_env)
+    }
+
+    /// Effective JSON path: the flag, else the environment/default
+    /// ([`crate::sweep::json_path_from_env`]).
+    pub fn json_path(&self) -> PathBuf {
+        self.json.clone().unwrap_or_else(crate::sweep::json_path_from_env)
+    }
+}
+
+/// Usage string printed on parse errors.
+pub const ALL_USAGE: &str = "usage: all [SEED] [--threads N] [--json PATH] [--all-backends]";
+
+/// Parses the `all` binary's arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing or
+/// malformed flag values, and duplicate positional seeds.
+pub fn parse_all_args<I>(args: I) -> Result<AllArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = AllArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads {v:?}: not an integer"))?;
+                if n == 0 {
+                    return Err("--threads 0: must be at least 1".into());
+                }
+                parsed.threads = Some(n);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                parsed.json = Some(PathBuf::from(v));
+            }
+            "--all-backends" => parsed.all_backends = true,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            positional => {
+                if parsed.seed.is_some() {
+                    return Err(format!("unexpected second positional argument {positional:?}"));
+                }
+                let seed: u64 =
+                    positional.parse().map_err(|_| format!("seed {positional:?}: not an integer"))?;
+                parsed.seed = Some(seed);
+            }
+        }
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<AllArgs, String> {
+        parse_all_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_is_all_defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, AllArgs::default());
+        assert_eq!(a.seed(), 7);
+        assert!(!a.all_backends);
+    }
+
+    #[test]
+    fn seed_and_flags_in_any_order() {
+        let a = parse(&["42", "--threads", "3", "--json", "out.json", "--all-backends"]).unwrap();
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.json, Some(PathBuf::from("out.json")));
+        assert!(a.all_backends);
+        let b = parse(&["--json", "out.json", "--all-backends", "--threads", "3", "42"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flags_win_over_env() {
+        // threads() prefers the flag; with no flag it falls back to
+        // threads_from_env (>= 1 whatever the environment says).
+        let a = parse(&["--threads", "5"]).unwrap();
+        assert_eq!(a.threads(), 5);
+        let b = parse(&[]).unwrap();
+        assert!(b.threads() >= 1);
+        let c = parse(&["--json", "x.json"]).unwrap();
+        assert_eq!(c.json_path(), PathBuf::from("x.json"));
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["--threads"]).unwrap_err().contains("--threads"));
+        assert!(parse(&["--threads", "zero"]).unwrap_err().contains("not an integer"));
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse(&["7", "8"]).unwrap_err().contains("second positional"));
+        assert!(parse(&["sevenish"]).unwrap_err().contains("not an integer"));
+    }
+}

@@ -15,6 +15,7 @@
 //! | `table3` | register-file areas (exact reproduction) |
 //! | `table4` | L2 cache activity |
 //! | `all` | everything above in paper order |
+//! | `ablation` | beyond-paper ablations + a registry-driven sweep of every memory backend |
 //!
 //! Every binary accepts an optional seed argument
 //! (`cargo run -p mom3d-bench --bin fig9 -- 42`). Workloads are verified
@@ -23,17 +24,27 @@
 //!
 //! Every cell of the experiment matrix is an independent simulation, so
 //! the binaries fill the [`Runner`] cache through the parallel [`sweep`]
-//! engine (worker count: `MOM3D_SWEEP_THREADS`, default all cores) and
-//! only then format their reports; `all` additionally writes the
-//! machine-readable `BENCH_sweep.json` with wall-clock per cell.
+//! engine (worker count: `--threads` on `all`, else
+//! `MOM3D_SWEEP_THREADS`, default all cores) and only then format their
+//! reports; `all` additionally writes the machine-readable
+//! `BENCH_sweep.json` with wall-clock per cell (`--json`/
+//! `MOM3D_SWEEP_JSON`).
+//!
+//! Memory systems are open-ended: cells are keyed by
+//! [`mom3d_cpu::BackendId`], so any backend in the
+//! [`mom3d_cpu::BackendRegistry`] can be swept. `all --all-backends`
+//! extends the paper grid to every registered backend
+//! ([`sweep::extended_grid`]) and prints the registry-driven
+//! [`backend_matrix`] comparison.
 
+pub mod cli;
 mod report;
 mod runner;
 pub mod sweep;
 
 pub use report::{
-    fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10, Fig11,
-    SlowdownReport, Table1, Table4, TrafficReport,
+    backend_matrix, fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10,
+    Fig11, SlowdownReport, Table1, Table4, TrafficReport,
 };
 pub use runner::{Runner, SimKey};
 

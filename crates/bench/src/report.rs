@@ -1,7 +1,7 @@
 //! Experiment implementations and their textual reports.
 
 use crate::runner::Runner;
-use mom3d_cpu::{MemorySystemKind, ProcessorConfig};
+use mom3d_cpu::{BackendRegistry, MemorySystemKind, ProcessorConfig};
 use mom3d_kernels::{IsaVariant, WorkloadKind};
 use mom3d_power::{average_power_watts, ConfigArea, L2Params, ProcessParams, RegFileSpec};
 use std::fmt;
@@ -361,6 +361,37 @@ pub fn table1(r: &mut Runner) -> Table1 {
     Table1 { rows }
 }
 
+/// Registry-driven backend comparison: the slowdown of *every*
+/// registered non-ideal backend versus the MOM-ideal baseline, each
+/// under its native ISA variant (MOM+3D when the backend has a 3D
+/// register file, plain MOM otherwise).
+///
+/// Columns come from [`BackendRegistry::entries`], so a backend
+/// registered at startup — the built-in `dram-burst` model, or anything
+/// added by [`BackendRegistry::register`] — appears without this crate
+/// naming it anywhere.
+pub fn backend_matrix(r: &mut Runner) -> SlowdownReport {
+    let entries: Vec<_> =
+        BackendRegistry::entries().into_iter().filter(|e| !e.is_ideal).collect();
+    let mut rows = Vec::new();
+    for kind in WORKLOADS {
+        let base = r.mom_ideal_cycles(kind);
+        let vals = entries
+            .iter()
+            .map(|e| {
+                let variant = if e.has_3d { IsaVariant::Mom3d } else { IsaVariant::Mom };
+                r.metrics(kind, variant, e.backend_id(), 20).slowdown_vs(base)
+            })
+            .collect();
+        rows.push((kind, vals));
+    }
+    SlowdownReport {
+        title: "Backend matrix: slowdown of every registered memory backend (vs MOM ideal)",
+        configs: entries.iter().map(|e| e.display_name).collect(),
+        rows,
+    }
+}
+
 /// Table 2: the two processor configurations, as a formatted report.
 pub fn table2() -> String {
     let mmx = ProcessorConfig::mmx();
@@ -388,6 +419,15 @@ pub fn table2() -> String {
         "n/a".into(),
         format!("1x{}", mom.vector_cache.width_words),
     );
+    // The organizations themselves come from the backend registry, so
+    // this section grows with it; descriptions use the MOM column's
+    // actual port parameters, matching the geometry printed above.
+    s.push_str("\nvector memory organizations (registered backends):\n");
+    let params = mom.backend_params();
+    for entry in BackendRegistry::entries() {
+        let backend = (entry.build)(&params);
+        s.push_str(&format!("  {:<18} {}\n", entry.id, backend.describe()));
+    }
     s
 }
 

@@ -1,6 +1,8 @@
 //! Workload + simulation cache shared by the experiment binaries.
 
-use mom3d_cpu::{MemorySystemKind, Metrics, Processor, ProcessorConfig};
+use mom3d_cpu::{BackendId, Metrics, Processor, ProcessorConfig};
+#[cfg(test)]
+use mom3d_cpu::MemorySystemKind;
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -14,8 +16,9 @@ pub struct SimKey {
     pub kind: WorkloadKind,
     /// ISA variant the trace was generated for.
     pub variant: IsaVariant,
-    /// Vector memory system backing the processor.
-    pub memory: MemorySystemKind,
+    /// Vector memory backend backing the processor (any id registered
+    /// with [`mom3d_cpu::BackendRegistry`]).
+    pub memory: BackendId,
     /// L2 hit latency in cycles.
     pub l2_latency: u32,
 }
@@ -143,15 +146,16 @@ impl Runner {
     }
 
     /// Simulates a workload on a processor/memory configuration at the
-    /// given L2 latency, with caching.
+    /// given L2 latency, with caching. `memory` accepts a
+    /// [`mom3d_cpu::MemorySystemKind`] or any [`BackendId`].
     pub fn metrics(
         &mut self,
         kind: WorkloadKind,
         variant: IsaVariant,
-        memory: MemorySystemKind,
+        memory: impl Into<BackendId>,
         l2_latency: u32,
     ) -> Metrics {
-        let key = SimKey { kind, variant, memory, l2_latency };
+        let key = SimKey { kind, variant, memory: memory.into(), l2_latency };
         if let Some(m) = self.sims.get(&key) {
             return *m;
         }
@@ -164,7 +168,7 @@ impl Runner {
     /// Cycles of the MOM + ideal-memory configuration — the paper's
     /// normalization baseline for Figures 3 and 9.
     pub fn mom_ideal_cycles(&mut self, kind: WorkloadKind) -> u64 {
-        self.metrics(kind, IsaVariant::Mom, MemorySystemKind::Ideal, 20).cycles
+        self.metrics(kind, IsaVariant::Mom, BackendId::new("ideal"), 20).cycles
     }
 }
 
@@ -204,7 +208,7 @@ mod tests {
         let key = SimKey {
             kind: WorkloadKind::GsmEncode,
             variant: IsaVariant::Mom,
-            memory: MemorySystemKind::VectorCache,
+            memory: MemorySystemKind::VectorCache.into(),
             l2_latency: 20,
         };
         assert_eq!(r.cached_metrics(&key), Some(a));
@@ -231,7 +235,7 @@ mod tests {
         let key = SimKey {
             kind: WorkloadKind::JpegDecode,
             variant: IsaVariant::Mom,
-            memory: MemorySystemKind::Ideal,
+            memory: MemorySystemKind::Ideal.into(),
             l2_latency: 20,
         };
         let sentinel = Metrics { cycles: 42, ..Default::default() };

@@ -33,7 +33,7 @@
 //! ```
 
 use crate::runner::{simulate, Runner, SimKey};
-use mom3d_cpu::{MemorySystemKind, Metrics};
+use mom3d_cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -102,7 +102,7 @@ impl SweepReport {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024 + 512 * self.cells.len());
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mom3d/sweep/v1\",\n");
+        s.push_str("  \"schema\": \"mom3d/sweep/v2\",\n");
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"small\": {},\n", self.small));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
@@ -114,7 +114,7 @@ impl SweepReport {
                  \"l2_latency\": {}, \"wall_ns\": {}, \"reused\": {}, \"metrics\": {}}}{}\n",
                 cell.key.kind,
                 cell.key.variant,
-                memory_label(cell.key.memory),
+                cell.key.memory,
                 cell.key.l2_latency,
                 cell.wall.as_nanos(),
                 cell.reused,
@@ -138,16 +138,6 @@ impl SweepReport {
     }
 }
 
-/// Stable machine-readable label of a memory system.
-fn memory_label(memory: MemorySystemKind) -> &'static str {
-    match memory {
-        MemorySystemKind::Ideal => "ideal",
-        MemorySystemKind::MultiBanked => "multi-banked",
-        MemorySystemKind::VectorCache => "vector-cache",
-        MemorySystemKind::VectorCache3d => "vector-cache-3d",
-    }
-}
-
 fn metrics_json(m: &Metrics) -> String {
     format!(
         "{{\"cycles\": {}, \"instructions\": {}, \"packed_ops\": {}, \
@@ -155,7 +145,8 @@ fn metrics_json(m: &Metrics) -> String {
          \"l2_activity\": {}, \"vec_words\": {}, \"mov3d_instrs\": {}, \
          \"mov3d_words\": {}, \"d3_writes\": {}, \"l2_scalar_accesses\": {}, \
          \"l2_hits\": {}, \"l2_misses\": {}, \"l1_accesses\": {}, \
-         \"coherence_invalidations\": {}}}",
+         \"coherence_invalidations\": {}, \"dram_row_hits\": {}, \
+         \"dram_row_misses\": {}}}",
         m.cycles,
         m.instructions,
         m.packed_ops,
@@ -172,17 +163,43 @@ fn metrics_json(m: &Metrics) -> String {
         m.l2_misses,
         m.l1_accesses,
         m.coherence_invalidations,
+        m.dram_row_hits,
+        m.dram_row_misses,
     )
 }
 
+/// The default worker-thread count: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Worker-thread count: `MOM3D_SWEEP_THREADS` when set to a positive
-/// integer, otherwise every available core.
+/// integer, otherwise every available core. A set-but-invalid value
+/// (zero, non-numeric, non-unicode) falls back to the default with a
+/// warning on stderr rather than being silently ignored.
 pub fn threads_from_env() -> usize {
-    std::env::var("MOM3D_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    threads_from_value(std::env::var_os("MOM3D_SWEEP_THREADS").as_deref())
+}
+
+/// The parsing/fallback policy behind [`threads_from_env`], separated
+/// from the environment so it can be tested without `set_var` (which
+/// is unsound next to concurrent `getenv` calls in a parallel test
+/// binary).
+fn threads_from_value(raw: Option<&std::ffi::OsStr>) -> usize {
+    let Some(raw) = raw else {
+        return default_threads();
+    };
+    match raw.to_str().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => {
+            let fallback = default_threads();
+            eprintln!(
+                "warning: MOM3D_SWEEP_THREADS={raw:?} is not a positive integer; \
+                 using the default ({fallback} threads)"
+            );
+            fallback
+        }
+    }
 }
 
 /// Where the JSON report goes: `MOM3D_SWEEP_JSON` when set, otherwise
@@ -332,10 +349,10 @@ pub fn run(runner: &mut Runner, cells: &[SimKey], threads: usize) -> SweepReport
 fn cell(
     kind: WorkloadKind,
     variant: IsaVariant,
-    memory: MemorySystemKind,
+    memory: impl Into<BackendId>,
     l2_latency: u32,
 ) -> SimKey {
-    SimKey { kind, variant, memory, l2_latency }
+    SimKey { kind, variant, memory: memory.into(), l2_latency }
 }
 
 /// Figure 3 cells: MOM on ideal (baseline), multi-banked and vector
@@ -432,6 +449,39 @@ pub fn full_grid() -> Vec<SimKey> {
     cells
 }
 
+/// Cells for every registered backend *beyond* the four paper
+/// organizations (the opt-in extra-backend sweep dimension): each extra
+/// backend runs every workload under the MOM ISA — plus MOM+3D when the
+/// backend has a 3D register file — at the default L2 latency. Purely
+/// registry-driven: a backend registered at startup shows up here (and
+/// in the [`crate::backend_matrix`] report) without any hand-listing.
+pub fn cells_extra_backends() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for entry in BackendRegistry::entries() {
+        if MemorySystemKind::parse(entry.id).is_some() {
+            continue; // the paper grid already covers these
+        }
+        for kind in WorkloadKind::ALL {
+            cells.push(cell(kind, IsaVariant::Mom, entry.backend_id(), 20));
+            if entry.has_3d {
+                cells.push(cell(kind, IsaVariant::Mom3d, entry.backend_id(), 20));
+            }
+        }
+    }
+    cells
+}
+
+/// [`full_grid`] plus [`cells_extra_backends`] — what
+/// `all --all-backends` sweeps. The two are disjoint by construction
+/// (the extras skip every paper id, and the paper grid emits nothing
+/// else), so no dedup is needed; [`run`] deduplicates defensively
+/// anyway.
+pub fn extended_grid() -> Vec<SimKey> {
+    let mut cells = full_grid();
+    cells.extend(cells_extra_backends());
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,7 +523,8 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": \"mom3d/sweep/v1\""));
+        assert!(json.contains("\"schema\": \"mom3d/sweep/v2\""));
+        assert!(json.contains("\"dram_row_hits\": 0"));
         assert!(json.contains("\"workload\": \"gsm encode\""));
         assert!(json.contains("\"memory\": \"vector-cache\""));
         assert!(json.contains("\"wall_ns\": 3"));
@@ -482,8 +533,45 @@ mod tests {
 
     #[test]
     fn threads_env_parsing() {
-        // Only asserts the fallback shape; the env var itself is tested
-        // end-to-end by the binaries.
+        // Exercised through the pure value parser: mutating the real
+        // environment here would race the concurrent `getenv` calls of
+        // other tests in this binary.
+        let default = default_threads();
+        let parse = |v: Option<&str>| threads_from_value(v.map(std::ffi::OsStr::new));
+        assert_eq!(parse(None), default);
+        assert_eq!(parse(Some("3")), 3);
+        assert_eq!(parse(Some(" 8 ")), 8, "surrounding whitespace is tolerated");
+        // Invalid values fall back to the default (with a warning on
+        // stderr) instead of being silently ignored.
+        for bad in ["0", "-2", "lots", "", " "] {
+            assert_eq!(parse(Some(bad)), default, "MOM3D_SWEEP_THREADS={bad:?}");
+        }
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn extra_backend_cells_cover_registry_only_backends() {
+        let extras = cells_extra_backends();
+        // dram-burst is registered but not a paper organization, so the
+        // extended grid must pick it up for every workload — with no
+        // figure binary naming it.
+        let dram = BackendId::new("dram-burst");
+        for kind in WorkloadKind::ALL {
+            assert!(
+                extras.contains(&cell(kind, IsaVariant::Mom, dram, 20)),
+                "{kind:?} missing from the extra-backend cells"
+            );
+        }
+        // No paper backend sneaks in.
+        for c in &extras {
+            assert_eq!(MemorySystemKind::parse(c.memory.as_str()), None, "{c:?}");
+        }
+        // The extended grid is the full grid plus the extras, deduped.
+        let ext = extended_grid();
+        let set: HashSet<_> = ext.iter().copied().collect();
+        assert_eq!(set.len(), ext.len());
+        for c in full_grid().into_iter().chain(extras) {
+            assert!(set.contains(&c));
+        }
     }
 }

@@ -1,8 +1,16 @@
 //! Processor configurations (Table 2 of the paper).
 
-use mom3d_mem::{BankedConfig, HierarchyConfig, VectorCacheConfig};
+use mom3d_mem::{BackendId, BackendParams, BankedConfig, DramConfig, HierarchyConfig, VectorCacheConfig};
 
-/// Which vector memory system backs the processor.
+/// The four paper memory organizations, kept as a thin parse/compat
+/// shim over the open [`BackendId`] namespace so existing binaries and
+/// tests keep their spelling.
+///
+/// The processor itself is keyed by [`BackendId`] — any registered
+/// [`mom3d_mem::BackendRegistry`] backend can back it, not just these
+/// four. `MemorySystemKind` converts losslessly into the corresponding
+/// id via [`From`], and [`MemorySystemKind::parse`] recovers a variant
+/// from its id string.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemorySystemKind {
     /// Perfect cache: 1-cycle latency, unbounded bandwidth (the
@@ -18,9 +26,52 @@ pub enum MemorySystemKind {
 }
 
 impl MemorySystemKind {
+    /// The four paper organizations, in canonical (registry) order.
+    pub const ALL: [MemorySystemKind; 4] = [
+        MemorySystemKind::Ideal,
+        MemorySystemKind::MultiBanked,
+        MemorySystemKind::VectorCache,
+        MemorySystemKind::VectorCache3d,
+    ];
+
     /// True when the configuration includes the 3D register file.
     pub fn has_3d(self) -> bool {
         matches!(self, MemorySystemKind::VectorCache3d | MemorySystemKind::Ideal)
+    }
+
+    /// The backend id this organization registers under.
+    pub fn id(self) -> BackendId {
+        BackendId::new(match self {
+            MemorySystemKind::Ideal => "ideal",
+            MemorySystemKind::MultiBanked => "multi-banked",
+            MemorySystemKind::VectorCache => "vector-cache",
+            MemorySystemKind::VectorCache3d => "vector-cache-3d",
+        })
+    }
+
+    /// The paper organization behind an id string, if it is one of the
+    /// four (other registered backends parse via
+    /// [`mom3d_mem::BackendRegistry::parse`] instead).
+    pub fn parse(s: &str) -> Option<MemorySystemKind> {
+        MemorySystemKind::ALL.into_iter().find(|k| k.id().as_str() == s)
+    }
+}
+
+impl From<MemorySystemKind> for BackendId {
+    fn from(kind: MemorySystemKind) -> BackendId {
+        kind.id()
+    }
+}
+
+impl PartialEq<MemorySystemKind> for BackendId {
+    fn eq(&self, other: &MemorySystemKind) -> bool {
+        *self == other.id()
+    }
+}
+
+impl PartialEq<BackendId> for MemorySystemKind {
+    fn eq(&self, other: &BackendId) -> bool {
+        self.id() == *other
     }
 }
 
@@ -62,14 +113,18 @@ pub struct ProcessorConfig {
     /// at 90–99% hit rates; our kernels touch their data too few times
     /// to amortize cold misses otherwise).
     pub warm_caches: bool,
-    /// The vector memory system.
-    pub memory: MemorySystemKind,
+    /// The vector memory backend (any id registered with
+    /// [`mom3d_mem::BackendRegistry`]; the four paper organizations via
+    /// their [`MemorySystemKind`] spelling).
+    pub memory: BackendId,
     /// Cache hierarchy latencies/geometry.
     pub hierarchy: HierarchyConfig,
     /// Multi-banked port system parameters.
     pub banked: BankedConfig,
     /// Vector cache port parameters.
     pub vector_cache: VectorCacheConfig,
+    /// DRAM-burst backend parameters.
+    pub dram: DramConfig,
 }
 
 impl ProcessorConfig {
@@ -91,10 +146,11 @@ impl ProcessorConfig {
             vec_outstanding: 4,
             l1_banked: true,
             warm_caches: false,
-            memory: MemorySystemKind::MultiBanked,
+            memory: MemorySystemKind::MultiBanked.id(),
             hierarchy: HierarchyConfig::default(),
             banked: BankedConfig::default(),
             vector_cache: VectorCacheConfig::default(),
+            dram: DramConfig::default(),
         }
     }
 
@@ -116,17 +172,24 @@ impl ProcessorConfig {
             vec_outstanding: 4,
             l1_banked: false,
             warm_caches: false,
-            memory: MemorySystemKind::VectorCache,
+            memory: MemorySystemKind::VectorCache.id(),
             hierarchy: HierarchyConfig::default(),
             banked: BankedConfig::default(),
             vector_cache: VectorCacheConfig::default(),
+            dram: DramConfig::default(),
         }
     }
 
-    /// Selects the vector memory system (builder style).
-    pub fn with_memory(mut self, memory: MemorySystemKind) -> Self {
-        self.memory = memory;
+    /// Selects the vector memory backend (builder style). Accepts a
+    /// [`MemorySystemKind`] or any [`BackendId`].
+    pub fn with_memory(mut self, memory: impl Into<BackendId>) -> Self {
+        self.memory = memory.into();
         self
+    }
+
+    /// The port-system parameters handed to backend factories.
+    pub fn backend_params(&self) -> BackendParams {
+        BackendParams { banked: self.banked, vector_cache: self.vector_cache, dram: self.dram }
     }
 
     /// Overrides the L2 hit latency (Figure 10's 20/40/60-cycle sweep).
@@ -196,5 +259,29 @@ mod tests {
         assert!(MemorySystemKind::Ideal.has_3d());
         assert!(!MemorySystemKind::VectorCache.has_3d());
         assert!(!MemorySystemKind::MultiBanked.has_3d());
+    }
+
+    #[test]
+    fn kind_shim_round_trips_through_ids() {
+        for kind in MemorySystemKind::ALL {
+            assert_eq!(MemorySystemKind::parse(kind.id().as_str()), Some(kind));
+            let id: BackendId = kind.into();
+            assert_eq!(id, kind, "BackendId == MemorySystemKind");
+            assert_eq!(kind, id, "MemorySystemKind == BackendId");
+            // The enum's hand-coded capability agrees with the registry.
+            assert_eq!(kind.has_3d(), id.has_3d());
+            assert_eq!(kind == MemorySystemKind::Ideal, id.is_ideal());
+        }
+        // Registry-only backends are not paper kinds.
+        assert_eq!(MemorySystemKind::parse("dram-burst"), None);
+        assert_eq!(MemorySystemKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn with_memory_accepts_kinds_and_raw_ids() {
+        let via_kind = ProcessorConfig::mom().with_memory(MemorySystemKind::MultiBanked);
+        let via_id = ProcessorConfig::mom().with_memory(BackendId::new("multi-banked"));
+        assert_eq!(via_kind, via_id);
+        assert_eq!(via_kind.memory.as_str(), "multi-banked");
     }
 }

@@ -6,6 +6,12 @@ use std::fmt;
 /// Errors raised by the timing simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The configured memory backend id is not in the
+    /// [`mom3d_mem::BackendRegistry`].
+    UnknownBackend {
+        /// The unresolved id.
+        id: String,
+    },
     /// The trace uses 3D memory instructions but the configured memory
     /// system has no 3D register file.
     No3dRegisterFile {
@@ -24,6 +30,9 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::UnknownBackend { id } => {
+                write!(f, "memory backend {id:?} is not registered")
+            }
             SimError::No3dRegisterFile { index } => write!(
                 f,
                 "instruction {index} is a 3D memory instruction but the memory system has no 3D register file"

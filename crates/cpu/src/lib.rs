@@ -8,11 +8,15 @@
 //! * **MOM** — 1 SIMD FU with 4 lanes (same aggregate ALU bandwidth),
 //!   2 memory issue slots, and a single wide L2 vector port.
 //!
-//! Four memory systems can back the vector port ([`MemorySystemKind`]):
-//! an idealistic memory (1-cycle, unbounded bandwidth — the Figure 3/9
+//! Any backend registered with [`mom3d_mem::BackendRegistry`] can back
+//! the vector port; configurations key it by [`BackendId`]. The paper's
+//! four organizations keep their [`MemorySystemKind`] spelling: an
+//! idealistic memory (1-cycle, unbounded bandwidth — the Figure 3/9
 //! baseline), the 4-port/8-bank **multi-banked** cache, the 4×64-bit
 //! **vector cache**, and the vector cache plus **3D register file**
-//! (which `3dvload`/`3dvmov` traces require).
+//! (which `3dvload`/`3dvmov` traces require). A row-buffer-aware
+//! **DRAM-burst** model (`"dram-burst"`) ships alongside them as the
+//! first registry-only backend.
 //!
 //! The simulator consumes [`mom3d_isa::Trace`]s, resolves register and
 //! memory dependences by renaming, and models a 128-entry graduation
@@ -48,6 +52,12 @@ mod metrics;
 mod pipeline;
 
 pub use config::{MemorySystemKind, ProcessorConfig};
+// Re-exported so downstream crates can name backends without a direct
+// mom3d-mem dependency.
+pub use mom3d_mem::{
+    BackendEntry, BackendId, BackendParams, BackendRegistry, BackendStats, DramConfig,
+    VectorMemoryBackend,
+};
 pub use depgraph::DepGraph;
 pub use error::SimError;
 pub use memsys::MemorySystem;

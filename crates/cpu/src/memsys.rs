@@ -1,11 +1,11 @@
 //! The memory-system adapter: routes accesses to the hierarchy and the
 //! port schedulers, and accumulates bandwidth/activity counters.
 
-use crate::config::{MemorySystemKind, ProcessorConfig};
+use crate::config::ProcessorConfig;
 use mom3d_isa::MemAccess;
 use mom3d_mem::{
-    schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig, LineSet,
-    MemHierarchy, VectorCacheConfig,
+    BackendId, BackendRegistry, BackendStats, BankedConfig, LineSet, MemHierarchy,
+    VectorMemoryBackend,
 };
 
 /// Extra cycles per additional outstanding L2 miss beyond the first
@@ -23,12 +23,19 @@ pub struct MemOpTiming {
 }
 
 /// The vector/scalar memory system of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Port scheduling is delegated to the configured
+/// [`VectorMemoryBackend`]; the hierarchy (tag lookups, hit/miss
+/// accounting, coherence) and the bandwidth counters are shared by all
+/// backends.
+#[derive(Debug)]
 pub struct MemorySystem {
-    kind: MemorySystemKind,
+    backend: Box<dyn VectorMemoryBackend>,
+    /// Cached [`VectorMemoryBackend::is_ideal`] (checked on every
+    /// access).
+    ideal: bool,
     hierarchy: MemHierarchy,
     banked: BankedConfig,
-    vc: VectorCacheConfig,
     /// Vector-port grant cycles (Figure 6 denominator).
     pub port_accesses: u64,
     /// Energy-relevant vector-side L2 accesses (Table 4).
@@ -47,12 +54,22 @@ pub struct MemorySystem {
 
 impl MemorySystem {
     /// Builds the memory system for a processor configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.memory` names a backend that is not registered
+    /// ([`crate::Processor::run`] checks this first and returns
+    /// [`crate::SimError::UnknownBackend`] instead).
     pub fn new(config: &ProcessorConfig) -> Self {
+        let backend = BackendRegistry::build(config.memory, &config.backend_params())
+            .unwrap_or_else(|| {
+                panic!("memory backend {:?} is not registered", config.memory.as_str())
+            });
         MemorySystem {
-            kind: config.memory,
+            ideal: backend.is_ideal(),
+            backend,
             hierarchy: MemHierarchy::new(config.hierarchy),
             banked: config.banked,
-            vc: config.vector_cache,
             port_accesses: 0,
             l2_activity: 0,
             vec_words: 0,
@@ -62,9 +79,14 @@ impl MemorySystem {
         }
     }
 
-    /// The configured kind.
-    pub fn kind(&self) -> MemorySystemKind {
-        self.kind
+    /// The configured backend's id.
+    pub fn backend_id(&self) -> BackendId {
+        self.backend.id()
+    }
+
+    /// Backend-specific counters (e.g. DRAM row-buffer hits/misses).
+    pub fn backend_stats(&self) -> BackendStats {
+        self.backend.stats()
     }
 
     /// Read-only view of the hierarchy (for stats extraction).
@@ -81,7 +103,7 @@ impl MemorySystem {
     /// then clears the hierarchy statistics, so a subsequent simulation
     /// measures steady-state hit behaviour.
     pub fn warm_from_trace(&mut self, trace: &mom3d_isa::Trace) {
-        if self.kind == MemorySystemKind::Ideal {
+        if self.ideal {
             return;
         }
         for instr in trace.iter() {
@@ -107,7 +129,7 @@ impl MemorySystem {
 
     /// Performs a scalar or µSIMD access; returns its latency.
     pub fn scalar_access(&mut self, mem: &MemAccess, is_write: bool) -> u32 {
-        if self.kind == MemorySystemKind::Ideal {
+        if self.ideal {
             return 1;
         }
         self.hierarchy.scalar_access(mem.base, mem.elem_bytes, is_write)
@@ -117,7 +139,7 @@ impl MemorySystem {
     /// returns its port occupancy and completion latency, and updates
     /// the bandwidth/activity counters.
     pub fn vector_access(&mut self, mem: &MemAccess, is_store: bool, is_3d: bool) -> MemOpTiming {
-        if self.kind == MemorySystemKind::Ideal {
+        if self.ideal {
             self.vec_words += mem.total_bytes().div_ceil(8);
             return MemOpTiming { occupancy: 1, latency: 1 };
         }
@@ -135,16 +157,7 @@ impl MemorySystem {
         }
 
         // Port scheduling: who wins how many words per cycle.
-        let schedule = match (self.kind, is_3d) {
-            (MemorySystemKind::MultiBanked, _) => {
-                schedule_multibanked(&self.banked, &self.blocks_buf)
-            }
-            (MemorySystemKind::VectorCache, _) | (MemorySystemKind::VectorCache3d, false) => {
-                schedule_vector_cache(&self.vc, &self.blocks_buf)
-            }
-            (MemorySystemKind::VectorCache3d, true) => schedule_3d(&self.blocks_buf),
-            (MemorySystemKind::Ideal, _) => unreachable!("handled above"),
-        };
+        let schedule = self.backend.schedule(&self.blocks_buf, is_3d);
         self.port_accesses += schedule.port_cycles as u64;
         self.l2_activity += schedule.cache_accesses;
         self.vec_words += schedule.words;
@@ -168,7 +181,7 @@ impl MemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ProcessorConfig;
+    use crate::config::{MemorySystemKind, ProcessorConfig};
 
     fn system(kind: MemorySystemKind) -> MemorySystem {
         MemorySystem::new(&ProcessorConfig::mom().with_memory(kind))
@@ -248,6 +261,29 @@ mod tests {
         s.vector_access(&m, false, false); // warm up
         let t = s.vector_access(&m, false, false);
         assert_eq!(t.latency, 60);
+    }
+
+    #[test]
+    fn dram_burst_backend_runs_through_the_adapter() {
+        let mut s = MemorySystem::new(
+            &ProcessorConfig::mom().with_memory(BackendId::new("dram-burst")),
+        );
+        assert_eq!(s.backend_id().as_str(), "dram-burst");
+        let m = MemAccess::strided2d(0x1000, 8, 16);
+        // Cold: 4 bursts of 4 words + one row activate (default 6 cy).
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 4 + 6);
+        assert_eq!(s.backend_stats().row_misses, 1);
+        // The row stays open across instructions: burst rate.
+        let t = s.vector_access(&m, false, false);
+        assert_eq!(t.occupancy, 4);
+        assert_eq!(s.vec_words, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unknown_backend_panics_with_clear_message() {
+        MemorySystem::new(&ProcessorConfig::mom().with_memory(BackendId::new("no-such")));
     }
 
     #[test]

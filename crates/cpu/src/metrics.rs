@@ -42,6 +42,11 @@ pub struct Metrics {
     pub l1_accesses: u64,
     /// L1 lines invalidated by the exclusive-bit protocol.
     pub coherence_invalidations: u64,
+    /// DRAM row-buffer hits (zero unless the backend models DRAM rows,
+    /// e.g. `dram-burst`).
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses (row activations).
+    pub dram_row_misses: u64,
 }
 
 impl Metrics {
@@ -112,6 +117,8 @@ impl Metrics {
             l2_misses,
             l1_accesses,
             coherence_invalidations,
+            dram_row_hits,
+            dram_row_misses,
         } = other;
         self.cycles += cycles;
         self.instructions += instructions;
@@ -129,6 +136,8 @@ impl Metrics {
         self.l2_misses += l2_misses;
         self.l1_accesses += l1_accesses;
         self.coherence_invalidations += coherence_invalidations;
+        self.dram_row_hits += dram_row_hits;
+        self.dram_row_misses += dram_row_misses;
     }
 
     /// Slowdown of this run relative to a baseline cycle count
@@ -201,11 +210,15 @@ mod tests {
             l2_misses: 14,
             l1_accesses: 15,
             coherence_invalidations: 16,
+            dram_row_hits: 17,
+            dram_row_misses: 18,
         };
         let mut total = a;
         total.merge(&a);
         assert_eq!(total.cycles, 2);
         assert_eq!(total.coherence_invalidations, 32);
+        assert_eq!(total.dram_row_hits, 34);
+        assert_eq!(total.dram_row_misses, 36);
         assert_eq!(total.total_l2_activity(), 2 * (7 + 12));
         // Merging the default is the identity.
         let mut b = a;

@@ -55,19 +55,22 @@ impl Processor {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::No3dRegisterFile`] if the trace contains 3D
-    /// memory instructions and the configured memory system lacks the 3D
-    /// register file, or [`SimError::Malformed`] for memory opcodes
-    /// without descriptors.
+    /// Returns [`SimError::UnknownBackend`] if the configured memory
+    /// backend id is not registered, [`SimError::No3dRegisterFile`] if
+    /// the trace contains 3D memory instructions and the configured
+    /// memory system lacks the 3D register file, or
+    /// [`SimError::Malformed`] for memory opcodes without descriptors.
     pub fn run(&self, trace: &Trace) -> Result<Metrics, SimError> {
         let cfg = &self.config;
         let instrs = trace.instrs();
         let n = instrs.len();
 
-        // Up-front validation.
+        // Up-front validation, starting with the backend itself.
+        let backend = mom3d_mem::BackendRegistry::get(cfg.memory.as_str())
+            .ok_or_else(|| SimError::UnknownBackend { id: cfg.memory.as_str().to_string() })?;
         for (index, i) in instrs.iter().enumerate() {
             match i.opcode {
-                Opcode::DvLoad | Opcode::DvMov if !cfg.memory.has_3d() => {
+                Opcode::DvLoad | Opcode::DvMov if !backend.has_3d => {
                     return Err(SimError::No3dRegisterFile { index });
                 }
                 op if op.is_mem() && i.mem.is_none() => {
@@ -182,7 +185,7 @@ impl Processor {
                             continue;
                         }
                         let mem = instr.mem.expect("validated above");
-                        if cfg.l1_banked && cfg.memory != crate::MemorySystemKind::Ideal {
+                        if cfg.l1_banked && !backend.is_ideal {
                             let bank = memsys.bank_of(mem.base);
                             if banks_used & (1 << bank) != 0 {
                                 continue; // bank conflict: retry next cycle
@@ -279,6 +282,9 @@ impl Processor {
         metrics.l2_activity = memsys.l2_activity;
         metrics.vec_words = memsys.vec_words;
         metrics.d3_writes = memsys.d3_writes;
+        let b = memsys.backend_stats();
+        metrics.dram_row_hits = b.row_hits;
+        metrics.dram_row_misses = b.row_misses;
         let h = memsys.hierarchy().stats();
         metrics.l2_scalar_accesses = h.l2_scalar_accesses;
         metrics.l2_hits = h.l2_hits;
@@ -508,6 +514,47 @@ mod tests {
             slow_3d < slow_2d,
             "3D must be more latency tolerant: {slow_3d:.3} vs {slow_2d:.3}"
         );
+    }
+
+    #[test]
+    fn unknown_backend_is_a_sim_error() {
+        let p = Processor::new(ProcessorConfig::mom().with_memory(crate::BackendId::new("bogus")));
+        let err = p.run(&Trace::new()).unwrap_err();
+        assert!(matches!(err, SimError::UnknownBackend { ref id } if id == "bogus"));
+    }
+
+    #[test]
+    fn dram_burst_backend_times_a_vector_trace() {
+        // A registry-only backend drives the unmodified pipeline: large
+        // strides thrash the row buffers, dense streams burst.
+        let build = |stride: i64| {
+            let mut tb = TraceBuilder::new();
+            tb.set_vl(16);
+            tb.set_vs(stride);
+            let b = tb.li(Gpr::new(1), 0x1_0000);
+            for k in 0..32u64 {
+                tb.vload(MomReg::new((k % 8) as u8), b, 0x1_0000 + (k % 4));
+            }
+            tb.finish()
+        };
+        let dram = Processor::new(
+            ProcessorConfig::mom().with_memory(crate::BackendId::new("dram-burst")),
+        );
+        let dense = dram.run(&build(8)).unwrap();
+        let strided = dram.run(&build(8192)).unwrap();
+        assert!(dense.dram_row_misses > 0, "cold rows must be activated");
+        assert!(
+            strided.dram_row_misses > dense.dram_row_misses,
+            "row-set-sized strides must thrash the row buffers"
+        );
+        assert!(strided.cycles > dense.cycles);
+        // 3D traces are rejected: the DRAM model has no 3D register file.
+        let mut tb = TraceBuilder::new();
+        tb.set_vl(8);
+        let b = tb.li(Gpr::new(1), 0);
+        tb.dvload(DReg::new(0), b, 0, 640, 16, false);
+        let err = dram.run(&tb.finish()).unwrap_err();
+        assert!(matches!(err, SimError::No3dRegisterFile { .. }));
     }
 
     #[test]

@@ -1,0 +1,599 @@
+//! The pluggable vector-memory-backend API.
+//!
+//! The paper compares four vector memory organizations; this module
+//! turns "which organization" from a closed enum into an open trait so
+//! new organizations can be added without touching the simulator, the
+//! sweep engine or the report formatters:
+//!
+//! * [`VectorMemoryBackend`] — one organization's port model: given the
+//!   resolved `(address, length)` blocks of a vector memory
+//!   instruction, produce a [`PortSchedule`]. Backends may be stateful
+//!   (e.g. DRAM row buffers), so scheduling takes `&mut self`; one
+//!   instance is built per simulation run.
+//! * [`BackendId`] — the stable string identity a backend is keyed by
+//!   everywhere (simulation caches, sweep grids, JSON reports).
+//! * [`BackendRegistry`] — the global id → factory table. The four
+//!   paper organizations and the [DRAM-burst model](crate::DramConfig)
+//!   are pre-registered; [`BackendRegistry::register`] adds more at
+//!   runtime (see `examples/custom_backend.rs` in the workspace root).
+//!
+//! ```
+//! use mom3d_mem::{BackendParams, BackendRegistry};
+//!
+//! let id = BackendRegistry::parse("vector-cache").unwrap();
+//! let mut backend = BackendRegistry::build(id, &BackendParams::default()).unwrap();
+//! // Eight consecutive words through the 4-word wide port: two accesses.
+//! let blocks: Vec<(u64, u32)> = (0..8).map(|i| (0x1000 + 8 * i, 8)).collect();
+//! let s = backend.schedule(&blocks, false);
+//! assert_eq!(s.port_cycles, 2);
+//! ```
+
+use crate::dram::{DramBurstBackend, DramConfig};
+use crate::ports::{
+    schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig, PortSchedule,
+    VectorCacheConfig,
+};
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Stable identity of a memory backend: a short kebab-case string
+/// (`"vector-cache"`, `"dram-burst"`, …).
+///
+/// `BackendId` is what simulation caches, sweep grids and reports key
+/// on. It is `Copy` and hashes/compares by string *content*, so ids
+/// parsed from user input ([`BackendRegistry::parse`]) compare equal to
+/// ids taken from registry entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackendId(&'static str);
+
+impl BackendId {
+    /// Wraps a static id string. The id only resolves to a backend once
+    /// a matching entry is registered.
+    pub const fn new(id: &'static str) -> Self {
+        BackendId(id)
+    }
+
+    /// The id as a string slice.
+    pub const fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// True when the registered backend behind this id includes a 3D
+    /// register file (required to execute `3dvload`/`3dvmov`). False for
+    /// unregistered ids.
+    pub fn has_3d(self) -> bool {
+        BackendRegistry::get(self.0).is_some_and(|e| e.has_3d)
+    }
+
+    /// True when the registered backend behind this id is an idealistic
+    /// memory (1-cycle, unbounded bandwidth). False for unregistered
+    /// ids.
+    pub fn is_ideal(self) -> bool {
+        BackendRegistry::get(self.0).is_some_and(|e| e.is_ideal)
+    }
+}
+
+impl fmt::Display for BackendId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// Everything a backend factory may need to build an instance — the
+/// port-system knobs of [`crate::HierarchyConfig`]'s owner (the
+/// processor configuration) without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BackendParams {
+    /// Multi-banked port system parameters.
+    pub banked: BankedConfig,
+    /// Vector cache port parameters.
+    pub vector_cache: VectorCacheConfig,
+    /// DRAM-burst main-memory model parameters.
+    pub dram: DramConfig,
+}
+
+/// Counters a backend may accumulate beyond the per-instruction
+/// [`PortSchedule`] (all zero for stateless backends).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Accesses that hit an open DRAM row buffer.
+    pub row_hits: u64,
+    /// Accesses that had to open (activate) a new DRAM row.
+    pub row_misses: u64,
+}
+
+/// One vector memory organization's port model.
+///
+/// A backend schedules the element blocks of one vector memory
+/// instruction onto its ports and reports occupancy, energy-relevant
+/// cache accesses and transferred words (see [`PortSchedule`]). One
+/// instance is built per simulation run, so implementations may carry
+/// mutable state across instructions (the DRAM-burst backend tracks
+/// open rows per bank); the instruction stream is deterministic, so
+/// stateful backends remain deterministic too.
+pub trait VectorMemoryBackend: fmt::Debug + Send {
+    /// The stable id this backend registered under.
+    fn id(&self) -> BackendId;
+
+    /// Human-readable name for report columns ("MOM vector cache").
+    fn display_name(&self) -> &'static str;
+
+    /// One-line Table-2-style configuration description
+    /// ("1 port × 4 × 64 bit, shift&mask, 128 B lines").
+    fn describe(&self) -> String;
+
+    /// True for idealistic memories: the simulator short-circuits them
+    /// to 1-cycle flat accesses and never calls [`Self::schedule`].
+    fn is_ideal(&self) -> bool {
+        false
+    }
+
+    /// True when the organization includes the second-level 3D vector
+    /// register file (required by `3dvload`/`3dvmov` traces).
+    fn has_3d(&self) -> bool {
+        false
+    }
+
+    /// Schedules one vector memory instruction's `(address,
+    /// length-in-bytes)` blocks. `is_3d` is true for `3dvload`s (only
+    /// ever passed to backends with [`Self::has_3d`]).
+    fn schedule(&mut self, blocks: &[(u64, u32)], is_3d: bool) -> PortSchedule;
+
+    /// Backend-specific counters accumulated so far.
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+}
+
+/// One row of the [`BackendRegistry`]: identity, capabilities, and the
+/// factory that builds a fresh backend instance for a simulation run.
+///
+/// Capabilities are duplicated here (rather than only on instances) so
+/// the simulator can validate a trace against a backend id without
+/// building one.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendEntry {
+    /// Stable kebab-case id ([`BackendId::as_str`] of the built
+    /// instances).
+    pub id: &'static str,
+    /// Human-readable name for report columns.
+    pub display_name: &'static str,
+    /// Whether the organization includes the 3D register file.
+    pub has_3d: bool,
+    /// Whether the organization is an idealistic memory.
+    pub is_ideal: bool,
+    /// Builds one instance for a simulation run.
+    pub build: fn(&BackendParams) -> Box<dyn VectorMemoryBackend>,
+}
+
+impl BackendEntry {
+    /// The entry's id as a [`BackendId`].
+    pub const fn backend_id(&self) -> BackendId {
+        BackendId::new(self.id)
+    }
+}
+
+/// Error returned by [`BackendRegistry::register`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An entry with the same id is already registered.
+    DuplicateId(&'static str),
+    /// The entry's declared id/capabilities disagree with what its
+    /// factory's instances report (`what` names the offending field).
+    EntryMismatch {
+        /// The entry's id.
+        id: &'static str,
+        /// Which declaration disagreed (`"id"`, `"has_3d"`,
+        /// `"is_ideal"`).
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateId(id) => {
+                write!(f, "a memory backend with id {id:?} is already registered")
+            }
+            RegistryError::EntryMismatch { id, what } => write!(
+                f,
+                "backend entry {id:?}: declared {what} disagrees with the built instance's {what}()"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The global id → backend table.
+///
+/// Entries are kept in registration order — the five built-ins first
+/// (ideal, multi-banked, vector-cache, vector-cache-3d, dram-burst),
+/// then anything added by [`BackendRegistry::register`] — so
+/// enumeration ([`BackendRegistry::entries`]) is deterministic.
+pub struct BackendRegistry;
+
+fn registry() -> &'static Mutex<Vec<BackendEntry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BackendEntry>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(builtin_entries().to_vec()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Vec<BackendEntry>> {
+    // A panic while holding the lock cannot leave the Vec in a torn
+    // state (all mutations are single `push`es), so poisoning is safe
+    // to ignore.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl BackendRegistry {
+    /// Registers a new backend. Fails if the id is already taken (the
+    /// built-ins cannot be replaced) or if the entry's declared
+    /// id/capabilities disagree with what its factory actually builds —
+    /// the simulator validates traces against the *entry* before an
+    /// instance exists, so drift between the two would reject valid
+    /// traces or silently mistime them.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::DuplicateId`] when an entry with the same id
+    /// exists; [`RegistryError::EntryMismatch`] when a probe instance
+    /// built with default [`BackendParams`] reports a different id,
+    /// `has_3d` or `is_ideal` than the entry declares.
+    pub fn register(entry: BackendEntry) -> Result<(), RegistryError> {
+        let probe = (entry.build)(&BackendParams::default());
+        let mismatch = |what| Err(RegistryError::EntryMismatch { id: entry.id, what });
+        if probe.id().as_str() != entry.id {
+            return mismatch("id");
+        }
+        if probe.has_3d() != entry.has_3d {
+            return mismatch("has_3d");
+        }
+        if probe.is_ideal() != entry.is_ideal {
+            return mismatch("is_ideal");
+        }
+        let mut entries = lock();
+        if entries.iter().any(|e| e.id == entry.id) {
+            return Err(RegistryError::DuplicateId(entry.id));
+        }
+        entries.push(entry);
+        Ok(())
+    }
+
+    /// A snapshot of every registered backend, in registration order.
+    pub fn entries() -> Vec<BackendEntry> {
+        lock().clone()
+    }
+
+    /// Looks up one entry by id string.
+    pub fn get(id: &str) -> Option<BackendEntry> {
+        lock().iter().find(|e| e.id == id).copied()
+    }
+
+    /// Resolves a user-supplied string to a registered backend's id.
+    pub fn parse(s: &str) -> Option<BackendId> {
+        Self::get(s).map(|e| e.backend_id())
+    }
+
+    /// Builds a fresh backend instance for a simulation run, or `None`
+    /// when the id is not registered.
+    pub fn build(id: BackendId, params: &BackendParams) -> Option<Box<dyn VectorMemoryBackend>> {
+        Self::get(id.as_str()).map(|e| (e.build)(params))
+    }
+}
+
+/// The five built-in organizations, in their canonical order.
+fn builtin_entries() -> [BackendEntry; 5] {
+    [
+        BackendEntry {
+            id: "ideal",
+            display_name: "ideal",
+            has_3d: true,
+            is_ideal: true,
+            build: |_| Box::new(IdealBackend),
+        },
+        BackendEntry {
+            id: "multi-banked",
+            display_name: "multi-banked",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(MultiBankedBackend { cfg: p.banked }),
+        },
+        BackendEntry {
+            id: "vector-cache",
+            display_name: "vector cache",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(VectorCacheBackend { cfg: p.vector_cache }),
+        },
+        BackendEntry {
+            id: "vector-cache-3d",
+            display_name: "vector cache + 3D RF",
+            has_3d: true,
+            is_ideal: false,
+            build: |p| Box::new(VectorCache3dBackend { cfg: p.vector_cache }),
+        },
+        BackendEntry {
+            id: "dram-burst",
+            display_name: "DRAM burst",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(DramBurstBackend::new(p.dram)),
+        },
+    ]
+}
+
+/// Perfect memory: 1-cycle latency, unbounded bandwidth (the Figure 3/9
+/// normalization baseline). The simulator short-circuits it, so
+/// [`VectorMemoryBackend::schedule`] exists only for completeness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdealBackend;
+
+impl VectorMemoryBackend for IdealBackend {
+    fn id(&self) -> BackendId {
+        BackendId::new("ideal")
+    }
+
+    fn display_name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn describe(&self) -> String {
+        "perfect cache: 1-cycle latency, unbounded bandwidth".into()
+    }
+
+    fn is_ideal(&self) -> bool {
+        true
+    }
+
+    fn has_3d(&self) -> bool {
+        true
+    }
+
+    fn schedule(&mut self, blocks: &[(u64, u32)], _is_3d: bool) -> PortSchedule {
+        let words = blocks.iter().map(|&(_, len)| (len as u64).div_ceil(8)).sum();
+        PortSchedule { port_cycles: 1, cache_accesses: 0, words }
+    }
+}
+
+/// The 4-port, 8-bank multi-banked cache behind a crossbar (Figure 2-a),
+/// on top of [`schedule_multibanked`].
+#[derive(Debug, Clone, Copy)]
+pub struct MultiBankedBackend {
+    cfg: BankedConfig,
+}
+
+impl VectorMemoryBackend for MultiBankedBackend {
+    fn id(&self) -> BackendId {
+        BackendId::new("multi-banked")
+    }
+
+    fn display_name(&self) -> &'static str {
+        "multi-banked"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} ports x {} banks behind a crossbar, {} B interleave",
+            self.cfg.ports, self.cfg.banks, self.cfg.interleave_bytes
+        )
+    }
+
+    fn schedule(&mut self, blocks: &[(u64, u32)], _is_3d: bool) -> PortSchedule {
+        schedule_multibanked(&self.cfg, blocks)
+    }
+}
+
+/// The single wide-port vector cache (Figure 2-b), on top of
+/// [`schedule_vector_cache`].
+#[derive(Debug, Clone, Copy)]
+pub struct VectorCacheBackend {
+    cfg: VectorCacheConfig,
+}
+
+impl VectorMemoryBackend for VectorCacheBackend {
+    fn id(&self) -> BackendId {
+        BackendId::new("vector-cache")
+    }
+
+    fn display_name(&self) -> &'static str {
+        "vector cache"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "1 port x {} x 64 bit, shift&mask network, {} B lines",
+            self.cfg.width_words, self.cfg.line_bytes
+        )
+    }
+
+    fn schedule(&mut self, blocks: &[(u64, u32)], _is_3d: bool) -> PortSchedule {
+        schedule_vector_cache(&self.cfg, blocks)
+    }
+}
+
+/// The vector cache plus the second-level 3D vector register file
+/// (Figure 8-c): 2D accesses use the wide port, `3dvload`s stream one
+/// whole line per cycle into a 3D-register-file lane ([`schedule_3d`]).
+#[derive(Debug, Clone, Copy)]
+pub struct VectorCache3dBackend {
+    cfg: VectorCacheConfig,
+}
+
+impl VectorMemoryBackend for VectorCache3dBackend {
+    fn id(&self) -> BackendId {
+        BackendId::new("vector-cache-3d")
+    }
+
+    fn display_name(&self) -> &'static str {
+        "vector cache + 3D RF"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "1 port x {} x 64 bit + 3D register file, one {} B line per cycle on the 3D path",
+            self.cfg.width_words, self.cfg.line_bytes
+        )
+    }
+
+    fn has_3d(&self) -> bool {
+        true
+    }
+
+    fn schedule(&mut self, blocks: &[(u64, u32)], is_3d: bool) -> PortSchedule {
+        if is_3d {
+            schedule_3d(blocks)
+        } else {
+            schedule_vector_cache(&self.cfg, blocks)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const PAPER_IDS: [&str; 4] = ["ideal", "multi-banked", "vector-cache", "vector-cache-3d"];
+
+    #[test]
+    fn builtins_are_registered_in_canonical_order() {
+        let entries = BackendRegistry::entries();
+        let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+        assert!(ids.len() >= 5);
+        assert_eq!(&ids[..5], &["ideal", "multi-banked", "vector-cache", "vector-cache-3d", "dram-burst"]);
+        // Enumeration is deterministic: a second snapshot agrees.
+        let again: Vec<&str> = BackendRegistry::entries().iter().map(|e| e.id).collect();
+        assert_eq!(ids, again);
+    }
+
+    #[test]
+    fn ids_round_trip_through_parse() {
+        for entry in BackendRegistry::entries() {
+            let id = BackendRegistry::parse(entry.id).expect("registered id parses");
+            assert_eq!(id.as_str(), entry.id);
+            let mut built = BackendRegistry::build(id, &BackendParams::default()).unwrap();
+            assert_eq!(built.id(), id);
+            assert_eq!(built.has_3d(), entry.has_3d);
+            assert_eq!(built.is_ideal(), entry.is_ideal);
+            assert!(!built.describe().is_empty());
+            // Any backend must schedule an empty block list to nothing
+            // or a constant — it must not panic.
+            let _ = built.schedule(&[], false);
+        }
+        assert_eq!(BackendRegistry::parse("no-such-backend"), None);
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        // A self-consistent entry (so it passes the capability probe)
+        // that collides with a built-in id.
+        let err = BackendRegistry::register(BackendEntry {
+            id: "vector-cache",
+            display_name: "impostor",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(VectorCacheBackend { cfg: p.vector_cache }),
+        })
+        .unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateId("vector-cache"));
+        assert!(err.to_string().contains("vector-cache"));
+    }
+
+    /// A test-only backend whose instances report id "drifting",
+    /// has_3d = true and is_ideal = true.
+    #[derive(Debug)]
+    struct DriftingProbe;
+
+    impl VectorMemoryBackend for DriftingProbe {
+        fn id(&self) -> BackendId {
+            BackendId::new("drifting")
+        }
+
+        fn display_name(&self) -> &'static str {
+            "drifting probe"
+        }
+
+        fn describe(&self) -> String {
+            "test probe".into()
+        }
+
+        fn has_3d(&self) -> bool {
+            true
+        }
+
+        fn is_ideal(&self) -> bool {
+            true
+        }
+
+        fn schedule(&mut self, _blocks: &[(u64, u32)], _is_3d: bool) -> PortSchedule {
+            PortSchedule::default()
+        }
+    }
+
+    #[test]
+    fn mismatched_entries_are_rejected() {
+        // Declaring capabilities the instances do not report would let
+        // the pipeline validate traces against the wrong contract —
+        // register() must catch the drift up front, field by field.
+        let entry = |id, has_3d, is_ideal| BackendEntry {
+            id,
+            display_name: "drifting probe",
+            has_3d,
+            is_ideal,
+            build: |_| Box::new(DriftingProbe),
+        };
+        let err = BackendRegistry::register(entry("wrong-id", true, true)).unwrap_err();
+        assert_eq!(err, RegistryError::EntryMismatch { id: "wrong-id", what: "id" });
+        let err = BackendRegistry::register(entry("drifting", false, true)).unwrap_err();
+        assert_eq!(err, RegistryError::EntryMismatch { id: "drifting", what: "has_3d" });
+        let err = BackendRegistry::register(entry("drifting", true, false)).unwrap_err();
+        assert_eq!(err, RegistryError::EntryMismatch { id: "drifting", what: "is_ideal" });
+        assert!(err.to_string().contains("is_ideal"));
+        // No bad entry made it into the registry.
+        assert!(BackendRegistry::get("drifting").is_none());
+        assert!(BackendRegistry::get("wrong-id").is_none());
+    }
+
+    #[test]
+    fn id_capabilities_match_entries() {
+        assert!(BackendId::new("ideal").is_ideal());
+        assert!(BackendId::new("ideal").has_3d());
+        assert!(BackendId::new("vector-cache-3d").has_3d());
+        assert!(!BackendId::new("vector-cache").has_3d());
+        assert!(!BackendId::new("dram-burst").has_3d());
+        assert!(!BackendId::new("unregistered").has_3d());
+        assert!(!BackendId::new("unregistered").is_ideal());
+    }
+
+    fn arb_blocks() -> impl Strategy<Value = Vec<(u64, u32)>> {
+        proptest::collection::vec((0u64..0x2_0000, 1u32..300), 1..40)
+    }
+
+    proptest! {
+        /// The trait objects for the paper organizations are thin
+        /// adapters: they must agree exactly with the underlying pure
+        /// schedulers on arbitrary block lists.
+        #[test]
+        fn paper_backends_match_schedule_functions(blocks in arb_blocks()) {
+            let params = BackendParams::default();
+            for id in PAPER_IDS {
+                let entry = BackendRegistry::get(id).unwrap();
+                let mut b = (entry.build)(&params);
+                let expected = match id {
+                    "multi-banked" => schedule_multibanked(&params.banked, &blocks),
+                    "vector-cache" | "vector-cache-3d" => {
+                        schedule_vector_cache(&params.vector_cache, &blocks)
+                    }
+                    _ => continue, // ideal is short-circuited by the simulator
+                };
+                prop_assert_eq!(b.schedule(&blocks, false), expected);
+            }
+            // The 3D path of the 3D-capable backend is schedule_3d.
+            let mut b3 = BackendRegistry::build(
+                BackendId::new("vector-cache-3d"),
+                &params,
+            ).unwrap();
+            prop_assert_eq!(b3.schedule(&blocks, true), schedule_3d(&blocks));
+        }
+    }
+}

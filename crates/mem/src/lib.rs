@@ -17,7 +17,12 @@
 //!   cache (4 ports × 8 banks behind a crossbar), the **vector cache**
 //!   (one wide port, interchange + shift&mask, wide grants only for
 //!   consecutive words) and the **3D path** (one whole L2 line per cycle
-//!   into a 3D register-file lane).
+//!   into a 3D register-file lane);
+//! * the pluggable **memory-backend API** ([`VectorMemoryBackend`],
+//!   [`BackendRegistry`]): each organization is registered behind a
+//!   stable string id ([`BackendId`]) so new organizations — like the
+//!   built-in row-buffer-aware [`DramBurstBackend`] — plug into the
+//!   simulator, sweep engine and reports without touching them.
 //!
 //! ```
 //! use mom3d_mem::{MainMemory, Cache, CacheConfig, WritePolicy};
@@ -31,12 +36,20 @@
 //! assert!(l2.access(0x1000, false).hit); // now resident
 //! ```
 
+mod backend;
 mod cache;
+mod dram;
 mod hierarchy;
 mod main_mem;
 mod ports;
 
+pub use backend::{
+    BackendEntry, BackendId, BackendParams, BackendRegistry, BackendStats, IdealBackend,
+    MultiBankedBackend, RegistryError, VectorCache3dBackend, VectorCacheBackend,
+    VectorMemoryBackend,
+};
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, WritePolicy};
+pub use dram::{DramBurstBackend, DramConfig};
 pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy, VectorAccessOutcome};
 pub use main_mem::MainMemory;
 pub use ports::{

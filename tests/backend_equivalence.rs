@@ -1,0 +1,143 @@
+//! Backend-equivalence regression gate for the pluggable-backend
+//! refactor (trait + registry replacing the closed `MemorySystemKind`
+//! dispatch).
+//!
+//! `GOLDEN` below was captured by running the *pre-refactor* enum-match
+//! simulator (commit 25a2b2a) over reduced-geometry workloads at seed
+//! 11: every workload under its paper memory organizations at the
+//! default and one non-default L2 latency. The four paper backends must
+//! keep producing these metrics bit for bit through the trait/registry
+//! path; any intentional timing-model change must re-capture the table
+//! (and say so in the PR).
+//!
+//! The rest of the file covers the registry contract itself: id
+//! round-trips, deterministic enumeration order, and the DRAM-burst
+//! backend's emulator <-> timing smoke agreement.
+
+use mom3d::cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics, Processor, ProcessorConfig};
+use mom3d::emu::Emulator;
+use mom3d::kernels::{IsaVariant, Workload, WorkloadKind};
+use mom3d_bench::Runner;
+use WorkloadKind::*;
+use IsaVariant::*;
+
+const SEED: u64 = 11;
+
+#[rustfmt::skip]
+const GOLDEN: [(WorkloadKind, IsaVariant, &str, u32, Metrics); 25] = [
+    (JpegEncode, Mom, "ideal", 20, Metrics { cycles: 201, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 0, l2_activity: 0, vec_words: 776, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 0, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegEncode, Mom, "multi-banked", 20, Metrics { cycles: 593, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 386, l2_activity: 776, vec_words: 776, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 91, l2_hits: 412, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 27, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegEncode, Mom, "vector-cache", 20, Metrics { cycles: 593, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 386, l2_activity: 386, vec_words: 776, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 91, l2_hits: 412, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 27, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegEncode, Mom3d, "vector-cache-3d", 20, Metrics { cycles: 389, instructions: 519, packed_ops: 6567, vec_mem_instrs: 67, scalar_mem_instrs: 96, port_accesses: 146, l2_activity: 146, vec_words: 776, mov3d_instrs: 32, mov3d_words: 256, d3_writes: 16, l2_scalar_accesses: 71, l2_hits: 152, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 8, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegEncode, Mom, "vector-cache", 60, Metrics { cycles: 1553, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 386, l2_activity: 386, vec_words: 776, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 91, l2_hits: 412, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 27, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegDecode, Mom, "ideal", 20, Metrics { cycles: 136, instructions: 131, packed_ops: 4195, vec_mem_instrs: 49, scalar_mem_instrs: 0, port_accesses: 0, l2_activity: 0, vec_words: 784, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 0, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegDecode, Mom, "multi-banked", 20, Metrics { cycles: 307, instructions: 131, packed_ops: 4195, vec_mem_instrs: 49, scalar_mem_instrs: 0, port_accesses: 196, l2_activity: 784, vec_words: 784, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 49, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegDecode, Mom, "vector-cache", 20, Metrics { cycles: 307, instructions: 131, packed_ops: 4195, vec_mem_instrs: 49, scalar_mem_instrs: 0, port_accesses: 196, l2_activity: 196, vec_words: 784, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 49, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegDecode, Mom3d, "vector-cache-3d", 20, Metrics { cycles: 307, instructions: 131, packed_ops: 4195, vec_mem_instrs: 49, scalar_mem_instrs: 0, port_accesses: 196, l2_activity: 196, vec_words: 784, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 49, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (JpegDecode, Mom, "vector-cache", 60, Metrics { cycles: 787, instructions: 131, packed_ops: 4195, vec_mem_instrs: 49, scalar_mem_instrs: 0, port_accesses: 196, l2_activity: 196, vec_words: 784, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 49, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Decode, Mom, "ideal", 20, Metrics { cycles: 167, instructions: 263, packed_ops: 4670, vec_mem_instrs: 80, scalar_mem_instrs: 0, port_accesses: 0, l2_activity: 0, vec_words: 640, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 0, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Decode, Mom, "multi-banked", 20, Metrics { cycles: 619, instructions: 263, packed_ops: 4670, vec_mem_instrs: 80, scalar_mem_instrs: 0, port_accesses: 520, l2_activity: 640, vec_words: 640, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 288, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Decode, Mom, "vector-cache", 20, Metrics { cycles: 659, instructions: 263, packed_ops: 4670, vec_mem_instrs: 80, scalar_mem_instrs: 0, port_accesses: 640, l2_activity: 640, vec_words: 640, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 288, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Decode, Mom3d, "vector-cache-3d", 20, Metrics { cycles: 353, instructions: 223, packed_ops: 4630, vec_mem_instrs: 40, scalar_mem_instrs: 0, port_accesses: 320, l2_activity: 320, vec_words: 480, mov3d_instrs: 60, mov3d_words: 480, d3_writes: 160, l2_scalar_accesses: 0, l2_hits: 137, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Decode, Mom, "vector-cache", 60, Metrics { cycles: 1383, instructions: 263, packed_ops: 4670, vec_mem_instrs: 80, scalar_mem_instrs: 0, port_accesses: 640, l2_activity: 640, vec_words: 640, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 288, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Encode, Mom, "ideal", 20, Metrics { cycles: 394, instructions: 1728, packed_ops: 13824, vec_mem_instrs: 384, scalar_mem_instrs: 24, port_accesses: 0, l2_activity: 0, vec_words: 3072, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 0, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Encode, Mom, "multi-banked", 20, Metrics { cycles: 3101, instructions: 1728, packed_ops: 13824, vec_mem_instrs: 384, scalar_mem_instrs: 24, port_accesses: 3072, l2_activity: 3072, vec_words: 3072, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 24, l2_hits: 1560, l2_misses: 0, l1_accesses: 24, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Encode, Mom, "vector-cache", 20, Metrics { cycles: 3101, instructions: 1728, packed_ops: 13824, vec_mem_instrs: 384, scalar_mem_instrs: 24, port_accesses: 3072, l2_activity: 3072, vec_words: 3072, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 24, l2_hits: 1560, l2_misses: 0, l1_accesses: 24, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Encode, Mom3d, "vector-cache-3d", 20, Metrics { cycles: 807, instructions: 1571, packed_ops: 13667, vec_mem_instrs: 24, scalar_mem_instrs: 24, port_accesses: 192, l2_activity: 192, vec_words: 384, mov3d_instrs: 384, mov3d_words: 3072, d3_writes: 192, l2_scalar_accesses: 24, l2_hits: 120, l2_misses: 0, l1_accesses: 24, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (Mpeg2Encode, Mom, "vector-cache", 60, Metrics { cycles: 6561, instructions: 1728, packed_ops: 13824, vec_mem_instrs: 384, scalar_mem_instrs: 24, port_accesses: 3072, l2_activity: 3072, vec_words: 3072, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 24, l2_hits: 1560, l2_misses: 0, l1_accesses: 24, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (GsmEncode, Mom, "ideal", 20, Metrics { cycles: 982, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 0, l2_activity: 0, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 0, l2_hits: 0, l2_misses: 0, l1_accesses: 0, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (GsmEncode, Mom, "multi-banked", 20, Metrics { cycles: 3745, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 1944, l2_activity: 6480, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 8, l2_hits: 1088, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (GsmEncode, Mom, "vector-cache", 20, Metrics { cycles: 3745, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 1944, l2_activity: 1944, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 8, l2_hits: 1088, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (GsmEncode, Mom3d, "vector-cache-3d", 20, Metrics { cycles: 1017, instructions: 2089, packed_ops: 14725, vec_mem_instrs: 48, scalar_mem_instrs: 8, port_accesses: 312, l2_activity: 312, vec_words: 1280, mov3d_instrs: 324, mov3d_words: 3240, d3_writes: 240, l2_scalar_accesses: 8, l2_hits: 91, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+    (GsmEncode, Mom, "vector-cache", 60, Metrics { cycles: 10225, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 1944, l2_activity: 1944, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 8, l2_hits: 1088, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
+];
+
+#[test]
+fn paper_backends_match_pre_refactor_metrics_bit_for_bit() {
+    let mut r = Runner::small(SEED);
+    for (kind, variant, memory, l2, expected) in GOLDEN {
+        let id = BackendRegistry::parse(memory)
+            .unwrap_or_else(|| panic!("golden backend {memory:?} not registered"));
+        let got = r.metrics(kind, variant, id, l2);
+        assert_eq!(
+            got, expected,
+            "{kind:?} {variant:?} on {memory} @ L2={l2} diverged from the pre-refactor enum path"
+        );
+    }
+}
+
+#[test]
+fn registry_ids_round_trip_and_order_is_deterministic() {
+    let entries = BackendRegistry::entries();
+    // Two snapshots enumerate identically.
+    let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
+    let again: Vec<&str> = BackendRegistry::entries().iter().map(|e| e.id).collect();
+    assert_eq!(ids, again, "registry enumeration must be deterministic");
+    // The built-ins lead, in canonical order.
+    assert_eq!(
+        &ids[..5],
+        &["ideal", "multi-banked", "vector-cache", "vector-cache-3d", "dram-burst"]
+    );
+    // parse(id).id() == id for every entry, and the paper shim agrees.
+    for entry in &entries {
+        let id = BackendRegistry::parse(entry.id).expect("registered id parses");
+        assert_eq!(id.as_str(), entry.id);
+        if let Some(kind) = MemorySystemKind::parse(entry.id) {
+            assert_eq!(BackendId::from(kind), id);
+            assert_eq!(kind.has_3d(), entry.has_3d);
+        }
+    }
+    // The four paper kinds are all present.
+    for kind in MemorySystemKind::ALL {
+        assert!(ids.contains(&kind.id().as_str()), "{kind:?} missing from the registry");
+    }
+}
+
+/// The DRAM-burst backend passes the same emulator <-> timing smoke
+/// agreement as the paper backends: the timing simulator must commit
+/// exactly the instruction stream the (backend-agnostic) emulator
+/// executed, on every workload.
+#[test]
+fn dram_burst_backend_smoke_agreement() {
+    let dram = BackendId::new("dram-burst");
+    for kind in WorkloadKind::ALL {
+        let wl = Workload::build_small(kind, IsaVariant::Mom, SEED)
+            .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"));
+        wl.verify().unwrap_or_else(|e| panic!("{kind}: verification failed: {e}"));
+        let trace = wl.trace();
+
+        let mut emu = Emulator::with_machine(wl.machine());
+        emu.run(trace).unwrap_or_else(|e| panic!("{kind}: emulation failed: {e}"));
+
+        let metrics = Processor::new(
+            ProcessorConfig::mom().with_memory(dram).with_warm_caches(true),
+        )
+        .run(trace)
+        .unwrap_or_else(|e| panic!("{kind}: dram-burst simulation failed: {e}"));
+        assert_eq!(
+            metrics.instructions,
+            emu.executed(),
+            "{kind}: dram-burst simulator and emulator disagree on committed instructions"
+        );
+        assert!(metrics.cycles > 0);
+        // Every burst access either hit an open row or activated one.
+        assert_eq!(
+            metrics.dram_row_hits + metrics.dram_row_misses,
+            metrics.l2_activity,
+            "{kind}: row-buffer accounting must cover every access"
+        );
+        assert!(metrics.dram_row_misses > 0, "{kind}: cold rows must be activated");
+    }
+}
+
+/// The DRAM model is slower than the SRAM vector cache (activates cost
+/// cycles) but the ideal baseline still dominates everything.
+#[test]
+fn dram_burst_sits_between_nothing_and_ideal() {
+    let mut r = Runner::small(SEED);
+    for kind in [WorkloadKind::GsmEncode, WorkloadKind::Mpeg2Encode] {
+        let ideal = r.mom_ideal_cycles(kind);
+        let dram = r.metrics(kind, Mom, BackendId::new("dram-burst"), 20).cycles;
+        assert!(ideal < dram, "{kind:?}: ideal {ideal} must beat dram {dram}");
+    }
+}

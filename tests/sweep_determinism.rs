@@ -2,30 +2,31 @@
 //! [`Metrics`] to the serial `Runner::metrics` path, bit for bit, for
 //! every cell, at any worker count.
 
-use mom3d::cpu::{MemorySystemKind, Metrics};
+use mom3d::cpu::{BackendId, MemorySystemKind, Metrics};
 use mom3d::kernels::{IsaVariant, WorkloadKind};
 use mom3d_bench::{sweep, Runner, SimKey};
 
 const SEED: u64 = 11;
 
 /// A small but representative grid: two workloads (one with 3D
-/// patterns, one without), every memory system, and a non-default L2
-/// latency.
+/// patterns, one without), every paper memory system plus the
+/// registry-only DRAM-burst backend, and a non-default L2 latency.
 fn grid() -> Vec<SimKey> {
     let mut cells = Vec::new();
     for kind in [WorkloadKind::GsmEncode, WorkloadKind::JpegDecode] {
         for (variant, memory) in [
-            (IsaVariant::Mom, MemorySystemKind::Ideal),
-            (IsaVariant::Mom, MemorySystemKind::MultiBanked),
-            (IsaVariant::Mom, MemorySystemKind::VectorCache),
-            (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d),
+            (IsaVariant::Mom, MemorySystemKind::Ideal.id()),
+            (IsaVariant::Mom, MemorySystemKind::MultiBanked.id()),
+            (IsaVariant::Mom, MemorySystemKind::VectorCache.id()),
+            (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d.id()),
+            (IsaVariant::Mom, BackendId::new("dram-burst")),
         ] {
             cells.push(SimKey { kind, variant, memory, l2_latency: 20 });
         }
         cells.push(SimKey {
             kind,
             variant: IsaVariant::Mom,
-            memory: MemorySystemKind::VectorCache,
+            memory: MemorySystemKind::VectorCache.into(),
             l2_latency: 60,
         });
     }
