@@ -7,13 +7,15 @@
 //! to `BENCH_sweep.json`.
 //!
 //! ```text
-//! all [SEED] [--threads N] [--json PATH] [--all-backends]
+//! all [SEED] [--threads N] [--json PATH] [--all-backends] [--small]
 //! ```
 //!
 //! `--threads` and `--json` override the `MOM3D_SWEEP_THREADS` and
 //! `MOM3D_SWEEP_JSON` environment variables; `--all-backends` extends
 //! the sweep to every backend in the memory-backend registry and
-//! appends the registry-driven backend matrix to the report.
+//! appends the registry-driven backend matrix to the report;
+//! `--small` sweeps the reduced integration-test geometry (a fast
+//! whole-pipeline smoke, e.g. for CI checks of the JSON schema).
 
 use mom3d_bench::cli::{parse_all_args, ALL_USAGE};
 use mom3d_bench::{
@@ -30,7 +32,7 @@ fn main() {
         }
     };
     let seed = args.seed();
-    let mut r = Runner::new(seed);
+    let mut r = if args.small { Runner::small(seed) } else { Runner::new(seed) };
     println!("mom3d full experiment matrix (seed {seed})");
     println!("=========================================\n");
 

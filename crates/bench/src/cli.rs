@@ -22,6 +22,10 @@ pub struct AllArgs {
     /// `--all-backends`: sweep and report every registered backend, not
     /// just the four paper organizations.
     pub all_backends: bool,
+    /// `--small`: sweep reduced-geometry workloads (the integration-test
+    /// geometry) — a fast smoke of the whole pipeline, e.g. for CI
+    /// schema checks of `BENCH_sweep.json`.
+    pub small: bool,
 }
 
 impl AllArgs {
@@ -44,7 +48,8 @@ impl AllArgs {
 }
 
 /// Usage string printed on parse errors.
-pub const ALL_USAGE: &str = "usage: all [SEED] [--threads N] [--json PATH] [--all-backends]";
+pub const ALL_USAGE: &str =
+    "usage: all [SEED] [--threads N] [--json PATH] [--all-backends] [--small]";
 
 /// Parses the `all` binary's arguments (without the program name).
 ///
@@ -74,6 +79,7 @@ where
                 parsed.json = Some(PathBuf::from(v));
             }
             "--all-backends" => parsed.all_backends = true,
+            "--small" => parsed.small = true,
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
             }
@@ -113,8 +119,16 @@ mod tests {
         assert_eq!(a.threads, Some(3));
         assert_eq!(a.json, Some(PathBuf::from("out.json")));
         assert!(a.all_backends);
+        assert!(!a.small);
         let b = parse(&["--json", "out.json", "--all-backends", "--threads", "3", "42"]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_flag_parses() {
+        let a = parse(&["--small", "5"]).unwrap();
+        assert!(a.small);
+        assert_eq!(a.seed(), 5);
     }
 
     #[test]

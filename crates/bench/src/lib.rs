@@ -46,7 +46,7 @@ pub use report::{
     backend_matrix, fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10,
     Fig11, SlowdownReport, Table1, Table4, TrafficReport,
 };
-pub use runner::{Runner, SimKey};
+pub use runner::{Runner, SimKey, WorkloadTiming};
 
 /// Parses the conventional single optional CLI seed argument.
 pub fn seed_from_args() -> u64 {

@@ -6,6 +6,20 @@ use mom3d_cpu::MemorySystemKind;
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock phase breakdown of preparing one workload: trace
+/// generation (the functional emulator run included) and verification
+/// against the scalar reference. Together with the per-cell simulation
+/// wall-clock this is what `BENCH_sweep.json` (schema v3) reports, so
+/// the cost of every phase of the harness is machine-readable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkloadTiming {
+    /// Building the workload (data generation + trace emission).
+    pub build: Duration,
+    /// Verifying the built workload against its scalar reference.
+    pub verify: Duration,
+}
 
 /// One point of the experiment matrix: which workload trace runs on
 /// which processor/memory configuration. The key of the [`Runner`]
@@ -49,6 +63,7 @@ pub struct Runner {
     seed: u64,
     small: bool,
     workloads: HashMap<(WorkloadKind, IsaVariant), Arc<Workload>>,
+    timings: HashMap<(WorkloadKind, IsaVariant), WorkloadTiming>,
     sims: HashMap<SimKey, Metrics>,
 }
 
@@ -83,21 +98,40 @@ impl Runner {
     /// against its scalar reference — a harness that times broken traces
     /// would be meaningless.
     pub fn build_workload(&self, kind: WorkloadKind, variant: IsaVariant) -> Workload {
+        self.build_workload_timed(kind, variant).0
+    }
+
+    /// Like [`Runner::build_workload`], but also reports how long the
+    /// build and verification phases took (what the sweep engine records
+    /// into `BENCH_sweep.json`).
+    ///
+    /// # Panics
+    ///
+    /// See [`Runner::build_workload`].
+    pub fn build_workload_timed(
+        &self,
+        kind: WorkloadKind,
+        variant: IsaVariant,
+    ) -> (Workload, WorkloadTiming) {
+        let t0 = Instant::now();
         let wl = if self.small {
             Workload::build_small(kind, variant, self.seed)
         } else {
             Workload::build(kind, variant, self.seed)
         }
         .unwrap_or_else(|e| panic!("building {kind} {variant}: {e}"));
+        let build = t0.elapsed();
+        let t1 = Instant::now();
         wl.verify().unwrap_or_else(|e| panic!("verifying {kind} {variant}: {e}"));
-        wl
+        (wl, WorkloadTiming { build, verify: t1.elapsed() })
     }
 
     /// Builds (and caches) the workload if it is not cached yet.
     fn ensure_workload(&mut self, kind: WorkloadKind, variant: IsaVariant) {
         if !self.workloads.contains_key(&(kind, variant)) {
-            let wl = Arc::new(self.build_workload(kind, variant));
-            self.workloads.insert((kind, variant), wl);
+            let (wl, timing) = self.build_workload_timed(kind, variant);
+            self.workloads.insert((kind, variant), Arc::new(wl));
+            self.timings.insert((kind, variant), timing);
         }
     }
 
@@ -127,6 +161,20 @@ impl Runner {
     /// rebuilding.
     pub fn insert_workload(&mut self, wl: Arc<Workload>) {
         self.workloads.insert((wl.kind(), wl.variant()), wl);
+    }
+
+    /// Inserts an externally built workload together with its recorded
+    /// phase timings (how the parallel prebuild publishes its results).
+    pub fn insert_workload_timed(&mut self, wl: Arc<Workload>, timing: WorkloadTiming) {
+        self.timings.insert((wl.kind(), wl.variant()), timing);
+        self.insert_workload(wl);
+    }
+
+    /// The recorded build/verify wall-clock of a cached workload.
+    /// Zero-duration when the workload was inserted without timings or
+    /// is not cached at all.
+    pub fn workload_timing(&self, kind: WorkloadKind, variant: IsaVariant) -> WorkloadTiming {
+        self.timings.get(&(kind, variant)).copied().unwrap_or_default()
     }
 
     /// True when the workload is already built and cached.
@@ -227,6 +275,20 @@ mod tests {
             )
             .cycles;
         assert!(ideal < vc);
+    }
+
+    #[test]
+    fn workload_phase_timings_are_recorded() {
+        let mut r = Runner::small(1);
+        let key = (WorkloadKind::GsmEncode, IsaVariant::Mom);
+        assert_eq!(r.workload_timing(key.0, key.1), WorkloadTiming::default());
+        r.workload(key.0, key.1);
+        let t = r.workload_timing(key.0, key.1);
+        assert!(t.build > Duration::ZERO, "building must take measurable time");
+        // Publishing an external build records its timing too.
+        let (wl, timing) = r.build_workload_timed(WorkloadKind::JpegDecode, IsaVariant::Mom);
+        r.insert_workload_timed(Arc::new(wl), timing);
+        assert_eq!(r.workload_timing(WorkloadKind::JpegDecode, IsaVariant::Mom), timing);
     }
 
     #[test]

@@ -32,7 +32,7 @@
 //! report.write_json(&sweep::json_path_from_env()).unwrap();
 //! ```
 
-use crate::runner::{simulate, Runner, SimKey};
+use crate::runner::{simulate, Runner, SimKey, WorkloadTiming};
 use mom3d_cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
@@ -57,9 +57,14 @@ pub struct CellResult {
     pub key: SimKey,
     /// The simulation's metrics (bit-identical to a serial run).
     pub metrics: Metrics,
-    /// Wall-clock of this cell's simulation ([`Duration::ZERO`] when the
-    /// cell was served from the runner's cache).
+    /// Wall-clock of this cell's simulation phase ([`Duration::ZERO`]
+    /// when the cell was served from the runner's cache).
     pub wall: Duration,
+    /// Build/verify wall-clock of the cell's workload. The workload is
+    /// built once and shared, so cells over the same
+    /// `(workload, variant)` pair repeat the same phase numbers; cells
+    /// whose workload was already cached before the sweep report zero.
+    pub workload: WorkloadTiming,
     /// True when the cell was already cached and not re-simulated.
     pub reused: bool,
 }
@@ -98,11 +103,17 @@ impl SweepReport {
         self.cells.iter().filter(|c| !c.reused).count()
     }
 
-    /// The report as a JSON document (the `BENCH_sweep.json` schema).
+    /// The report as a JSON document (the `BENCH_sweep.json` schema,
+    /// `mom3d/sweep/v3`).
+    ///
+    /// v3 replaces the per-cell `wall_ns` of v2 with a `phases` object
+    /// breaking the cell's cost into workload build, verification and
+    /// simulation wall-clock, so the performance trajectory of every
+    /// harness phase — not just the simulator — is machine-readable.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024 + 512 * self.cells.len());
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mom3d/sweep/v2\",\n");
+        s.push_str("  \"schema\": \"mom3d/sweep/v3\",\n");
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"small\": {},\n", self.small));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
@@ -111,11 +122,14 @@ impl SweepReport {
         for (i, cell) in self.cells.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"isa\": \"{}\", \"memory\": \"{}\", \
-                 \"l2_latency\": {}, \"wall_ns\": {}, \"reused\": {}, \"metrics\": {}}}{}\n",
+                 \"l2_latency\": {}, \"phases\": {{\"build_ns\": {}, \"verify_ns\": {}, \
+                 \"sim_ns\": {}}}, \"reused\": {}, \"metrics\": {}}}{}\n",
                 cell.key.kind,
                 cell.key.variant,
                 cell.key.memory,
                 cell.key.l2_latency,
+                cell.workload.build.as_nanos(),
+                cell.workload.verify.as_nanos(),
                 cell.wall.as_nanos(),
                 cell.reused,
                 metrics_json(&cell.metrics),
@@ -232,7 +246,7 @@ pub fn prebuild_workloads(
     }
     let next = AtomicUsize::new(0);
     let shared: &Runner = runner;
-    let mut built: Vec<(usize, Workload)> = Vec::with_capacity(todo.len());
+    let mut built: Vec<(usize, Workload, WorkloadTiming)> = Vec::with_capacity(todo.len());
     std::thread::scope(|s| {
         let workers = threads.clamp(1, todo.len());
         let handles: Vec<_> = (0..workers)
@@ -242,7 +256,8 @@ pub fn prebuild_workloads(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(kind, variant)) = todo.get(i) else { break };
-                        out.push((i, shared.build_workload(kind, variant)));
+                        let (wl, timing) = shared.build_workload_timed(kind, variant);
+                        out.push((i, wl, timing));
                     }
                     out
                 })
@@ -252,9 +267,9 @@ pub fn prebuild_workloads(
             built.extend(h.join().expect("workload build worker panicked"));
         }
     });
-    built.sort_by_key(|&(i, _)| i);
-    for (_, wl) in built {
-        runner.insert_workload(Arc::new(wl));
+    built.sort_by_key(|&(i, ..)| i);
+    for (_, wl, timing) in built {
+        runner.insert_workload_timed(Arc::new(wl), timing);
     }
 }
 
@@ -331,9 +346,12 @@ pub fn run(runner: &mut Runner, cells: &[SimKey], threads: usize) -> SweepReport
         .into_iter()
         .map(|key| {
             let metrics = runner.cached_metrics(&key).expect("cell simulated or cached");
+            let workload = runner.workload_timing(key.kind, key.variant);
             match walls.get(&key) {
-                Some(&wall) => CellResult { key, metrics, wall, reused: false },
-                None => CellResult { key, metrics, wall: Duration::ZERO, reused: true },
+                Some(&wall) => CellResult { key, metrics, wall, workload, reused: false },
+                None => {
+                    CellResult { key, metrics, wall: Duration::ZERO, workload, reused: true }
+                }
             }
         })
         .collect();
@@ -517,18 +535,43 @@ mod tests {
                 ),
                 metrics: Metrics { cycles: 1, ..Default::default() },
                 wall: Duration::from_nanos(3),
+                workload: WorkloadTiming {
+                    build: Duration::from_nanos(11),
+                    verify: Duration::from_nanos(7),
+                },
                 reused: false,
             }],
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": \"mom3d/sweep/v2\""));
+        assert!(json.contains("\"schema\": \"mom3d/sweep/v3\""));
         assert!(json.contains("\"dram_row_hits\": 0"));
         assert!(json.contains("\"workload\": \"gsm encode\""));
         assert!(json.contains("\"memory\": \"vector-cache\""));
-        assert!(json.contains("\"wall_ns\": 3"));
+        // v3 per-cell phase breakdown: build, verify and sim wall-clock.
+        assert!(json.contains(
+            "\"phases\": {\"build_ns\": 11, \"verify_ns\": 7, \"sim_ns\": 3}"
+        ));
         assert!(json.contains("\"cycles\": 1"));
+    }
+
+    #[test]
+    fn sweep_records_phase_breakdown() {
+        let mut r = Runner::small(3);
+        let cells = [cell(WorkloadKind::GsmEncode, IsaVariant::Mom, MemorySystemKind::Ideal, 20)];
+        let report = run(&mut r, &cells, 1);
+        let c = &report.cells[0];
+        assert!(!c.reused);
+        assert!(c.workload.build > Duration::ZERO, "build phase must be timed");
+        assert!(c.wall > Duration::ZERO, "sim phase must be timed");
+        // A second sweep over the same cell reuses both the workload and
+        // the metrics: the sim phase reports zero, the workload phases
+        // keep their recorded cost.
+        let again = run(&mut r, &cells, 1);
+        assert!(again.cells[0].reused);
+        assert_eq!(again.cells[0].wall, Duration::ZERO);
+        assert_eq!(again.cells[0].workload, c.workload);
     }
 
     #[test]

@@ -210,6 +210,40 @@ impl ProcessorConfig {
     pub fn simd_bandwidth(&self) -> usize {
         self.simd_units * self.simd_lanes
     }
+
+    /// Checks the configuration against the limits of the timing model.
+    ///
+    /// The L1 bank-conflict tracker is a per-cycle 64-bit bitmask, so an
+    /// `l1_banked` configuration must keep `banked.banks` in `1..=64`
+    /// (and a positive interleave granularity, which the bank-index
+    /// computation divides by). [`crate::Processor::run`] calls this up
+    /// front and surfaces violations as
+    /// [`crate::SimError::UnsupportedConfig`] instead of silently
+    /// shifting the mask out of range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::UnsupportedConfig`] naming the
+    /// offending parameter.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        if self.l1_banked {
+            if self.banked.banks == 0 || self.banked.banks > 64 {
+                return Err(crate::SimError::UnsupportedConfig {
+                    what: format!(
+                        "l1_banked with {} banks (the per-cycle bank-conflict bitmask \
+                         tracks 1..=64 banks)",
+                        self.banked.banks
+                    ),
+                });
+            }
+            if self.banked.interleave_bytes == 0 {
+                return Err(crate::SimError::UnsupportedConfig {
+                    what: "l1_banked with a zero-byte bank interleave".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +309,26 @@ mod tests {
         // Registry-only backends are not paper kinds.
         assert_eq!(MemorySystemKind::parse("dram-burst"), None);
         assert_eq!(MemorySystemKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn validate_rejects_bank_bitmask_overflow() {
+        use crate::SimError;
+        assert_eq!(ProcessorConfig::mmx().validate(), Ok(()));
+        assert_eq!(ProcessorConfig::mom().validate(), Ok(()));
+        let mut c = ProcessorConfig::mmx();
+        c.banked.banks = 64; // exactly the bitmask width: still fine
+        assert_eq!(c.validate(), Ok(()));
+        c.banked.banks = 65;
+        assert!(matches!(c.validate(), Err(SimError::UnsupportedConfig { .. })));
+        c.banked.banks = 0;
+        assert!(matches!(c.validate(), Err(SimError::UnsupportedConfig { .. })));
+        // Without L1 bank modelling the bank count is never consulted.
+        c.l1_banked = false;
+        assert_eq!(c.validate(), Ok(()));
+        let mut c = ProcessorConfig::mmx();
+        c.banked.interleave_bytes = 0;
+        assert!(matches!(c.validate(), Err(SimError::UnsupportedConfig { .. })));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum SimError {
         /// What was missing.
         what: &'static str,
     },
+    /// The processor configuration is outside what the timing model can
+    /// represent (e.g. more than 64 L1 banks, which would overflow the
+    /// per-cycle bank-conflict bitmask).
+    UnsupportedConfig {
+        /// What is out of range.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +46,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Malformed { index, what } => {
                 write!(f, "instruction {index}: malformed ({what})")
+            }
+            SimError::UnsupportedConfig { what } => {
+                write!(f, "unsupported processor configuration: {what}")
             }
         }
     }
@@ -56,5 +66,7 @@ mod tests {
         assert!(e.to_string().contains("3D"));
         let e: Box<dyn Error> = Box::new(SimError::Malformed { index: 0, what: "mem" });
         assert!(e.to_string().contains("malformed"));
+        let e = SimError::UnsupportedConfig { what: "65 L1 banks".into() };
+        assert!(e.to_string().contains("65 L1 banks"));
     }
 }

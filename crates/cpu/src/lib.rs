@@ -58,7 +58,7 @@ pub use mom3d_mem::{
     BackendEntry, BackendId, BackendParams, BackendRegistry, BackendStats, DramConfig,
     VectorMemoryBackend,
 };
-pub use depgraph::DepGraph;
+pub use depgraph::{DepEdge, DepGraph, WakeEdge, WakeupLists};
 pub use error::SimError;
 pub use memsys::MemorySystem;
 pub use metrics::Metrics;

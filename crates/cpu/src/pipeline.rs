@@ -1,12 +1,45 @@
-//! The cycle-stepped out-of-order pipeline model.
+//! The out-of-order pipeline model: an event-driven scheduler over the
+//! same cycle-accurate semantics as the original scan-everything loop.
+//!
+//! The timing model is defined cycle by cycle — commit in order, issue
+//! oldest-first under per-class budgets, fetch in order — but the
+//! implementation does not *evaluate* every cycle:
+//!
+//! * **Wakeup lists** ([`crate::depgraph::WakeupLists`]) invert the
+//!   dependence graph so an instruction's outstanding-operand count is
+//!   decremented exactly once per edge when a producer issues, instead
+//!   of re-polling every operand of every waiting instruction every
+//!   cycle. Fully woken instructions sit in a time-ordered heap and
+//!   drop into the in-order ready list when their operands mature.
+//! * **Idle-cycle skipping**: a cycle with no commit, no issue and no
+//!   fetch changes no architectural or resource state, so `now` jumps
+//!   straight to the next completion (`done_at` of an in-flight
+//!   instruction) or functional-unit release ([`Units::free_at`])
+//!   rather than stepping by 1.
+//! * **Pre-decoded traces** ([`DecodedProgram`]): opcode class, base
+//!   latency, FU occupancy, memory-descriptor index and packed-op count
+//!   are decoded once per run into a dense SoA-style array, so the
+//!   issue loop touches one small `Copy` record per instruction instead
+//!   of chasing `Instruction` fields.
+//!
+//! The produced [`Metrics`] are **bit-identical** to the original loop:
+//! active cycles run the same commit/issue/fetch logic in the same
+//! order (memory-system calls included, so cache state evolves
+//! identically), and skipped cycles are exactly those in which the
+//! original loop would have done nothing. The original loop survives as
+//! the `#[cfg(test)]` oracle [`Processor::run_legacy`], held equivalent
+//! by proptest over random traces and by a full kernel × variant ×
+//! backend matrix (see the tests below and
+//! `tests/backend_equivalence.rs`).
 
 use crate::config::ProcessorConfig;
 use crate::depgraph::DepGraph;
 use crate::error::SimError;
 use crate::memsys::MemorySystem;
 use crate::metrics::Metrics;
-use mom3d_isa::{ExecClass, Opcode, Trace};
-use std::collections::VecDeque;
+use mom3d_isa::{ExecClass, MemAccess, Opcode, Trace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A pool of identical functional units tracked by busy-until cycle.
 #[derive(Debug, Clone)]
@@ -19,6 +52,21 @@ impl Units {
         Units { busy_until: vec![0; n] }
     }
 
+    /// Earliest cycle at which at least one unit is (or becomes) free.
+    ///
+    /// `free_at() <= now` is exactly the condition under which
+    /// [`Units::acquire`] at `now` succeeds; it is also the pool's
+    /// next-release event time for the idle-cycle skip.
+    fn free_at(&self) -> u64 {
+        self.busy_until.iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Non-mutating probe: true exactly when [`Units::acquire`] at
+    /// `now` would succeed.
+    fn peek(&self, now: u64) -> bool {
+        self.free_at() <= now
+    }
+
     /// Reserves a free unit for `occupancy` cycles starting at `now`.
     fn acquire(&mut self, now: u64, occupancy: u32) -> bool {
         if let Some(u) = self.busy_until.iter_mut().find(|b| **b <= now) {
@@ -27,6 +75,89 @@ impl Units {
         } else {
             false
         }
+    }
+}
+
+/// Sentinel for "no memory descriptor" in [`DecodedOp::mem`].
+const NO_MEM: u32 = u32::MAX;
+
+/// One pre-decoded instruction: everything the issue loop reads,
+/// flattened into a small `Copy` record.
+#[derive(Debug, Clone, Copy)]
+struct DecodedOp {
+    /// Issue/execution steering class.
+    class: ExecClass,
+    /// True for memory opcodes (LSQ occupancy).
+    is_mem: bool,
+    /// True for stores (retire into the store buffer).
+    is_store: bool,
+    /// True for `3dvload` (routes to the 3D side of the backend).
+    is_3d: bool,
+    /// Base execution latency in cycles.
+    latency: u32,
+    /// Functional-unit occupancy in cycles (vector SIMD and `3dvmov`
+    /// instructions hold their unit for multiple cycles).
+    occupancy: u32,
+    /// Captured vector length.
+    vl: u8,
+    /// Index into [`DecodedProgram::mems`], or [`NO_MEM`].
+    mem: u32,
+    /// Packed scalar operations performed on commit.
+    packed_ops: u64,
+}
+
+/// A trace pre-decoded for one run (the FU occupancies depend on the
+/// configured lane count, so the decode is per-processor).
+struct DecodedProgram {
+    ops: Vec<DecodedOp>,
+    mems: Vec<MemAccess>,
+}
+
+impl DecodedProgram {
+    fn decode(trace: &Trace, cfg: &ProcessorConfig) -> Self {
+        let mut ops = Vec::with_capacity(trace.len());
+        let mut mems = Vec::new();
+        for i in trace.iter() {
+            let class = i.opcode.class();
+            let occupancy = match class {
+                ExecClass::Simd if i.opcode.is_vector() => {
+                    (i.vl as usize).div_ceil(cfg.simd_lanes) as u32
+                }
+                // Four lanes move 4 x 64 bit per cycle.
+                ExecClass::Mov3d => (i.vl as usize).div_ceil(4) as u32,
+                _ => 1,
+            };
+            let is_mem = i.opcode.is_mem();
+            let mem = if is_mem {
+                mems.push(i.mem.expect("memory descriptors validated before decode"));
+                (mems.len() - 1) as u32
+            } else {
+                NO_MEM
+            };
+            ops.push(DecodedOp {
+                class,
+                is_mem,
+                is_store: i.opcode.is_store(),
+                is_3d: i.opcode == Opcode::DvLoad,
+                latency: i.opcode.base_latency(),
+                occupancy,
+                vl: i.vl,
+                mem,
+                packed_ops: i.packed_ops(),
+            });
+        }
+        DecodedProgram { ops, mems }
+    }
+}
+
+/// Issue-budget slot of an execution class (scalar and vector memory
+/// share the memory issue width).
+fn budget_slot(class: ExecClass) -> usize {
+    match class {
+        ExecClass::Int => 0,
+        ExecClass::Simd => 1,
+        ExecClass::Mem | ExecClass::VecMem => 2,
+        ExecClass::Mov3d => 3,
     }
 }
 
@@ -55,17 +186,350 @@ impl Processor {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownBackend`] if the configured memory
-    /// backend id is not registered, [`SimError::No3dRegisterFile`] if
-    /// the trace contains 3D memory instructions and the configured
-    /// memory system lacks the 3D register file, or
-    /// [`SimError::Malformed`] for memory opcodes without descriptors.
+    /// Returns [`SimError::UnsupportedConfig`] if the configuration is
+    /// outside the timing model's limits (see
+    /// [`ProcessorConfig::validate`]), [`SimError::UnknownBackend`] if
+    /// the configured memory backend id is not registered,
+    /// [`SimError::No3dRegisterFile`] if the trace contains 3D memory
+    /// instructions and the configured memory system lacks the 3D
+    /// register file, or [`SimError::Malformed`] for memory opcodes
+    /// without descriptors.
     pub fn run(&self, trace: &Trace) -> Result<Metrics, SimError> {
         let cfg = &self.config;
+        cfg.validate()?;
         let instrs = trace.instrs();
         let n = instrs.len();
 
         // Up-front validation, starting with the backend itself.
+        let backend = mom3d_mem::BackendRegistry::get(cfg.memory.as_str())
+            .ok_or_else(|| SimError::UnknownBackend { id: cfg.memory.as_str().to_string() })?;
+        for (index, i) in instrs.iter().enumerate() {
+            match i.opcode {
+                Opcode::DvLoad | Opcode::DvMov if !backend.has_3d => {
+                    return Err(SimError::No3dRegisterFile { index });
+                }
+                op if op.is_mem() && i.mem.is_none() => {
+                    return Err(SimError::Malformed { index, what: "memory descriptor" });
+                }
+                _ => {}
+            }
+        }
+
+        let wake = DepGraph::build(trace).invert();
+        let prog = DecodedProgram::decode(trace, cfg);
+        let mut memsys = MemorySystem::new(cfg);
+        if cfg.warm_caches {
+            memsys.warm_from_trace(trace);
+        }
+        let track_banks = cfg.l1_banked && !backend.is_ideal;
+        let mut metrics = Metrics::default();
+
+        let mut done_at: Vec<u64> = vec![u64::MAX; n];
+        let mut issued: Vec<bool> = vec![false; n];
+
+        // Wakeup state: outstanding-operand counts, the latest
+        // operand-ready time seen so far per instruction, and a heap of
+        // (ready_at, index) for fetched, fully woken instructions.
+        // Pointer-register results are available one cycle after the
+        // producer issues (the renamed value is `ptr + Ps` or the
+        // `b`-flag constant), which the wakeup time per edge encodes.
+        let mut pending: Vec<u32> = (0..n).map(|i| wake.dep_count(i)).collect();
+        let mut edge_ready: Vec<u64> = vec![0; n];
+        let mut wakeups: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Ready, unissued, in-window instructions in trace (age) order,
+        // plus per-budget-slot membership counts for early scan exit.
+        let mut ready: Vec<u32> = Vec::with_capacity(cfg.window);
+        let mut ready_counts = [0usize; 4];
+
+        let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.window);
+        let mut next_fetch = 0usize;
+        let mut lsq_used = 0usize;
+
+        let mut int_units = Units::new(cfg.int_units);
+        let mut simd_units = Units::new(cfg.simd_units);
+        let mut l1_ports = Units::new(cfg.l1_ports);
+        let mut vec_port = Units::new(1);
+        let mut vec_txn = Units::new(cfg.vec_outstanding.max(1));
+        let mut mov3d_unit = Units::new(1);
+
+        let mut now: u64 = 0;
+        // Generous progress bound: every instruction finishes within a few
+        // hundred cycles of being oldest, so exceeding this many evaluated
+        // cycles means a model bug, not a slow workload.
+        let mut steps: u64 = 0;
+        let step_bound = 2_000u64 * n as u64 + 1_000_000;
+
+        while next_fetch < n || !window.is_empty() {
+            steps += 1;
+            assert!(steps < step_bound, "simulator failed to make progress (model bug)");
+
+            // ---- commit (in order, up to commit_rate) ---------------------
+            let mut committed = 0usize;
+            while committed < cfg.commit_rate {
+                match window.front() {
+                    Some(&front) if issued[front as usize] && done_at[front as usize] <= now => {
+                        let op = &prog.ops[front as usize];
+                        if op.is_mem {
+                            lsq_used -= 1;
+                        }
+                        metrics.instructions += 1;
+                        metrics.packed_ops += op.packed_ops;
+                        window.pop_front();
+                        committed += 1;
+                    }
+                    _ => break,
+                }
+            }
+
+            // ---- wake: matured instructions join the ready list -----------
+            while let Some(&Reverse((t, idx))) = wakeups.peek() {
+                if t > now {
+                    break;
+                }
+                wakeups.pop();
+                let pos = ready.partition_point(|&r| r < idx);
+                ready.insert(pos, idx);
+                ready_counts[budget_slot(prog.ops[idx as usize].class)] += 1;
+            }
+
+            // ---- issue (oldest first, per-class budgets) ------------------
+            // budgets: [int, simd, mem (scalar + vector), mov3d].
+            let mut budgets = [cfg.int_issue, cfg.simd_issue, cfg.mem_issue, 1usize];
+            let mut banks_used: u64 = 0; // L1 bank bitmask for this cycle
+            let mut issued_any = false;
+            // How many not-yet-scanned ready entries each slot still has;
+            // once every slot is out of budget or out of candidates the
+            // rest of the list cannot issue this cycle.
+            let mut unseen = ready_counts;
+
+            let mut w = 0usize;
+            let mut r = 0usize;
+            while r < ready.len() {
+                if budgets.iter().zip(unseen.iter()).all(|(&b, &u)| b == 0 || u == 0) {
+                    break;
+                }
+                let idx = ready[r] as usize;
+                let op = prog.ops[idx];
+                let slot = budget_slot(op.class);
+                unseen[slot] -= 1;
+                let mut did_issue = false;
+                match op.class {
+                    ExecClass::Int => {
+                        if budgets[0] > 0 && int_units.acquire(now, 1) {
+                            budgets[0] -= 1;
+                            done_at[idx] = now + op.latency as u64;
+                            did_issue = true;
+                        }
+                    }
+                    ExecClass::Simd => {
+                        if budgets[1] > 0 && simd_units.acquire(now, op.occupancy) {
+                            budgets[1] -= 1;
+                            done_at[idx] =
+                                now + (op.occupancy - 1) as u64 + op.latency as u64;
+                            did_issue = true;
+                        }
+                    }
+                    ExecClass::Mem => 'mem: {
+                        if budgets[2] == 0 {
+                            break 'mem;
+                        }
+                        let mem = prog.mems[op.mem as usize];
+                        if track_banks {
+                            let bank = memsys.bank_of(mem.base);
+                            debug_assert!(bank < 64, "bank index validated in ProcessorConfig");
+                            if banks_used & (1u64 << bank) != 0 {
+                                break 'mem; // bank conflict: retry next cycle
+                            }
+                            banks_used |= 1u64 << bank;
+                        }
+                        if !l1_ports.acquire(now, 1) {
+                            break 'mem;
+                        }
+                        budgets[2] -= 1;
+                        let latency = memsys.scalar_access(&mem, op.is_store);
+                        metrics.scalar_mem_instrs += 1;
+                        // Stores retire into the store buffer and drain in
+                        // the background; only loads expose access latency.
+                        done_at[idx] =
+                            if op.is_store { now + 1 } else { now + latency as u64 };
+                        did_issue = true;
+                    }
+                    ExecClass::VecMem => 'vec: {
+                        if budgets[2] == 0 {
+                            break 'vec;
+                        }
+                        // Probe both the port and a transaction buffer
+                        // before paying for the access (the access mutates
+                        // cache state, so it must not be speculated).
+                        if !vec_port.peek(now) || !vec_txn.peek(now) {
+                            break 'vec;
+                        }
+                        let mem = prog.mems[op.mem as usize];
+                        let timing = memsys.vector_access(&mem, op.is_store, op.is_3d);
+                        let ok = vec_port.acquire(now, timing.occupancy);
+                        debug_assert!(ok, "vector port probed free");
+                        // The transaction buffer is held until the data
+                        // returns, bounding latency overlap.
+                        let ok = vec_txn.acquire(now, timing.occupancy + timing.latency);
+                        debug_assert!(ok, "transaction buffer probed free");
+                        budgets[2] -= 1;
+                        metrics.vec_mem_instrs += 1;
+                        // Vector stores hold the port for their occupancy
+                        // but complete without waiting on the L2 write.
+                        done_at[idx] = if op.is_store {
+                            now + timing.occupancy as u64
+                        } else {
+                            now + timing.occupancy as u64 + timing.latency as u64
+                        };
+                        did_issue = true;
+                    }
+                    ExecClass::Mov3d => {
+                        if budgets[3] > 0 && mov3d_unit.acquire(now, op.occupancy) {
+                            budgets[3] -= 1;
+                            metrics.mov3d_instrs += 1;
+                            metrics.mov3d_words += op.vl as u64;
+                            done_at[idx] =
+                                now + (op.occupancy - 1) as u64 + op.latency as u64;
+                            did_issue = true;
+                        }
+                    }
+                }
+                if did_issue {
+                    issued[idx] = true;
+                    issued_any = true;
+                    ready_counts[slot] -= 1;
+                    let completes = done_at[idx];
+                    for e in wake.consumers(idx) {
+                        let c = e.consumer as usize;
+                        let t = if e.ptr_only { now + 1 } else { completes };
+                        if t > edge_ready[c] {
+                            edge_ready[c] = t;
+                        }
+                        pending[c] -= 1;
+                        if pending[c] == 0 && c < next_fetch {
+                            if edge_ready[c] <= now {
+                                // A zero-latency producer (e.g. an L1 hit
+                                // with `l1_latency = 0`) completed in its
+                                // own issue cycle. The age-ordered scan
+                                // reaches this younger consumer later in
+                                // the *same* cycle, so splice it into the
+                                // unscanned tail of the ready list (it is
+                                // younger than every scanned entry) rather
+                                // than deferring it a cycle via the heap.
+                                let pos = r
+                                    + 1
+                                    + ready[r + 1..].partition_point(|&x| x < e.consumer);
+                                ready.insert(pos, e.consumer);
+                                let slot_c = budget_slot(prog.ops[c].class);
+                                ready_counts[slot_c] += 1;
+                                unseen[slot_c] += 1;
+                            } else {
+                                wakeups.push(Reverse((edge_ready[c], e.consumer)));
+                            }
+                        }
+                    }
+                    r += 1; // drop the issued entry from the ready list
+                } else {
+                    ready[w] = ready[r];
+                    w += 1;
+                    r += 1;
+                }
+            }
+            if w < r {
+                ready.copy_within(r.., w);
+            }
+            ready.truncate(ready.len() - (r - w));
+
+            // ---- fetch (in order, bounded by window and LSQ) ---------------
+            let mut fetched = 0usize;
+            while fetched < cfg.fetch_rate && next_fetch < n && window.len() < cfg.window {
+                let op = &prog.ops[next_fetch];
+                if op.is_mem && lsq_used == cfg.lsq {
+                    break;
+                }
+                if op.is_mem {
+                    lsq_used += 1;
+                }
+                window.push_back(next_fetch as u32);
+                if pending[next_fetch] == 0 {
+                    // All producers issued before this instruction was
+                    // fetched; it wakes at its recorded operand-ready time.
+                    // When that time has already passed (the common case
+                    // for dependence-free code) it goes straight to the
+                    // back of the ready list — it is the youngest fetched
+                    // instruction, so order is preserved — and is first
+                    // considered next cycle, exactly as via the heap.
+                    if edge_ready[next_fetch] <= now + 1 {
+                        ready.push(next_fetch as u32);
+                        ready_counts[budget_slot(prog.ops[next_fetch].class)] += 1;
+                    } else {
+                        wakeups.push(Reverse((edge_ready[next_fetch], next_fetch as u32)));
+                    }
+                }
+                next_fetch += 1;
+                fetched += 1;
+            }
+
+            // ---- advance --------------------------------------------------
+            if committed > 0 || issued_any || fetched > 0 {
+                // Budgets reset, pointer operands mature and bank masks
+                // clear on the very next cycle, so it must be evaluated.
+                now += 1;
+            } else {
+                // Nothing happened: no budget, bank mask or rename state
+                // changed, so re-evaluating intermediate cycles is a no-op.
+                // Jump to the next completion or unit release.
+                let mut next_event = u64::MAX;
+                for &wi in &window {
+                    let i = wi as usize;
+                    if issued[i] && done_at[i] > now && done_at[i] < next_event {
+                        next_event = done_at[i];
+                    }
+                }
+                for units in
+                    [&int_units, &simd_units, &l1_ports, &vec_port, &vec_txn, &mov3d_unit]
+                {
+                    let t = units.free_at();
+                    if t > now && t < next_event {
+                        next_event = t;
+                    }
+                }
+                debug_assert!(
+                    next_event != u64::MAX,
+                    "idle cycle with no pending event (model bug)"
+                );
+                now = if next_event == u64::MAX { now + 1 } else { next_event };
+            }
+        }
+
+        metrics.cycles = now;
+        metrics.port_accesses = memsys.port_accesses;
+        metrics.l2_activity = memsys.l2_activity;
+        metrics.vec_words = memsys.vec_words;
+        metrics.d3_writes = memsys.d3_writes;
+        let b = memsys.backend_stats();
+        metrics.dram_row_hits = b.row_hits;
+        metrics.dram_row_misses = b.row_misses;
+        let h = memsys.hierarchy().stats();
+        metrics.l2_scalar_accesses = h.l2_scalar_accesses;
+        metrics.l2_hits = h.l2_hits;
+        metrics.l2_misses = h.l2_misses;
+        metrics.l1_accesses = h.l1_accesses;
+        metrics.coherence_invalidations = h.coherence_invalidations;
+        Ok(metrics)
+    }
+
+    /// The original scan-everything-every-cycle timing loop, kept
+    /// verbatim as the equivalence oracle for [`Processor::run`] (the
+    /// `ports.rs` pattern): the event-driven scheduler must reproduce
+    /// its [`Metrics`] bit for bit on any valid trace.
+    #[cfg(test)]
+    pub(crate) fn run_legacy(&self, trace: &Trace) -> Result<Metrics, SimError> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let instrs = trace.instrs();
+        let n = instrs.len();
+
         let backend = mom3d_mem::BackendRegistry::get(cfg.memory.as_str())
             .ok_or_else(|| SimError::UnknownBackend { id: cfg.memory.as_str().to_string() })?;
         for (index, i) in instrs.iter().enumerate() {
@@ -88,9 +552,6 @@ impl Processor {
         let mut metrics = Metrics::default();
 
         let mut done_at: Vec<u64> = vec![u64::MAX; n];
-        // Pointer-register results are available right after rename/issue
-        // (the renamed value is `ptr + Ps` or the `b`-flag constant), so
-        // pointer-only consumers key off this earlier timestamp.
         let mut ptr_ready_at: Vec<u64> = vec![u64::MAX; n];
         let mut issued: Vec<bool> = vec![false; n];
         let mut window: VecDeque<u32> = VecDeque::with_capacity(cfg.window);
@@ -105,9 +566,6 @@ impl Processor {
         let mut mov3d_unit = Units::new(1);
 
         let mut now: u64 = 0;
-        // Generous progress bound: every instruction finishes within a few
-        // hundred cycles of being oldest, so exceeding this means a model
-        // bug, not a slow workload.
         let cycle_bound = 2_000u64 * n as u64 + 1_000_000;
 
         while next_fetch < n || !window.is_empty() {
@@ -132,9 +590,9 @@ impl Processor {
             // ---- issue (oldest first, per-class budgets) ------------------
             let mut int_budget = cfg.int_issue;
             let mut simd_budget = cfg.simd_issue;
-            let mut mem_budget = cfg.mem_issue; // shared: scalar + vector mem
+            let mut mem_budget = cfg.mem_issue;
             let mut mov3d_budget = 1usize;
-            let mut banks_used: u64 = 0; // L1 bank bitmask for this cycle
+            let mut banks_used: u64 = 0;
 
             for &wi in window.iter() {
                 let idx = wi as usize;
@@ -154,7 +612,7 @@ impl Processor {
                     }
                 });
                 if !ready {
-                    continue; // operands not ready
+                    continue;
                 }
                 match instr.opcode.class() {
                     ExecClass::Int => {
@@ -188,7 +646,7 @@ impl Processor {
                         if cfg.l1_banked && !backend.is_ideal {
                             let bank = memsys.bank_of(mem.base);
                             if banks_used & (1 << bank) != 0 {
-                                continue; // bank conflict: retry next cycle
+                                continue;
                             }
                             banks_used |= 1 << bank;
                         }
@@ -198,8 +656,6 @@ impl Processor {
                         mem_budget -= 1;
                         let latency = memsys.scalar_access(&mem, instr.opcode.is_store());
                         metrics.scalar_mem_instrs += 1;
-                        // Stores retire into the store buffer and drain in
-                        // the background; only loads expose access latency.
                         done_at[idx] = if instr.opcode.is_store() {
                             now + 1
                         } else {
@@ -210,28 +666,18 @@ impl Processor {
                         if mem_budget == 0 {
                             continue;
                         }
-                        // Probe both the port and a transaction buffer
-                        // before paying for the access (the access mutates
-                        // cache state, so it must not be speculated).
-                        if vec_port.busy_until[0] > now
-                            || !vec_txn.busy_until.iter().any(|&b| b <= now)
-                        {
+                        if !vec_port.peek(now) || !vec_txn.peek(now) {
                             continue;
                         }
                         let mem = instr.mem.expect("validated above");
                         let is_3d = instr.opcode == Opcode::DvLoad;
-                        let timing =
-                            memsys.vector_access(&mem, instr.opcode.is_store(), is_3d);
+                        let timing = memsys.vector_access(&mem, instr.opcode.is_store(), is_3d);
                         let ok = vec_port.acquire(now, timing.occupancy);
                         debug_assert!(ok, "vector port probed free");
-                        // The transaction buffer is held until the data
-                        // returns, bounding latency overlap.
                         let ok = vec_txn.acquire(now, timing.occupancy + timing.latency);
                         debug_assert!(ok, "transaction buffer probed free");
                         mem_budget -= 1;
                         metrics.vec_mem_instrs += 1;
-                        // Vector stores hold the port for their occupancy
-                        // but complete without waiting on the L2 write.
                         done_at[idx] = if instr.opcode.is_store() {
                             now + timing.occupancy as u64
                         } else {
@@ -242,7 +688,6 @@ impl Processor {
                         if mov3d_budget == 0 {
                             continue;
                         }
-                        // Four lanes move 4 x 64 bit per cycle.
                         let occupancy = (instr.vl as usize).div_ceil(4) as u32;
                         if !mov3d_unit.acquire(now, occupancy) {
                             continue;
@@ -524,6 +969,26 @@ mod tests {
     }
 
     #[test]
+    fn oversized_bank_count_is_a_sim_error() {
+        // Satellite of the event refactor: >64 L1 banks used to shift the
+        // conflict bitmask out of range; now it is a validation error.
+        let mut cfg = ProcessorConfig::mmx().with_memory(MemorySystemKind::MultiBanked);
+        cfg.banked.banks = 65;
+        let err = Processor::new(cfg).run(&Trace::new()).unwrap_err();
+        assert!(matches!(err, SimError::UnsupportedConfig { ref what } if what.contains("65")));
+        // 64 banks exactly fills the mask and still simulates.
+        let mut cfg = ProcessorConfig::mmx().with_memory(MemorySystemKind::MultiBanked);
+        cfg.banked.banks = 64;
+        let mut tb = TraceBuilder::new();
+        let b = tb.li(Gpr::new(1), 0);
+        for i in 0..64u64 {
+            tb.load_scalar(Gpr::new((2 + i % 4) as u8), b, i * 8, 8);
+        }
+        let m = Processor::new(cfg).run(&tb.finish()).unwrap();
+        assert_eq!(m.scalar_mem_instrs, 64);
+    }
+
+    #[test]
     fn dram_burst_backend_times_a_vector_trace() {
         // A registry-only backend drives the unmodified pipeline: large
         // strides thrash the row buffers, dense streams burst.
@@ -613,5 +1078,199 @@ mod tests {
         assert_eq!(m.vec_words, 16); // 8 loaded + 8 stored
         assert_eq!(m.instructions, 5);
         assert!(m.l2_misses > 0);
+    }
+
+    #[test]
+    fn zero_latency_l1_hits_wake_consumers_same_cycle() {
+        // With `l1_latency = 0` (a public knob) a warm L1 hit completes in
+        // its own issue cycle, and the age-ordered scan lets the younger
+        // dependent issue that same cycle. The event-driven path must
+        // splice such consumers into the in-flight ready scan instead of
+        // deferring them a cycle through the wakeup heap.
+        let mut cfg = ProcessorConfig::mom()
+            .with_memory(MemorySystemKind::VectorCache)
+            .with_warm_caches(true);
+        cfg.hierarchy.l1_latency = 0;
+        let mut tb = TraceBuilder::new();
+        let b = tb.li(Gpr::new(1), 0x1000);
+        for i in 0..20u64 {
+            let d = Gpr::new((2 + i % 8) as u8);
+            tb.load_scalar(d, b, 0x1000 + (i % 4) * 8, 8);
+            tb.alui(IntOp::Add, Gpr::new(10 + (i % 4) as u8), d, 1);
+        }
+        let trace = tb.finish();
+        let p = Processor::new(cfg);
+        let new = p.run(&trace).unwrap();
+        let old = p.run_legacy(&trace).unwrap();
+        assert_eq!(new, old, "zero-latency loads must not delay their consumers");
+    }
+
+    #[test]
+    fn units_peek_and_free_at_agree_with_acquire() {
+        let mut u = Units::new(2);
+        assert_eq!(u.free_at(), 0);
+        assert!(u.peek(0));
+        assert!(u.acquire(0, 3)); // unit 0 busy until 3
+        assert!(u.peek(0), "second unit still free");
+        assert!(u.acquire(0, 5)); // unit 1 busy until 5
+        assert!(!u.peek(1));
+        assert!(!u.acquire(1, 1), "acquire must agree with peek");
+        assert_eq!(u.free_at(), 3, "earliest release is the next event");
+        assert!(u.peek(3));
+        assert!(u.acquire(3, 1));
+        assert_eq!(u.free_at(), 4);
+        // An empty pool never grants and never schedules an event.
+        let mut empty = Units::new(0);
+        assert_eq!(empty.free_at(), u64::MAX);
+        assert!(!empty.peek(u64::MAX - 1));
+        assert!(!empty.acquire(0, 1));
+    }
+
+    /// The full kernel x ISA-variant x backend matrix: the event-driven
+    /// scheduler reproduces the legacy loop's metrics bit for bit on
+    /// every real workload (reduced geometry) under every registered
+    /// backend, in exactly the configurations the sweep engine uses.
+    #[test]
+    fn event_driven_matches_legacy_on_kernel_matrix() {
+        use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+        for kind in WorkloadKind::ALL {
+            for variant in [IsaVariant::Mmx, IsaVariant::Mom, IsaVariant::Mom3d] {
+                let wl = Workload::build_small(kind, variant, 11)
+                    .unwrap_or_else(|e| panic!("{kind} {variant}: build failed: {e}"));
+                for entry in mom3d_mem::BackendRegistry::entries() {
+                    let base = match variant {
+                        IsaVariant::Mmx => ProcessorConfig::mmx(),
+                        _ => ProcessorConfig::mom(),
+                    };
+                    let p = Processor::new(
+                        base.with_memory(entry.backend_id()).with_warm_caches(true),
+                    );
+                    let new = p.run(wl.trace());
+                    let old = p.run_legacy(wl.trace());
+                    assert_eq!(
+                        new, old,
+                        "{kind} {variant} on {}: event-driven diverged from the legacy loop",
+                        entry.id
+                    );
+                }
+            }
+        }
+    }
+
+    mod equivalence {
+        //! Proptest equivalence of the event-driven scheduler against
+        //! the legacy cycle-stepped oracle over random traces.
+
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone, Copy)]
+        enum Step {
+            Alu(u8, u8, i8),
+            Load(u8, u32),
+            Store(u8, u32),
+            Usimd(u8, u8),
+            SetVl(u8),
+            VLoad(u8, u32),
+            VStore(u8, u32),
+            DvLoad(u32, u8),
+            DvMov(u8, i8),
+            Branch(bool),
+        }
+
+        fn step_strategy() -> impl Strategy<Value = Step> {
+            prop_oneof![
+                (0u8..30, 0u8..30, any::<i8>()).prop_map(|(d, s, i)| Step::Alu(d, s, i)),
+                (0u8..30, 0u32..0x8000).prop_map(|(d, a)| Step::Load(d, a)),
+                (0u8..30, 0u32..0x8000).prop_map(|(s, a)| Step::Store(s, a)),
+                (0u8..16, 0u8..16).prop_map(|(d, s)| Step::Usimd(d, s)),
+                (1u8..=16).prop_map(Step::SetVl),
+                (0u8..16, 0u32..0x8000).prop_map(|(d, a)| Step::VLoad(d, a)),
+                (0u8..16, 0u32..0x8000).prop_map(|(s, a)| Step::VStore(s, a)),
+                (0u32..0x8000, 1u8..=16).prop_map(|(a, w)| Step::DvLoad(a, w)),
+                (0u8..16, -8i8..=8).prop_map(|(d, p)| Step::DvMov(d, p)),
+                any::<bool>().prop_map(Step::Branch),
+            ]
+        }
+
+        fn build(steps: &[Step]) -> Trace {
+            let mut tb = TraceBuilder::new();
+            tb.set_vl(8);
+            tb.set_vs(64);
+            let base = tb.li(Gpr::new(31), 0x10_0000);
+            for s in steps {
+                match *s {
+                    Step::Alu(d, s, imm) => {
+                        tb.alui(IntOp::Add, Gpr::new(d % 30), Gpr::new(s % 30), imm as i64);
+                    }
+                    Step::Load(d, a) => {
+                        tb.load_scalar(Gpr::new(d % 30), base, 0x10_0000 + a as u64, 8);
+                    }
+                    Step::Store(s, a) => {
+                        tb.store_scalar(Gpr::new(s % 30), base, 0x10_0000 + a as u64, 8);
+                    }
+                    Step::Usimd(d, s) => {
+                        tb.usimd2(
+                            UsimdOp::AddSatU(Width::B8),
+                            MmxReg::new(d % 16),
+                            MmxReg::new(s % 16),
+                            MmxReg::new((s + 1) % 16),
+                        );
+                    }
+                    Step::SetVl(v) => tb.set_vl(v),
+                    Step::VLoad(d, a) => {
+                        tb.vload(MomReg::new(d % 16), base, 0x10_0000 + a as u64);
+                    }
+                    Step::VStore(s, a) => {
+                        tb.vstore(MomReg::new(s % 16), base, 0x10_0000 + a as u64);
+                    }
+                    Step::DvLoad(a, w) => {
+                        tb.dvload(DReg::new(0), base, 0x10_0000 + a as u64, 64, w, false);
+                    }
+                    Step::DvMov(d, p) => {
+                        tb.dvmov(MomReg::new(d % 16), DReg::new(0), p as i16);
+                    }
+                    Step::Branch(t) => tb.branch(Gpr::new(1), t),
+                }
+            }
+            tb.finish()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+
+            /// On any well-formed trace, under both Table-2 processor
+            /// shapes and every registered backend — zero-latency cache
+            /// configurations included — the event-driven path
+            /// reproduces the legacy oracle bit for bit, metrics and
+            /// errors alike.
+            #[test]
+            fn event_driven_equals_legacy(
+                steps in proptest::collection::vec(step_strategy(), 1..120),
+                mmx_shape in any::<bool>(),
+                zero_latency in any::<bool>(),
+                warm in any::<bool>(),
+            ) {
+                let trace = build(&steps);
+                let mut base = if mmx_shape {
+                    ProcessorConfig::mmx()
+                } else {
+                    ProcessorConfig::mom()
+                };
+                base = base.with_warm_caches(warm);
+                if zero_latency {
+                    // Same-cycle completion paths: producers finish in
+                    // their issue cycle.
+                    base.hierarchy.l1_latency = 0;
+                    base = base.with_l2_latency(0);
+                }
+                for entry in mom3d_mem::BackendRegistry::entries() {
+                    let p = Processor::new(base.with_memory(entry.backend_id()));
+                    let new = p.run(&trace);
+                    let old = p.run_legacy(&trace);
+                    prop_assert_eq!(new, old, "backend {}", entry.id);
+                }
+            }
+        }
     }
 }

@@ -52,6 +52,77 @@ const GOLDEN: [(WorkloadKind, IsaVariant, &str, u32, Metrics); 25] = [
     (GsmEncode, Mom, "vector-cache", 60, Metrics { cycles: 10225, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 1944, l2_activity: 1944, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 8, l2_hits: 1088, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
 ];
 
+/// Cycle counts of the *entire* kernel × ISA-variant × registered-backend
+/// matrix (reduced geometry, seed 11, default L2 latency), captured from
+/// the pre-event-driven cycle-stepped loop (commit 0562e40) right before
+/// the scheduler rewrite. The event-driven path must keep reproducing
+/// every cell bit for bit; the `Mom3d` rows exist only for backends with
+/// a 3D register file (the others reject such traces). A deliberate
+/// timing-model change must re-capture this table and say so in the PR.
+#[rustfmt::skip]
+const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
+    (JpegEncode, Mmx, "ideal", 371),
+    (JpegEncode, Mmx, "multi-banked", 373),
+    (JpegEncode, Mmx, "vector-cache", 373),
+    (JpegEncode, Mmx, "vector-cache-3d", 373),
+    (JpegEncode, Mmx, "dram-burst", 373),
+    (JpegEncode, Mom, "ideal", 201),
+    (JpegEncode, Mom, "multi-banked", 593),
+    (JpegEncode, Mom, "vector-cache", 593),
+    (JpegEncode, Mom, "vector-cache-3d", 593),
+    (JpegEncode, Mom, "dram-burst", 621),
+    (JpegEncode, Mom3d, "ideal", 205),
+    (JpegEncode, Mom3d, "vector-cache-3d", 389),
+    (JpegDecode, Mmx, "ideal", 269),
+    (JpegDecode, Mmx, "multi-banked", 269),
+    (JpegDecode, Mmx, "vector-cache", 269),
+    (JpegDecode, Mmx, "vector-cache-3d", 269),
+    (JpegDecode, Mmx, "dram-burst", 269),
+    (JpegDecode, Mom, "ideal", 136),
+    (JpegDecode, Mom, "multi-banked", 307),
+    (JpegDecode, Mom, "vector-cache", 307),
+    (JpegDecode, Mom, "vector-cache-3d", 307),
+    (JpegDecode, Mom, "dram-burst", 335),
+    (JpegDecode, Mom3d, "ideal", 136),
+    (JpegDecode, Mom3d, "vector-cache-3d", 307),
+    (Mpeg2Decode, Mmx, "ideal", 252),
+    (Mpeg2Decode, Mmx, "multi-banked", 358),
+    (Mpeg2Decode, Mmx, "vector-cache", 358),
+    (Mpeg2Decode, Mmx, "vector-cache-3d", 358),
+    (Mpeg2Decode, Mmx, "dram-burst", 358),
+    (Mpeg2Decode, Mom, "ideal", 167),
+    (Mpeg2Decode, Mom, "multi-banked", 619),
+    (Mpeg2Decode, Mom, "vector-cache", 659),
+    (Mpeg2Decode, Mom, "vector-cache-3d", 659),
+    (Mpeg2Decode, Mom, "dram-burst", 701),
+    (Mpeg2Decode, Mom3d, "ideal", 172),
+    (Mpeg2Decode, Mom3d, "vector-cache-3d", 353),
+    (Mpeg2Encode, Mmx, "ideal", 1741),
+    (Mpeg2Encode, Mmx, "multi-banked", 1745),
+    (Mpeg2Encode, Mmx, "vector-cache", 1745),
+    (Mpeg2Encode, Mmx, "vector-cache-3d", 1745),
+    (Mpeg2Encode, Mmx, "dram-burst", 1745),
+    (Mpeg2Encode, Mom, "ideal", 394),
+    (Mpeg2Encode, Mom, "multi-banked", 3101),
+    (Mpeg2Encode, Mom, "vector-cache", 3101),
+    (Mpeg2Encode, Mom, "vector-cache-3d", 3101),
+    (Mpeg2Encode, Mom, "dram-burst", 3113),
+    (Mpeg2Encode, Mom3d, "ideal", 781),
+    (Mpeg2Encode, Mom3d, "vector-cache-3d", 807),
+    (GsmEncode, Mmx, "ideal", 3581),
+    (GsmEncode, Mmx, "multi-banked", 3581),
+    (GsmEncode, Mmx, "vector-cache", 3581),
+    (GsmEncode, Mmx, "vector-cache-3d", 3581),
+    (GsmEncode, Mmx, "dram-burst", 3581),
+    (GsmEncode, Mom, "ideal", 982),
+    (GsmEncode, Mom, "multi-banked", 3745),
+    (GsmEncode, Mom, "vector-cache", 3745),
+    (GsmEncode, Mom, "vector-cache-3d", 3745),
+    (GsmEncode, Mom, "dram-burst", 3751),
+    (GsmEncode, Mom3d, "ideal", 987),
+    (GsmEncode, Mom3d, "vector-cache-3d", 1017),
+];
+
 #[test]
 fn paper_backends_match_pre_refactor_metrics_bit_for_bit() {
     let mut r = Runner::small(SEED);
@@ -63,6 +134,41 @@ fn paper_backends_match_pre_refactor_metrics_bit_for_bit() {
             got, expected,
             "{kind:?} {variant:?} on {memory} @ L2={l2} diverged from the pre-refactor enum path"
         );
+    }
+}
+
+/// The event-driven scheduler reproduces the legacy cycle-stepped loop
+/// on the whole experiment matrix. The matrix is also complete: every
+/// registered backend appears for every kernel (all three variants when
+/// the backend has the 3D register file, `Mmx`/`Mom` otherwise).
+#[test]
+fn full_matrix_cycles_match_cycle_stepped_loop_bit_for_bit() {
+    let mut r = Runner::small(SEED);
+    for (kind, variant, memory, cycles) in GOLDEN_CYCLES {
+        let id = BackendRegistry::parse(memory)
+            .unwrap_or_else(|| panic!("golden backend {memory:?} not registered"));
+        let got = r.metrics(kind, variant, id, 20);
+        assert_eq!(
+            got.cycles, cycles,
+            "{kind:?} {variant:?} on {memory}: event-driven cycles diverged from the \
+             pre-rewrite cycle-stepped loop"
+        );
+    }
+    // Completeness: no registered backend is missing from the pins.
+    for entry in BackendRegistry::entries() {
+        for kind in WorkloadKind::ALL {
+            for variant in [Mmx, Mom, Mom3d] {
+                let expected = variant != Mom3d || entry.has_3d;
+                let present = GOLDEN_CYCLES
+                    .iter()
+                    .any(|&(k, v, m, _)| k == kind && v == variant && m == entry.id);
+                assert_eq!(
+                    present, expected,
+                    "{kind:?} {variant:?} on {} pin coverage",
+                    entry.id
+                );
+            }
+        }
     }
 }
 

@@ -77,11 +77,22 @@ impl Bencher {
     }
 }
 
+/// True when `MOM3D_BENCH_SMOKE` asks for single-iteration smoke runs
+/// (CI uses this to prove benchmarks stay alive without paying their
+/// measurement windows).
+fn smoke_mode() -> bool {
+    std::env::var_os("MOM3D_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
     // Calibrate: run single iterations until we know roughly how long one
     // takes, then size the measurement run to ~200 ms.
     let mut b = Bencher { iterations: 1, elapsed: Duration::ZERO };
     f(&mut b);
+    if smoke_mode() {
+        println!("  {id}: smoke mode, 1 iter in {:?}", b.elapsed);
+        return;
+    }
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let target = Duration::from_millis(200);
     let iterations = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
