@@ -9,28 +9,27 @@
 //! Run on the most memory-bound workload (mpeg2 encode) for MOM and
 //! MOM+3D.
 
-use mom3d_bench::seed_from_args;
+use mom3d_bench::{runner_from_args, sweep};
 use mom3d_cpu::{BackendRegistry, MemorySystemKind, Processor, ProcessorConfig};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use mom3d_mem::VectorCacheConfig;
 
 fn main() {
-    let seed = seed_from_args();
+    let mut r = runner_from_args();
+    let seed = r.seed();
     // Build + verify the two trace variants concurrently (both are
-    // full-size mpeg2 encode, the most expensive workload to verify).
-    let (mom, m3d) = std::thread::scope(|s| {
-        let mom = s.spawn(|| {
-            let wl = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom, seed).unwrap();
-            wl.verify().unwrap();
-            wl
-        });
-        let m3d = s.spawn(|| {
-            let wl = Workload::build(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, seed).unwrap();
-            wl.verify().unwrap();
-            wl
-        });
-        (mom.join().expect("MOM build"), m3d.join().expect("MOM+3D build"))
-    });
+    // full-size mpeg2 encode, the most expensive workload to verify) —
+    // or load them straight from the workload-image cache.
+    sweep::prebuild_workloads(
+        &mut r,
+        &[
+            (WorkloadKind::Mpeg2Encode, IsaVariant::Mom),
+            (WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d),
+        ],
+        sweep::threads_from_env(),
+    );
+    let mom = r.workload_arc(WorkloadKind::Mpeg2Encode, IsaVariant::Mom);
+    let m3d = r.workload_arc(WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d);
 
     println!("Ablation: vector cache width (mpeg2 encode, cycles)");
     println!("{:>12} {:>12} {:>12}", "width", "MOM", "MOM+3D");

@@ -1,5 +1,5 @@
-//! Runs the complete experiment matrix in paper order — the input for
-//! `EXPERIMENTS.md`.
+//! Runs the complete experiment matrix in paper order — the run behind
+//! the committed `RESULTS.md` paper-fidelity record.
 //!
 //! The whole matrix is simulated up front by the parallel sweep engine;
 //! the figure and table formatters below then read the pre-filled
@@ -7,7 +7,7 @@
 //! to `BENCH_sweep.json`.
 //!
 //! ```text
-//! all [SEED] [--threads N] [--json PATH] [--all-backends] [--small]
+//! all [SEED] [--threads N] [--json PATH] [--all-backends] [--small] [--cache-dir PATH]
 //! ```
 //!
 //! `--threads` and `--json` override the `MOM3D_SWEEP_THREADS` and
@@ -15,7 +15,11 @@
 //! the sweep to every backend in the memory-backend registry and
 //! appends the registry-driven backend matrix to the report;
 //! `--small` sweeps the reduced integration-test geometry (a fast
-//! whole-pipeline smoke, e.g. for CI checks of the JSON schema).
+//! whole-pipeline smoke, e.g. for CI checks of the JSON schema);
+//! `--cache-dir` (or `MOM3D_WORKLOAD_CACHE`) enables the
+//! cross-invocation workload-image cache, so a warm start skips every
+//! workload build+verify — the hit/miss counters are printed on stderr
+//! and embedded in the JSON report.
 
 use mom3d_bench::cli::{parse_all_args, ALL_USAGE};
 use mom3d_bench::{
@@ -33,6 +37,7 @@ fn main() {
     };
     let seed = args.seed();
     let mut r = if args.small { Runner::small(seed) } else { Runner::new(seed) };
+    r = r.with_cache(args.cache());
     println!("mom3d full experiment matrix (seed {seed})");
     println!("=========================================\n");
 
@@ -47,6 +52,16 @@ fn main() {
         report.threads,
         report.wall
     );
+    if let Some(cache) = r.cache() {
+        let stats = cache.stats();
+        eprintln!(
+            "workload cache: {} hits, {} misses, {} rejected (dir {})",
+            stats.hits,
+            stats.misses,
+            stats.rejected,
+            cache.dir().display()
+        );
+    }
 
     print!("{}", table2());
     println!();

@@ -1,9 +1,9 @@
 //! Regenerates Figure 10: normalized execution time vs L2 latency.
 
-use mom3d_bench::{fig10, seed_from_args, sweep, Runner};
+use mom3d_bench::{fig10, runner_from_args, sweep};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig10(), sweep::threads_from_env());
     print!("{}", fig10(&mut r));
 }

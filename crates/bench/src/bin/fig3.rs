@@ -1,9 +1,9 @@
 //! Regenerates Figure 3: slowdown of realistic MOM memory systems.
 
-use mom3d_bench::{fig3, seed_from_args, sweep, Runner};
+use mom3d_bench::{fig3, runner_from_args, sweep};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig3(), sweep::threads_from_env());
     print!("{}", fig3(&mut r));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 6: effective memory bandwidth (words/access).
 
-use mom3d_bench::{fig6, seed_from_args, sweep, Runner};
+use mom3d_bench::{fig6, runner_from_args, sweep};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig6(), sweep::threads_from_env());
     print!("{}", fig6(&mut r));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 7: vector-cache traffic reduction from 3D reuse.
 
-use mom3d_bench::{fig7, seed_from_args, sweep, Runner};
+use mom3d_bench::{fig7, runner_from_args, sweep};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig7(), sweep::threads_from_env());
     print!("{}", fig7(&mut r));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Figure 9: slowdown across ISA and memory configurations.
 
-use mom3d_bench::{fig9, seed_from_args, sweep, Runner};
+use mom3d_bench::{fig9, runner_from_args, sweep};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig9(), sweep::threads_from_env());
     print!("{}", fig9(&mut r));
 }

@@ -1,9 +1,9 @@
 //! Regenerates Table 1: vector lengths per memory dimension.
 
-use mom3d_bench::{seed_from_args, sweep, table1, Runner};
+use mom3d_bench::{runner_from_args, sweep, table1};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::prebuild_workloads(&mut r, &sweep::pairs_table1(), sweep::threads_from_env());
     print!("{}", table1(&mut r));
 }

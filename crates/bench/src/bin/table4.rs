@@ -1,9 +1,9 @@
 //! Regenerates Table 4: L2 cache activity.
 
-use mom3d_bench::{seed_from_args, sweep, table4, Runner};
+use mom3d_bench::{runner_from_args, sweep, table4};
 
 fn main() {
-    let mut r = Runner::new(seed_from_args());
+    let mut r = runner_from_args();
     sweep::run(&mut r, &sweep::cells_fig6(), sweep::threads_from_env());
     print!("{}", table4(&mut r));
 }

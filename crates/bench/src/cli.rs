@@ -1,12 +1,18 @@
-//! Argument parsing for the `all` binary.
+//! Argument parsing for the experiment binaries.
 //!
 //! `all` grew beyond the conventional single seed argument: thread
 //! count and JSON path used to be controllable only through the
 //! `MOM3D_SWEEP_THREADS`/`MOM3D_SWEEP_JSON` environment variables; the
 //! `--threads`/`--json` flags now expose them directly (flags win over
-//! the environment), and `--all-backends` opts into sweeping every
-//! registered memory backend instead of just the paper grid.
+//! the environment), `--all-backends` opts into sweeping every
+//! registered memory backend instead of just the paper grid, and
+//! `--cache-dir` points the cross-invocation workload-image cache at a
+//! directory (overriding `MOM3D_WORKLOAD_CACHE`).
+//!
+//! The figure/table binaries share the smaller `[SEED] [--cache-dir
+//! PATH]` grammar ([`parse_common_args`]).
 
+use crate::cache::WorkloadCache;
 use std::path::PathBuf;
 
 /// Parsed `all` arguments.
@@ -26,6 +32,9 @@ pub struct AllArgs {
     /// geometry) — a fast smoke of the whole pipeline, e.g. for CI
     /// schema checks of `BENCH_sweep.json`.
     pub small: bool,
+    /// `--cache-dir PATH`: workload-image cache directory (overrides
+    /// `MOM3D_WORKLOAD_CACHE`).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl AllArgs {
@@ -45,11 +54,19 @@ impl AllArgs {
     pub fn json_path(&self) -> PathBuf {
         self.json.clone().unwrap_or_else(crate::sweep::json_path_from_env)
     }
+
+    /// Effective workload-image cache: the `--cache-dir` flag, else the
+    /// `MOM3D_WORKLOAD_CACHE` environment variable, else none. An
+    /// unusable directory degrades to no-cache with a warning (see
+    /// [`WorkloadCache`]).
+    pub fn cache(&self) -> Option<WorkloadCache> {
+        WorkloadCache::resolve(self.cache_dir.as_deref())
+    }
 }
 
 /// Usage string printed on parse errors.
-pub const ALL_USAGE: &str =
-    "usage: all [SEED] [--threads N] [--json PATH] [--all-backends] [--small]";
+pub const ALL_USAGE: &str = "usage: all [SEED] [--threads N] [--json PATH] [--all-backends] \
+                             [--small] [--cache-dir PATH]";
 
 /// Parses the `all` binary's arguments (without the program name).
 ///
@@ -80,6 +97,10 @@ where
             }
             "--all-backends" => parsed.all_backends = true,
             "--small" => parsed.small = true,
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                parsed.cache_dir = Some(PathBuf::from(v));
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
             }
@@ -96,12 +117,78 @@ where
     Ok(parsed)
 }
 
+/// Arguments shared by every figure/table binary: the conventional
+/// optional seed plus the workload-image cache directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CommonArgs {
+    /// Workload data seed (positional; default 7).
+    pub seed: Option<u64>,
+    /// `--cache-dir PATH`: workload-image cache directory (overrides
+    /// `MOM3D_WORKLOAD_CACHE`).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl CommonArgs {
+    /// The seed to use.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(7)
+    }
+
+    /// Effective workload-image cache (see [`AllArgs::cache`]).
+    pub fn cache(&self) -> Option<WorkloadCache> {
+        WorkloadCache::resolve(self.cache_dir.as_deref())
+    }
+}
+
+/// Usage string for the shared figure/table grammar.
+pub const COMMON_USAGE: &str = "usage: <binary> [SEED] [--cache-dir PATH]";
+
+/// Parses the shared `[SEED] [--cache-dir PATH]` grammar (without the
+/// program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing flag
+/// values, malformed seeds and duplicate positional seeds.
+pub fn parse_common_args<I>(args: I) -> Result<CommonArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = CommonArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                parsed.cache_dir = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            positional => {
+                if parsed.seed.is_some() {
+                    return Err(format!("unexpected second positional argument {positional:?}"));
+                }
+                let seed: u64 = positional
+                    .parse()
+                    .map_err(|_| format!("seed {positional:?}: not an integer"))?;
+                parsed.seed = Some(seed);
+            }
+        }
+    }
+    Ok(parsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<AllArgs, String> {
         parse_all_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parse_common(args: &[&str]) -> Result<CommonArgs, String> {
+        parse_common_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -151,5 +238,29 @@ mod tests {
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["7", "8"]).unwrap_err().contains("second positional"));
         assert!(parse(&["sevenish"]).unwrap_err().contains("not an integer"));
+        assert!(parse(&["--cache-dir"]).unwrap_err().contains("--cache-dir"));
+    }
+
+    #[test]
+    fn cache_dir_flag_parses() {
+        let a = parse(&["--cache-dir", "images", "3"]).unwrap();
+        assert_eq!(a.cache_dir, Some(PathBuf::from("images")));
+        assert_eq!(a.seed(), 3);
+        assert_eq!(parse(&[]).unwrap().cache_dir, None);
+    }
+
+    #[test]
+    fn common_args_grammar() {
+        assert_eq!(parse_common(&[]).unwrap(), CommonArgs::default());
+        assert_eq!(parse_common(&[]).unwrap().seed(), 7);
+        let a = parse_common(&["42", "--cache-dir", "imgs"]).unwrap();
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.cache_dir, Some(PathBuf::from("imgs")));
+        let b = parse_common(&["--cache-dir", "imgs", "42"]).unwrap();
+        assert_eq!(a, b, "flag/positional order must not matter");
+        assert!(parse_common(&["--cache-dir"]).unwrap_err().contains("--cache-dir"));
+        assert!(parse_common(&["--nope"]).unwrap_err().contains("unknown flag"));
+        assert!(parse_common(&["1", "2"]).unwrap_err().contains("second positional"));
+        assert!(parse_common(&["x"]).unwrap_err().contains("not an integer"));
     }
 }

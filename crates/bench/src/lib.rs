@@ -22,6 +22,15 @@
 //! against their scalar references before being timed, so the harness
 //! can only report numbers produced by functionally correct traces.
 //!
+//! Cold starts are cacheable across invocations: with `--cache-dir
+//! PATH` (or `MOM3D_WORKLOAD_CACHE`), built-and-verified workloads are
+//! persisted as versioned binary images and later invocations load
+//! them instead of rebuilding ([`WorkloadCache`], [`Runner`]'s
+//! `load_or_build`). Corrupt or stale images always fall back to a
+//! rebuild. On a cache miss the cold path itself is pipelined: workload
+//! builds and their emulator verify runs fan out as separate work items
+//! over the sweep worker pool ([`sweep::prebuild_workloads`]).
+//!
 //! Every cell of the experiment matrix is an independent simulation, so
 //! the binaries fill the [`Runner`] cache through the parallel [`sweep`]
 //! engine (worker count: `--threads` on `all`, else
@@ -36,19 +45,38 @@
 //! extends the paper grid to every registered backend
 //! ([`sweep::extended_grid`]) and prints the registry-driven
 //! [`backend_matrix`] comparison.
+//!
+//! **Place in the dataflow**: the top of the stack — the only crate
+//! that depends on everything. It owns the experiment loop
+//! (build → verify → time → report), the in-memory [`Runner`] cache,
+//! the on-disk [`WorkloadCache`], and the parallel [`sweep`] engine;
+//! the committed `RESULTS.md` paper-fidelity record is produced by its
+//! `all` binary.
 
+mod cache;
 pub mod cli;
 mod report;
 mod runner;
 pub mod sweep;
 
+pub use cache::{CacheStats, WorkloadCache};
 pub use report::{
     backend_matrix, fig10, fig11, fig3, fig6, fig7, fig9, table1, table2, table3, table4, Fig10,
     Fig11, SlowdownReport, Table1, Table4, TrafficReport,
 };
 pub use runner::{Runner, SimKey, WorkloadTiming};
 
-/// Parses the conventional single optional CLI seed argument.
-pub fn seed_from_args() -> u64 {
-    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7)
+/// The standard entry point of the figure/table binaries: parses the
+/// shared `[SEED] [--cache-dir PATH]` grammar from [`std::env::args`]
+/// and returns a full-geometry [`Runner`] with the workload-image cache
+/// resolved (flag, else `MOM3D_WORKLOAD_CACHE`, else none). Prints
+/// usage and exits with status 2 on a parse error.
+pub fn runner_from_args() -> Runner {
+    match cli::parse_common_args(std::env::args().skip(1)) {
+        Ok(args) => Runner::new(args.seed()).with_cache(args.cache()),
+        Err(e) => {
+            eprintln!("error: {e}\n{}", cli::COMMON_USAGE);
+            std::process::exit(2);
+        }
+    }
 }

@@ -1,9 +1,10 @@
 //! Workload + simulation cache shared by the experiment binaries.
 
+use crate::cache::WorkloadCache;
 use mom3d_cpu::{BackendId, Metrics, Processor, ProcessorConfig};
 #[cfg(test)]
 use mom3d_cpu::MemorySystemKind;
-use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use mom3d_kernels::{ImageKey, IsaVariant, Workload, WorkloadKind};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -11,8 +12,11 @@ use std::time::{Duration, Instant};
 /// Wall-clock phase breakdown of preparing one workload: trace
 /// generation (the functional emulator run included) and verification
 /// against the scalar reference. Together with the per-cell simulation
-/// wall-clock this is what `BENCH_sweep.json` (schema v3) reports, so
-/// the cost of every phase of the harness is machine-readable.
+/// wall-clock this is what `BENCH_sweep.json` (schema v4) reports, so
+/// the cost of every phase of the harness is machine-readable. For a
+/// workload served from the image cache, `build` is the image-load
+/// time and `verify` is zero (the image proves a verification that
+/// already happened).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkloadTiming {
     /// Building the workload (data generation + trace emission).
@@ -62,6 +66,7 @@ impl SimKey {
 pub struct Runner {
     seed: u64,
     small: bool,
+    cache: Option<WorkloadCache>,
     workloads: HashMap<(WorkloadKind, IsaVariant), Arc<Workload>>,
     timings: HashMap<(WorkloadKind, IsaVariant), WorkloadTiming>,
     sims: HashMap<SimKey, Metrics>,
@@ -86,6 +91,26 @@ impl Runner {
     /// True when this runner builds reduced-geometry workloads.
     pub fn is_small(&self) -> bool {
         self.small
+    }
+
+    /// Attaches (or detaches) a persistent workload-image cache:
+    /// [`Runner::load_or_build`] then serves workloads from disk when a
+    /// valid image exists, and persists every fresh build. `None`
+    /// leaves the runner uncached (the prior behavior).
+    pub fn with_cache(mut self, cache: Option<WorkloadCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The attached workload-image cache, if any.
+    pub fn cache(&self) -> Option<&WorkloadCache> {
+        self.cache.as_ref()
+    }
+
+    /// The on-disk identity of one of this runner's workloads (its
+    /// kind/variant plus the runner's seed and geometry).
+    pub fn image_key(&self, kind: WorkloadKind, variant: IsaVariant) -> ImageKey {
+        ImageKey { kind, variant, seed: self.seed, small: self.small }
     }
 
     /// Builds and verifies one workload for this runner's seed/geometry
@@ -113,6 +138,24 @@ impl Runner {
         kind: WorkloadKind,
         variant: IsaVariant,
     ) -> (Workload, WorkloadTiming) {
+        let (wl, build) = self.build_workload_unverified(kind, variant);
+        let (_digest, verify) = verify_timed(&wl);
+        (wl, WorkloadTiming { build, verify })
+    }
+
+    /// The build phase alone — code generation without verification.
+    /// The sweep engine's cold-path pipeline uses this so the emulator
+    /// verify runs can fan out over the worker pool as separate work
+    /// items instead of staying fused to their build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload fails to build.
+    pub fn build_workload_unverified(
+        &self,
+        kind: WorkloadKind,
+        variant: IsaVariant,
+    ) -> (Workload, Duration) {
         let t0 = Instant::now();
         let wl = if self.small {
             Workload::build_small(kind, variant, self.seed)
@@ -120,16 +163,47 @@ impl Runner {
             Workload::build(kind, variant, self.seed)
         }
         .unwrap_or_else(|e| panic!("building {kind} {variant}: {e}"));
-        let build = t0.elapsed();
-        let t1 = Instant::now();
-        wl.verify().unwrap_or_else(|e| panic!("verifying {kind} {variant}: {e}"));
-        (wl, WorkloadTiming { build, verify: t1.elapsed() })
+        (wl, t0.elapsed())
+    }
+
+    /// Loads the workload from the attached image cache, or builds,
+    /// verifies and (when a cache is attached) persists it. Returns the
+    /// workload, its phase timing — for a cache hit, `build` is the
+    /// image load time and `verify` is zero, since a valid image proves
+    /// a verification that already happened — and whether it was served
+    /// from the cache.
+    ///
+    /// Cache problems never propagate: a missing, corrupt or stale
+    /// image falls back to the build path, and a failed store is a
+    /// warning (see [`WorkloadCache`]).
+    ///
+    /// # Panics
+    ///
+    /// See [`Runner::build_workload`].
+    pub fn load_or_build(
+        &self,
+        kind: WorkloadKind,
+        variant: IsaVariant,
+    ) -> (Workload, WorkloadTiming, bool) {
+        if let Some(cache) = &self.cache {
+            let t0 = Instant::now();
+            if let Some(wl) = cache.load(&self.image_key(kind, variant)) {
+                let timing = WorkloadTiming { build: t0.elapsed(), verify: Duration::ZERO };
+                return (wl, timing, true);
+            }
+        }
+        let (wl, build) = self.build_workload_unverified(kind, variant);
+        let (digest, verify) = verify_timed(&wl);
+        if let Some(cache) = &self.cache {
+            cache.store(&wl, &self.image_key(kind, variant), digest);
+        }
+        (wl, WorkloadTiming { build, verify }, false)
     }
 
     /// Builds (and caches) the workload if it is not cached yet.
     fn ensure_workload(&mut self, kind: WorkloadKind, variant: IsaVariant) {
         if !self.workloads.contains_key(&(kind, variant)) {
-            let (wl, timing) = self.build_workload_timed(kind, variant);
+            let (wl, timing, _) = self.load_or_build(kind, variant);
             self.workloads.insert((kind, variant), Arc::new(wl));
             self.timings.insert((kind, variant), timing);
         }
@@ -231,6 +305,21 @@ pub(crate) fn simulate(key: &SimKey, wl: &Workload) -> Metrics {
     Processor::new(key.config())
         .run(wl.trace())
         .unwrap_or_else(|e| panic!("simulating {} {} on {:?}: {e}", key.kind, key.variant, key.memory))
+}
+
+/// Verifies a freshly built workload, timing the emulator run and
+/// keeping the digest the image cache persists.
+///
+/// # Panics
+///
+/// Panics on verification failure — a harness that times broken traces
+/// would be meaningless.
+pub(crate) fn verify_timed(wl: &Workload) -> (u64, Duration) {
+    let t0 = Instant::now();
+    let digest = wl
+        .verify_digested()
+        .unwrap_or_else(|e| panic!("verifying {} {}: {e}", wl.kind(), wl.variant()));
+    (digest, t0.elapsed())
 }
 
 #[cfg(test)]

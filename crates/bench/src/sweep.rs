@@ -32,13 +32,14 @@
 //! report.write_json(&sweep::json_path_from_env()).unwrap();
 //! ```
 
-use crate::runner::{simulate, Runner, SimKey, WorkloadTiming};
+use crate::cache::CacheStats;
+use crate::runner::{simulate, verify_timed, Runner, SimKey, WorkloadTiming};
 use mom3d_cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 // The sweep hands workloads and metrics across threads; keep that a
@@ -82,6 +83,12 @@ pub struct SweepReport {
     pub threads: usize,
     /// End-to-end wall-clock of the sweep (workload building included).
     pub wall: Duration,
+    /// Workload-image cache counters, when the runner has a cache
+    /// attached (`None` = uncached run). The counters are the cache's
+    /// cumulative totals at the end of this run, so on a warm start a
+    /// hit count equal to the workload count proves every build was
+    /// skipped.
+    pub workload_cache: Option<CacheStats>,
     /// Per-cell results, in enumeration order.
     pub cells: Vec<CellResult>,
 }
@@ -104,20 +111,32 @@ impl SweepReport {
     }
 
     /// The report as a JSON document (the `BENCH_sweep.json` schema,
-    /// `mom3d/sweep/v3`).
+    /// `mom3d/sweep/v4`).
     ///
-    /// v3 replaces the per-cell `wall_ns` of v2 with a `phases` object
+    /// v3 replaced the per-cell `wall_ns` of v2 with a `phases` object
     /// breaking the cell's cost into workload build, verification and
-    /// simulation wall-clock, so the performance trajectory of every
-    /// harness phase — not just the simulator — is machine-readable.
+    /// simulation wall-clock; v4 adds the top-level `workload_cache`
+    /// object (enabled flag plus hit/miss/rejected counters of the
+    /// cross-invocation workload-image cache), so a warm start is
+    /// machine-checkable: `hits` equals the workload count and every
+    /// cell's `build_ns`/`verify_ns` collapses to the image-load time.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024 + 512 * self.cells.len());
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mom3d/sweep/v3\",\n");
+        s.push_str("  \"schema\": \"mom3d/sweep/v4\",\n");
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"small\": {},\n", self.small));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
         s.push_str(&format!("  \"wall_ns\": {},\n", self.wall.as_nanos()));
+        let cache = self.workload_cache.unwrap_or_default();
+        s.push_str(&format!(
+            "  \"workload_cache\": {{\"enabled\": {}, \"hits\": {}, \"misses\": {}, \
+             \"rejected\": {}}},\n",
+            self.workload_cache.is_some(),
+            cache.hits,
+            cache.misses,
+            cache.rejected
+        ));
         s.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             s.push_str(&format!(
@@ -222,9 +241,42 @@ pub fn json_path_from_env() -> PathBuf {
     std::env::var_os("MOM3D_SWEEP_JSON").map_or_else(|| PathBuf::from("BENCH_sweep.json"), PathBuf::from)
 }
 
-/// Builds (and verifies) every listed workload that the runner does not
-/// already hold, distributing the builds over `threads` scoped workers,
-/// and inserts the results into the runner's cache.
+/// What one worker produced for one `(workload, variant)` pair.
+type PreparedWorkload = (usize, Workload, WorkloadTiming, bool);
+
+/// Shared state of the prebuild pipeline (guarded by one mutex; a
+/// condvar wakes idle workers when verify jobs appear or the pipeline
+/// drains).
+struct PrebuildState {
+    /// Next index of `todo` to claim for the cache-load/build stage.
+    next_build: usize,
+    /// Built-but-unverified workloads waiting for a verify worker:
+    /// `(index, workload, build wall-clock)`.
+    verify_q: Vec<(usize, Workload, Duration)>,
+    /// Finished pairs: `(index, workload, timing, from_cache)`.
+    done: Vec<PreparedWorkload>,
+    /// Pairs not yet in `done`.
+    remaining: usize,
+    /// A worker panicked; everyone else should stop waiting.
+    failed: bool,
+}
+
+/// Makes every listed workload available in the runner's in-memory
+/// cache, using all of `threads` scoped workers for the cold path and
+/// the runner's workload-image cache (when attached) to skip it.
+///
+/// The cold path is a two-stage pipeline over one worker pool rather
+/// than a fused build+verify per pair: a worker that finishes **building**
+/// a workload pushes it onto a verify queue and moves on, and any idle
+/// worker picks the verification up. Build and emulator-verify of
+/// *different ISA variants of the same workload* (and of different
+/// workloads) therefore overlap freely — previously a pair's
+/// verification was stuck behind its own build on the same worker, so
+/// the slowest build+verify chain bounded the cold start.
+///
+/// With an image cache attached, each pair first attempts a cache load
+/// (in parallel too); hits skip both stages, misses flow down the
+/// pipeline and are persisted after their verification passes.
 ///
 /// # Panics
 ///
@@ -244,32 +296,107 @@ pub fn prebuild_workloads(
     if todo.is_empty() {
         return;
     }
-    let next = AtomicUsize::new(0);
     let shared: &Runner = runner;
-    let mut built: Vec<(usize, Workload, WorkloadTiming)> = Vec::with_capacity(todo.len());
+    let state = Mutex::new(PrebuildState {
+        next_build: 0,
+        verify_q: Vec::new(),
+        done: Vec::with_capacity(todo.len()),
+        remaining: todo.len(),
+        failed: false,
+    });
+    let cvar = Condvar::new();
     std::thread::scope(|s| {
+        // Each pair runs at most one stage (build or verify) at a time,
+        // so more than one worker per pair can never be simultaneously
+        // busy.
         let workers = threads.clamp(1, todo.len());
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(kind, variant)) = todo.get(i) else { break };
-                        let (wl, timing) = shared.build_workload_timed(kind, variant);
-                        out.push((i, wl, timing));
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut guard = state.lock().expect("prebuild state poisoned");
+                loop {
+                    if guard.failed {
+                        break;
                     }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            built.extend(h.join().expect("workload build worker panicked"));
+                    // Verification first: it retires pairs and keeps the
+                    // queue from growing unboundedly.
+                    if let Some((i, wl, build)) = guard.verify_q.pop() {
+                        drop(guard);
+                        let step = run_step(&state, &cvar, || {
+                            let (digest, verify) = verify_timed(&wl);
+                            if let Some(cache) = shared.cache() {
+                                let key = shared.image_key(wl.kind(), wl.variant());
+                                cache.store(&wl, &key, digest);
+                            }
+                            verify
+                        });
+                        guard = state.lock().expect("prebuild state poisoned");
+                        guard.done.push((i, wl, WorkloadTiming { build, verify: step }, false));
+                        guard.remaining -= 1;
+                        cvar.notify_all();
+                        continue;
+                    }
+                    if guard.next_build < todo.len() {
+                        let i = guard.next_build;
+                        guard.next_build += 1;
+                        drop(guard);
+                        let (kind, variant) = todo[i];
+                        let outcome = run_step(&state, &cvar, || {
+                            if let Some(cache) = shared.cache() {
+                                let t0 = Instant::now();
+                                if let Some(wl) = cache.load(&shared.image_key(kind, variant)) {
+                                    return (wl, t0.elapsed(), true);
+                                }
+                            }
+                            let (wl, build) = shared.build_workload_unverified(kind, variant);
+                            (wl, build, false)
+                        });
+                        guard = state.lock().expect("prebuild state poisoned");
+                        match outcome {
+                            (wl, load, true) => {
+                                let timing =
+                                    WorkloadTiming { build: load, verify: Duration::ZERO };
+                                guard.done.push((i, wl, timing, true));
+                                guard.remaining -= 1;
+                            }
+                            (wl, build, false) => guard.verify_q.push((i, wl, build)),
+                        }
+                        cvar.notify_all();
+                        continue;
+                    }
+                    if guard.remaining == 0 {
+                        break;
+                    }
+                    // Nothing to do yet: another worker's build will feed
+                    // the verify queue (or finish the pipeline).
+                    guard = cvar.wait(guard).expect("prebuild state poisoned");
+                }
+            });
         }
     });
-    built.sort_by_key(|&(i, ..)| i);
-    for (_, wl, timing) in built {
+    let mut done = state.into_inner().expect("prebuild state poisoned").done;
+    done.sort_by_key(|&(i, ..)| i);
+    for (_, wl, timing, _) in done {
         runner.insert_workload_timed(Arc::new(wl), timing);
+    }
+}
+
+/// Runs one pipeline stage outside the lock, making sure a panicking
+/// stage wakes every waiting worker (otherwise the scope would deadlock
+/// joining workers parked on the condvar) before the panic propagates.
+fn run_step<T>(
+    state: &Mutex<PrebuildState>,
+    cvar: &Condvar,
+    step: impl FnOnce() -> T,
+) -> T {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(step)) {
+        Ok(v) => v,
+        Err(payload) => {
+            if let Ok(mut guard) = state.lock() {
+                guard.failed = true;
+            }
+            cvar.notify_all();
+            std::panic::resume_unwind(payload);
+        }
     }
 }
 
@@ -360,6 +487,7 @@ pub fn run(runner: &mut Runner, cells: &[SimKey], threads: usize) -> SweepReport
         small: runner.is_small(),
         threads: workers,
         wall: start.elapsed(),
+        workload_cache: runner.cache().map(|c| c.stats()),
         cells,
     }
 }
@@ -526,6 +654,7 @@ mod tests {
             small: true,
             threads: 2,
             wall: Duration::from_nanos(5),
+            workload_cache: Some(CacheStats { hits: 2, misses: 1, rejected: 0 }),
             cells: vec![CellResult {
                 key: cell(
                     WorkloadKind::GsmEncode,
@@ -545,7 +674,10 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": \"mom3d/sweep/v3\""));
+        assert!(json.contains("\"schema\": \"mom3d/sweep/v4\""));
+        assert!(json.contains(
+            "\"workload_cache\": {\"enabled\": true, \"hits\": 2, \"misses\": 1, \"rejected\": 0}"
+        ));
         assert!(json.contains("\"dram_row_hits\": 0"));
         assert!(json.contains("\"workload\": \"gsm encode\""));
         assert!(json.contains("\"memory\": \"vector-cache\""));

@@ -33,6 +33,13 @@
 //! assert_eq!(w.delta, 1);
 //! assert_eq!(w.covered, 16);
 //! ```
+//!
+//! **Place in the dataflow**: between code generation and execution.
+//! The MOM+3D kernel variants in `mom3d-kernels` run [`vectorize`] (or
+//! emit 3D instructions directly from its analysis); the emulator and
+//! the timing simulator then consume the rewritten traces, and
+//! `mom3d-mem`'s `schedule_3d` prices the resulting wide-block
+//! fetches.
 
 mod dreg;
 mod stream;

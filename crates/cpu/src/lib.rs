@@ -43,6 +43,12 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! **Place in the dataflow**: the timing stage. `mom3d-bench` replays
+//! each verified workload's trace through [`Processor::run`] once per
+//! experiment cell; the resulting [`Metrics`] feed every figure/table
+//! formatter and the `mom3d-power` energy model. This crate never
+//! touches data values — correctness lives in `mom3d-emu`.
 
 mod config;
 mod depgraph;

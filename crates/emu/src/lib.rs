@@ -28,11 +28,20 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! **Place in the dataflow**: the verify stage between kernel
+//! generation and timing. `Workload::verify` in `mom3d-kernels` runs
+//! this emulator over the trace and compares every output region; only
+//! verified traces reach `mom3d-cpu`. The [`Fnv64`] digest utilities
+//! fingerprint those verify results so the workload-image cache can
+//! persist them across binary invocations.
 
+mod digest;
 mod error;
 mod exec;
 mod machine;
 
+pub use digest::{checksum64, fnv64, Fnv64};
 pub use error::EmuError;
 pub use exec::Emulator;
 pub use machine::Machine;

@@ -34,6 +34,14 @@
 //! let trace = tb.finish();
 //! assert_eq!(trace.len(), 6);
 //! ```
+//!
+//! **Place in the dataflow**: the lingua franca of the stack. The
+//! `mom3d-kernels` generators emit [`Trace`]s of [`Instruction`]s,
+//! `mom3d-core`'s vectorizer rewrites them, `mom3d-emu` executes them,
+//! `mom3d-cpu` times them, and `mom3d-kernels`' workload-image codec
+//! serializes them byte-stably for the cross-invocation cache (every
+//! opcode/register has a stable binary code derived from these
+//! definitions).
 
 pub mod arch;
 mod instr;

@@ -1,0 +1,844 @@
+//! Workload images: a versioned on-disk binary format for
+//! built-and-verified [`Workload`]s.
+//!
+//! Building a full-geometry workload is the cold-start floor of every
+//! experiment binary — each build runs the code generator *and* a full
+//! functional-emulator verification against the scalar reference. The
+//! image format lets `mom3d-bench` persist that work across binary
+//! invocations: [`encode_workload`] serializes the trace, the initial
+//! memory image and the expected-output regions; [`decode_workload`]
+//! reconstructs a bit-identical [`Workload`] (round-trip equality is a
+//! test invariant).
+//!
+//! The format is hand-rolled (no serde — the build environment vendors
+//! its dependencies) and defensive by construction:
+//!
+//! * a fixed **magic** and a [`WORKLOAD_IMAGE_VERSION`] up front —
+//!   bumping the version invalidates every existing image;
+//! * the **cache key** (workload kind, ISA variant, geometry, seed) is
+//!   embedded and checked against what the caller expects, so a renamed
+//!   or misfiled image can never impersonate another cell;
+//! * an FNV-1a **payload checksum** catches truncation and bit rot;
+//! * the **verification digest** produced by
+//!   [`Workload::verify_digested`] (a fingerprint of the emulator's
+//!   actual output bytes) is recomputed from the decoded expected
+//!   regions and compared.
+//!
+//! Every failure mode is a typed [`ImageError`]; callers (the
+//! `mom3d-bench` workload cache) treat any error as a cache miss and
+//! rebuild — a corrupt or stale image degrades to a rebuild, never to a
+//! wrong answer.
+//!
+//! All multi-byte integers are little-endian regardless of host.
+
+use crate::workload::{IsaVariant, RegionCheck, Workload, WorkloadKind};
+use mom3d_emu::Fnv64;
+use mom3d_isa::{
+    AccReg, DReg, Gpr, Instruction, IntOp, MemAccess, MemPattern, MmxReg, MomReg, Opcode, PReg,
+    ReduceOp, Reg, RegList, Trace, UsimdOp, Width,
+};
+use mom3d_mem::MainMemory;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Format version. Bump on **any** encoding change — decoding rejects
+/// every other version, forcing a clean rebuild instead of a
+/// misinterpreted image.
+pub const WORKLOAD_IMAGE_VERSION: u32 = 1;
+
+/// Magic bytes opening every workload image.
+pub const WORKLOAD_IMAGE_MAGIC: [u8; 8] = *b"MOM3DWLI";
+
+const HEADER_LEN: usize = 48;
+
+/// The identity of a cached workload image: everything that determines
+/// the bits of a built workload. Two runs with equal keys build
+/// bit-identical workloads (the generators are seeded and
+/// deterministic), which is what makes cross-invocation caching sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ImageKey {
+    /// Which kernel.
+    pub kind: WorkloadKind,
+    /// Which ISA variant the trace was generated for.
+    pub variant: IsaVariant,
+    /// The synthetic-data seed.
+    pub seed: u64,
+    /// True for the reduced test geometry, false for the paper's
+    /// full geometry.
+    pub small: bool,
+}
+
+/// Why an image failed to decode. Every variant is recoverable by
+/// rebuilding the workload from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// The file does not start with [`WORKLOAD_IMAGE_MAGIC`].
+    BadMagic,
+    /// The image was written by a different format version.
+    VersionMismatch {
+        /// Version found in the image.
+        found: u32,
+    },
+    /// The embedded key differs from what the caller expects (misfiled
+    /// or renamed image).
+    KeyMismatch {
+        /// Human-readable description of the embedded key.
+        found: String,
+    },
+    /// The image is shorter than its header or declared payload.
+    Truncated,
+    /// The payload checksum does not match (bit rot, partial write).
+    ChecksumMismatch,
+    /// The verification digest does not match the decoded
+    /// expected-output regions.
+    DigestMismatch,
+    /// A structurally invalid field (unknown opcode/register/width
+    /// code, oversized count, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::BadMagic => write!(f, "not a workload image (bad magic)"),
+            ImageError::VersionMismatch { found } => write!(
+                f,
+                "format version {found} (this build reads only {WORKLOAD_IMAGE_VERSION})"
+            ),
+            ImageError::KeyMismatch { found } => write!(f, "image is for {found}"),
+            ImageError::Truncated => write!(f, "truncated image"),
+            ImageError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            ImageError::DigestMismatch => write!(f, "verification digest mismatch"),
+            ImageError::Malformed(what) => write!(f, "malformed image: {what}"),
+        }
+    }
+}
+
+impl Error for ImageError {}
+
+// ---------------------------------------------------------------------------
+// Stable byte codes for the closed ISA enums. Exhaustive matches keep
+// the codec in sync: adding an enum variant fails compilation here,
+// which is the reminder to bump WORKLOAD_IMAGE_VERSION.
+// ---------------------------------------------------------------------------
+
+fn kind_code(k: WorkloadKind) -> u8 {
+    match k {
+        WorkloadKind::JpegEncode => 0,
+        WorkloadKind::JpegDecode => 1,
+        WorkloadKind::Mpeg2Decode => 2,
+        WorkloadKind::Mpeg2Encode => 3,
+        WorkloadKind::GsmEncode => 4,
+    }
+}
+
+fn kind_from(code: u8) -> Option<WorkloadKind> {
+    WorkloadKind::ALL.iter().copied().find(|&k| kind_code(k) == code)
+}
+
+fn variant_code(v: IsaVariant) -> u8 {
+    match v {
+        IsaVariant::Mmx => 0,
+        IsaVariant::Mom => 1,
+        IsaVariant::Mom3d => 2,
+    }
+}
+
+fn variant_from(code: u8) -> Option<IsaVariant> {
+    IsaVariant::ALL.iter().copied().find(|&v| variant_code(v) == code)
+}
+
+fn width_code(w: Width) -> u8 {
+    match w {
+        Width::B8 => 0,
+        Width::H16 => 1,
+        Width::W32 => 2,
+        Width::D64 => 3,
+    }
+}
+
+fn width_from(code: u8) -> Option<Width> {
+    match code {
+        0 => Some(Width::B8),
+        1 => Some(Width::H16),
+        2 => Some(Width::W32),
+        3 => Some(Width::D64),
+        _ => None,
+    }
+}
+
+fn int_op_code(op: IntOp) -> u8 {
+    match op {
+        IntOp::Add => 0,
+        IntOp::Sub => 1,
+        IntOp::Mul => 2,
+        IntOp::And => 3,
+        IntOp::Or => 4,
+        IntOp::Xor => 5,
+        IntOp::Shl => 6,
+        IntOp::Shr => 7,
+        IntOp::Sar => 8,
+        IntOp::SltS => 9,
+        IntOp::SltU => 10,
+        IntOp::Mov => 11,
+    }
+}
+
+fn int_op_from(code: u8) -> Option<IntOp> {
+    use IntOp::*;
+    [Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sar, SltS, SltU, Mov].get(code as usize).copied()
+}
+
+/// `(sub-code, width-code)`; width-free ops encode width 0.
+fn usimd_code(op: UsimdOp) -> (u8, u8) {
+    match op {
+        UsimdOp::AddWrap(w) => (0, width_code(w)),
+        UsimdOp::SubWrap(w) => (1, width_code(w)),
+        UsimdOp::AddSatU(w) => (2, width_code(w)),
+        UsimdOp::SubSatU(w) => (3, width_code(w)),
+        UsimdOp::AddSatS(w) => (4, width_code(w)),
+        UsimdOp::SubSatS(w) => (5, width_code(w)),
+        UsimdOp::MinU(w) => (6, width_code(w)),
+        UsimdOp::MaxU(w) => (7, width_code(w)),
+        UsimdOp::MinS(w) => (8, width_code(w)),
+        UsimdOp::MaxS(w) => (9, width_code(w)),
+        UsimdOp::AbsDiffU(w) => (10, width_code(w)),
+        UsimdOp::SadU8 => (11, 0),
+        UsimdOp::AvgU(w) => (12, width_code(w)),
+        UsimdOp::MulLow(w) => (13, width_code(w)),
+        UsimdOp::MulHighS16 => (14, 0),
+        UsimdOp::MaddS16 => (15, 0),
+        UsimdOp::Shl(w) => (16, width_code(w)),
+        UsimdOp::ShrL(w) => (17, width_code(w)),
+        UsimdOp::ShrA(w) => (18, width_code(w)),
+        UsimdOp::And => (19, 0),
+        UsimdOp::Or => (20, 0),
+        UsimdOp::Xor => (21, 0),
+        UsimdOp::AndNot => (22, 0),
+        UsimdOp::CmpEq(w) => (23, width_code(w)),
+        UsimdOp::CmpGtS(w) => (24, width_code(w)),
+        UsimdOp::PackUs16To8 => (25, 0),
+        UsimdOp::PackSs16To8 => (26, 0),
+        UsimdOp::PackSs32To16 => (27, 0),
+        UsimdOp::UnpackLo(w) => (28, width_code(w)),
+        UsimdOp::UnpackHi(w) => (29, width_code(w)),
+    }
+}
+
+fn usimd_from(code: u8, w: u8) -> Option<UsimdOp> {
+    let width = width_from(w)?;
+    Some(match code {
+        0 => UsimdOp::AddWrap(width),
+        1 => UsimdOp::SubWrap(width),
+        2 => UsimdOp::AddSatU(width),
+        3 => UsimdOp::SubSatU(width),
+        4 => UsimdOp::AddSatS(width),
+        5 => UsimdOp::SubSatS(width),
+        6 => UsimdOp::MinU(width),
+        7 => UsimdOp::MaxU(width),
+        8 => UsimdOp::MinS(width),
+        9 => UsimdOp::MaxS(width),
+        10 => UsimdOp::AbsDiffU(width),
+        11 => UsimdOp::SadU8,
+        12 => UsimdOp::AvgU(width),
+        13 => UsimdOp::MulLow(width),
+        14 => UsimdOp::MulHighS16,
+        15 => UsimdOp::MaddS16,
+        16 => UsimdOp::Shl(width),
+        17 => UsimdOp::ShrL(width),
+        18 => UsimdOp::ShrA(width),
+        19 => UsimdOp::And,
+        20 => UsimdOp::Or,
+        21 => UsimdOp::Xor,
+        22 => UsimdOp::AndNot,
+        23 => UsimdOp::CmpEq(width),
+        24 => UsimdOp::CmpGtS(width),
+        25 => UsimdOp::PackUs16To8,
+        26 => UsimdOp::PackSs16To8,
+        27 => UsimdOp::PackSs32To16,
+        28 => UsimdOp::UnpackLo(width),
+        29 => UsimdOp::UnpackHi(width),
+        _ => return None,
+    })
+}
+
+fn reduce_code(op: ReduceOp) -> (u8, u8) {
+    match op {
+        ReduceOp::SadAccumU8 => (0, 0),
+        ReduceOp::SumU(w) => (1, width_code(w)),
+        ReduceOp::SumS(w) => (2, width_code(w)),
+        ReduceOp::DotS16 => (3, 0),
+    }
+}
+
+fn reduce_from(code: u8, w: u8) -> Option<ReduceOp> {
+    let width = width_from(w)?;
+    Some(match code {
+        0 => ReduceOp::SadAccumU8,
+        1 => ReduceOp::SumU(width),
+        2 => ReduceOp::SumS(width),
+        3 => ReduceOp::DotS16,
+        _ => return None,
+    })
+}
+
+/// `(tag, sub-code, width-code)`.
+fn opcode_code(op: Opcode) -> (u8, u8, u8) {
+    match op {
+        Opcode::IntAlu(i) => (0, int_op_code(i), 0),
+        Opcode::LoadScalar => (1, 0, 0),
+        Opcode::StoreScalar => (2, 0, 0),
+        Opcode::Branch => (3, 0, 0),
+        Opcode::Usimd(u) => {
+            let (s, w) = usimd_code(u);
+            (4, s, w)
+        }
+        Opcode::LoadMmx => (5, 0, 0),
+        Opcode::StoreMmx => (6, 0, 0),
+        Opcode::VCompute(u) => {
+            let (s, w) = usimd_code(u);
+            (7, s, w)
+        }
+        Opcode::VLoad => (8, 0, 0),
+        Opcode::VStore => (9, 0, 0),
+        Opcode::VReduce(r) => {
+            let (s, w) = reduce_code(r);
+            (10, s, w)
+        }
+        Opcode::ReadAcc => (11, 0, 0),
+        Opcode::SetVl => (12, 0, 0),
+        Opcode::SetVs => (13, 0, 0),
+        Opcode::DvLoad => (14, 0, 0),
+        Opcode::DvMov => (15, 0, 0),
+    }
+}
+
+fn opcode_from(tag: u8, sub: u8, w: u8) -> Option<Opcode> {
+    Some(match tag {
+        0 => Opcode::IntAlu(int_op_from(sub)?),
+        1 => Opcode::LoadScalar,
+        2 => Opcode::StoreScalar,
+        3 => Opcode::Branch,
+        4 => Opcode::Usimd(usimd_from(sub, w)?),
+        5 => Opcode::LoadMmx,
+        6 => Opcode::StoreMmx,
+        7 => Opcode::VCompute(usimd_from(sub, w)?),
+        8 => Opcode::VLoad,
+        9 => Opcode::VStore,
+        10 => Opcode::VReduce(reduce_from(sub, w)?),
+        11 => Opcode::ReadAcc,
+        12 => Opcode::SetVl,
+        13 => Opcode::SetVs,
+        14 => Opcode::DvLoad,
+        15 => Opcode::DvMov,
+        _ => return None,
+    })
+}
+
+fn pattern_code(p: MemPattern) -> u8 {
+    match p {
+        MemPattern::Scalar => 0,
+        MemPattern::Unit64 => 1,
+        MemPattern::Strided2d => 2,
+        MemPattern::Strided3d => 3,
+    }
+}
+
+fn pattern_from(code: u8) -> Option<MemPattern> {
+    match code {
+        0 => Some(MemPattern::Scalar),
+        1 => Some(MemPattern::Unit64),
+        2 => Some(MemPattern::Strided2d),
+        3 => Some(MemPattern::Strided3d),
+        _ => None,
+    }
+}
+
+/// Registers are encoded as their dense [`Reg::flat_index`]; 0xFF marks
+/// an empty operand slot. The decode table is the flat index's inverse,
+/// built once from the register-class enumerations (so it cannot drift
+/// from `flat_index`).
+const REG_NONE: u8 = 0xFF;
+
+fn reg_table() -> &'static [Reg] {
+    static TABLE: OnceLock<Vec<Reg>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut all: Vec<Reg> = Vec::with_capacity(Reg::FLAT_COUNT);
+        all.extend(Gpr::all().map(Reg::Gpr));
+        all.extend(MmxReg::all().map(Reg::Mmx));
+        all.extend(MomReg::all().map(Reg::Mom));
+        all.extend(DReg::all().map(Reg::D));
+        all.extend(PReg::all().map(Reg::P));
+        all.extend(AccReg::all().map(Reg::Acc));
+        all.push(Reg::Vl);
+        all.push(Reg::Vs);
+        all.sort_by_key(|r| r.flat_index());
+        debug_assert_eq!(all.len(), Reg::FLAT_COUNT);
+        all
+    })
+}
+
+/// Region-check labels are `&'static str` in [`RegionCheck`]; decoding
+/// reconstructs them through a small process-global intern pool so
+/// loading many images leaks each distinct label at most once.
+fn intern_label(s: &str) -> &'static str {
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().expect("label intern pool poisoned");
+    if let Some(&existing) = pool.iter().find(|&&e| e == s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_reg_list(out: &mut Vec<u8>, list: &RegList) {
+    let mut slots = [REG_NONE; 4];
+    for (slot, reg) in slots.iter_mut().zip(list.iter()) {
+        *slot = reg.flat_index() as u8;
+    }
+    out.extend_from_slice(&slots);
+}
+
+fn put_instruction(out: &mut Vec<u8>, i: &Instruction) {
+    let (tag, sub, w) = opcode_code(i.opcode);
+    out.extend_from_slice(&[tag, sub, w]);
+    put_reg_list(out, &i.dsts);
+    put_reg_list(out, &i.srcs);
+    put_i64(out, i.imm);
+    out.push(i.vl);
+    out.push(width_code(i.data_width));
+    out.push(i.taken as u8);
+    match &i.mem {
+        None => out.push(0),
+        Some(m) => {
+            out.push(1);
+            put_u64(out, m.base);
+            put_i64(out, m.stride);
+            out.push(m.count);
+            out.push(m.elem_bytes);
+            out.push(pattern_code(m.pattern));
+        }
+    }
+}
+
+/// Digest of the expected-output regions in the same formula as
+/// [`Workload::verify_digested`] (address, length, bytes per check, in
+/// order). On the encode side the two are equal because verification
+/// demands bit-identical output; on the decode side this is what the
+/// stored digest is compared against.
+fn checks_digest(checks: &[RegionCheck]) -> u64 {
+    let mut d = Fnv64::new();
+    for c in checks {
+        d.write_u64(c.addr);
+        d.write_u64(c.expected.len() as u64);
+        d.write(&c.expected);
+    }
+    d.finish()
+}
+
+/// Serializes a built-and-verified workload into an image.
+///
+/// `verify_digest` must come from a passing
+/// [`Workload::verify_digested`] run of this very workload — the cache
+/// layer's contract is that only verified workloads are ever encoded.
+pub fn encode_workload(wl: &Workload, key: &ImageKey, verify_digest: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64 * wl.trace().len() + 4096);
+
+    // Trace section.
+    put_u64(&mut payload, wl.trace().len() as u64);
+    for i in wl.trace().iter() {
+        put_instruction(&mut payload, i);
+    }
+
+    // Memory section (pages in ascending address order, so identical
+    // memories encode identically).
+    let pages = wl.initial_memory().pages_sorted();
+    put_u64(&mut payload, pages.len() as u64);
+    for (base, data) in pages {
+        put_u64(&mut payload, base);
+        payload.extend_from_slice(data);
+    }
+
+    // Expected-output section.
+    put_u32(&mut payload, wl.checks().len() as u32);
+    for c in wl.checks() {
+        let label = c.what.as_bytes();
+        put_u32(&mut payload, label.len() as u32);
+        payload.extend_from_slice(label);
+        put_u64(&mut payload, c.addr);
+        put_u64(&mut payload, c.expected.len() as u64);
+        payload.extend_from_slice(&c.expected);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&WORKLOAD_IMAGE_MAGIC);
+    put_u32(&mut out, WORKLOAD_IMAGE_VERSION);
+    out.push(kind_code(key.kind));
+    out.push(variant_code(key.variant));
+    out.push(key.small as u8);
+    out.push(0); // reserved
+    put_u64(&mut out, key.seed);
+    put_u64(&mut out, verify_digest);
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, mom3d_emu::checksum64(&payload));
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageError> {
+        let end = self.pos.checked_add(n).ok_or(ImageError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ImageError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn reg_list_from(raw: &[u8], table: &[Reg]) -> Result<RegList, ImageError> {
+    let mut list = RegList::new();
+    let mut ended = false;
+    for &code in raw {
+        if code == REG_NONE {
+            ended = true;
+            continue;
+        }
+        if ended {
+            return Err(ImageError::Malformed("operand after empty slot"));
+        }
+        let reg =
+            *table.get(code as usize).ok_or(ImageError::Malformed("unknown register code"))?;
+        list.push(reg);
+    }
+    Ok(list)
+}
+
+/// Fixed-size instruction prefix: opcode (3) + operand lists (4 + 4) +
+/// immediate (8) + vl/width/taken (3) + memory-presence flag (1).
+const INSTR_HEAD: usize = 23;
+
+fn read_instruction(r: &mut Reader<'_>, table: &[Reg]) -> Result<Instruction, ImageError> {
+    // One bounds check for the whole fixed prefix; this loop decodes
+    // hundreds of thousands of instructions per image, so the reader is
+    // slice-based rather than field-by-field.
+    let head = r.take(INSTR_HEAD)?;
+    let opcode = opcode_from(head[0], head[1], head[2])
+        .ok_or(ImageError::Malformed("unknown opcode"))?;
+    let dsts = reg_list_from(&head[3..7], table)?;
+    let srcs = reg_list_from(&head[7..11], table)?;
+    let imm = i64::from_le_bytes(head[11..19].try_into().expect("8 bytes"));
+    let vl = head[19];
+    let data_width = width_from(head[20]).ok_or(ImageError::Malformed("unknown data width"))?;
+    let taken = match head[21] {
+        0 => false,
+        1 => true,
+        _ => return Err(ImageError::Malformed("non-boolean taken flag")),
+    };
+    let mem = match head[22] {
+        0 => None,
+        1 => {
+            let m = r.take(19)?;
+            let base = u64::from_le_bytes(m[0..8].try_into().expect("8 bytes"));
+            let stride = i64::from_le_bytes(m[8..16].try_into().expect("8 bytes"));
+            let (count, elem_bytes) = (m[16], m[17]);
+            let pattern =
+                pattern_from(m[18]).ok_or(ImageError::Malformed("unknown memory pattern"))?;
+            if count == 0 || elem_bytes == 0 {
+                return Err(ImageError::Malformed("empty memory access"));
+            }
+            Some(MemAccess { base, stride, count, elem_bytes, pattern })
+        }
+        _ => return Err(ImageError::Malformed("non-boolean mem flag")),
+    };
+    let mut instr = Instruction::op(opcode, &[], &[]).with_imm(imm).with_vl(vl).with_width(data_width);
+    instr.dsts = dsts;
+    instr.srcs = srcs;
+    instr.taken = taken;
+    instr.mem = mem;
+    Ok(instr)
+}
+
+/// Deserializes a workload image, checking — in order — magic, format
+/// version, the embedded cache key against `expect`, the payload
+/// checksum, structural validity, and finally the verification digest.
+///
+/// # Errors
+///
+/// Returns the first failed check as an [`ImageError`]; callers treat
+/// any error as a cache miss and rebuild.
+pub fn decode_workload(bytes: &[u8], expect: &ImageKey) -> Result<Workload, ImageError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8).map_err(|_| ImageError::BadMagic)? != WORKLOAD_IMAGE_MAGIC {
+        return Err(ImageError::BadMagic);
+    }
+    let version = r.u32().map_err(|_| ImageError::Truncated)?;
+    if version != WORKLOAD_IMAGE_VERSION {
+        return Err(ImageError::VersionMismatch { found: version });
+    }
+    let kind = kind_from(r.u8()?).ok_or(ImageError::Malformed("unknown workload kind"))?;
+    let variant = variant_from(r.u8()?).ok_or(ImageError::Malformed("unknown ISA variant"))?;
+    let small = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(ImageError::Malformed("non-boolean geometry flag")),
+    };
+    let _reserved = r.u8()?;
+    let seed = r.u64()?;
+    let found = ImageKey { kind, variant, seed, small };
+    if found != *expect {
+        return Err(ImageError::KeyMismatch {
+            found: format!(
+                "{kind} {variant} seed {seed} ({})",
+                if small { "small" } else { "full" }
+            ),
+        });
+    }
+    let verify_digest = r.u64()?;
+    let payload_len = r.u64()?;
+    let checksum = r.u64()?;
+    let payload = r.take(payload_len as usize)?;
+    if !r.done() {
+        return Err(ImageError::Malformed("trailing bytes after payload"));
+    }
+    if mom3d_emu::checksum64(payload) != checksum {
+        return Err(ImageError::ChecksumMismatch);
+    }
+
+    let mut p = Reader { bytes: payload, pos: 0 };
+
+    // Trace section.
+    let n_instrs = p.u64()? as usize;
+    // Cheap sanity bound: every instruction costs at least INSTR_HEAD
+    // bytes.
+    if n_instrs.saturating_mul(INSTR_HEAD) > payload.len() {
+        return Err(ImageError::Malformed("instruction count exceeds payload"));
+    }
+    let table = reg_table();
+    let mut instrs: Vec<Instruction> = Vec::with_capacity(n_instrs);
+    for _ in 0..n_instrs {
+        instrs.push(read_instruction(&mut p, table)?);
+    }
+    let trace: Trace = instrs.into_iter().collect();
+
+    // Memory section.
+    let n_pages = p.u64()? as usize;
+    let mut memory = MainMemory::new();
+    for _ in 0..n_pages {
+        let base = p.u64()?;
+        if base & (MainMemory::PAGE_BYTES as u64 - 1) != 0 {
+            return Err(ImageError::Malformed("unaligned page base"));
+        }
+        let data: &[u8; MainMemory::PAGE_BYTES] =
+            p.take(MainMemory::PAGE_BYTES)?.try_into().expect("page-sized slice");
+        memory.write_page(base, data);
+    }
+
+    // Expected-output section.
+    let n_checks = p.u32()? as usize;
+    let mut checks = Vec::with_capacity(n_checks.min(1024));
+    for _ in 0..n_checks {
+        let label_len = p.u32()? as usize;
+        let label = std::str::from_utf8(p.take(label_len)?)
+            .map_err(|_| ImageError::Malformed("non-UTF-8 check label"))?;
+        let addr = p.u64()?;
+        let expected_len = p.u64()? as usize;
+        let expected = p.take(expected_len)?.to_vec();
+        checks.push(RegionCheck { what: intern_label(label), addr, expected });
+    }
+    if !p.done() {
+        return Err(ImageError::Malformed("trailing bytes in payload"));
+    }
+
+    if checks_digest(&checks) != verify_digest {
+        return Err(ImageError::DigestMismatch);
+    }
+
+    Ok(Workload::from_parts(kind, variant, trace, memory, checks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ImageKey {
+        ImageKey { kind: WorkloadKind::GsmEncode, variant: IsaVariant::Mom3d, seed: 3, small: true }
+    }
+
+    fn image() -> (Workload, Vec<u8>) {
+        let wl = Workload::build_small(key().kind, key().variant, key().seed).unwrap();
+        let digest = wl.verify_digested().unwrap();
+        let bytes = encode_workload(&wl, &key(), digest);
+        (wl, bytes)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let (wl, bytes) = image();
+        let decoded = decode_workload(&bytes, &key()).unwrap();
+        assert_eq!(decoded, wl);
+        // The decoded workload still verifies, with the same digest.
+        assert_eq!(decoded.verify_digested().unwrap(), wl.verify_digested().unwrap());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (_, a) = image();
+        let (_, b) = image();
+        assert_eq!(a, b, "same key must produce byte-identical images");
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        let (_, bytes) = image();
+        let other = ImageKey { seed: 4, ..key() };
+        assert!(matches!(
+            decode_workload(&bytes, &other),
+            Err(ImageError::KeyMismatch { .. })
+        ));
+        let full = ImageKey { small: false, ..key() };
+        assert!(matches!(decode_workload(&bytes, &full), Err(ImageError::KeyMismatch { .. })));
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let (_, mut bytes) = image();
+        let bumped = WORKLOAD_IMAGE_VERSION + 1;
+        bytes[8..12].copy_from_slice(&bumped.to_le_bytes());
+        assert_eq!(
+            decode_workload(&bytes, &key()),
+            Err(ImageError::VersionMismatch { found: bumped })
+        );
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_are_rejected() {
+        let (_, bytes) = image();
+        assert_eq!(decode_workload(&[], &key()), Err(ImageError::BadMagic));
+        assert_eq!(
+            decode_workload(&bytes[..bytes.len() / 2], &key()),
+            Err(ImageError::Truncated)
+        );
+        // Flip one payload bit: the checksum catches it.
+        let mut flipped = bytes.clone();
+        let i = HEADER_LEN + flipped[HEADER_LEN..].len() / 2;
+        flipped[i] ^= 0x40;
+        assert_eq!(decode_workload(&flipped, &key()), Err(ImageError::ChecksumMismatch));
+        // Corrupt the magic.
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(decode_workload(&bad_magic, &key()), Err(ImageError::BadMagic));
+    }
+
+    #[test]
+    fn digest_mismatch_is_rejected() {
+        let (wl, _) = image();
+        // Encode with a digest that does not match the checks.
+        let bytes = encode_workload(&wl, &key(), 0xDEAD_BEEF);
+        assert_eq!(decode_workload(&bytes, &key()), Err(ImageError::DigestMismatch));
+    }
+
+    #[test]
+    fn reg_codec_covers_every_register() {
+        let table = reg_table();
+        assert_eq!(table.len(), Reg::FLAT_COUNT);
+        for (i, &reg) in table.iter().enumerate() {
+            assert_eq!(reg.flat_index(), i, "{reg}");
+        }
+        assert!(table.get(REG_NONE as usize).is_none());
+    }
+
+    #[test]
+    fn opcode_codec_round_trips() {
+        let mut ops: Vec<Opcode> = vec![
+            Opcode::LoadScalar,
+            Opcode::StoreScalar,
+            Opcode::Branch,
+            Opcode::LoadMmx,
+            Opcode::StoreMmx,
+            Opcode::VLoad,
+            Opcode::VStore,
+            Opcode::ReadAcc,
+            Opcode::SetVl,
+            Opcode::SetVs,
+            Opcode::DvLoad,
+            Opcode::DvMov,
+        ];
+        for code in 0..=11u8 {
+            ops.push(Opcode::IntAlu(int_op_from(code).unwrap()));
+        }
+        for code in 0..=29u8 {
+            for w in 0..=3u8 {
+                let u = usimd_from(code, w).unwrap();
+                ops.push(Opcode::Usimd(u));
+                ops.push(Opcode::VCompute(u));
+            }
+        }
+        for code in 0..=3u8 {
+            ops.push(Opcode::VReduce(reduce_from(code, 0).unwrap()));
+        }
+        for op in ops {
+            let (t, s, w) = opcode_code(op);
+            let back = opcode_from(t, s, w).unwrap();
+            // Width-free ops normalize their width byte, so compare the
+            // re-encoded code, which must be stable.
+            assert_eq!(opcode_code(back), (t, s, w), "{op:?}");
+        }
+        assert_eq!(opcode_from(16, 0, 0), None);
+        assert_eq!(usimd_from(30, 0), None);
+        assert_eq!(int_op_from(12), None);
+        assert_eq!(reduce_from(4, 0), None);
+    }
+
+    #[test]
+    fn labels_intern_to_one_leak() {
+        let a = intern_label("region-x");
+        let b = intern_label("region-x");
+        assert!(std::ptr::eq(a, b), "same label must intern to the same allocation");
+    }
+}

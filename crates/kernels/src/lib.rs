@@ -35,9 +35,18 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! **Place in the dataflow**: the source. Each `(kind, variant, seed)`
+//! triple deterministically yields a [`Workload`] — trace + initial
+//! [`mom3d_mem::MainMemory`] image + expected outputs — that the
+//! emulator verifies and the timing simulator replays. The
+//! [`encode_workload`]/[`decode_workload`] image codec serializes a
+//! verified workload to a versioned binary format, which is what the
+//! `mom3d-bench` cross-invocation cache stores on disk.
 
 mod data;
 mod gsm_encode;
+mod image;
 mod jpeg_decode;
 mod jpeg_encode;
 mod layout;
@@ -47,6 +56,10 @@ mod workload;
 
 pub use data::{AudioBuf, Frame};
 pub use gsm_encode::GsmEncodeParams;
+pub use image::{
+    decode_workload, encode_workload, ImageError, ImageKey, WORKLOAD_IMAGE_MAGIC,
+    WORKLOAD_IMAGE_VERSION,
+};
 pub use jpeg_decode::JpegDecodeParams;
 pub use jpeg_encode::JpegEncodeParams;
 pub use layout::Arena;

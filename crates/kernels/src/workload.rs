@@ -1,7 +1,7 @@
 //! The workload container: trace + memory image + expected outputs.
 
 use crate::{gsm_encode, jpeg_decode, jpeg_encode, mpeg2_decode, mpeg2_encode};
-use mom3d_emu::{EmuError, Emulator, Machine};
+use mom3d_emu::{EmuError, Emulator, Fnv64, Machine};
 use mom3d_isa::Trace;
 use mom3d_mem::MainMemory;
 use std::error::Error;
@@ -147,7 +147,11 @@ impl From<EmuError> for VerifyError {
 
 /// A ready-to-run benchmark instance: instruction trace, initial memory
 /// image, and the scalar reference's expected outputs.
-#[derive(Debug, Clone)]
+///
+/// Equality is bit-exact over every component (trace, memory image,
+/// expected-output regions) — what the workload-image round-trip tests
+/// assert about [`crate::decode_workload`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     kind: WorkloadKind,
     variant: IsaVariant,
@@ -273,8 +277,29 @@ impl Workload {
     ///
     /// Returns the emulation error or the first mismatching byte.
     pub fn verify(&self) -> Result<(), VerifyError> {
+        self.verify_digested().map(|_| ())
+    }
+
+    /// Like [`Workload::verify`], but also returns an FNV-1a digest of
+    /// the **emulator's actual output bytes** over every check region
+    /// (address, length and content, in check order).
+    ///
+    /// The digest is what the workload-image cache persists alongside a
+    /// serialized workload: it fingerprints a verification run that
+    /// really happened, and a loaded image whose expected-output
+    /// regions do not reproduce it is rejected (the cache rebuilds
+    /// instead of ever serving a wrong answer). Because verification
+    /// demands bit-identical output, the digest equals the digest of
+    /// the expected bytes — but it is computed from the emulator side
+    /// so it cannot exist without a passing run.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::verify`].
+    pub fn verify_digested(&self) -> Result<u64, VerifyError> {
         let mut emu = Emulator::with_machine(self.machine());
         emu.run(&self.trace)?;
+        let mut digest = Fnv64::new();
         for check in &self.checks {
             let actual = emu.machine().mem.read_bytes(check.addr, check.expected.len());
             for (i, (&e, &a)) in check.expected.iter().zip(actual.iter()).enumerate() {
@@ -287,8 +312,11 @@ impl Workload {
                     });
                 }
             }
+            digest.write_u64(check.addr);
+            digest.write_u64(actual.len() as u64);
+            digest.write(&actual);
         }
-        Ok(())
+        Ok(digest.finish())
     }
 }
 

@@ -35,6 +35,12 @@
 //! assert!(!l2.access(0x1000, false).hit); // cold miss
 //! assert!(l2.access(0x1000, false).hit); // now resident
 //! ```
+//!
+//! **Place in the dataflow**: the substrate both execution stages
+//! stand on. [`MainMemory`] holds workload data for the emulator (and
+//! is serialized page-wise into workload images by `mom3d-kernels`);
+//! the caches, port schedulers and registered backends price every
+//! memory instruction for the `mom3d-cpu` timing model.
 
 mod backend;
 mod cache;

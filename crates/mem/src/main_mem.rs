@@ -15,12 +15,16 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// m.write_bytes(0xFF00, &[1, 2, 3]);
 /// assert_eq!(m.read_bytes(0xFF00, 4), vec![1, 2, 3, 0]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MainMemory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl MainMemory {
+    /// Bytes per page — the granularity of [`MainMemory::pages_sorted`]
+    /// and [`MainMemory::write_page`].
+    pub const PAGE_BYTES: usize = PAGE_SIZE;
+
     /// Creates an empty memory.
     pub fn new() -> Self {
         Self::default()
@@ -29,6 +33,29 @@ impl MainMemory {
     /// Number of resident pages (for tests / footprint checks).
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Resident pages as `(base_address, data)` in ascending address
+    /// order — the deterministic enumeration workload-image
+    /// serialization needs (hash-map order would make encodings of
+    /// identical memories differ).
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8; Self::PAGE_BYTES])> {
+        let mut pages: Vec<(u64, &[u8; Self::PAGE_BYTES])> =
+            self.pages.iter().map(|(&idx, data)| (idx << PAGE_SHIFT, &**data)).collect();
+        pages.sort_unstable_by_key(|&(base, _)| base);
+        pages
+    }
+
+    /// Installs one full page wholesale (the deserialization
+    /// counterpart of [`MainMemory::pages_sorted`]; far cheaper than
+    /// 4096 `write_u8` calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not page-aligned.
+    pub fn write_page(&mut self, base: u64, data: &[u8; Self::PAGE_BYTES]) {
+        assert_eq!(base & (PAGE_SIZE as u64 - 1), 0, "page base must be page-aligned");
+        self.pages.insert(base >> PAGE_SHIFT, Box::new(*data));
     }
 
     /// Reads one byte.
@@ -178,6 +205,29 @@ mod tests {
     #[should_panic(expected = "1-8 bytes")]
     fn scalar_zero_width_panics() {
         MainMemory::new().read_scalar(0, 0);
+    }
+
+    #[test]
+    fn pages_sorted_and_write_page_round_trip() {
+        let mut m = MainMemory::new();
+        m.write_u64(0x5000, 0xAAAA);
+        m.write_u64(0x1000, 0xBBBB);
+        m.write_u8(0x9FFF, 7);
+        let pages = m.pages_sorted();
+        let bases: Vec<u64> = pages.iter().map(|&(b, _)| b).collect();
+        assert_eq!(bases, vec![0x1000, 0x5000, 0x9000], "ascending page bases");
+        let mut copy = MainMemory::new();
+        for (base, data) in pages {
+            copy.write_page(base, data);
+        }
+        assert_eq!(copy, m, "page-wise copy must be bit-identical");
+        assert_eq!(copy.read_u64(0x5000), 0xAAAA);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn write_page_rejects_unaligned_base() {
+        MainMemory::new().write_page(8, &[0u8; MainMemory::PAGE_BYTES]);
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! // despite holding 8x the bytes, thanks to 1R/1W clustered ports.
 //! assert_eq!(RegFileSpec::dreg_3d().area_wire_tracks(), 1_966_080);
 //! ```
+//!
+//! **Place in the dataflow**: a leaf consumed only by `mom3d-bench`'s
+//! report formatters — [`RegFileSpec`]/`ConfigArea` reproduce Table 3
+//! from first principles (no simulation input), while the energy model
+//! converts `mom3d-cpu` activity counters into Figure 11 watts.
 
 mod area;
 mod energy;

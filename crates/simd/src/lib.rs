@@ -21,6 +21,12 @@
 //! assert_eq!(c.to_le_bytes()[0], 0xFF);
 //! assert_eq!(c.to_le_bytes()[1], 2);
 //! ```
+//!
+//! **Place in the dataflow** (see `ARCHITECTURE.md`): the innermost
+//! leaf. `mom3d-isa` mirrors [`Width`] for its instruction encodings,
+//! `mom3d-emu` calls these functions to execute every µSIMD/MOM
+//! compute instruction, and `mom3d-core`'s 3D register file reuses the
+//! packed-value conventions for its slice extraction.
 
 mod lanes;
 mod ops;

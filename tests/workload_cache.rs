@@ -1,0 +1,198 @@
+//! The cross-invocation workload-image cache must be a pure
+//! optimization: a warm start produces bit-identical workloads and
+//! metrics to a cold start, and a damaged cache (truncation, bit flips,
+//! stale format versions, misfiled images) always degrades to a rebuild
+//! — never to a wrong answer, never to an error.
+
+use mom3d::cpu::MemorySystemKind;
+use mom3d::kernels::{
+    decode_workload, encode_workload, ImageError, ImageKey, IsaVariant, Workload, WorkloadKind,
+    WORKLOAD_IMAGE_VERSION,
+};
+use mom3d_bench::{sweep, Runner, SimKey, WorkloadCache};
+use std::path::PathBuf;
+
+const SEED: u64 = 11;
+
+/// A unique, throwaway cache directory per test (the tests in this
+/// binary run in parallel, so they must not share directories).
+fn temp_cache_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("mom3d-workload-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_key(kind: WorkloadKind, variant: IsaVariant) -> ImageKey {
+    ImageKey { kind, variant, seed: SEED, small: true }
+}
+
+fn build_small(kind: WorkloadKind, variant: IsaVariant) -> Workload {
+    Workload::build_small(kind, variant, SEED).expect("workload builds")
+}
+
+#[test]
+fn image_round_trip_is_bit_identical() {
+    // One workload with 3D patterns and one without, so the codec sees
+    // every instruction family the generators emit.
+    for (kind, variant) in [
+        (WorkloadKind::GsmEncode, IsaVariant::Mom3d),
+        (WorkloadKind::JpegDecode, IsaVariant::Mmx),
+    ] {
+        let wl = build_small(kind, variant);
+        let digest = wl.verify_digested().expect("workload verifies");
+        let key = small_key(kind, variant);
+        let bytes = encode_workload(&wl, &key, digest);
+        let decoded = decode_workload(&bytes, &key).expect("image decodes");
+        assert_eq!(decoded, wl, "{kind} {variant}: decoded workload must be bit-identical");
+        assert_eq!(
+            decoded.verify_digested().expect("decoded workload verifies"),
+            digest,
+            "{kind} {variant}: verification digest must survive the round trip"
+        );
+    }
+}
+
+#[test]
+fn truncated_image_falls_back_to_rebuild() {
+    let dir = temp_cache_dir("truncated");
+    let cache = WorkloadCache::open(&dir).expect("cache opens");
+    let (kind, variant) = (WorkloadKind::GsmEncode, IsaVariant::Mom);
+    let key = small_key(kind, variant);
+    let wl = build_small(kind, variant);
+    let digest = wl.verify_digested().unwrap();
+    cache.store(&wl, &key, digest);
+    assert_eq!(cache.load(&key).expect("intact image loads"), wl);
+
+    // Truncate the stored image mid-payload.
+    let path = cache.image_path(&key);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+    assert!(cache.load(&key).is_none(), "truncated image must be a miss");
+    assert!(cache.stats().rejected >= 1);
+    assert!(!path.exists(), "rejected images are evicted");
+
+    // The runner-level path rebuilds through the same cache.
+    let runner = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let (rebuilt, _, from_cache) = runner.load_or_build(kind, variant);
+    assert!(!from_cache, "load must fall back to a rebuild");
+    assert_eq!(rebuilt, wl, "the rebuild matches the original build");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_image_falls_back_to_rebuild() {
+    let dir = temp_cache_dir("bitflip");
+    let cache = WorkloadCache::open(&dir).expect("cache opens");
+    let (kind, variant) = (WorkloadKind::JpegEncode, IsaVariant::Mom);
+    let key = small_key(kind, variant);
+    let wl = build_small(kind, variant);
+    cache.store(&wl, &key, wl.verify_digested().unwrap());
+
+    // Flip one bit somewhere in the payload.
+    let path = cache.image_path(&key);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x04;
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert!(cache.load(&key).is_none(), "bit-flipped image must be a miss");
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.rejected), (0, 1));
+    let runner = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let (rebuilt, _, from_cache) = runner.load_or_build(kind, variant);
+    assert!(!from_cache);
+    assert_eq!(rebuilt, wl);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn format_version_bump_invalidates_images() {
+    let (kind, variant) = (WorkloadKind::GsmEncode, IsaVariant::Mom);
+    let key = small_key(kind, variant);
+    let wl = build_small(kind, variant);
+    let mut bytes = encode_workload(&wl, &key, wl.verify_digested().unwrap());
+    // Patch the header's version field to a future version.
+    let future = WORKLOAD_IMAGE_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    assert_eq!(
+        decode_workload(&bytes, &key),
+        Err(ImageError::VersionMismatch { found: future }),
+        "another format version must never decode"
+    );
+    // The version is also part of the file name, so a binary with a
+    // bumped format never even opens images written by this one.
+    assert!(WorkloadCache::file_name(&key).ends_with(&format!("v{WORKLOAD_IMAGE_VERSION}.mwl")));
+}
+
+#[test]
+fn misfiled_image_is_rejected_by_key() {
+    let dir = temp_cache_dir("misfiled");
+    let cache = WorkloadCache::open(&dir).expect("cache opens");
+    let key = small_key(WorkloadKind::GsmEncode, IsaVariant::Mom);
+    let wl = build_small(key.kind, key.variant);
+    cache.store(&wl, &key, wl.verify_digested().unwrap());
+
+    // Copy the gsm image over the slot of another variant: the embedded
+    // key must reject it even though checksum and digest are intact.
+    let other = small_key(WorkloadKind::GsmEncode, IsaVariant::Mom3d);
+    std::fs::copy(cache.image_path(&key), cache.image_path(&other)).unwrap();
+    assert!(cache.load(&other).is_none(), "misfiled image must be rejected");
+    assert!(cache.stats().rejected >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance property of the whole feature: a warm-cache sweep
+/// skips every workload build (hit count = workload count) and its
+/// metrics are bit-identical to the cold-cache sweep's.
+#[test]
+fn warm_sweep_equals_cold_sweep() {
+    let dir = temp_cache_dir("warm-vs-cold");
+    let cells: Vec<SimKey> = {
+        let mut cells = Vec::new();
+        for (kind, variant, memory) in [
+            (WorkloadKind::GsmEncode, IsaVariant::Mom, MemorySystemKind::VectorCache),
+            (WorkloadKind::GsmEncode, IsaVariant::Mom3d, MemorySystemKind::VectorCache3d),
+            (WorkloadKind::JpegEncode, IsaVariant::Mom, MemorySystemKind::MultiBanked),
+            (WorkloadKind::JpegEncode, IsaVariant::Mmx, MemorySystemKind::Ideal),
+        ] {
+            cells.push(SimKey { kind, variant, memory: memory.into(), l2_latency: 20 });
+        }
+        cells
+    };
+    let workload_pairs = 4;
+
+    let mut cold = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let cold_report = sweep::run(&mut cold, &cells, 3);
+    let cold_stats = cold_report.workload_cache.expect("cache attached");
+    assert_eq!(cold_stats.hits, 0, "first run must build everything");
+    assert_eq!(cold_stats.misses, workload_pairs);
+
+    let mut warm = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let warm_report = sweep::run(&mut warm, &cells, 3);
+    let warm_stats = warm_report.workload_cache.expect("cache attached");
+    assert_eq!(
+        (warm_stats.hits, warm_stats.misses, warm_stats.rejected),
+        (workload_pairs, 0, 0),
+        "warm run must load every workload from the cache"
+    );
+
+    assert_eq!(cold_report.cells.len(), warm_report.cells.len());
+    for (c, w) in cold_report.cells.iter().zip(&warm_report.cells) {
+        assert_eq!(c.key, w.key);
+        assert_eq!(c.metrics, w.metrics, "{:?}: warm metrics must be bit-identical", c.key);
+        assert_eq!(
+            w.workload.verify,
+            std::time::Duration::ZERO,
+            "{:?}: a cache hit re-runs no verification",
+            w.key
+        );
+    }
+    // And both agree with an uncached serial runner.
+    let mut plain = Runner::small(SEED);
+    for c in &cold_report.cells {
+        let m = plain.metrics(c.key.kind, c.key.variant, c.key.memory, c.key.l2_latency);
+        assert_eq!(m, c.metrics, "{:?}: cache must not change results", c.key);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
