@@ -1,0 +1,150 @@
+//! The load generator for `mom3d-serve`.
+//!
+//! Replays a deterministic mixed request stream (memo-hot cells,
+//! memo-cold cells, streamed sweeps, malformed frames, mid-stream
+//! disconnects) from many concurrent connections, verifies every
+//! observed `Metrics` bit-for-bit against in-process execution, and
+//! writes `BENCH_serve.json` with p50/p99 latency and requests/sec:
+//!
+//! ```text
+//! mom3d-load (--tcp ADDR | --unix PATH) [--clients N] [--requests N]
+//!            [--mix-seed N] [--smoke] [--no-verify] [--json PATH] [--stop]
+//! ```
+//!
+//! Defaults: 32 clients × 32 requests (≥ 1000 mixed requests) with
+//! verification on. `--smoke` is the small CI preset (6 × 12, still
+//! every request class). `--stop` additionally sends `SHUTDOWN` after
+//! the run, stopping the server. Exits non-zero when any correctness
+//! check failed — a lying server fails CI, not just a slow one.
+
+use mom3d_bench::load::{run_load, LoadConfig};
+use mom3d_bench::protocol::{Client, Endpoint, Request};
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: mom3d-load (--tcp ADDR | --unix PATH) [--clients N] [--requests N] \
+                     [--mix-seed N] [--smoke] [--no-verify] [--json PATH] [--stop]";
+
+struct Args {
+    config: LoadConfig,
+    json: PathBuf,
+    stop: bool,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut smoke = false;
+    let mut clients: Option<usize> = None;
+    let mut requests: Option<usize> = None;
+    let mut mix_seed: Option<u64> = None;
+    let mut verify = true;
+    let mut json: Option<PathBuf> = None;
+    let mut stop = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs an address")?;
+                set_endpoint(&mut endpoint, Endpoint::Tcp(v))?;
+            }
+            "--unix" => {
+                let v = it.next().ok_or("--unix needs a path")?;
+                set_endpoint(&mut endpoint, Endpoint::Unix(PathBuf::from(v)))?;
+            }
+            "--smoke" => smoke = true,
+            "--no-verify" => verify = false,
+            "--stop" => stop = true,
+            "--clients" => clients = Some(positive(&mut it, "--clients")?),
+            "--requests" => requests = Some(positive(&mut it, "--requests")?),
+            "--mix-seed" => {
+                let v = it.next().ok_or("--mix-seed needs a value")?;
+                mix_seed =
+                    Some(v.parse().map_err(|_| format!("--mix-seed {v:?}: not an integer"))?);
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                json = Some(PathBuf::from(v));
+            }
+            flag => return Err(format!("unknown argument {flag:?}")),
+        }
+    }
+    let endpoint = endpoint.ok_or("an endpoint is required (--tcp ADDR or --unix PATH)")?;
+    let mut config =
+        if smoke { LoadConfig::smoke(endpoint) } else { LoadConfig::bench(endpoint) };
+    if let Some(n) = clients {
+        config.clients = n;
+    }
+    if let Some(n) = requests {
+        config.requests_per_client = n;
+    }
+    if let Some(s) = mix_seed {
+        config.mix_seed = s;
+    }
+    config.verify = verify;
+    Ok(Args { config, json: json.unwrap_or_else(|| PathBuf::from("BENCH_serve.json")), stop })
+}
+
+fn set_endpoint(slot: &mut Option<Endpoint>, ep: Endpoint) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("at most one of --tcp/--unix".into());
+    }
+    *slot = Some(ep);
+    Ok(())
+}
+
+fn positive(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    let n: usize = v.parse().map_err(|_| format!("{flag} {v:?}: not an integer"))?;
+    if n == 0 {
+        return Err(format!("{flag} 0: must be at least 1"));
+    }
+    Ok(n)
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let report = match run_load(&args.config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: load run against {} failed: {e}", args.config.endpoint);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "mom3d-load: {} requests from {} clients in {:.2?} ({:.0} req/s)",
+        report.requests_sent, report.clients, report.elapsed, report.requests_per_sec
+    );
+    println!(
+        "  results {}  memo hits {}  provoked errors {}  disconnects {}  verified cells {}",
+        report.results_received,
+        report.memo_hits,
+        report.expected_errors,
+        report.disconnects,
+        report.verified_cells
+    );
+    println!("  latency p50 {}us  p99 {}us  max {}us", report.p50_us, report.p99_us, report.max_us);
+    for failure in &report.failures {
+        eprintln!("FAIL: {failure}");
+    }
+    match std::fs::write(&args.json, report.to_json()) {
+        Ok(()) => eprintln!("load report written to {}", args.json.display()),
+        Err(e) => eprintln!("could not write {}: {e}", args.json.display()),
+    }
+    if args.stop {
+        match Client::connect(&args.config.endpoint)
+            .and_then(|mut c| c.round_trip(&Request::Shutdown))
+        {
+            Ok(_) => eprintln!("server shutdown requested"),
+            Err(e) => eprintln!("could not request shutdown: {e}"),
+        }
+    }
+    if !report.ok() {
+        eprintln!("mom3d-load: {} correctness check(s) FAILED", report.failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,121 @@
+//! The resident simulation server.
+//!
+//! Keeps verified workloads and the `SimKey → Metrics` memo table alive
+//! in one long-lived process and serves simulation requests over the
+//! binary frame protocol, on TCP or a unix-domain socket:
+//!
+//! ```text
+//! mom3d-serve [SEED] [--tcp ADDR | --unix PATH] [--small] [--threads N]
+//!             [--cache-dir PATH] [--prebuild]
+//! ```
+//!
+//! Defaults: seed 7, `--tcp 127.0.0.1:7733`, full geometry, one
+//! simulation worker per core. `--cache-dir` (or
+//! `MOM3D_WORKLOAD_CACHE`) hydrates workloads from the on-disk image
+//! cache; `--prebuild` builds every paper workload at boot so the first
+//! request is already warm. The process runs until a client sends
+//! `SHUTDOWN` (e.g. `mom3d-load` in `--stop` mode, or any protocol
+//! client).
+//!
+//! A readiness line (`listening on …`) is printed to stdout once the
+//! socket is bound — CI waits for it before starting the load.
+
+use mom3d_bench::protocol::Endpoint;
+use mom3d_bench::serve::{serve, ServeConfig};
+use mom3d_bench::WorkloadCache;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: mom3d-serve [SEED] [--tcp ADDR | --unix PATH] [--small] \
+                     [--threads N] [--cache-dir PATH] [--prebuild]";
+
+struct Args {
+    endpoint: Endpoint,
+    config: ServeConfig,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut seed: Option<u64> = None;
+    let mut config = ServeConfig::default();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs an address")?;
+                set_endpoint(&mut endpoint, Endpoint::Tcp(v))?;
+            }
+            "--unix" => {
+                let v = it.next().ok_or("--unix needs a path")?;
+                set_endpoint(&mut endpoint, Endpoint::Unix(PathBuf::from(v)))?;
+            }
+            "--small" => config.small = true,
+            "--prebuild" => config.prebuild = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("--threads {v:?}: not an integer"))?;
+                // 0 follows the same warn-and-fallback policy as
+                // MOM3D_SWEEP_THREADS (ServeConfig treats 0 as "default").
+                if n == 0 {
+                    eprintln!("warning: --threads 0 is not a thread count; using all cores");
+                }
+                config.threads = n;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                cache_dir = Some(PathBuf::from(v));
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if seed.is_some() {
+                    return Err(format!("unexpected second positional argument {positional:?}"));
+                }
+                seed = Some(
+                    positional
+                        .parse()
+                        .map_err(|_| format!("seed {positional:?}: not an integer"))?,
+                );
+            }
+        }
+    }
+    config.seed = seed.unwrap_or(7);
+    config.cache = WorkloadCache::resolve(cache_dir.as_deref());
+    Ok(Args {
+        endpoint: endpoint.unwrap_or_else(|| Endpoint::Tcp("127.0.0.1:7733".into())),
+        config,
+    })
+}
+
+fn set_endpoint(slot: &mut Option<Endpoint>, ep: Endpoint) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("at most one of --tcp/--unix".into());
+    }
+    *slot = Some(ep);
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args.config.seed;
+    let small = args.config.small;
+    let handle = match serve(args.endpoint, args.config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: could not bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "mom3d-serve listening on {} (seed {seed}, {} geometry)",
+        handle.endpoint(),
+        if small { "small" } else { "full" }
+    );
+    handle.wait();
+    eprintln!("mom3d-serve: shutdown requested, bye");
+}

@@ -163,8 +163,9 @@ impl WorkloadCache {
     /// Attempts to load a cached workload. Any failure — missing file,
     /// truncation, checksum/digest mismatch, stale format version —
     /// counts as a miss and returns `None`; rejected images are
-    /// additionally counted, warned about once on stderr, and deleted
-    /// best-effort so they are not re-parsed on every run.
+    /// additionally counted, warned about on stderr, and evicted via a
+    /// quarantine-rename (compare-then-delete) so a concurrent writer's
+    /// fresh image is never deleted by mistake.
     pub fn load(&self, key: &ImageKey) -> Option<Workload> {
         let path = self.image_path(key);
         let bytes = match std::fs::read(&path) {
@@ -184,10 +185,45 @@ impl WorkloadCache {
                     "warning: rejecting cached workload image {}: {e}; rebuilding",
                     path.display()
                 );
-                let _ = std::fs::remove_file(&path);
+                self.evict_rejected(&path, &bytes);
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
+            }
+        }
+    }
+
+    /// Evicts a rejected image without racing concurrent writers.
+    ///
+    /// An unconditional `remove_file` here would lose a *good* image: a
+    /// concurrent [`WorkloadCache::store`] can rename a fresh, valid
+    /// image into place between this reader's failed decode and its
+    /// delete. Instead the file is atomically renamed into a unique
+    /// quarantine name and re-read there: bytes identical to the
+    /// rejected read are the corrupt image (delete the quarantine);
+    /// different bytes mean a writer refreshed the path after our read,
+    /// so the quarantined file is the fresh image and is renamed back.
+    fn evict_rejected(&self, path: &Path, rejected: &[u8]) {
+        let mut quarantine = path.as_os_str().to_os_string();
+        quarantine.push(format!(".reject-{}-{:p}", std::process::id(), rejected.as_ptr()));
+        let quarantine = PathBuf::from(quarantine);
+        if std::fs::rename(path, &quarantine).is_err() {
+            // Already gone — another reader evicted it first.
+            return;
+        }
+        match std::fs::read(&quarantine) {
+            Ok(current) if current == rejected => {
+                let _ = std::fs::remove_file(&quarantine);
+            }
+            Ok(_) => {
+                // A writer replaced the image after our read; what we
+                // quarantined is its fresh copy — restore it. (Images
+                // are deterministic per key, so racing an even newer
+                // writer's rename is byte-equivalent either way.)
+                let _ = std::fs::rename(&quarantine, path);
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&quarantine);
             }
         }
     }
@@ -278,6 +314,43 @@ mod tests {
             }
         }
         assert_eq!(names[0], "jpeg-encode_mom_full_s7_v1.mwl");
+    }
+
+    #[test]
+    fn eviction_deletes_corrupt_but_preserves_refreshed_images() {
+        let dir = temp_dir("evict");
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let path = dir.join("img.mwl");
+
+        // Plain case: the file still holds the bytes we rejected — gone.
+        std::fs::write(&path, b"corrupt bytes").unwrap();
+        cache.evict_rejected(&path, b"corrupt bytes");
+        assert!(!path.exists(), "the corrupt image must be deleted");
+
+        // Race case: between the failed decode and the eviction, a
+        // writer renamed a fresh image into place. The fresh image must
+        // survive the eviction.
+        std::fs::write(&path, b"fresh valid image").unwrap();
+        cache.evict_rejected(&path, b"corrupt bytes");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"fresh valid image",
+            "a concurrently refreshed image must not be deleted"
+        );
+
+        // Already-evicted case: nothing at the path, nothing to do.
+        let _ = std::fs::remove_file(&path);
+        cache.evict_rejected(&path, b"whatever");
+        assert!(!path.exists());
+
+        // No quarantine debris is left behind in any case.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".reject-"))
+            .collect();
+        assert!(leftovers.is_empty(), "quarantine files must not accumulate: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

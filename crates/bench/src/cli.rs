@@ -87,9 +87,19 @@ where
                 let n: usize =
                     v.parse().map_err(|_| format!("--threads {v:?}: not an integer"))?;
                 if n == 0 {
-                    return Err("--threads 0: must be at least 1".into());
+                    // Same policy as MOM3D_SWEEP_THREADS=0: zero is not
+                    // a thread count, so warn and fall back to the
+                    // environment/default instead of erroring — the two
+                    // knobs configure the same thing and must not
+                    // diverge.
+                    eprintln!(
+                        "warning: --threads 0 is not a thread count; \
+                         using MOM3D_SWEEP_THREADS or the default"
+                    );
+                    parsed.threads = None;
+                } else {
+                    parsed.threads = Some(n);
                 }
-                parsed.threads = Some(n);
             }
             "--json" => {
                 let v = it.next().ok_or("--json needs a path")?;
@@ -231,10 +241,23 @@ mod tests {
     }
 
     #[test]
+    fn threads_zero_warns_and_falls_back() {
+        // `--threads 0` follows the env-var policy (warn + fall back)
+        // instead of erroring: the parse succeeds with no override, and
+        // the effective count is the environment/default (>= 1).
+        let a = parse(&["--threads", "0"]).unwrap();
+        assert_eq!(a.threads, None);
+        assert!(a.threads() >= 1);
+        // A later valid flag still wins.
+        let b = parse(&["--threads", "0", "--threads", "2"]).unwrap();
+        assert_eq!(a.seed(), 7);
+        assert_eq!(b.threads, Some(2));
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         assert!(parse(&["--threads"]).unwrap_err().contains("--threads"));
         assert!(parse(&["--threads", "zero"]).unwrap_err().contains("not an integer"));
-        assert!(parse(&["--threads", "0"]).unwrap_err().contains("at least 1"));
         assert!(parse(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
         assert!(parse(&["7", "8"]).unwrap_err().contains("second positional"));
         assert!(parse(&["sevenish"]).unwrap_err().contains("not an integer"));

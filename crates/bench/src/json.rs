@@ -1,0 +1,71 @@
+//! Minimal JSON string escaping for the hand-rolled report writers.
+//!
+//! `BENCH_sweep.json` and `BENCH_serve.json` are assembled with
+//! `format!` (no serde in this environment), which is fine for numbers
+//! and booleans but silently produced invalid JSON whenever a string
+//! field contained a `"` or `\` — and backend ids/display names are
+//! arbitrary `&'static str`s per [`mom3d_cpu::BackendRegistry`], so a
+//! hostile (or merely creative) backend name could corrupt the report.
+//! Every string interpolated into a JSON document goes through
+//! [`json_escape`] (or the quoting wrapper [`json_string`]) now.
+
+use std::fmt::Write;
+
+/// Escapes `s` for inclusion inside a JSON string literal (between the
+/// quotes): `"` and `\` are backslash-escaped, control characters
+/// become `\n`/`\r`/`\t` or `\u00XX`. Everything else — including
+/// non-ASCII UTF-8 — passes through unchanged, which every JSON parser
+/// accepts.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `s` as a complete JSON string literal, quotes included.
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(json_escape("gsm encode"), "gsm encode");
+        assert_eq!(json_escape("vector-cache-3d"), "vector-cache-3d");
+        assert_eq!(json_string("dram-burst"), "\"dram-burst\"");
+    }
+
+    #[test]
+    fn hostile_names_escape_to_valid_json() {
+        assert_eq!(json_escape("evil\"name"), "evil\\\"name");
+        assert_eq!(json_escape("back\\slash"), "back\\\\slash");
+        assert_eq!(json_escape("a\"b\\c\"d"), "a\\\"b\\\\c\\\"d");
+        // A field built from a hostile name balances its quotes.
+        let field = format!("{{\"memory\": {}}}", json_string("quo\"te\\ba\"ck"));
+        assert_eq!(field.matches('"').count() % 2, 0);
+        assert_eq!(field, "{\"memory\": \"quo\\\"te\\\\ba\\\"ck\"}");
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(json_escape("\u{1}\u{1f}"), "\\u0001\\u001f");
+        // Non-ASCII is legal inside JSON strings and passes through.
+        assert_eq!(json_escape("café"), "café");
+    }
+}

@@ -46,17 +46,33 @@
 //! ([`sweep::extended_grid`]) and prints the registry-driven
 //! [`backend_matrix`] comparison.
 //!
+//! The harness is also servable: `mom3d-serve` keeps one [`Runner`],
+//! the verified workloads and the `SimKey → Metrics` memo table
+//! resident in a long-lived process and answers simulation requests
+//! over a length-prefixed binary [`protocol`] (TCP or unix sockets),
+//! deduplicating identical in-flight cells ([`memo`]) and streaming
+//! sweep results as they complete ([`serve`]); `mom3d-load` replays
+//! thousands of concurrent mixed requests against it, verifies every
+//! reply bit-for-bit against in-process execution and writes
+//! `BENCH_serve.json` with p50/p99 latency and requests/sec
+//! ([`load`]).
+//!
 //! **Place in the dataflow**: the top of the stack — the only crate
 //! that depends on everything. It owns the experiment loop
 //! (build → verify → time → report), the in-memory [`Runner`] cache,
-//! the on-disk [`WorkloadCache`], and the parallel [`sweep`] engine;
-//! the committed `RESULTS.md` paper-fidelity record is produced by its
-//! `all` binary.
+//! the on-disk [`WorkloadCache`], the parallel [`sweep`] engine and
+//! the resident simulation server; the committed `RESULTS.md`
+//! paper-fidelity record is produced by its `all` binary.
 
 mod cache;
 pub mod cli;
+pub mod json;
+pub mod load;
+pub mod memo;
+pub mod protocol;
 mod report;
 mod runner;
+pub mod serve;
 pub mod sweep;
 
 pub use cache::{CacheStats, WorkloadCache};

@@ -1,0 +1,679 @@
+//! `mom3d-load`: a load generator for the simulation server.
+//!
+//! Replays a mixed request stream — memo-hot cells, memo-cold cells,
+//! multi-cell sweeps, deliberately malformed frames and mid-stream
+//! disconnects — from many concurrent client connections, then emits
+//! `BENCH_serve.json` with p50/p99 request latency and requests/sec.
+//!
+//! Correctness is checked, not assumed, while the load runs:
+//!
+//! * every `RESULT` must echo a key this client actually requested;
+//! * all clients' observations of one key must agree bit-for-bit (the
+//!   server's memo table must be a pure function of the key);
+//! * a garbage *opcode* in a valid frame must leave the connection
+//!   usable (error reply, then a `PING` must still work), while frame
+//!   damage must kill only that connection;
+//! * with verification on (the default), every distinct key observed is
+//!   re-simulated **in-process** — seed and geometry come from the
+//!   server's `PONG` — and compared bit-for-bit against the streamed
+//!   metrics.
+//!
+//! Any violation is recorded as a failure in the report (and fails the
+//! `mom3d-load` binary), so CI catches a lying server, not just a slow
+//! one.
+
+use crate::json::json_string;
+use crate::protocol::{
+    read_frame, write_frame, Client, Endpoint, Hello, Request, Response, MAX_FRAME_PAYLOAD,
+    OP_ERROR,
+};
+use crate::runner::{Runner, SimKey};
+use mom3d_cpu::{MemorySystemKind, Metrics};
+use mom3d_kernels::{IsaVariant, WorkloadKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+/// Load-run shape.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server to load.
+    pub endpoint: Endpoint,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Seed of the (deterministic) request mix.
+    pub mix_seed: u64,
+    /// Re-simulate every observed key in-process and compare
+    /// bit-for-bit.
+    pub verify: bool,
+}
+
+impl LoadConfig {
+    /// The default load: ≥ 1000 mixed requests from 32 connections,
+    /// with bit-identity verification on.
+    pub fn bench(endpoint: Endpoint) -> Self {
+        // 32 × 36 = 1152 issued; the malformed class sends raw damaged
+        // frames rather than requests, so the *counted* request total
+        // still clears 1000.
+        LoadConfig { endpoint, clients: 32, requests_per_client: 36, mix_seed: 1, verify: true }
+    }
+
+    /// The CI smoke: small enough to finish in seconds against a
+    /// `--small` server, still exercising every request class.
+    pub fn smoke(endpoint: Endpoint) -> Self {
+        LoadConfig { endpoint, clients: 6, requests_per_client: 12, mix_seed: 1, verify: true }
+    }
+}
+
+/// SplitMix64 — a tiny deterministic mixer so the request mix is
+/// reproducible without an RNG dependency.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// The request classes the generator mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// A cell from the small hot pool — memoized after the first few
+    /// requests, so most of these measure the memo-hit path.
+    Hot,
+    /// A cell from a larger (but bounded) pool — exercises scheduling,
+    /// coalescing and the worker pool.
+    Cold,
+    /// A multi-cell `SWEEP` with its streamed replies.
+    Sweep,
+    /// Deliberately damaged bytes on a throwaway connection.
+    Malformed,
+    /// A `SWEEP` request followed by an immediate disconnect.
+    Disconnect,
+}
+
+fn pick_class(mix: &mut Mix) -> Class {
+    match mix.below(16) {
+        0..=7 => Class::Hot,
+        8..=11 => Class::Cold,
+        12..=13 => Class::Sweep,
+        14 => Class::Malformed,
+        _ => Class::Disconnect,
+    }
+}
+
+/// Known-good (variant, backend) pairings — each variant on a memory
+/// system that accepts its traces.
+const COMBOS: [(IsaVariant, MemorySystemKind); 3] = [
+    (IsaVariant::Mom, MemorySystemKind::VectorCache),
+    (IsaVariant::Mom, MemorySystemKind::MultiBanked),
+    (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d),
+];
+
+/// Four paper cells every client hammers — memoized almost immediately.
+fn hot_pool() -> Vec<SimKey> {
+    vec![
+        SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 20,
+        },
+        SimKey {
+            kind: WorkloadKind::JpegDecode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::MultiBanked.into(),
+            l2_latency: 20,
+        },
+        SimKey {
+            kind: WorkloadKind::Mpeg2Decode,
+            variant: IsaVariant::Mom3d,
+            memory: MemorySystemKind::VectorCache3d.into(),
+            l2_latency: 20,
+        },
+        SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::Ideal.into(),
+            l2_latency: 20,
+        },
+    ]
+}
+
+/// A bounded pool of memo-cold cells (distinct L2 latencies), so a long
+/// run converges to a finite simulation set instead of scheduling
+/// unbounded work.
+fn cold_pool() -> Vec<SimKey> {
+    let kinds = WorkloadKind::ALL;
+    (0..60u32)
+        .map(|i| {
+            let (variant, memory) = COMBOS[(i % 3) as usize];
+            SimKey {
+                kind: kinds[(i as usize / 3) % kinds.len()],
+                variant,
+                memory: memory.into(),
+                l2_latency: 21 + i / 15,
+            }
+        })
+        .collect()
+}
+
+/// Everything one worker (or the merged run) observed.
+#[derive(Debug, Default)]
+struct Agg {
+    latencies_us: Vec<u64>,
+    observed: HashMap<SimKey, Metrics>,
+    requests_sent: u64,
+    results_received: u64,
+    memo_hits: u64,
+    expected_errors: u64,
+    malformed_sent: u64,
+    disconnects: u64,
+    failures: Vec<String>,
+}
+
+impl Agg {
+    fn fail(&mut self, msg: String) {
+        // Cap the detail so a systemically broken server does not
+        // produce a gigabyte of report.
+        if self.failures.len() < 32 {
+            self.failures.push(msg);
+        }
+    }
+
+    fn record_result(&mut self, requested: &[SimKey], key: SimKey, memo_hit: bool, m: Metrics) {
+        self.results_received += 1;
+        if memo_hit {
+            self.memo_hits += 1;
+        }
+        if !requested.contains(&key) {
+            self.fail(format!("server echoed a key this client never requested: {key:?}"));
+        }
+        if let Some(prev) = self.observed.insert(key, m) {
+            if prev != m {
+                self.fail(format!("divergent metrics for {key:?}: server answers are not a pure function of the key"));
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Agg) {
+        self.latencies_us.extend(other.latencies_us);
+        self.requests_sent += other.requests_sent;
+        self.results_received += other.results_received;
+        self.memo_hits += other.memo_hits;
+        self.expected_errors += other.expected_errors;
+        self.malformed_sent += other.malformed_sent;
+        self.disconnects += other.disconnects;
+        for (key, m) in other.observed {
+            if let Some(prev) = self.observed.insert(key, m) {
+                if prev != m {
+                    self.fail(format!(
+                        "clients observed divergent metrics for {key:?}"
+                    ));
+                }
+            }
+        }
+        for f in other.failures {
+            self.fail(f);
+        }
+    }
+}
+
+fn one_sim(client: &mut Client, agg: &mut Agg, key: SimKey) {
+    let t0 = Instant::now();
+    agg.requests_sent += 1;
+    match client.round_trip(&Request::Sim(key)) {
+        Ok(Response::Result(cell)) => {
+            agg.latencies_us.push(t0.elapsed().as_micros() as u64);
+            agg.record_result(&[key], cell.key, cell.memo_hit, cell.metrics);
+        }
+        Ok(other) => agg.fail(format!("SIM answered with {other:?}")),
+        Err(e) => agg.fail(format!("SIM round trip failed: {e}")),
+    }
+}
+
+fn one_sweep(client: &mut Client, agg: &mut Agg, keys: Vec<SimKey>) {
+    agg.requests_sent += 1;
+    if let Err(e) = client.send(&Request::Sweep(keys.clone())) {
+        agg.fail(format!("SWEEP send failed: {e}"));
+        return;
+    }
+    let mut streamed = 0u32;
+    loop {
+        match client.recv() {
+            Ok(Response::Result(cell)) => {
+                streamed += 1;
+                agg.record_result(&keys, cell.key, cell.memo_hit, cell.metrics);
+            }
+            Ok(Response::Done { results }) => {
+                if results != streamed {
+                    agg.fail(format!("DONE claims {results} results, {streamed} streamed"));
+                }
+                return;
+            }
+            Ok(other) => {
+                agg.fail(format!("SWEEP stream answered with {other:?}"));
+                return;
+            }
+            Err(e) => {
+                agg.fail(format!("SWEEP stream died: {e}"));
+                return;
+            }
+        }
+    }
+}
+
+/// Sends damaged bytes on a throwaway connection and checks the server's
+/// containment contract: a garbage opcode in a *valid* frame gets an
+/// error reply and the connection stays usable; frame-level damage gets
+/// (at most) one error reply before the connection closes.
+fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
+    let stream = match endpoint.connect() {
+        Ok(s) => s,
+        Err(e) => {
+            agg.fail(format!("malformed-class connect failed: {e}"));
+            return;
+        }
+    };
+    agg.malformed_sent += 1;
+    let mut stream = stream;
+    match flavor % 4 {
+        0 => {
+            // Valid frame, garbage opcode: must be answered and survived.
+            if write_frame(&mut stream, 0x7F, b"junk").is_err() {
+                agg.fail("server hung up before reading a valid frame".into());
+                return;
+            }
+            match read_frame(&mut stream) {
+                Ok(f) if f.opcode == OP_ERROR => agg.expected_errors += 1,
+                other => {
+                    agg.fail(format!("garbage opcode expected an error reply, got {other:?}"));
+                    return;
+                }
+            }
+            // The connection must still be usable afterwards.
+            let mut client = Client::from_stream(stream);
+            match client.round_trip(&Request::Ping) {
+                Ok(Response::Pong(_)) => {}
+                other => agg.fail(format!(
+                    "connection unusable after a rejected opcode: {other:?}"
+                )),
+            }
+        }
+        1 => {
+            // Bad magic: one best-effort error reply, then close.
+            let _ = stream.write_all(b"XXXXGARBAGE-NOT-A-FRAME");
+            let _ = stream.flush();
+            expect_error_or_close(&mut stream, agg, "bad magic");
+        }
+        2 => {
+            // Absurd length prefix: rejected before any allocation.
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&crate::protocol::PROTOCOL_MAGIC);
+            bytes.push(0x02);
+            bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+            let _ = stream.write_all(&bytes);
+            let _ = stream.flush();
+            expect_error_or_close(&mut stream, agg, "oversized length prefix");
+        }
+        _ => {
+            // Truncated frame: write half a header and hang up.
+            let _ = stream.write_all(&crate::protocol::PROTOCOL_MAGIC);
+            let _ = stream.write_all(&[0x02, 0xFF]);
+            let _ = stream.flush();
+            stream.shutdown_write();
+            expect_error_or_close(&mut stream, agg, "truncated frame");
+        }
+    }
+}
+
+fn expect_error_or_close(stream: &mut crate::protocol::Stream, agg: &mut Agg, what: &str) {
+    match read_frame(stream) {
+        Ok(f) if f.opcode == OP_ERROR => agg.expected_errors += 1,
+        Ok(f) => agg.fail(format!("{what}: expected an error reply, got opcode {:#04x}", f.opcode)),
+        // Closed without a reply is acceptable containment too.
+        Err(_) => agg.expected_errors += 1,
+    }
+}
+
+/// Sends a `SWEEP` and immediately drops the connection — the server
+/// must finish (and memoize) the scheduled cells without a reader.
+fn one_disconnect(endpoint: &Endpoint, agg: &mut Agg, keys: Vec<SimKey>) {
+    match Client::connect(endpoint) {
+        Ok(mut client) => {
+            agg.requests_sent += 1;
+            agg.disconnects += 1;
+            let _ = client.send(&Request::Sweep(keys));
+            drop(client); // mid-stream hangup
+        }
+        Err(e) => agg.fail(format!("disconnect-class connect failed: {e}")),
+    }
+}
+
+fn client_worker(cfg: &LoadConfig, worker: usize) -> Agg {
+    let mut agg = Agg::default();
+    let mut mix = Mix(cfg.mix_seed.wrapping_add(worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let hot = hot_pool();
+    let cold = cold_pool();
+    let mut client = match Client::connect(&cfg.endpoint) {
+        Ok(c) => c,
+        Err(e) => {
+            agg.fail(format!("worker {worker} could not connect: {e}"));
+            return agg;
+        }
+    };
+    for _ in 0..cfg.requests_per_client {
+        match pick_class(&mut mix) {
+            Class::Hot => {
+                let key = hot[mix.below(hot.len() as u64) as usize];
+                one_sim(&mut client, &mut agg, key);
+            }
+            Class::Cold => {
+                let key = cold[mix.below(cold.len() as u64) as usize];
+                one_sim(&mut client, &mut agg, key);
+            }
+            Class::Sweep => {
+                let n = 2 + mix.below(4) as usize;
+                let keys: Vec<SimKey> = (0..n)
+                    .map(|_| {
+                        if mix.below(2) == 0 {
+                            hot[mix.below(hot.len() as u64) as usize]
+                        } else {
+                            cold[mix.below(cold.len() as u64) as usize]
+                        }
+                    })
+                    .collect();
+                one_sweep(&mut client, &mut agg, keys);
+            }
+            Class::Malformed => {
+                let flavor = mix.next();
+                one_malformed(&cfg.endpoint, &mut agg, flavor);
+            }
+            Class::Disconnect => {
+                let keys = vec![
+                    cold[mix.below(cold.len() as u64) as usize],
+                    hot[mix.below(hot.len() as u64) as usize],
+                ];
+                one_disconnect(&cfg.endpoint, &mut agg, keys);
+            }
+        }
+    }
+    agg
+}
+
+/// Index into a sorted latency vector for percentile `p` (nearest-rank).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The outcome of one load run — everything `BENCH_serve.json` reports.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The loaded endpoint.
+    pub endpoint: Endpoint,
+    /// The server's identity (from `PONG`).
+    pub hello: Hello,
+    /// Concurrent connections used.
+    pub clients: usize,
+    /// Requests issued per client.
+    pub requests_per_client: usize,
+    /// Wall-clock of the load phase (verification excluded).
+    pub elapsed: Duration,
+    /// Requests issued (SIM + SWEEP + disconnect-class sends).
+    pub requests_sent: u64,
+    /// `RESULT` frames received.
+    pub results_received: u64,
+    /// Results served from the resident memo table.
+    pub memo_hits: u64,
+    /// Error replies the malformed class provoked on purpose.
+    pub expected_errors: u64,
+    /// Deliberately damaged transmissions sent.
+    pub malformed_sent: u64,
+    /// Deliberate mid-stream disconnects.
+    pub disconnects: u64,
+    /// Distinct keys re-simulated in-process and compared bit-for-bit.
+    pub verified_cells: u64,
+    /// Contract violations (empty on a passing run).
+    pub failures: Vec<String>,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+    /// Requests per second over the load phase.
+    pub requests_per_sec: f64,
+}
+
+impl LoadReport {
+    /// True when every correctness check held.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The `BENCH_serve.json` document (schema `mom3d-serve-load/v1`).
+    /// String fields go through [`json_string`] — endpoints and failure
+    /// messages can contain anything.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"mom3d-serve-load/v1\",");
+        let _ = writeln!(s, "  \"endpoint\": {},", json_string(&self.endpoint.to_string()));
+        let _ = writeln!(
+            s,
+            "  \"server\": {{\"seed\": {}, \"small\": {}, \"threads\": {}}},",
+            self.hello.seed, self.hello.small, self.hello.threads
+        );
+        let _ = writeln!(
+            s,
+            "  \"load\": {{\"clients\": {}, \"requests_per_client\": {}, \"requests_sent\": {}}},",
+            self.clients, self.requests_per_client, self.requests_sent
+        );
+        let _ = writeln!(
+            s,
+            "  \"totals\": {{\"results_received\": {}, \"memo_hits\": {}, \"expected_errors\": {}, \
+             \"malformed_sent\": {}, \"disconnects\": {}, \"verified_cells\": {}}},",
+            self.results_received,
+            self.memo_hits,
+            self.expected_errors,
+            self.malformed_sent,
+            self.disconnects,
+            self.verified_cells
+        );
+        let _ = writeln!(
+            s,
+            "  \"latency_us\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},",
+            self.p50_us, self.p99_us, self.max_us
+        );
+        let _ = writeln!(s, "  \"requests_per_sec\": {:.2},", self.requests_per_sec);
+        let _ = writeln!(s, "  \"elapsed_seconds\": {:.6},", self.elapsed.as_secs_f64());
+        let failures: Vec<String> =
+            self.failures.iter().map(|f| format!("    {}", json_string(f))).collect();
+        if failures.is_empty() {
+            let _ = writeln!(s, "  \"failures\": []");
+        } else {
+            let _ = writeln!(s, "  \"failures\": [\n{}\n  ]", failures.join(",\n"));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs the load. Connects, learns the server's identity via `PING`,
+/// fans the mixed request stream out over [`LoadConfig::clients`]
+/// threads, then (with `verify`) replays every observed key in-process
+/// and compares bit-for-bit.
+///
+/// # Errors
+///
+/// An [`io::Error`] only when the initial `PING` cannot be served at
+/// all; correctness violations during the run land in
+/// [`LoadReport::failures`] instead.
+pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
+    let mut probe = Client::connect(&cfg.endpoint)?;
+    let hello = match probe.round_trip(&Request::Ping)? {
+        Response::Pong(h) => h,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("PING answered with {other:?}"),
+            ))
+        }
+    };
+    drop(probe);
+
+    let t0 = Instant::now();
+    let mut agg = Agg::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|worker| scope.spawn(move || client_worker(cfg, worker)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(worker_agg) => agg.merge(worker_agg),
+                Err(_) => agg.fail("a load worker panicked".into()),
+            }
+        }
+    });
+    let elapsed = t0.elapsed();
+
+    let mut verified_cells = 0u64;
+    if cfg.verify {
+        let mut local =
+            if hello.small { Runner::small(hello.seed) } else { Runner::new(hello.seed) };
+        let mut keys: Vec<SimKey> = agg.observed.keys().copied().collect();
+        keys.sort_by_key(|k| (format!("{k:?}"), k.l2_latency));
+        for key in keys {
+            let direct = local.metrics(key.kind, key.variant, key.memory, key.l2_latency);
+            if direct != agg.observed[&key] {
+                agg.fail(format!(
+                    "metrics for {key:?} differ from direct in-process execution"
+                ));
+            }
+            verified_cells += 1;
+        }
+    }
+
+    agg.latencies_us.sort_unstable();
+    let requests_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        agg.requests_sent as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    Ok(LoadReport {
+        endpoint: cfg.endpoint.clone(),
+        hello,
+        clients: cfg.clients,
+        requests_per_client: cfg.requests_per_client,
+        elapsed,
+        requests_sent: agg.requests_sent,
+        results_received: agg.results_received,
+        memo_hits: agg.memo_hits,
+        expected_errors: agg.expected_errors,
+        malformed_sent: agg.malformed_sent,
+        disconnects: agg.disconnects,
+        verified_cells,
+        failures: agg.failures,
+        p50_us: percentile(&agg.latencies_us, 50.0),
+        p99_us: percentile(&agg.latencies_us, 99.0),
+        max_us: agg.latencies_us.last().copied().unwrap_or(0),
+        requests_per_sec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+    }
+
+    #[test]
+    fn the_mix_is_deterministic_and_covers_every_class() {
+        let mut a = Mix(42);
+        let mut b = Mix(42);
+        let classes_a: Vec<Class> = (0..64).map(|_| pick_class(&mut a)).collect();
+        let classes_b: Vec<Class> = (0..64).map(|_| pick_class(&mut b)).collect();
+        assert_eq!(classes_a, classes_b, "the mix must be reproducible");
+        let mut mix = Mix(7);
+        let classes: Vec<Class> = (0..1000).map(|_| pick_class(&mut mix)).collect();
+        for want in [Class::Hot, Class::Cold, Class::Sweep, Class::Malformed, Class::Disconnect] {
+            assert!(classes.contains(&want), "{want:?} never drawn in 1000 requests");
+        }
+        let hot = classes.iter().filter(|&&c| c == Class::Hot).count();
+        assert!(hot > classes.len() / 3, "hot class must dominate the mix");
+    }
+
+    #[test]
+    fn pools_are_bounded_and_valid() {
+        let hot = hot_pool();
+        let cold = cold_pool();
+        assert_eq!(hot.len(), 4);
+        assert_eq!(cold.len(), 60);
+        // Every pool key must use a registered backend (the decode path
+        // rejects anything else).
+        for key in hot.iter().chain(cold.iter()) {
+            assert!(
+                mom3d_cpu::BackendRegistry::parse(key.memory.as_str()).is_some(),
+                "{key:?} names an unregistered backend"
+            );
+        }
+    }
+
+    #[test]
+    fn report_json_has_the_grep_surface() {
+        let report = LoadReport {
+            endpoint: Endpoint::Tcp("127.0.0.1:0".into()),
+            hello: Hello { seed: 7, small: true, threads: 4 },
+            clients: 2,
+            requests_per_client: 3,
+            elapsed: Duration::from_millis(1500),
+            requests_sent: 6,
+            results_received: 5,
+            memo_hits: 3,
+            expected_errors: 1,
+            malformed_sent: 1,
+            disconnects: 0,
+            verified_cells: 4,
+            failures: vec!["quote \" and back\\slash".into()],
+            p50_us: 120,
+            p99_us: 900,
+            max_us: 1000,
+            requests_per_sec: 4.0,
+        };
+        let json = report.to_json();
+        for needle in
+            ["\"schema\": \"mom3d-serve-load/v1\"", "\"p50\": 120", "\"p99\": 900", "\"requests_per_sec\": 4.00"]
+        {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Hostile failure text must be escaped: no raw quote or lone
+        // backslash survives into the document.
+        assert!(json.contains("quote \\\" and back\\\\slash"));
+        assert!(!json.contains("quote \" and"), "unescaped failure text:\n{json}");
+        assert!(!report.ok());
+    }
+}

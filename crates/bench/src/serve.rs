@@ -1,0 +1,588 @@
+//! `mom3d-serve`: a resident simulation server.
+//!
+//! Every experiment binary pays process startup, workload-image cache
+//! probing, workload hydration and sweep setup per invocation. This
+//! module keeps all of that **resident in one long-lived process**:
+//! verified workloads (behind [`Arc`]), and the `SimKey → Metrics` memo
+//! table survive across requests, so the steady-state cost of a
+//! repeated simulation request is one memo lookup plus two frames on a
+//! socket.
+//!
+//! Architecture (all std, no tokio):
+//!
+//! * an **accept loop** (TCP or unix socket, [`Endpoint`]) spawns one
+//!   handler thread per connection;
+//! * handlers decode [`Request`]s ([`crate::protocol`]) and resolve
+//!   cells against the resident [`MemoTable`]: published cells answer
+//!   immediately, identical in-flight cells coalesce onto the running
+//!   simulation, and fresh cells are claimed and scheduled onto
+//! * a **simulation worker pool** (the same worker-count policy as the
+//!   [`crate::sweep`] engine, sharing its [`Runner`] build/verify and
+//!   `simulate` paths), which publishes each result to the memo table,
+//!   waking every handler streaming that cell;
+//! * workloads resolve through a second memo table, so concurrent
+//!   requests for different cells of one workload build it exactly
+//!   once — hydrated from the on-disk workload-image cache when one is
+//!   attached.
+//!
+//! Failure containment: frame-level damage costs one connection,
+//! request-level damage costs one error reply, and a panicking
+//! simulation un-claims its cell ([`ClaimGuard`] semantics inside the
+//! pool) so waiters get an [`ERR_SIM_FAILED`] reply instead of a hang.
+//! A client disconnecting mid-stream kills only its handler thread —
+//! scheduled simulations complete and stay memoized for the next
+//! requester. The memo table is never corrupted by a misbehaving
+//! client; `tests/serve.rs` pins all of this.
+
+use crate::memo::{ClaimGuard, MemoTable, Schedule};
+use crate::protocol::{
+    read_frame, write_frame, CellReply, Endpoint, FrameError, Hello, Request, Response,
+    ServeCounters, Stream, ERR_PROTOCOL, ERR_SIM_FAILED,
+};
+use crate::runner::{simulate, Runner, SimKey};
+use crate::sweep;
+use crate::WorkloadCache;
+use mom3d_cpu::Metrics;
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use std::collections::{HashSet, VecDeque};
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How a [`ServerHandle`] is configured.
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Workload data seed.
+    pub seed: u64,
+    /// Serve reduced-geometry workloads (the integration-test geometry).
+    pub small: bool,
+    /// Simulation worker threads (0 = every available core, the
+    /// [`sweep::default_threads`] policy).
+    pub threads: usize,
+    /// Workload-image cache to hydrate workloads from (and persist
+    /// fresh builds into).
+    pub cache: Option<WorkloadCache>,
+    /// Build and verify every paper workload at boot (via the parallel
+    /// [`sweep::prebuild_workloads`] pipeline) instead of lazily on
+    /// first request.
+    pub prebuild: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { seed: 7, small: false, threads: 0, cache: None, prebuild: false }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    sims_executed: AtomicU64,
+    workloads_built: AtomicU64,
+    protocol_errors: AtomicU64,
+    results_streamed: AtomicU64,
+}
+
+/// Shared state of one server: the resident tables, the job queue and
+/// the shutdown latch.
+#[derive(Debug)]
+struct ServeState {
+    runner: Runner,
+    hello: Hello,
+    workloads: MemoTable<(WorkloadKind, IsaVariant), Arc<Workload>>,
+    memo: MemoTable<SimKey, Metrics>,
+    queue: Mutex<VecDeque<SimKey>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+    endpoint: Endpoint,
+}
+
+impl ServeState {
+    fn counters_snapshot(&self) -> ServeCounters {
+        let memo = self.memo.stats();
+        ServeCounters {
+            connections: self.counters.connections.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_coalesced: memo.coalesced,
+            sims_executed: self.counters.sims_executed.load(Ordering::Relaxed),
+            workloads_built: self.counters.workloads_built.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
+            results_streamed: self.counters.results_streamed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn enqueue(&self, key: SimKey) {
+        let mut queue = self.queue.lock().expect("job queue poisoned");
+        queue.push_back(key);
+        drop(queue);
+        self.queue_ready.notify_one();
+    }
+
+    /// Flips the shutdown latch and wakes everything that might be
+    /// parked: the worker pool (condvar) and the accept loop (a
+    /// throwaway self-connection, since blocking `accept` has no other
+    /// wake-up).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue_ready.notify_all();
+        let _ = self.endpoint.connect();
+    }
+}
+
+/// Resolves a workload into residence, building (or image-cache
+/// loading) it exactly once across all concurrent requesters.
+///
+/// Panics propagate to the worker's `catch_unwind`; the [`ClaimGuard`]
+/// un-claims the pair so a failed build is retryable.
+fn resolve_workload(
+    state: &ServeState,
+    kind: WorkloadKind,
+    variant: IsaVariant,
+) -> Arc<Workload> {
+    loop {
+        match state.workloads.schedule((kind, variant)) {
+            Schedule::Ready(wl) => return wl,
+            Schedule::InFlight => {
+                if let Ok(wl) = state.workloads.wait(&(kind, variant)) {
+                    return wl;
+                }
+                // The in-flight build was abandoned; retry (and possibly
+                // claim it ourselves this time).
+            }
+            Schedule::Claimed => {
+                let guard = ClaimGuard::new(&state.workloads, (kind, variant));
+                let (wl, _timing, _cached) = state.runner.load_or_build(kind, variant);
+                let wl = Arc::new(wl);
+                state.counters.workloads_built.fetch_add(1, Ordering::Relaxed);
+                guard.publish(Arc::clone(&wl));
+                return wl;
+            }
+        }
+    }
+}
+
+/// One worker-pool iteration: simulate a claimed cell and publish (or,
+/// on panic, un-claim) it.
+fn run_cell(state: &ServeState, key: SimKey) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let wl = resolve_workload(state, key.kind, key.variant);
+        simulate(&key, &wl)
+    }));
+    match result {
+        Ok(metrics) => {
+            state.counters.sims_executed.fetch_add(1, Ordering::Relaxed);
+            state.memo.publish(key, metrics);
+        }
+        Err(_) => {
+            // The panic message already went to stderr via the default
+            // hook; un-claim so waiters error out and a retry is
+            // possible.
+            state.memo.fail(&key);
+        }
+    }
+}
+
+fn worker_loop(state: &ServeState) {
+    loop {
+        let key = {
+            let mut queue = state.queue.lock().expect("job queue poisoned");
+            loop {
+                if let Some(key) = queue.pop_front() {
+                    break key;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return; // drained + shutting down
+                }
+                queue = state.queue_ready.wait(queue).expect("job queue poisoned");
+            }
+        };
+        run_cell(state, key);
+    }
+}
+
+fn respond(stream: &mut Stream, resp: &Response) -> io::Result<()> {
+    let (opcode, payload) = resp.encode();
+    write_frame(stream, opcode, &payload)
+}
+
+/// Obtains one cell's metrics: memo hit, coalesce onto an in-flight
+/// simulation, or claim + schedule onto the worker pool and wait.
+fn obtain(state: &ServeState, key: SimKey) -> Result<(Metrics, bool), String> {
+    let fail_msg =
+        || format!("simulation of {} {} on {} failed server-side", key.kind, key.variant, key.memory);
+    match state.memo.schedule(key) {
+        Schedule::Ready(m) => Ok((m, true)),
+        Schedule::InFlight => state.memo.wait(&key).map(|m| (m, false)).map_err(|_| fail_msg()),
+        Schedule::Claimed => {
+            state.enqueue(key);
+            state.memo.wait(&key).map(|m| (m, false)).map_err(|_| fail_msg())
+        }
+    }
+}
+
+/// Serves one `SIM` request. Returns false when the connection died.
+fn serve_sim(state: &ServeState, stream: &mut Stream, key: SimKey) -> bool {
+    let resp = match obtain(state, key) {
+        Ok((metrics, memo_hit)) => {
+            state.counters.results_streamed.fetch_add(1, Ordering::Relaxed);
+            Response::Result(CellReply { key, memo_hit, metrics })
+        }
+        Err(message) => Response::Error { code: ERR_SIM_FAILED, message },
+    };
+    respond(stream, &resp).is_ok()
+}
+
+/// Serves one `SWEEP` request: dedupes the grid, answers memo hits
+/// immediately, schedules the misses, then streams the remaining cells
+/// **in completion order** as the worker pool publishes them.
+fn serve_sweep(state: &ServeState, stream: &mut Stream, cells: Vec<SimKey>) -> bool {
+    let mut seen = HashSet::new();
+    let unique: Vec<SimKey> = cells.into_iter().filter(|c| seen.insert(*c)).collect();
+
+    let mut results: u32 = 0;
+    let mut pending: Vec<SimKey> = Vec::new();
+    for key in unique {
+        match state.memo.schedule(key) {
+            Schedule::Ready(metrics) => {
+                state.counters.results_streamed.fetch_add(1, Ordering::Relaxed);
+                let reply = Response::Result(CellReply { key, memo_hit: true, metrics });
+                if respond(stream, &reply).is_err() {
+                    return false; // scheduled cells still complete + memoize
+                }
+                results += 1;
+            }
+            Schedule::InFlight => pending.push(key),
+            Schedule::Claimed => {
+                state.enqueue(key);
+                pending.push(key);
+            }
+        }
+    }
+    while !pending.is_empty() {
+        let reply = match state.memo.wait_any(&mut pending) {
+            Ok((key, metrics)) => {
+                state.counters.results_streamed.fetch_add(1, Ordering::Relaxed);
+                results += 1;
+                Response::Result(CellReply { key, memo_hit: false, metrics })
+            }
+            Err((key, _)) => Response::Error {
+                code: ERR_SIM_FAILED,
+                message: format!(
+                    "simulation of {} {} on {} failed server-side",
+                    key.kind, key.variant, key.memory
+                ),
+            },
+        };
+        if respond(stream, &reply).is_err() {
+            return false;
+        }
+    }
+    respond(stream, &Response::Done { results }).is_ok()
+}
+
+fn handle_connection(state: &Arc<ServeState>, mut stream: Stream) {
+    state.counters.connections.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return, // clean disconnect
+            Err(FrameError::Io(_)) => {
+                // Died mid-frame (truncated frame / reset); nothing to
+                // reply to.
+                state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(err) => {
+                // Framing is unrecoverable: report once, close.
+                state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond(
+                    &mut stream,
+                    &Response::Error { code: ERR_PROTOCOL, message: err.to_string() },
+                );
+                return;
+            }
+        };
+        let req = match Request::decode(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                // Well-framed but bad payload: the connection stays
+                // usable.
+                let reply = Response::Error { code: e.code, message: e.message };
+                if respond(&mut stream, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let alive = match req {
+            Request::Ping => respond(&mut stream, &Response::Pong(state.hello)).is_ok(),
+            Request::Stats => {
+                respond(&mut stream, &Response::Stats(state.counters_snapshot())).is_ok()
+            }
+            Request::Shutdown => {
+                let _ = respond(&mut stream, &Response::Bye);
+                state.begin_shutdown();
+                false
+            }
+            Request::Sim(key) => serve_sim(state, &mut stream, key),
+            Request::Sweep(cells) => serve_sweep(state, &mut stream, cells),
+        };
+        if !alive {
+            return;
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Stream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server —
+/// call [`ServerHandle::wait`] (block until a client sends `SHUTDOWN`)
+/// or [`ServerHandle::shutdown`] (stop it now).
+#[derive(Debug)]
+pub struct ServerHandle {
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The endpoint the server actually listens on (for `tcp:…:0`, the
+    /// kernel-assigned port is resolved in).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.state.endpoint
+    }
+
+    /// Cumulative counter snapshot (same numbers a `STATS` request
+    /// reports).
+    pub fn counters(&self) -> ServeCounters {
+        self.state.counters_snapshot()
+    }
+
+    fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Endpoint::Unix(path) = &self.state.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Blocks until the server shuts down (a client sent `SHUTDOWN`),
+    /// then joins the worker pool.
+    pub fn wait(self) {
+        self.join();
+    }
+
+    /// Stops the server: no new connections, the worker pool drains its
+    /// queue (publishing every scheduled cell) and exits.
+    pub fn shutdown(self) {
+        self.state.begin_shutdown();
+        self.join();
+    }
+}
+
+/// Binds `endpoint` and starts serving on background threads.
+///
+/// A unix-socket endpoint takes ownership of its path: a stale file
+/// from a previous run is removed before binding, and the file is
+/// removed again on shutdown.
+///
+/// # Errors
+///
+/// Propagates the bind error (address in use, bad address, permission).
+pub fn serve(endpoint: Endpoint, config: ServeConfig) -> io::Result<ServerHandle> {
+    let threads = if config.threads == 0 { sweep::default_threads() } else { config.threads };
+    let mut runner = if config.small { Runner::small(config.seed) } else { Runner::new(config.seed) };
+    runner = runner.with_cache(config.cache);
+
+    let (listener, endpoint) = match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let actual = listener.local_addr()?.to_string();
+            (Listener::Tcp(listener), Endpoint::Tcp(actual))
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            (Listener::Unix(UnixListener::bind(&path)?), Endpoint::Unix(path))
+        }
+    };
+
+    let workloads = MemoTable::new();
+    let built = if config.prebuild {
+        let pairs: Vec<(WorkloadKind, IsaVariant)> = WorkloadKind::ALL
+            .into_iter()
+            .flat_map(|k| IsaVariant::ALL.map(|v| (k, v)))
+            .collect();
+        sweep::prebuild_workloads(&mut runner, &pairs, threads);
+        for &(kind, variant) in &pairs {
+            if let Schedule::Claimed = workloads.schedule((kind, variant)) {
+                workloads.publish((kind, variant), runner.workload_arc(kind, variant));
+            }
+        }
+        pairs.len() as u64
+    } else {
+        0
+    };
+
+    let hello = Hello {
+        seed: config.seed,
+        small: config.small,
+        threads: threads.min(u32::MAX as usize) as u32,
+    };
+    let state = Arc::new(ServeState {
+        runner,
+        hello,
+        workloads,
+        memo: MemoTable::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        counters: Counters::default(),
+        endpoint,
+    });
+    state.counters.workloads_built.store(built, Ordering::Relaxed);
+
+    let workers: Vec<JoinHandle<()>> = (0..threads)
+        .map(|i| {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("mom3d-sim-{i}"))
+                .spawn(move || worker_loop(&state))
+                .expect("spawning a simulation worker")
+        })
+        .collect();
+
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("mom3d-accept".into())
+            .spawn(move || loop {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok(stream) => {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break; // the shutdown self-connection
+                        }
+                        let state = Arc::clone(&state);
+                        let _ = std::thread::Builder::new()
+                            .name("mom3d-conn".into())
+                            .spawn(move || handle_connection(&state, stream));
+                    }
+                    Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
+                    Err(e) => {
+                        eprintln!("warning: accept failed: {e}");
+                    }
+                }
+            })
+            .expect("spawning the accept loop")
+    };
+
+    Ok(ServerHandle { state, accept: Some(accept), workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Client;
+    use mom3d_cpu::MemorySystemKind;
+
+    fn test_config() -> ServeConfig {
+        ServeConfig { seed: 5, small: true, threads: 2, cache: None, prebuild: false }
+    }
+
+    fn unix_endpoint(name: &str) -> Endpoint {
+        Endpoint::Unix(
+            std::env::temp_dir().join(format!("mom3d-serve-unit-{}-{name}.sock", std::process::id())),
+        )
+    }
+
+    #[test]
+    fn ping_reports_identity_and_shutdown_stops_the_server() {
+        let handle = serve(unix_endpoint("ping"), test_config()).expect("server binds");
+        let endpoint = handle.endpoint().clone();
+        let mut client = Client::connect(&endpoint).expect("client connects");
+        let pong = client.round_trip(&Request::Ping).unwrap();
+        assert_eq!(pong, Response::Pong(Hello { seed: 5, small: true, threads: 2 }));
+        assert_eq!(client.round_trip(&Request::Shutdown).unwrap(), Response::Bye);
+        handle.wait();
+        // The socket file is gone, and connecting fails.
+        assert!(endpoint.connect().is_err());
+    }
+
+    #[test]
+    fn sim_matches_in_process_execution_and_memoizes() {
+        let handle = serve(unix_endpoint("sim"), test_config()).expect("server binds");
+        let key = SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 20,
+        };
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        let Response::Result(first) = client.round_trip(&Request::Sim(key)).unwrap() else {
+            panic!("expected a result");
+        };
+        assert_eq!(first.key, key);
+        assert!(!first.memo_hit, "first request must simulate");
+
+        let Response::Result(second) = client.round_trip(&Request::Sim(key)).unwrap() else {
+            panic!("expected a result");
+        };
+        assert!(second.memo_hit, "second request must be a memo hit");
+        assert_eq!(first.metrics, second.metrics);
+
+        // Bit-identical to direct in-process execution.
+        let mut r = Runner::small(5);
+        let direct = r.metrics(key.kind, key.variant, key.memory, key.l2_latency);
+        assert_eq!(first.metrics, direct);
+
+        let counters = handle.counters();
+        assert_eq!(counters.sims_executed, 1);
+        assert_eq!(counters.memo_hits, 1);
+        assert_eq!(counters.memo_misses, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tcp_endpoint_resolves_port_zero() {
+        let handle =
+            serve(Endpoint::Tcp("127.0.0.1:0".into()), test_config()).expect("server binds");
+        let Endpoint::Tcp(addr) = handle.endpoint().clone() else { panic!("expected tcp") };
+        assert!(!addr.ends_with(":0"), "port must be resolved, got {addr}");
+        let mut client = Client::connect(&Endpoint::Tcp(addr)).unwrap();
+        assert!(matches!(client.round_trip(&Request::Ping).unwrap(), Response::Pong(_)));
+        handle.shutdown();
+    }
+}

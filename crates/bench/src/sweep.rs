@@ -33,12 +33,13 @@
 //! ```
 
 use crate::cache::CacheStats;
+use crate::json::json_string;
 use crate::runner::{simulate, verify_timed, Runner, SimKey, WorkloadTiming};
 use mom3d_cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -139,13 +140,17 @@ impl SweepReport {
         ));
         s.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
+            // Workload labels and backend ids are arbitrary strings (any
+            // registered backend is sweepable), so they are escaped —
+            // a backend id containing `"` or `\` must not corrupt the
+            // document.
             s.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"isa\": \"{}\", \"memory\": \"{}\", \
+                "    {{\"workload\": {}, \"isa\": {}, \"memory\": {}, \
                  \"l2_latency\": {}, \"phases\": {{\"build_ns\": {}, \"verify_ns\": {}, \
                  \"sim_ns\": {}}}, \"reused\": {}, \"metrics\": {}}}{}\n",
-                cell.key.kind,
-                cell.key.variant,
-                cell.key.memory,
+                json_string(&cell.key.kind.to_string()),
+                json_string(&cell.key.variant.to_string()),
+                json_string(&cell.key.memory.to_string()),
                 cell.key.l2_latency,
                 cell.workload.build.as_nanos(),
                 cell.workload.verify.as_nanos(),
@@ -209,10 +214,16 @@ pub fn default_threads() -> usize {
 /// Worker-thread count: `MOM3D_SWEEP_THREADS` when set to a positive
 /// integer, otherwise every available core. A set-but-invalid value
 /// (zero, non-numeric, non-unicode) falls back to the default with a
-/// warning on stderr rather than being silently ignored.
+/// warning on stderr — printed once per process, not once per call
+/// (every experiment binary consults this several times) — rather than
+/// being silently ignored.
 pub fn threads_from_env() -> usize {
     threads_from_value(std::env::var_os("MOM3D_SWEEP_THREADS").as_deref())
 }
+
+/// Once-flag for the invalid-`MOM3D_SWEEP_THREADS` warning (the same
+/// dedupe idiom as `WorkloadCache::store_warned`).
+static THREADS_WARNED: AtomicBool = AtomicBool::new(false);
 
 /// The parsing/fallback policy behind [`threads_from_env`], separated
 /// from the environment so it can be tested without `set_var` (which
@@ -226,10 +237,12 @@ fn threads_from_value(raw: Option<&std::ffi::OsStr>) -> usize {
         Some(n) if n >= 1 => n,
         _ => {
             let fallback = default_threads();
-            eprintln!(
-                "warning: MOM3D_SWEEP_THREADS={raw:?} is not a positive integer; \
-                 using the default ({fallback} threads)"
-            );
+            if !THREADS_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: MOM3D_SWEEP_THREADS={raw:?} is not a positive integer; \
+                     using the default ({fallback} threads)"
+                );
+            }
             fallback
         }
     }
@@ -655,21 +668,37 @@ mod tests {
             threads: 2,
             wall: Duration::from_nanos(5),
             workload_cache: Some(CacheStats { hits: 2, misses: 1, rejected: 0 }),
-            cells: vec![CellResult {
-                key: cell(
-                    WorkloadKind::GsmEncode,
-                    IsaVariant::Mom,
-                    MemorySystemKind::VectorCache,
-                    20,
-                ),
-                metrics: Metrics { cycles: 1, ..Default::default() },
-                wall: Duration::from_nanos(3),
-                workload: WorkloadTiming {
-                    build: Duration::from_nanos(11),
-                    verify: Duration::from_nanos(7),
+            cells: vec![
+                CellResult {
+                    key: cell(
+                        WorkloadKind::GsmEncode,
+                        IsaVariant::Mom,
+                        MemorySystemKind::VectorCache,
+                        20,
+                    ),
+                    metrics: Metrics { cycles: 1, ..Default::default() },
+                    wall: Duration::from_nanos(3),
+                    workload: WorkloadTiming {
+                        build: Duration::from_nanos(11),
+                        verify: Duration::from_nanos(7),
+                    },
+                    reused: false,
                 },
-                reused: false,
-            }],
+                // A hostile registered-backend name: quotes, backslash
+                // and a control byte must come out escaped, not raw.
+                CellResult {
+                    key: cell(
+                        WorkloadKind::GsmEncode,
+                        IsaVariant::Mom,
+                        BackendId::new("evil\"back\\slash\nbackend"),
+                        20,
+                    ),
+                    metrics: Metrics::default(),
+                    wall: Duration::ZERO,
+                    workload: WorkloadTiming::default(),
+                    reused: false,
+                },
+            ],
         };
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -686,6 +715,10 @@ mod tests {
             "\"phases\": {\"build_ns\": 11, \"verify_ns\": 7, \"sim_ns\": 3}"
         ));
         assert!(json.contains("\"cycles\": 1"));
+        // The hostile backend name is escaped into a single valid JSON
+        // string: no raw quote/backslash/newline survives inside it.
+        assert!(json.contains("\"memory\": \"evil\\\"back\\\\slash\\nbackend\""));
+        assert!(!json.contains("evil\"back"));
     }
 
     #[test]

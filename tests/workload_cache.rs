@@ -142,6 +142,50 @@ fn misfiled_image_is_rejected_by_key() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Regression test for the eviction race: a reader rejecting a corrupt
+/// image must never delete the fresh, valid image a concurrent writer
+/// renamed into place between the failed decode and the eviction. The
+/// interleaving is probabilistic, so the race window is hammered many
+/// times — with the old unconditional `remove_file` this fails within a
+/// few dozen iterations; with the quarantine-rename eviction the valid
+/// image survives every time.
+#[test]
+fn concurrent_store_survives_rejecting_reader() {
+    let dir = temp_cache_dir("evict-race");
+    let (kind, variant) = (WorkloadKind::GsmEncode, IsaVariant::Mom);
+    let key = small_key(kind, variant);
+    let wl = build_small(kind, variant);
+    let digest = wl.verify_digested().unwrap();
+
+    let reader = WorkloadCache::open(&dir).expect("cache opens");
+    let writer = WorkloadCache::open(&dir).expect("cache opens");
+    let path = reader.image_path(&key);
+
+    for round in 0..40 {
+        // Seed the slot with a corrupt image the reader will reject.
+        std::fs::write(&path, b"definitely not a workload image").unwrap();
+        std::thread::scope(|scope| {
+            let rejecting_reader = scope.spawn(|| {
+                let _ = reader.load(&key);
+            });
+            let storing_writer = scope.spawn(|| {
+                writer.store(&wl, &key, digest);
+            });
+            rejecting_reader.join().unwrap();
+            storing_writer.join().unwrap();
+        });
+        // Whatever the interleaving, the writer's valid image must be
+        // on disk now (the reader may only ever evict the corrupt one).
+        let survivor = WorkloadCache::open(&dir).expect("cache opens");
+        assert_eq!(
+            survivor.load(&key).as_ref(),
+            Some(&wl),
+            "round {round}: the rejecting reader deleted the writer's fresh image"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The acceptance property of the whole feature: a warm-cache sweep
 /// skips every workload build (hit count = workload count) and its
 /// metrics are bit-identical to the cold-cache sweep's.
