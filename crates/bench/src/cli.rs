@@ -13,6 +13,8 @@
 //! PATH]` grammar ([`parse_common_args`]).
 
 use crate::cache::WorkloadCache;
+use crate::protocol::Endpoint;
+use crate::shard::{ShardConfig, WorkerConfig};
 use std::path::PathBuf;
 
 /// Parsed `all` arguments.
@@ -189,6 +191,199 @@ where
     Ok(parsed)
 }
 
+/// Parsed `mom3d-shard` arguments.
+#[derive(Debug, Clone)]
+pub struct ShardArgs {
+    /// Everything [`crate::shard::coordinate`] needs.
+    pub config: ShardConfig,
+    /// `--grid extended`: sweep every registered backend
+    /// ([`crate::sweep::extended_grid`]) instead of the paper grid.
+    pub extended: bool,
+    /// `--tcp ADDR | --unix PATH` (default: TCP with a kernel-assigned
+    /// port).
+    pub endpoint: Option<Endpoint>,
+    /// `--json PATH`: merged-report path (overrides `MOM3D_SWEEP_JSON`).
+    pub json: Option<PathBuf>,
+}
+
+impl ShardArgs {
+    /// Effective endpoint: the flag, else loopback TCP on a
+    /// kernel-assigned port (the readiness line reports the resolved
+    /// address).
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone().unwrap_or_else(|| Endpoint::Tcp("127.0.0.1:0".into()))
+    }
+
+    /// Effective JSON path: the flag, else the environment/default.
+    pub fn json_path(&self) -> PathBuf {
+        self.json.clone().unwrap_or_else(crate::sweep::json_path_from_env)
+    }
+}
+
+/// Usage string printed on `mom3d-shard` parse errors.
+pub const SHARD_USAGE: &str = "usage: mom3d-shard [SEED] [--workers N] [--worker-threads N] \
+                               [--batch N] [--grid full|extended] [--small] [--manifest PATH] \
+                               [--resume] [--json PATH] [--cache-dir PATH] \
+                               [--tcp ADDR | --unix PATH]";
+
+/// Parses the `mom3d-shard` arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing or
+/// malformed values, duplicate endpoints/seeds, an unknown `--grid`
+/// name, and `--resume` without `--manifest`.
+pub fn parse_shard_args<I>(args: I) -> Result<ShardArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut config = ShardConfig::default();
+    let mut parsed =
+        ShardArgs { config: ShardConfig::default(), extended: false, endpoint: None, json: None };
+    let mut seed: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                config.workers =
+                    v.parse().map_err(|_| format!("--workers {v:?}: not an integer"))?;
+            }
+            "--worker-threads" => {
+                let v = it.next().ok_or("--worker-threads needs a value")?;
+                config.worker_threads =
+                    v.parse().map_err(|_| format!("--worker-threads {v:?}: not an integer"))?;
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch needs a value")?;
+                config.batch = v.parse().map_err(|_| format!("--batch {v:?}: not an integer"))?;
+            }
+            "--grid" => {
+                let v = it.next().ok_or("--grid needs full|extended")?;
+                parsed.extended = match v.as_str() {
+                    "full" => false,
+                    "extended" => true,
+                    other => return Err(format!("--grid {other:?}: expected full or extended")),
+                };
+            }
+            "--small" => config.small = true,
+            "--manifest" => {
+                let v = it.next().ok_or("--manifest needs a path")?;
+                config.manifest = Some(PathBuf::from(v));
+            }
+            "--resume" => config.resume = true,
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                parsed.json = Some(PathBuf::from(v));
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                config.cache_dir = Some(PathBuf::from(v));
+            }
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs an address")?;
+                set_endpoint(&mut parsed.endpoint, Endpoint::Tcp(v))?;
+            }
+            "--unix" => {
+                let v = it.next().ok_or("--unix needs a path")?;
+                set_endpoint(&mut parsed.endpoint, Endpoint::Unix(PathBuf::from(v)))?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if seed.is_some() {
+                    return Err(format!("unexpected second positional argument {positional:?}"));
+                }
+                seed = Some(
+                    positional
+                        .parse()
+                        .map_err(|_| format!("seed {positional:?}: not an integer"))?,
+                );
+            }
+        }
+    }
+    if config.resume && config.manifest.is_none() {
+        return Err("--resume requires --manifest PATH (there is nothing to resume from)".into());
+    }
+    config.seed = seed.unwrap_or(7);
+    parsed.config = config;
+    Ok(parsed)
+}
+
+/// Parsed `mom3d-shard-worker` arguments.
+#[derive(Debug, Clone)]
+pub struct ShardWorkerArgs {
+    /// The coordinator's address (mandatory — a worker without one has
+    /// nothing to do).
+    pub endpoint: Endpoint,
+    /// Everything [`crate::shard::run_worker`] needs.
+    pub config: WorkerConfig,
+}
+
+/// Usage string printed on `mom3d-shard-worker` parse errors.
+pub const SHARD_WORKER_USAGE: &str = "usage: mom3d-shard-worker (--tcp ADDR | --unix PATH) \
+                                      [--id N] [--threads N] [--cache-dir PATH] \
+                                      [--abort-after N]";
+
+/// Parses the `mom3d-shard-worker` arguments (without the program
+/// name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing or
+/// malformed values, and a missing endpoint.
+pub fn parse_shard_worker_args<I>(args: I) -> Result<ShardWorkerArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = WorkerConfig::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs an address")?;
+                set_endpoint(&mut endpoint, Endpoint::Tcp(v))?;
+            }
+            "--unix" => {
+                let v = it.next().ok_or("--unix needs a path")?;
+                set_endpoint(&mut endpoint, Endpoint::Unix(PathBuf::from(v)))?;
+            }
+            "--id" => {
+                let v = it.next().ok_or("--id needs a value")?;
+                config.id = v.parse().map_err(|_| format!("--id {v:?}: not an integer"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                config.threads =
+                    v.parse().map_err(|_| format!("--threads {v:?}: not an integer"))?;
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                config.cache_dir = Some(PathBuf::from(v));
+            }
+            "--abort-after" => {
+                let v = it.next().ok_or("--abort-after needs a value")?;
+                config.abort_after =
+                    Some(v.parse().map_err(|_| format!("--abort-after {v:?}: not an integer"))?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                return Err(format!("unexpected positional argument {positional:?}"));
+            }
+        }
+    }
+    let endpoint = endpoint.ok_or("a worker needs --tcp ADDR or --unix PATH")?;
+    Ok(ShardWorkerArgs { endpoint, config })
+}
+
+fn set_endpoint(slot: &mut Option<Endpoint>, ep: Endpoint) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("at most one of --tcp/--unix".into());
+    }
+    *slot = Some(ep);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +480,74 @@ mod tests {
         assert!(parse_common(&["--nope"]).unwrap_err().contains("unknown flag"));
         assert!(parse_common(&["1", "2"]).unwrap_err().contains("second positional"));
         assert!(parse_common(&["x"]).unwrap_err().contains("not an integer"));
+    }
+
+    fn parse_shard(args: &[&str]) -> Result<ShardArgs, String> {
+        parse_shard_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parse_worker(args: &[&str]) -> Result<ShardWorkerArgs, String> {
+        parse_shard_worker_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn shard_defaults_and_full_grammar() {
+        let a = parse_shard(&[]).unwrap();
+        assert_eq!(a.config.seed, 7);
+        assert_eq!(a.config.workers, 2);
+        assert_eq!(a.config.batch, 0);
+        assert!(!a.extended && !a.config.small && !a.config.resume);
+        assert_eq!(a.endpoint(), Endpoint::Tcp("127.0.0.1:0".into()));
+
+        let b = parse_shard(&[
+            "42", "--workers", "3", "--worker-threads", "2", "--batch", "5", "--grid", "extended",
+            "--small", "--manifest", "m.mwm", "--resume", "--json", "out.json", "--cache-dir",
+            "imgs", "--unix", "/tmp/s.sock",
+        ])
+        .unwrap();
+        assert_eq!(b.config.seed, 42);
+        assert_eq!(b.config.workers, 3);
+        assert_eq!(b.config.worker_threads, 2);
+        assert_eq!(b.config.batch, 5);
+        assert!(b.extended && b.config.small && b.config.resume);
+        assert_eq!(b.config.manifest, Some(PathBuf::from("m.mwm")));
+        assert_eq!(b.json_path(), PathBuf::from("out.json"));
+        assert_eq!(b.config.cache_dir, Some(PathBuf::from("imgs")));
+        assert_eq!(b.endpoint(), Endpoint::Unix(PathBuf::from("/tmp/s.sock")));
+    }
+
+    #[test]
+    fn shard_grammar_errors_are_descriptive() {
+        assert!(parse_shard(&["--resume"]).unwrap_err().contains("--manifest"));
+        assert!(parse_shard(&["--grid", "tiny"]).unwrap_err().contains("full or extended"));
+        assert!(parse_shard(&["--workers", "two"]).unwrap_err().contains("not an integer"));
+        assert!(parse_shard(&["--tcp", "a:1", "--unix", "p"])
+            .unwrap_err()
+            .contains("at most one"));
+        assert!(parse_shard(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse_shard(&["1", "2"]).unwrap_err().contains("second positional"));
+    }
+
+    #[test]
+    fn shard_worker_grammar() {
+        let a = parse_worker(&["--tcp", "127.0.0.1:7", "--id", "3", "--threads", "2",
+            "--cache-dir", "imgs", "--abort-after", "4"])
+        .unwrap();
+        assert_eq!(a.endpoint, Endpoint::Tcp("127.0.0.1:7".into()));
+        assert_eq!(a.config.id, 3);
+        assert_eq!(a.config.threads, 2);
+        assert_eq!(a.config.cache_dir, Some(PathBuf::from("imgs")));
+        assert_eq!(a.config.abort_after, Some(4));
+
+        // The endpoint is mandatory; everything else defaults.
+        let b = parse_worker(&["--unix", "/tmp/s.sock"]).unwrap();
+        assert_eq!(b.config.id, 0);
+        assert_eq!(b.config.abort_after, None);
+        assert!(parse_worker(&[]).unwrap_err().contains("--tcp ADDR or --unix PATH"));
+        assert!(parse_worker(&["--tcp"]).unwrap_err().contains("--tcp"));
+        assert!(parse_worker(&["--tcp", "a:1", "7"]).unwrap_err().contains("positional"));
+        assert!(parse_worker(&["--tcp", "a:1", "--id", "x"])
+            .unwrap_err()
+            .contains("not an integer"));
     }
 }

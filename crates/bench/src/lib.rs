@@ -57,6 +57,14 @@
 //! `BENCH_serve.json` with p50/p99 latency and requests/sec
 //! ([`load`]).
 //!
+//! Sweeps also scale out across processes: `mom3d-shard` partitions a
+//! grid over worker processes that hydrate workloads from the shared
+//! on-disk cache and stream per-cell metrics back over the same frame
+//! [`protocol`] ([`shard`]). Completed cells are journaled to a
+//! durable, checksummed [`manifest`], so a run killed at any point —
+//! SIGKILL included — resumes without re-simulating finished cells,
+//! and the merged report is bit-identical to a single-process sweep.
+//!
 //! **Place in the dataflow**: the top of the stack — the only crate
 //! that depends on everything. It owns the experiment loop
 //! (build → verify → time → report), the in-memory [`Runner`] cache,
@@ -68,11 +76,14 @@ mod cache;
 pub mod cli;
 pub mod json;
 pub mod load;
+pub mod manifest;
 pub mod memo;
 pub mod protocol;
 mod report;
 mod runner;
 pub mod serve;
+pub mod shard;
+pub mod stats;
 pub mod sweep;
 
 pub use cache::{CacheStats, WorkloadCache};

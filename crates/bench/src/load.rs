@@ -412,15 +412,6 @@ fn client_worker(cfg: &LoadConfig, worker: usize) -> Agg {
     agg
 }
 
-/// Index into a sorted latency vector for percentile `p` (nearest-rank).
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
-
 /// The outcome of one load run — everything `BENCH_serve.json` reports.
 #[derive(Debug)]
 pub struct LoadReport {
@@ -569,7 +560,7 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         }
     }
 
-    agg.latencies_us.sort_unstable();
+    let latency = crate::stats::percentiles(&mut agg.latencies_us);
     let requests_per_sec = if elapsed.as_secs_f64() > 0.0 {
         agg.requests_sent as f64 / elapsed.as_secs_f64()
     } else {
@@ -589,9 +580,9 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         disconnects: agg.disconnects,
         verified_cells,
         failures: agg.failures,
-        p50_us: percentile(&agg.latencies_us, 50.0),
-        p99_us: percentile(&agg.latencies_us, 99.0),
-        max_us: agg.latencies_us.last().copied().unwrap_or(0),
+        p50_us: latency.p50,
+        p99_us: latency.p99,
+        max_us: latency.max,
         requests_per_sec,
     })
 }
@@ -599,17 +590,6 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_are_nearest_rank() {
-        assert_eq!(percentile(&[], 50.0), 0);
-        assert_eq!(percentile(&[7], 50.0), 7);
-        assert_eq!(percentile(&[7], 99.0), 7);
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 50.0), 51);
-        assert_eq!(percentile(&v, 99.0), 99);
-        assert_eq!(percentile(&v, 100.0), 100);
-    }
 
     #[test]
     fn the_mix_is_deterministic_and_covers_every_class() {

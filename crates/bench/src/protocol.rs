@@ -41,6 +41,16 @@
 //! A `RESULT` carries the echoed [`SimKey`] (streams complete out of
 //! order), a memo-hit flag and the full [`Metrics`] — bit-identical to
 //! what an in-process [`crate::Runner`] computes for the same key.
+//!
+//! The distributed-sweep opcodes ([`crate::shard`]) ride the same
+//! framing; they are served by the `mom3d-shard` coordinator (and
+//! answered with [`ERR_UNSUPPORTED`] by `mom3d-serve`):
+//!
+//! | Request       | Payload                          | Reply |
+//! |---------------|----------------------------------|-------|
+//! | `SHARD_CLAIM` | worker id                        | `SHARD_GRANT` (seed + geometry + cell batch; an empty batch means "sweep complete, exit") |
+//! | `CELL_DONE`   | key + sim wall-clock + [`Metrics`] | — (fire-and-forget stream) |
+//! | `SHARD_FIN`   | cells completed in this grant    | `DONE` (ack; carries cells still pending coordinator-side) |
 
 use crate::runner::SimKey;
 use mom3d_cpu::{BackendRegistry, Metrics};
@@ -72,6 +82,13 @@ pub const OP_SWEEP: u8 = 0x03;
 pub const OP_STATS: u8 = 0x04;
 /// Stop accepting connections and exit.
 pub const OP_SHUTDOWN: u8 = 0x05;
+/// A shard worker asking the coordinator for a batch of cells.
+pub const OP_SHARD_CLAIM: u8 = 0x06;
+/// A shard worker streaming one completed cell back (no reply frame —
+/// completions are fire-and-forget on the worker's one connection).
+pub const OP_CELL_DONE: u8 = 0x07;
+/// A shard worker reporting its current grant finished.
+pub const OP_SHARD_FIN: u8 = 0x08;
 
 /// Response opcodes (server → client).
 pub const OP_PONG: u8 = 0x81;
@@ -85,6 +102,9 @@ pub const OP_STATS_REPLY: u8 = 0x84;
 pub const OP_ERROR: u8 = 0x85;
 /// Shutdown acknowledged.
 pub const OP_BYE: u8 = 0x86;
+/// Reply to `SHARD_CLAIM`: the worker's next batch of cells (empty =
+/// the sweep is complete, the worker should exit).
+pub const OP_SHARD_GRANT: u8 = 0x87;
 
 /// Error code: request payload failed to decode (wrong length, unknown
 /// kind/variant code, non-UTF-8 backend id, …).
@@ -228,9 +248,9 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -245,7 +265,7 @@ impl<'a> Cursor<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
     }
 
@@ -253,15 +273,15 @@ impl<'a> Cursor<'a> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
-    fn u32(&mut self) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn finish(&self) -> Result<(), WireError> {
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {
@@ -290,7 +310,7 @@ pub fn put_sim_key(out: &mut Vec<u8>, key: &SimKey) {
     out.extend_from_slice(id);
 }
 
-fn read_sim_key(c: &mut Cursor<'_>) -> Result<SimKey, WireError> {
+pub(crate) fn read_sim_key(c: &mut Cursor<'_>) -> Result<SimKey, WireError> {
     let kind = *WorkloadKind::ALL
         .get(c.u8()? as usize)
         .ok_or_else(|| WireError::malformed("unknown workload kind code"))?;
@@ -356,7 +376,7 @@ pub fn put_metrics(out: &mut Vec<u8>, m: &Metrics) {
     }
 }
 
-fn read_metrics(c: &mut Cursor<'_>) -> Result<Metrics, WireError> {
+pub(crate) fn read_metrics(c: &mut Cursor<'_>) -> Result<Metrics, WireError> {
     Ok(Metrics {
         cycles: c.u64()?,
         instructions: c.u64()?,
@@ -392,6 +412,26 @@ pub enum Request {
     Stats,
     /// Stop the server.
     Shutdown,
+    /// A shard worker asking the coordinator for its next cell batch.
+    ShardClaim {
+        /// The worker's self-reported id (attributes per-worker stats).
+        worker: u32,
+    },
+    /// One completed cell streamed back to the coordinator.
+    CellDone {
+        /// Which cell.
+        key: SimKey,
+        /// Wall-clock of the cell's simulation, nanoseconds.
+        wall_ns: u64,
+        /// The cell's metrics, bit-identical to in-process execution.
+        metrics: Metrics,
+    },
+    /// The worker finished its current grant (every `CELL_DONE` of the
+    /// batch was streamed); the coordinator acks with `DONE`.
+    ShardFin {
+        /// Cells the worker completed in this grant.
+        completed: u32,
+    },
 }
 
 impl Request {
@@ -414,6 +454,15 @@ impl Request {
             }
             Request::Stats => (OP_STATS, Vec::new()),
             Request::Shutdown => (OP_SHUTDOWN, Vec::new()),
+            Request::ShardClaim { worker } => (OP_SHARD_CLAIM, worker.to_le_bytes().to_vec()),
+            Request::CellDone { key, wall_ns, metrics } => {
+                let mut p = Vec::with_capacity(32 + 8 + 18 * 8);
+                put_sim_key(&mut p, key);
+                p.extend_from_slice(&wall_ns.to_le_bytes());
+                put_metrics(&mut p, metrics);
+                (OP_CELL_DONE, p)
+            }
+            Request::ShardFin { completed } => (OP_SHARD_FIN, completed.to_le_bytes().to_vec()),
         }
     }
 
@@ -448,6 +497,14 @@ impl Request {
             }
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_SHARD_CLAIM => Request::ShardClaim { worker: c.u32()? },
+            OP_CELL_DONE => {
+                let key = read_sim_key(&mut c)?;
+                let wall_ns = c.u64()?;
+                let metrics = read_metrics(&mut c)?;
+                Request::CellDone { key, wall_ns, metrics }
+            }
+            OP_SHARD_FIN => Request::ShardFin { completed: c.u32()? },
             op => {
                 return Err(WireError {
                     code: ERR_UNSUPPORTED,
@@ -561,6 +618,19 @@ pub enum Response {
     },
     /// Shutdown acknowledged.
     Bye,
+    /// Reply to `SHARD_CLAIM`: the worker's next batch. The seed and
+    /// geometry ride along so a worker needs **no** configuration beyond
+    /// the coordinator's address — it builds its [`crate::Runner`] from
+    /// the grant. An empty batch means the sweep is complete and the
+    /// worker should exit.
+    ShardGrant {
+        /// The coordinator's workload data seed.
+        seed: u64,
+        /// True when reduced-geometry workloads are swept.
+        small: bool,
+        /// The granted cells (empty = no more work, exit).
+        cells: Vec<SimKey>,
+    },
 }
 
 impl Response {
@@ -600,6 +670,16 @@ impl Response {
                 (OP_ERROR, p)
             }
             Response::Bye => (OP_BYE, Vec::new()),
+            Response::ShardGrant { seed, small, cells } => {
+                let mut p = Vec::with_capacity(13 + 32 * cells.len());
+                p.extend_from_slice(&seed.to_le_bytes());
+                p.push(*small as u8);
+                p.extend_from_slice(&(cells.len() as u32).to_le_bytes());
+                for key in cells {
+                    put_sim_key(&mut p, key);
+                }
+                (OP_SHARD_GRANT, p)
+            }
         }
     }
 
@@ -668,11 +748,32 @@ impl Response {
                 Response::Error { code, message }
             }
             OP_BYE => Response::Bye,
+            OP_SHARD_GRANT => {
+                let seed = c.u64()?;
+                let small = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::malformed("non-boolean geometry flag")),
+                };
+                let n = c.u32()?;
+                if n > MAX_SWEEP_CELLS {
+                    return Err(WireError {
+                        code: ERR_TOO_MANY_CELLS,
+                        message: format!(
+                            "grant of {n} cells exceeds the {MAX_SWEEP_CELLS}-cell limit"
+                        ),
+                    });
+                }
+                let mut cells = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    cells.push(read_sim_key(&mut c)?);
+                }
+                Response::ShardGrant { seed, small, cells }
+            }
             op => {
                 return Err(WireError::malformed(match op {
-                    OP_PING | OP_SIM | OP_SWEEP | OP_STATS | OP_SHUTDOWN => {
-                        "request opcode in a response stream"
-                    }
+                    OP_PING | OP_SIM | OP_SWEEP | OP_STATS | OP_SHUTDOWN | OP_SHARD_CLAIM
+                    | OP_CELL_DONE | OP_SHARD_FIN => "request opcode in a response stream",
                     _ => "unknown response opcode",
                 }))
             }
@@ -903,6 +1004,13 @@ mod tests {
             Request::Sweep(vec![key(), SimKey { l2_latency: 40, ..key() }]),
             Request::Stats,
             Request::Shutdown,
+            Request::ShardClaim { worker: 3 },
+            Request::CellDone {
+                key: key(),
+                wall_ns: 123_456,
+                metrics: Metrics { cycles: 9, l2_misses: 2, ..Default::default() },
+            },
+            Request::ShardFin { completed: 17 },
         ];
         for req in reqs {
             let (opcode, payload) = req.encode();
@@ -934,6 +1042,8 @@ mod tests {
             }),
             Response::Error { code: ERR_MALFORMED, message: "nope".into() },
             Response::Bye,
+            Response::ShardGrant { seed: 11, small: false, cells: vec![key()] },
+            Response::ShardGrant { seed: 11, small: true, cells: vec![] },
         ];
         for resp in resps {
             let (opcode, payload) = resp.encode();
@@ -977,6 +1087,45 @@ mod tests {
         // Response opcode sent as a request.
         let err = Request::decode(&Frame { opcode: OP_PONG, payload: vec![] }).unwrap_err();
         assert_eq!(err.code, ERR_UNSUPPORTED);
+    }
+
+    #[test]
+    fn bad_shard_payloads_are_typed_errors() {
+        // Truncated CLAIM (worker id cut short).
+        let err =
+            Request::decode(&Frame { opcode: OP_SHARD_CLAIM, payload: vec![1, 2] }).unwrap_err();
+        assert_eq!(err.code, ERR_MALFORMED);
+
+        // CELL_DONE cut off inside the metrics block.
+        let (opcode, mut payload) = Request::CellDone {
+            key: key(),
+            wall_ns: 1,
+            metrics: Metrics::default(),
+        }
+        .encode();
+        payload.truncate(payload.len() - 5);
+        let err = Request::decode(&Frame { opcode, payload }).unwrap_err();
+        assert_eq!(err.code, ERR_MALFORMED);
+
+        // Trailing bytes after a FIN.
+        let err = Request::decode(&Frame { opcode: OP_SHARD_FIN, payload: vec![0; 5] }).unwrap_err();
+        assert_eq!(err.code, ERR_MALFORMED);
+
+        // A grant claiming more cells than the sweep bound.
+        let mut p = Vec::new();
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.push(0);
+        p.extend_from_slice(&(MAX_SWEEP_CELLS + 1).to_le_bytes());
+        let err = Response::decode(&Frame { opcode: OP_SHARD_GRANT, payload: p }).unwrap_err();
+        assert_eq!(err.code, ERR_TOO_MANY_CELLS);
+
+        // A grant whose cell list lies about its length.
+        let mut p = Vec::new();
+        p.extend_from_slice(&7u64.to_le_bytes());
+        p.push(1);
+        p.extend_from_slice(&3u32.to_le_bytes());
+        let err = Response::decode(&Frame { opcode: OP_SHARD_GRANT, payload: p }).unwrap_err();
+        assert_eq!(err.code, ERR_MALFORMED);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 use crate::memo::{ClaimGuard, MemoTable, Schedule};
 use crate::protocol::{
     read_frame, write_frame, CellReply, Endpoint, FrameError, Hello, Request, Response,
-    ServeCounters, Stream, ERR_PROTOCOL, ERR_SIM_FAILED,
+    ServeCounters, Stream, ERR_PROTOCOL, ERR_SIM_FAILED, ERR_UNSUPPORTED,
 };
 use crate::runner::{simulate, Runner, SimKey};
 use crate::sweep;
@@ -334,6 +334,18 @@ fn handle_connection(state: &Arc<ServeState>, mut stream: Stream) {
             }
             Request::Sim(key) => serve_sim(state, &mut stream, key),
             Request::Sweep(cells) => serve_sweep(state, &mut stream, cells),
+            // Shard traffic belongs to the mom3d-shard coordinator; a
+            // worker pointed at the wrong endpoint gets a typed error
+            // (and a usable connection), not a hang or a close.
+            Request::ShardClaim { .. } | Request::CellDone { .. } | Request::ShardFin { .. } => {
+                let reply = Response::Error {
+                    code: ERR_UNSUPPORTED,
+                    message: "shard opcodes are served by the mom3d-shard coordinator, \
+                              not mom3d-serve"
+                        .into(),
+                };
+                respond(&mut stream, &reply).is_ok()
+            }
         };
         if !alive {
             return;

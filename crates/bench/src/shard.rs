@@ -1,0 +1,830 @@
+//! Distributed sharded sweeps: a coordinator/worker pair that scales
+//! the [`crate::sweep`] engine across processes with crash-resume.
+//!
+//! One **coordinator** ([`coordinate`]) owns a sweep grid. It binds an
+//! [`Endpoint`], optionally spawns `mom3d-shard-worker` child
+//! processes, and hands out batches of [`SimKey`]s on demand. Each
+//! **worker** ([`run_worker`]) is a plain protocol client: it claims a
+//! batch (`SHARD_CLAIM` → `SHARD_GRANT`), hydrates workloads from the
+//! shared on-disk image cache, simulates over the existing
+//! [`crate::Runner`]/[`crate::sweep`] paths, streams every result back
+//! (`CELL_DONE`, fire-and-forget) and closes the batch with
+//! `SHARD_FIN`. The grant carries the seed and geometry, so a worker
+//! needs no configuration beyond the coordinator's address — the wire
+//! protocol is what a multi-machine deployment would speak.
+//!
+//! Correctness invariants, pinned by `tests/shard_determinism.rs` and
+//! `crates/bench/tests/shard.rs`:
+//!
+//! * **Bit-identity.** Every cell is a pure deterministic simulation
+//!   keyed by [`SimKey`], so the merged [`SweepReport`] is bit-identical
+//!   to a single-process [`sweep::run`] regardless of worker count,
+//!   scheduling, steals or crashes.
+//! * **Crash-resume.** Completed cells are journaled to a durable
+//!   checksummed [`crate::manifest`]; a killed run resumes with those
+//!   cells replayed (`reused: true`, counted in
+//!   [`Sharding::resumed_cells`]) and never re-simulated.
+//! * **First completion wins.** Work stealing and worker crashes can
+//!   put one cell in flight twice; the first `CELL_DONE` is recorded
+//!   (and journaled), later duplicates are counted and dropped.
+//! * **Failure containment.** A worker that dies mid-shard only
+//!   returns its outstanding cells to the queue (and is respawned, with
+//!   a bounded budget, when the coordinator owns the process). Frame
+//!   damage costs one connection after an [`ERR_PROTOCOL`] reply;
+//!   non-shard requests get [`ERR_UNSUPPORTED`] on a usable connection.
+
+use crate::manifest::{self, Manifest};
+use crate::protocol::{
+    read_frame, write_frame, Client, Endpoint, FrameError, Hello, Request, Response, Stream,
+    ERR_PROTOCOL, ERR_UNSUPPORTED, MAX_SWEEP_CELLS,
+};
+use crate::runner::{Runner, SimKey, WorkloadTiming};
+use crate::stats;
+use crate::sweep::{self, CellResult, Sharding, SweepReport, WorkerStats};
+use crate::WorkloadCache;
+use mom3d_cpu::Metrics;
+use mom3d_kernels::{IsaVariant, WorkloadKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Crashed-worker respawn budget per worker slot.
+const RESPAWN_LIMIT: u32 = 5;
+
+/// How a [`coordinate`] run is configured.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Workload data seed (rides along in every grant).
+    pub seed: u64,
+    /// Sweep reduced-geometry workloads.
+    pub small: bool,
+    /// Worker **processes** to spawn and supervise. `0` = spawn none
+    /// and serve externally-launched workers only (how the in-process
+    /// tests drive [`run_worker`] threads).
+    pub workers: usize,
+    /// `--threads` passed to each spawned worker (0 = worker default:
+    /// all cores).
+    pub worker_threads: usize,
+    /// Cells per grant (0 = auto: about four grants per worker, so
+    /// stragglers leave stealable tails without per-cell claim
+    /// round-trips).
+    pub batch: usize,
+    /// Durable manifest path for crash-resume journaling (`None` = no
+    /// journal).
+    pub manifest: Option<PathBuf>,
+    /// Resume from an existing manifest instead of truncating it.
+    pub resume: bool,
+    /// Workload-image cache directory passed to spawned workers (the
+    /// shared hydration source).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            seed: 7,
+            small: false,
+            workers: 2,
+            worker_threads: 0,
+            batch: 0,
+            manifest: None,
+            resume: false,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Per-worker-id bookkeeping for the report's [`WorkerStats`].
+struct WorkerAccount {
+    cells: u64,
+    walls: Vec<u64>,
+    first: Instant,
+    last: Instant,
+}
+
+/// Everything behind the coordinator's one mutex.
+struct Queue {
+    /// Cells not yet granted to anyone.
+    pending: VecDeque<SimKey>,
+    /// Cells granted per connection and not yet completed; requeued
+    /// wholesale when the connection dies, halved by a steal.
+    granted: HashMap<u64, Vec<SimKey>>,
+    /// Which worker id each connection claimed as (stats attribution).
+    conn_worker: HashMap<u64, u32>,
+    /// First recorded result per cell.
+    done: HashMap<SimKey, Metrics>,
+    /// Simulation wall-clock (ns) per freshly-completed cell.
+    walls: HashMap<SimKey, u64>,
+    manifest: Option<Manifest>,
+    /// One append failed; warn once and stop pretending the journal is
+    /// complete.
+    manifest_broken: bool,
+    workers: HashMap<u32, WorkerAccount>,
+    steals: u64,
+    /// Results dropped because the cell was already done (stealing and
+    /// crash-requeue both make this legal) or outside the grid.
+    duplicates: u64,
+}
+
+struct CoordState {
+    queue: Mutex<Queue>,
+    /// Notified on every completion, requeue and shutdown — wakes both
+    /// claim-waiters and the supervision loop.
+    changed: Condvar,
+    total: usize,
+    grid: HashSet<SimKey>,
+    batch: usize,
+    hello: Hello,
+    shutdown: AtomicBool,
+    endpoint: Endpoint,
+}
+
+fn respond(stream: &mut Stream, resp: &Response) -> io::Result<()> {
+    let (opcode, payload) = resp.encode();
+    write_frame(stream, opcode, &payload)
+}
+
+/// Serves one `SHARD_CLAIM`: pop a pending batch, else steal half of
+/// the largest outstanding grant, else wait for either to become
+/// possible. Empty return = the sweep is complete (or shutting down)
+/// and the worker should exit.
+fn claim(state: &CoordState, conn_id: u64, worker: u32) -> Vec<SimKey> {
+    let mut q = state.queue.lock().expect("shard queue poisoned");
+    q.conn_worker.insert(conn_id, worker);
+    q.workers.entry(worker).or_insert_with(|| {
+        let now = Instant::now();
+        WorkerAccount { cells: 0, walls: Vec::new(), first: now, last: now }
+    });
+    loop {
+        if q.done.len() >= state.total || state.shutdown.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        if !q.pending.is_empty() {
+            let n = state.batch.min(q.pending.len());
+            let cells: Vec<SimKey> = q.pending.drain(..n).collect();
+            q.granted.entry(conn_id).or_default().extend(&cells);
+            return cells;
+        }
+        // Work stealing: re-partition the straggler. The victim still
+        // simulates its stolen tail; whoever finishes a cell first wins
+        // and the loser's result is dropped as a duplicate.
+        let victim = q
+            .granted
+            .iter()
+            .filter(|&(&id, cells)| id != conn_id && cells.len() >= 2)
+            .max_by_key(|&(_, cells)| cells.len())
+            .map(|(&id, _)| id);
+        if let Some(victim) = victim {
+            let outstanding = q.granted.get_mut(&victim).expect("victim is present");
+            let stolen = outstanding.split_off(outstanding.len() - outstanding.len() / 2);
+            q.steals += 1;
+            q.granted.entry(conn_id).or_default().extend(&stolen);
+            return stolen;
+        }
+        q = state.changed.wait(q).expect("shard queue poisoned");
+    }
+}
+
+/// Records one `CELL_DONE`: first completion wins, is journaled and
+/// attributed; duplicates and out-of-grid cells are counted and
+/// dropped.
+fn record(state: &CoordState, conn_id: u64, key: SimKey, wall_ns: u64, metrics: Metrics) {
+    let mut q = state.queue.lock().expect("shard queue poisoned");
+    if !state.grid.contains(&key) {
+        q.duplicates += 1;
+    } else if let Some(first) = q.done.get(&key) {
+        if *first != metrics {
+            // Determinism means this can only happen with a buggy or
+            // hostile worker; the first (journaled) result stands.
+            eprintln!(
+                "warning: divergent duplicate result for {} {} on {} (l2 {}) dropped",
+                key.kind, key.variant, key.memory, key.l2_latency
+            );
+        }
+        q.duplicates += 1;
+    } else {
+        q.done.insert(key, metrics);
+        q.walls.insert(key, wall_ns);
+        if let Some(m) = q.manifest.as_mut() {
+            if let Err(e) = m.append(&key, &metrics) {
+                if !q.manifest_broken {
+                    eprintln!(
+                        "warning: shard manifest append failed ({e}); \
+                         a resumed run will re-simulate from here"
+                    );
+                }
+                q.manifest_broken = true;
+            }
+        }
+        if let Some(&worker) = q.conn_worker.get(&conn_id) {
+            if let Some(acct) = q.workers.get_mut(&worker) {
+                acct.cells += 1;
+                acct.walls.push(wall_ns);
+                acct.last = Instant::now();
+            }
+        }
+    }
+    // Retire the cell from every outstanding grant — after a steal it
+    // can be in two of them.
+    for outstanding in q.granted.values_mut() {
+        outstanding.retain(|&c| c != key);
+    }
+    drop(q);
+    state.changed.notify_all();
+}
+
+/// Returns a dead connection's unfinished cells to the queue.
+fn release(state: &CoordState, conn_id: u64) {
+    let mut q = state.queue.lock().expect("shard queue poisoned");
+    q.conn_worker.remove(&conn_id);
+    if let Some(cells) = q.granted.remove(&conn_id) {
+        for key in cells.into_iter().rev() {
+            if !q.done.contains_key(&key) {
+                q.pending.push_front(key);
+            }
+        }
+    }
+    drop(q);
+    state.changed.notify_all();
+}
+
+fn handle_connection(state: &Arc<CoordState>, conn_id: u64, mut stream: Stream) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed | FrameError::Io(_)) => break,
+            Err(err) => {
+                // Framing is unrecoverable: one typed reply, then close
+                // (and the cells go back to the queue below).
+                let _ = respond(
+                    &mut stream,
+                    &Response::Error { code: ERR_PROTOCOL, message: err.to_string() },
+                );
+                break;
+            }
+        };
+        let req = match Request::decode(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                // Well-framed but bad payload: typed error, connection
+                // stays usable.
+                let reply = Response::Error { code: e.code, message: e.message };
+                if respond(&mut stream, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let alive = match req {
+            Request::ShardClaim { worker } => {
+                let cells = claim(state, conn_id, worker);
+                let grant = Response::ShardGrant {
+                    seed: state.hello.seed,
+                    small: state.hello.small,
+                    cells,
+                };
+                respond(&mut stream, &grant).is_ok()
+            }
+            Request::CellDone { key, wall_ns, metrics } => {
+                // Fire-and-forget: no reply, the worker is already
+                // simulating the next cell.
+                record(state, conn_id, key, wall_ns, metrics);
+                true
+            }
+            Request::ShardFin { completed } => {
+                respond(&mut stream, &Response::Done { results: completed }).is_ok()
+            }
+            Request::Ping => respond(&mut stream, &Response::Pong(state.hello)).is_ok(),
+            Request::Sim(_) | Request::Sweep(_) | Request::Stats | Request::Shutdown => {
+                let reply = Response::Error {
+                    code: ERR_UNSUPPORTED,
+                    message: "simulation requests are served by mom3d-serve; \
+                              this is the mom3d-shard coordinator"
+                        .into(),
+                };
+                respond(&mut stream, &reply).is_ok()
+            }
+        };
+        if !alive {
+            break;
+        }
+    }
+    release(state, conn_id);
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Stream::Unix(stream))
+            }
+        }
+    }
+}
+
+fn bind(endpoint: Endpoint) -> io::Result<(Listener, Endpoint)> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            let actual = listener.local_addr()?.to_string();
+            Ok((Listener::Tcp(listener), Endpoint::Tcp(actual)))
+        }
+        Endpoint::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            Ok((Listener::Unix(UnixListener::bind(&path)?), Endpoint::Unix(path)))
+        }
+    }
+}
+
+fn effective_batch(requested: usize, fresh: usize, workers: usize) -> usize {
+    let batch = if requested > 0 {
+        requested
+    } else {
+        let grants = workers.max(2) * 4;
+        fresh.div_ceil(grants)
+    };
+    batch.clamp(1, MAX_SWEEP_CELLS as usize)
+}
+
+/// One supervised worker process slot.
+struct ChildSlot {
+    id: u32,
+    child: Option<Child>,
+    respawns: u32,
+}
+
+fn spawn_worker(endpoint: &Endpoint, id: u32, config: &ShardConfig) -> io::Result<Child> {
+    let exe = std::env::current_exe()?.with_file_name("mom3d-shard-worker");
+    let mut cmd = Command::new(exe);
+    match endpoint {
+        Endpoint::Tcp(addr) => cmd.arg("--tcp").arg(addr),
+        Endpoint::Unix(path) => cmd.arg("--unix").arg(path),
+    };
+    cmd.arg("--id").arg(id.to_string());
+    if config.worker_threads > 0 {
+        cmd.arg("--threads").arg(config.worker_threads.to_string());
+    }
+    if let Some(dir) = &config.cache_dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    cmd.spawn()
+}
+
+fn remaining(state: &CoordState) -> usize {
+    let q = state.queue.lock().expect("shard queue poisoned");
+    state.total - q.done.len()
+}
+
+/// Runs until the grid is complete: polls for crashed worker processes
+/// and respawns each (bounded by [`RESPAWN_LIMIT`]) while work remains.
+///
+/// With no owned workers (`children` empty), externally-launched
+/// workers are trusted to finish the sweep and this only waits.
+fn supervise(
+    state: &CoordState,
+    children: &mut [ChildSlot],
+    endpoint: &Endpoint,
+    config: &ShardConfig,
+) -> io::Result<()> {
+    loop {
+        {
+            let q = state.queue.lock().expect("shard queue poisoned");
+            if q.done.len() >= state.total {
+                return Ok(());
+            }
+            let _ = state
+                .changed
+                .wait_timeout(q, Duration::from_millis(100))
+                .expect("shard queue poisoned");
+        }
+        for slot in children.iter_mut() {
+            if let Some(child) = slot.child.as_mut() {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        slot.child = None;
+                        if remaining(state) > 0 {
+                            eprintln!(
+                                "warning: worker {} exited ({status}) with work remaining",
+                                slot.id
+                            );
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => eprintln!("warning: polling worker {} failed: {e}", slot.id),
+                }
+            }
+            if slot.child.is_none() && slot.respawns > 0 && remaining(state) > 0 {
+                slot.respawns -= 1;
+                match spawn_worker(endpoint, slot.id, config) {
+                    Ok(child) => {
+                        println!("spawned worker {} (pid {})", slot.id, child.id());
+                        slot.child = Some(child);
+                    }
+                    Err(e) => eprintln!("warning: respawning worker {} failed: {e}", slot.id),
+                }
+            }
+        }
+        if !children.is_empty()
+            && children.iter().all(|s| s.child.is_none() && s.respawns == 0)
+        {
+            let left = remaining(state);
+            if left == 0 {
+                return Ok(());
+            }
+            return Err(io::Error::other(format!(
+                "all {} worker slot(s) exhausted their respawn budget with {left} \
+                 cell(s) unfinished",
+                children.len()
+            )));
+        }
+    }
+}
+
+/// Waits briefly for each worker process to exit on its own (it will,
+/// after an empty grant), then kills what is left.
+fn reap(children: &mut [ChildSlot]) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for slot in children.iter_mut() {
+        let Some(child) = slot.child.as_mut() else { continue };
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => break,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break;
+                }
+            }
+        }
+        slot.child = None;
+    }
+}
+
+/// Runs a distributed sweep of `grid` and blocks until it completes,
+/// returning a report bit-identical (per cell) to [`sweep::run`] over
+/// the same grid, with the schema-v5 [`Sharding`] block filled in.
+///
+/// Binds `endpoint` (a `:0` TCP port is resolved), prints a readiness
+/// line and one `spawned worker N (pid P)` line per worker process to
+/// stdout (both machine-parsed by the kill-resume tests and CI), then
+/// serves claims until every cell has a recorded result. Cells already
+/// in the manifest (with `resume`) are replayed, reported `reused` with
+/// zero wall-clock, and never granted.
+///
+/// # Errors
+///
+/// Propagates bind/spawn/manifest-I/O failures, and reports worker
+/// attrition the respawn budget could not cover.
+pub fn coordinate(
+    endpoint: Endpoint,
+    grid: &[SimKey],
+    config: &ShardConfig,
+) -> io::Result<SweepReport> {
+    let start = Instant::now();
+    let mut seen = HashSet::new();
+    let unique: Vec<SimKey> = grid.iter().copied().filter(|&c| seen.insert(c)).collect();
+    let total = unique.len();
+
+    let (manifest_handle, resumed) = match &config.manifest {
+        Some(path) if config.resume => {
+            let (m, r) = manifest::resume(path, config.seed, config.small, &unique)?;
+            (Some(m), r.cells)
+        }
+        Some(path) => {
+            (Some(Manifest::create(path, config.seed, config.small, &unique)?), Vec::new())
+        }
+        None => (None, Vec::new()),
+    };
+    let resumed_cells = resumed.len() as u64;
+    let done: HashMap<SimKey, Metrics> = resumed.iter().copied().collect();
+    let pending: VecDeque<SimKey> =
+        unique.iter().copied().filter(|k| !done.contains_key(k)).collect();
+    let fresh = pending.len();
+    let batch = effective_batch(config.batch, fresh, config.workers);
+
+    let (listener, endpoint) = bind(endpoint)?;
+    println!(
+        "mom3d-shard listening on {endpoint}; {fresh} of {total} cell(s) to simulate \
+         ({resumed_cells} resumed)"
+    );
+
+    let state = Arc::new(CoordState {
+        queue: Mutex::new(Queue {
+            pending,
+            granted: HashMap::new(),
+            conn_worker: HashMap::new(),
+            done,
+            walls: HashMap::new(),
+            manifest: manifest_handle,
+            manifest_broken: false,
+            workers: HashMap::new(),
+            steals: 0,
+            duplicates: 0,
+        }),
+        changed: Condvar::new(),
+        total,
+        grid: unique.iter().copied().collect(),
+        batch,
+        hello: Hello { seed: config.seed, small: config.small, threads: 0 },
+        shutdown: AtomicBool::new(false),
+        endpoint: endpoint.clone(),
+    });
+
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("mom3d-shard-accept".into())
+            .spawn(move || {
+                let conn_seq = AtomicU64::new(0);
+                loop {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok(stream) => {
+                            if state.shutdown.load(Ordering::SeqCst) {
+                                break; // the shutdown self-connection
+                            }
+                            let conn_id = conn_seq.fetch_add(1, Ordering::Relaxed);
+                            let state = Arc::clone(&state);
+                            let _ = std::thread::Builder::new()
+                                .name("mom3d-shard-conn".into())
+                                .spawn(move || handle_connection(&state, conn_id, stream));
+                        }
+                        Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
+                        Err(e) => eprintln!("warning: accept failed: {e}"),
+                    }
+                }
+            })
+            .expect("spawning the shard accept loop")
+    };
+
+    let mut children: Vec<ChildSlot> = (0..config.workers as u32)
+        .map(|id| ChildSlot { id, child: None, respawns: RESPAWN_LIMIT })
+        .collect();
+    let mut result: io::Result<()> = Ok(());
+    if total > 0 {
+        for slot in &mut children {
+            match spawn_worker(&endpoint, slot.id, config) {
+                Ok(child) => {
+                    println!("spawned worker {} (pid {})", slot.id, child.id());
+                    slot.child = Some(child);
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+    }
+    if result.is_ok() {
+        result = supervise(&state, &mut children, &endpoint, config);
+    }
+
+    // One shutdown path for success and failure: latch, wake claim
+    // waiters (they reply with empty grants), unblock the accept loop
+    // with a self-connection, then collect the pieces.
+    state.shutdown.store(true, Ordering::SeqCst);
+    state.changed.notify_all();
+    let _ = state.endpoint.connect();
+    let _ = accept.join();
+    reap(&mut children);
+    if let Endpoint::Unix(path) = &state.endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    result?;
+
+    let q = state.queue.lock().expect("shard queue poisoned");
+    if q.duplicates > 0 {
+        eprintln!(
+            "note: {} duplicate result(s) dropped (work stealing / crash requeue overlap)",
+            q.duplicates
+        );
+    }
+    let resumed_set: HashSet<SimKey> = resumed.iter().map(|&(k, _)| k).collect();
+    let cells: Vec<CellResult> = unique
+        .iter()
+        .map(|&key| {
+            let metrics = *q.done.get(&key).expect("every cell has a recorded result");
+            if resumed_set.contains(&key) {
+                CellResult {
+                    key,
+                    metrics,
+                    wall: Duration::ZERO,
+                    workload: WorkloadTiming::default(),
+                    reused: true,
+                }
+            } else {
+                let wall = Duration::from_nanos(q.walls.get(&key).copied().unwrap_or(0));
+                // Workload build/verify happened inside a worker
+                // process; the coordinator never builds, so the phase
+                // breakdown reports zero.
+                CellResult { key, metrics, wall, workload: WorkloadTiming::default(), reused: false }
+            }
+        })
+        .collect();
+    let mut workers: Vec<WorkerStats> = q
+        .workers
+        .iter()
+        .map(|(&id, acct)| WorkerStats {
+            id,
+            cells: acct.cells,
+            wall: acct.last.duration_since(acct.first),
+            cell_ns: stats::percentiles(&mut acct.walls.clone()),
+        })
+        .collect();
+    workers.sort_by_key(|w| w.id);
+    let threads = workers.len().max(1);
+    let steals = q.steals;
+    drop(q);
+
+    Ok(SweepReport {
+        seed: config.seed,
+        small: config.small,
+        threads,
+        wall: start.elapsed(),
+        workload_cache: None,
+        sharding: Some(Sharding { workers, steals, resumed_cells }),
+        cells,
+    })
+}
+
+/// How one [`run_worker`] call is configured.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Self-reported worker id (attributes the report's per-worker
+    /// stats).
+    pub id: u32,
+    /// Prebuild worker threads (0 = all cores).
+    pub threads: usize,
+    /// Workload-image cache to hydrate workloads from.
+    pub cache_dir: Option<PathBuf>,
+    /// Fault injection: silently drop the connection and return after
+    /// streaming this many `CELL_DONE`s in total — a crash simulator
+    /// for the kill-resume tests (no `SHARD_FIN`, cells left granted).
+    pub abort_after: Option<usize>,
+}
+
+/// What a worker did, for logging and test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Cells simulated and streamed back.
+    pub cells: u64,
+    /// Grants processed.
+    pub grants: u64,
+}
+
+fn connect_with_retry(endpoint: &Endpoint) -> io::Result<Client> {
+    // The coordinator may still be binding when a spawned worker starts;
+    // retry for up to ~5 s before giving up.
+    let mut last: Option<io::Error> = None;
+    for _ in 0..100 {
+        match Client::connect(endpoint) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    Err(last.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::TimedOut, "connect retries exhausted")
+    }))
+}
+
+fn unexpected(context: &str, resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected coordinator reply to {context}: {resp:?}"),
+    )
+}
+
+/// A dropped coordinator connection is how service normally ends: once
+/// the last needed `CELL_DONE` arrives (possibly from another worker)
+/// the coordinator may exit before acking this worker's `SHARD_FIN` or
+/// serving its next claim. Results are fire-and-forget and already
+/// delivered, so the worker just retires.
+fn disconnected(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+    )
+}
+
+/// Runs one shard worker to completion: claim, hydrate, simulate,
+/// stream, repeat — until the coordinator grants an empty batch.
+///
+/// The [`Runner`] is built lazily from the first grant's seed and
+/// geometry (the worker itself needs no sweep configuration) and kept
+/// for the whole session, so workloads and metrics stay memoized across
+/// grants. Workload builds go through [`sweep::prebuild_workloads`] and
+/// the image cache in `config.cache_dir`, the same cold path as every
+/// other harness entry point.
+///
+/// # Errors
+///
+/// Propagates connect/I/O failures and coordinator-reported errors.
+pub fn run_worker(endpoint: &Endpoint, config: &WorkerConfig) -> io::Result<WorkerSummary> {
+    let mut client = connect_with_retry(endpoint)?;
+    let threads = if config.threads == 0 { sweep::default_threads() } else { config.threads };
+    let mut runner: Option<Runner> = None;
+    let mut summary = WorkerSummary::default();
+    loop {
+        let reply = match client.round_trip(&Request::ShardClaim { worker: config.id }) {
+            Ok(reply) => reply,
+            Err(e) if disconnected(&e) => break,
+            Err(e) => return Err(e),
+        };
+        let (seed, small, cells) = match reply {
+            Response::ShardGrant { seed, small, cells } => (seed, small, cells),
+            Response::Error { code, message } => {
+                return Err(io::Error::other(format!(
+                    "coordinator refused the claim (code {code}): {message}"
+                )));
+            }
+            other => return Err(unexpected("SHARD_CLAIM", &other)),
+        };
+        if cells.is_empty() {
+            break;
+        }
+        summary.grants += 1;
+        let runner = runner.get_or_insert_with(|| {
+            let base = if small { Runner::small(seed) } else { Runner::new(seed) };
+            base.with_cache(WorkloadCache::resolve(config.cache_dir.as_deref()))
+        });
+        let pairs: Vec<(WorkloadKind, IsaVariant)> =
+            cells.iter().map(|c| (c.kind, c.variant)).collect();
+        sweep::prebuild_workloads(runner, &pairs, threads);
+        let mut completed: u32 = 0;
+        for key in &cells {
+            let t0 = Instant::now();
+            let metrics = runner.metrics(key.kind, key.variant, key.memory, key.l2_latency);
+            let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            match client.send(&Request::CellDone { key: *key, wall_ns, metrics }) {
+                Ok(()) => {}
+                Err(e) if disconnected(&e) => return Ok(summary),
+                Err(e) => return Err(e),
+            }
+            completed += 1;
+            summary.cells += 1;
+            if config.abort_after.is_some_and(|n| summary.cells >= n as u64) {
+                // Vanish mid-shard like a crashed process: no FIN, just
+                // a dropped connection. The coordinator requeues the
+                // rest of the grant.
+                return Ok(summary);
+            }
+        }
+        match client.round_trip(&Request::ShardFin { completed }) {
+            Ok(Response::Done { .. }) => {}
+            Ok(other) => return Err(unexpected("SHARD_FIN", &other)),
+            Err(e) if disconnected(&e) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_batch_scales_with_grid_and_workers() {
+        // ~4 grants per worker, never zero, capped at the protocol's
+        // grant limit.
+        assert_eq!(effective_batch(0, 46, 2), 6);
+        assert_eq!(effective_batch(0, 46, 4), 3);
+        assert_eq!(effective_batch(0, 3, 8), 1);
+        assert_eq!(effective_batch(0, 0, 2), 1);
+        // workers == 0 (external workers) plans as if for two.
+        assert_eq!(effective_batch(0, 46, 0), 6);
+        // An explicit batch wins but is still clamped.
+        assert_eq!(effective_batch(9, 46, 2), 9);
+        assert_eq!(effective_batch(1 << 30, 46, 2), MAX_SWEEP_CELLS as usize);
+        assert_eq!(effective_batch(0, 1 << 30, 1), MAX_SWEEP_CELLS as usize);
+    }
+}

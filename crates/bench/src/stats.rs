@@ -1,0 +1,88 @@
+//! Small shared statistics helpers.
+//!
+//! The load generator and the shard coordinator both summarize latency
+//! samples into p50/p99/max; the logic lives here once instead of being
+//! re-derived (slightly differently) at each report site.
+
+/// Nearest-rank percentile over an **already sorted** sample slice.
+///
+/// `p` is in percent (`50.0` = median). An empty slice reports 0 — the
+/// caller is summarizing "nothing happened", not an error — and `p`
+/// values outside `[0, 100]` clamp to the extremes instead of indexing
+/// out of bounds.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p.max(0.0) / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A p50/p99/max roll-up of one latency sample set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// Sorts `samples` in place and summarizes them. Empty input reports
+/// all-zero (no panic): a worker that completed no cells still gets a
+/// row in the shard report.
+pub fn percentiles(samples: &mut [u64]) -> Percentiles {
+    samples.sort_unstable();
+    Percentiles {
+        p50: percentile(samples, 50.0),
+        p99: percentile(samples, 99.0),
+        max: samples.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_reports_zero_not_panic() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentiles(&mut []), Percentiles::default());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        assert_eq!(percentile(&[7], 0.0), 7);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[7], 100.0), 7);
+        assert_eq!(percentiles(&mut [7]), Percentiles { p50: 7, p99: 7, max: 7 });
+    }
+
+    #[test]
+    fn odd_length_median_is_the_middle_sample() {
+        // Nearest-rank on an odd-length sorted run picks the exact
+        // middle element, not an interpolation.
+        assert_eq!(percentile(&[1, 2, 3], 50.0), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4, 5], 50.0), 3);
+        let mut v = [5, 1, 3, 2, 4];
+        assert_eq!(percentiles(&mut v), Percentiles { p50: 3, p99: 5, max: 5 });
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_load_reports_convention() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let v: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&v, -5.0), 1);
+        assert_eq!(percentile(&v, 250.0), 10);
+    }
+}

@@ -35,6 +35,7 @@
 use crate::cache::CacheStats;
 use crate::json::json_string;
 use crate::runner::{simulate, verify_timed, Runner, SimKey, WorkloadTiming};
+use crate::stats::Percentiles;
 use mom3d_cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
@@ -71,6 +72,37 @@ pub struct CellResult {
     pub reused: bool,
 }
 
+/// What one worker process contributed to a distributed sweep
+/// ([`crate::shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's id (`--id` of `mom3d-shard-worker`).
+    pub id: u32,
+    /// Cells this worker completed (first-completion wins; a cell a
+    /// worker re-simulated after losing the race is not counted).
+    pub cells: u64,
+    /// Wall-clock between the worker's first claim and its last
+    /// completed cell, as observed by the coordinator.
+    pub wall: Duration,
+    /// p50/p99/max of this worker's per-cell simulation wall-clock, in
+    /// nanoseconds (summarized by [`crate::stats::percentiles`], the
+    /// same nearest-rank convention as the load generator's report).
+    pub cell_ns: Percentiles,
+}
+
+/// The distributed-execution block of a sharded sweep's report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sharding {
+    /// Per-worker contribution, sorted by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// Shard re-partitions: batches stolen from a straggler's grant and
+    /// re-issued to an idle worker.
+    pub steals: u64,
+    /// Cells replayed from the crash-resume manifest instead of being
+    /// re-simulated (`0` on a fresh run).
+    pub resumed_cells: u64,
+}
+
 /// Everything one [`run`] call did, for reporting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -90,6 +122,10 @@ pub struct SweepReport {
     /// hit count equal to the workload count proves every build was
     /// skipped.
     pub workload_cache: Option<CacheStats>,
+    /// Distributed-execution statistics when the sweep ran sharded over
+    /// worker processes ([`crate::shard::coordinate`]); `None` for an
+    /// in-process [`run`].
+    pub sharding: Option<Sharding>,
     /// Per-cell results, in enumeration order.
     pub cells: Vec<CellResult>,
 }
@@ -112,19 +148,23 @@ impl SweepReport {
     }
 
     /// The report as a JSON document (the `BENCH_sweep.json` schema,
-    /// `mom3d/sweep/v4`).
+    /// `mom3d/sweep/v5`).
     ///
     /// v3 replaced the per-cell `wall_ns` of v2 with a `phases` object
     /// breaking the cell's cost into workload build, verification and
-    /// simulation wall-clock; v4 adds the top-level `workload_cache`
+    /// simulation wall-clock; v4 added the top-level `workload_cache`
     /// object (enabled flag plus hit/miss/rejected counters of the
     /// cross-invocation workload-image cache), so a warm start is
     /// machine-checkable: `hits` equals the workload count and every
-    /// cell's `build_ns`/`verify_ns` collapses to the image-load time.
+    /// cell's `build_ns`/`verify_ns` collapses to the image-load time;
+    /// v5 adds the top-level `sharding` block (`null` for in-process
+    /// sweeps): per-worker cell counts, wall-clock and per-cell latency
+    /// percentiles, plus work-steal and manifest-resume counters of a
+    /// distributed [`crate::shard`] run.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(1024 + 512 * self.cells.len());
         s.push_str("{\n");
-        s.push_str("  \"schema\": \"mom3d/sweep/v4\",\n");
+        s.push_str("  \"schema\": \"mom3d/sweep/v5\",\n");
         s.push_str(&format!("  \"seed\": {},\n", self.seed));
         s.push_str(&format!("  \"small\": {},\n", self.small));
         s.push_str(&format!("  \"threads\": {},\n", self.threads));
@@ -138,6 +178,34 @@ impl SweepReport {
             cache.misses,
             cache.rejected
         ));
+        match &self.sharding {
+            None => s.push_str("  \"sharding\": null,\n"),
+            Some(sh) => {
+                let workers: Vec<String> = sh
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        format!(
+                            "{{\"id\": {}, \"cells\": {}, \"wall_ns\": {}, \
+                             \"cell_p50_ns\": {}, \"cell_p99_ns\": {}, \"cell_max_ns\": {}}}",
+                            w.id,
+                            w.cells,
+                            w.wall.as_nanos(),
+                            w.cell_ns.p50,
+                            w.cell_ns.p99,
+                            w.cell_ns.max
+                        )
+                    })
+                    .collect();
+                s.push_str(&format!(
+                    "  \"sharding\": {{\"workers\": [{}], \"steals\": {}, \
+                     \"resumed_cells\": {}}},\n",
+                    workers.join(", "),
+                    sh.steals,
+                    sh.resumed_cells
+                ));
+            }
+        }
         s.push_str("  \"cells\": [\n");
         for (i, cell) in self.cells.iter().enumerate() {
             // Workload labels and backend ids are arbitrary strings (any
@@ -501,6 +569,7 @@ pub fn run(runner: &mut Runner, cells: &[SimKey], threads: usize) -> SweepReport
         threads: workers,
         wall: start.elapsed(),
         workload_cache: runner.cache().map(|c| c.stats()),
+        sharding: None,
         cells,
     }
 }
@@ -668,6 +737,16 @@ mod tests {
             threads: 2,
             wall: Duration::from_nanos(5),
             workload_cache: Some(CacheStats { hits: 2, misses: 1, rejected: 0 }),
+            sharding: Some(Sharding {
+                workers: vec![WorkerStats {
+                    id: 1,
+                    cells: 2,
+                    wall: Duration::from_nanos(9),
+                    cell_ns: Percentiles { p50: 4, p99: 5, max: 5 },
+                }],
+                steals: 1,
+                resumed_cells: 3,
+            }),
             cells: vec![
                 CellResult {
                     key: cell(
@@ -703,10 +782,20 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert!(json.contains("\"schema\": \"mom3d/sweep/v4\""));
+        assert!(json.contains("\"schema\": \"mom3d/sweep/v5\""));
         assert!(json.contains(
             "\"workload_cache\": {\"enabled\": true, \"hits\": 2, \"misses\": 1, \"rejected\": 0}"
         ));
+        // v5 sharding block: per-worker stats plus steal/resume counters.
+        assert!(json.contains(
+            "\"sharding\": {\"workers\": [{\"id\": 1, \"cells\": 2, \"wall_ns\": 9, \
+             \"cell_p50_ns\": 4, \"cell_p99_ns\": 5, \"cell_max_ns\": 5}], \
+             \"steals\": 1, \"resumed_cells\": 3}"
+        ));
+        // An in-process sweep reports the block as null, not absent.
+        let mut serial = report.clone();
+        serial.sharding = None;
+        assert!(serial.to_json().contains("\"sharding\": null"));
         assert!(json.contains("\"dram_row_hits\": 0"));
         assert!(json.contains("\"workload\": \"gsm encode\""));
         assert!(json.contains("\"memory\": \"vector-cache\""));

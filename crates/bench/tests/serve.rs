@@ -74,6 +74,36 @@ fn garbage_opcode_gets_an_error_and_the_connection_stays_usable() {
 }
 
 #[test]
+fn shard_opcodes_are_unsupported_but_cost_nothing() {
+    // The shard opcodes are valid protocol, but they belong to the
+    // mom3d-shard coordinator. mom3d-serve must answer each with a
+    // typed ERR_UNSUPPORTED naming the right binary — and keep the
+    // connection usable (a misdirected worker should learn its
+    // mistake, not hang).
+    let handle = start("shard-opcodes");
+    let mut client = Client::connect(handle.endpoint()).unwrap();
+    let requests = [
+        Request::ShardClaim { worker: 1 },
+        Request::CellDone { key: key(20), wall_ns: 5, metrics: Default::default() },
+        Request::ShardFin { completed: 1 },
+    ];
+    for req in requests {
+        let Response::Error { code, message } = client.round_trip(&req).unwrap() else {
+            panic!("expected an error reply to {req:?}");
+        };
+        assert_eq!(code, ERR_UNSUPPORTED, "{req:?}");
+        assert!(message.contains("mom3d-shard"), "the error redirects the worker: {message}");
+    }
+    // Three rejected shard requests later the connection still serves,
+    // and nothing was simulated or memoized.
+    assert!(matches!(client.round_trip(&Request::Ping).unwrap(), Response::Pong(_)));
+    let counters = handle.counters();
+    assert_eq!(counters.sims_executed, 0);
+    assert_eq!(counters.memo_misses, 0);
+    handle.shutdown();
+}
+
+#[test]
 fn malformed_payloads_get_typed_errors_on_a_live_connection() {
     let handle = start("malformed");
     let mut stream = handle.endpoint().connect().unwrap();

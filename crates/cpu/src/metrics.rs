@@ -4,7 +4,7 @@ use std::fmt;
 
 /// Everything the experiment harness needs to regenerate the paper's
 /// tables and figures from one simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Total simulated cycles.
     pub cycles: u64,
