@@ -376,6 +376,179 @@ where
     Ok(ShardWorkerArgs { endpoint, config })
 }
 
+/// Parsed `mom3d-tune` arguments.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TuneArgs {
+    /// Workload data seed (positional; default 7).
+    pub seed: Option<u64>,
+    /// `--tune-seed N`: search seed (default: the data seed).
+    pub tune_seed: Option<u64>,
+    /// `--budget N`: max fresh evaluations per `(workload, family)`.
+    pub budget: Option<usize>,
+    /// `--smoke`: reduced geometry + tiny budget (the CI configuration).
+    pub smoke: bool,
+    /// `--small`: reduced-geometry workloads at the normal budget.
+    pub small: bool,
+    /// `--threads N`: local sweep worker count.
+    pub threads: Option<usize>,
+    /// `--json PATH`: report path (default `BENCH_tune.json`).
+    pub json: Option<PathBuf>,
+    /// `--backend ID`: restrict the search to one family.
+    pub backend: Option<String>,
+    /// `--params K=V,...`: baseline overrides for the `--backend`
+    /// family (malformed values warn and fall back, never panic).
+    pub params: Option<String>,
+    /// `--cache-dir PATH`: workload-image cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// `--coordinator ADDR`: evaluate on a resident `mom3d-serve`
+    /// (an ADDR containing `/` is a unix socket path, else TCP).
+    pub coordinator: Option<Endpoint>,
+}
+
+impl TuneArgs {
+    /// The data seed to use.
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(7)
+    }
+
+    /// Effective worker count (see [`AllArgs::threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(crate::sweep::threads_from_env)
+    }
+
+    /// Effective JSON path.
+    pub fn json_path(&self) -> PathBuf {
+        self.json.clone().unwrap_or_else(|| PathBuf::from("BENCH_tune.json"))
+    }
+
+    /// Effective workload-image cache (see [`AllArgs::cache`]).
+    pub fn cache(&self) -> Option<WorkloadCache> {
+        WorkloadCache::resolve(self.cache_dir.as_deref())
+    }
+
+    /// The search configuration these arguments describe. `--smoke`
+    /// supplies the small-geometry/small-budget defaults; explicit
+    /// flags still win over it.
+    pub fn tune_config(&self) -> crate::tune::TuneConfig {
+        let base = if self.smoke {
+            crate::tune::TuneConfig::smoke(self.seed())
+        } else {
+            crate::tune::TuneConfig { seed: self.seed(), ..Default::default() }
+        };
+        let start_params = match (&self.backend, &self.params) {
+            (Some(backend), Some(raw)) => crate::tune::resolve_start_params(backend, raw),
+            _ => Vec::new(),
+        };
+        crate::tune::TuneConfig {
+            tune_seed: self.tune_seed.unwrap_or(self.seed()),
+            small: base.small || self.small,
+            budget: self.budget.unwrap_or(base.budget),
+            backend: self.backend.clone(),
+            start_params,
+            ..base
+        }
+    }
+}
+
+/// Usage string printed on `mom3d-tune` parse errors.
+pub const TUNE_USAGE: &str = "usage: mom3d-tune [SEED] [--tune-seed N] [--budget N] [--smoke] \
+                              [--small] [--threads N] [--json PATH] [--backend ID] \
+                              [--params K=V,...] [--cache-dir PATH] [--coordinator ADDR]";
+
+/// Parses the `mom3d-tune` arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing or
+/// malformed flag values, duplicate positional seeds, a zero budget,
+/// and `--params` without `--backend`.
+pub fn parse_tune_args<I>(args: I) -> Result<TuneArgs, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut parsed = TuneArgs::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tune-seed" => {
+                let v = it.next().ok_or("--tune-seed needs a value")?;
+                parsed.tune_seed =
+                    Some(v.parse().map_err(|_| format!("--tune-seed {v:?}: not an integer"))?);
+            }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs a value")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--budget {v:?}: not an integer"))?;
+                if n == 0 {
+                    return Err("--budget 0: at least one evaluation per family is needed".into());
+                }
+                parsed.budget = Some(n);
+            }
+            "--smoke" => parsed.smoke = true,
+            "--small" => parsed.small = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--threads {v:?}: not an integer"))?;
+                if n == 0 {
+                    // Same policy as `all --threads 0` (and the
+                    // environment variable): warn and fall back.
+                    eprintln!(
+                        "warning: --threads 0 is not a thread count; \
+                         using MOM3D_SWEEP_THREADS or the default"
+                    );
+                    parsed.threads = None;
+                } else {
+                    parsed.threads = Some(n);
+                }
+            }
+            "--json" => {
+                let v = it.next().ok_or("--json needs a path")?;
+                parsed.json = Some(PathBuf::from(v));
+            }
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a backend id")?;
+                parsed.backend = Some(v);
+            }
+            "--params" => {
+                let v = it.next().ok_or("--params needs key=value,...")?;
+                parsed.params = Some(v);
+            }
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir needs a path")?;
+                parsed.cache_dir = Some(PathBuf::from(v));
+            }
+            "--coordinator" => {
+                let v = it.next().ok_or("--coordinator needs an address")?;
+                let ep = if v.contains('/') {
+                    Endpoint::Unix(PathBuf::from(v))
+                } else {
+                    Endpoint::Tcp(v)
+                };
+                if parsed.coordinator.is_some() {
+                    return Err("at most one --coordinator".into());
+                }
+                parsed.coordinator = Some(ep);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            positional => {
+                if parsed.seed.is_some() {
+                    return Err(format!("unexpected second positional argument {positional:?}"));
+                }
+                parsed.seed = Some(
+                    positional
+                        .parse()
+                        .map_err(|_| format!("seed {positional:?}: not an integer"))?,
+                );
+            }
+        }
+    }
+    if parsed.params.is_some() && parsed.backend.is_none() {
+        return Err("--params requires --backend ID (whose parameters to override)".into());
+    }
+    Ok(parsed)
+}
+
 fn set_endpoint(slot: &mut Option<Endpoint>, ep: Endpoint) -> Result<(), String> {
     if slot.is_some() {
         return Err("at most one of --tcp/--unix".into());
@@ -526,6 +699,70 @@ mod tests {
             .contains("at most one"));
         assert!(parse_shard(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
         assert!(parse_shard(&["1", "2"]).unwrap_err().contains("second positional"));
+    }
+
+    fn parse_tune(args: &[&str]) -> Result<TuneArgs, String> {
+        parse_tune_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn tune_defaults_and_full_grammar() {
+        let a = parse_tune(&[]).unwrap();
+        assert_eq!(a, TuneArgs::default());
+        assert_eq!(a.seed(), 7);
+        assert_eq!(a.json_path(), PathBuf::from("BENCH_tune.json"));
+        let cfg = a.tune_config();
+        assert_eq!((cfg.seed, cfg.tune_seed, cfg.small, cfg.budget), (7, 7, false, 60));
+        assert_eq!(cfg.l2_latencies, vec![20, 40, 60]);
+
+        let b = parse_tune(&[
+            "42", "--tune-seed", "9", "--budget", "5", "--small", "--threads", "3", "--json",
+            "t.json", "--backend", "dram-burst", "--params", "row=512", "--cache-dir", "imgs",
+            "--coordinator", "127.0.0.1:9000",
+        ])
+        .unwrap();
+        assert_eq!(b.seed(), 42);
+        assert_eq!(b.json_path(), PathBuf::from("t.json"));
+        assert_eq!(b.coordinator, Some(Endpoint::Tcp("127.0.0.1:9000".into())));
+        let cfg = b.tune_config();
+        assert_eq!((cfg.seed, cfg.tune_seed, cfg.small, cfg.budget), (42, 9, true, 5));
+        assert_eq!(cfg.backend.as_deref(), Some("dram-burst"));
+        assert_eq!(cfg.start_params, vec![("row", 512)]);
+    }
+
+    #[test]
+    fn tune_smoke_and_coordinator_forms() {
+        let a = parse_tune(&["--smoke", "3"]).unwrap();
+        let cfg = a.tune_config();
+        assert!(cfg.small);
+        assert_eq!((cfg.seed, cfg.budget), (3, 12));
+        // Explicit flags still win over the smoke defaults.
+        let b = parse_tune(&["--smoke", "3", "--budget", "2"]).unwrap();
+        assert_eq!(b.tune_config().budget, 2);
+        // A slash means a unix socket path.
+        let c = parse_tune(&["--coordinator", "/tmp/serve.sock"]).unwrap();
+        assert_eq!(c.coordinator, Some(Endpoint::Unix(PathBuf::from("/tmp/serve.sock"))));
+    }
+
+    #[test]
+    fn tune_grammar_errors_are_descriptive() {
+        assert!(parse_tune(&["--params", "row=512"]).unwrap_err().contains("--backend"));
+        assert!(parse_tune(&["--budget", "0"]).unwrap_err().contains("--budget 0"));
+        assert!(parse_tune(&["--budget", "lots"]).unwrap_err().contains("not an integer"));
+        assert!(parse_tune(&["--tune-seed"]).unwrap_err().contains("--tune-seed"));
+        assert!(parse_tune(&["--frobnicate"]).unwrap_err().contains("unknown flag"));
+        assert!(parse_tune(&["1", "2"]).unwrap_err().contains("second positional"));
+        assert!(parse_tune(&["--coordinator", "a:1", "--coordinator", "b:2"])
+            .unwrap_err()
+            .contains("at most one"));
+        // --threads 0 warns and falls back instead of erroring.
+        let a = parse_tune(&["--threads", "0"]).unwrap();
+        assert_eq!(a.threads, None);
+        assert!(a.threads() >= 1);
+        // A malformed --params value does not fail the parse: it warns
+        // at resolution time and falls back to the family defaults.
+        let b = parse_tune(&["--backend", "dram-burst", "--params", "bogus=1"]).unwrap();
+        assert_eq!(b.tune_config().start_params, Vec::new());
     }
 
     #[test]

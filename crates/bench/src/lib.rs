@@ -57,6 +57,17 @@
 //! `BENCH_serve.json` with p50/p99 latency and requests/sec
 //! ([`load`]).
 //!
+//! The design space is searchable: `mom3d-tune` explores backend
+//! family × family parameters × L2 latency × ISA variant per workload
+//! ([`tune`]) — exhaustively when a family's space fits the budget,
+//! otherwise by deterministic seeded hill-climbing with restarts —
+//! scoring every point on cycles, a capacitance-model energy estimate
+//! and register-file area at once, and writes the non-dominated Pareto
+//! frontier as `BENCH_tune.json` (schema `mom3d-tune/v1`, free of
+//! wall-clock fields so same-seed runs are byte-identical). Evaluations
+//! run through the local [`sweep`] engine or, with `--coordinator`, a
+//! resident `mom3d-serve` process.
+//!
 //! Sweeps also scale out across processes: `mom3d-shard` partitions a
 //! grid over worker processes that hydrate workloads from the shared
 //! on-disk cache and stream per-cell metrics back over the same frame
@@ -85,6 +96,7 @@ pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod sweep;
+pub mod tune;
 
 pub use cache::{CacheStats, WorkloadCache};
 pub use report::{

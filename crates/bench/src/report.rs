@@ -531,3 +531,44 @@ pub fn table4(r: &mut Runner) -> Table4 {
         .collect();
     Table4 { rows }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2's organizations section is registry-driven: every
+    /// registered backend — including the ones no binary names — shows
+    /// up with its id and self-description.
+    #[test]
+    fn table2_enrolls_every_registered_backend() {
+        let t = table2();
+        for entry in BackendRegistry::entries() {
+            let line = format!("  {:<18} ", entry.id);
+            assert!(t.contains(&line), "table2 must list backend {:?}:\n{t}", entry.id);
+        }
+        // The two registry-only backends specifically, by id.
+        for id in ["hbm-wide", "pim-vector"] {
+            assert!(t.contains(id), "table2 must mention {id}:\n{t}");
+        }
+    }
+
+    /// The backend matrix auto-enrolls every non-ideal backend: one
+    /// column per registry entry under its native ISA variant, with a
+    /// finite slowdown on every workload.
+    #[test]
+    fn backend_matrix_enrolls_registry_only_backends() {
+        let mut r = Runner::small(5);
+        let m = backend_matrix(&mut r);
+        for name in ["die-stacked wide HBM", "memory-side vector (PIM)"] {
+            assert!(m.configs.contains(&name), "matrix must have a {name} column: {:?}", m.configs);
+        }
+        assert!(!m.configs.contains(&"ideal"), "ideal is the baseline, not a column");
+        assert_eq!(m.rows.len(), WORKLOADS.len());
+        for (kind, vals) in &m.rows {
+            assert_eq!(vals.len(), m.configs.len(), "{kind}: one slowdown per backend");
+            for (name, v) in m.configs.iter().zip(vals) {
+                assert!(v.is_finite() && *v > 0.0, "{kind}/{name}: slowdown {v}");
+            }
+        }
+    }
+}

@@ -849,15 +849,17 @@ mod tests {
     #[test]
     fn extra_backend_cells_cover_registry_only_backends() {
         let extras = cells_extra_backends();
-        // dram-burst is registered but not a paper organization, so the
-        // extended grid must pick it up for every workload — with no
-        // figure binary naming it.
-        let dram = BackendId::new("dram-burst");
-        for kind in WorkloadKind::ALL {
-            assert!(
-                extras.contains(&cell(kind, IsaVariant::Mom, dram, 20)),
-                "{kind:?} missing from the extra-backend cells"
-            );
+        // dram-burst, hbm-wide and pim-vector are registered but not
+        // paper organizations, so the extended grid must pick each up
+        // for every workload — with no figure binary naming any of them.
+        for id in ["dram-burst", "hbm-wide", "pim-vector"] {
+            let backend = BackendId::new(id);
+            for kind in WorkloadKind::ALL {
+                assert!(
+                    extras.contains(&cell(kind, IsaVariant::Mom, backend, 20)),
+                    "{kind:?} on {id} missing from the extra-backend cells"
+                );
+            }
         }
         // No paper backend sneaks in.
         for c in &extras {

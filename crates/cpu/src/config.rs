@@ -189,7 +189,12 @@ impl ProcessorConfig {
 
     /// The port-system parameters handed to backend factories.
     pub fn backend_params(&self) -> BackendParams {
-        BackendParams { banked: self.banked, vector_cache: self.vector_cache, dram: self.dram }
+        BackendParams {
+            banked: self.banked,
+            vector_cache: self.vector_cache,
+            dram: self.dram,
+            ..BackendParams::default()
+        }
     }
 
     /// Overrides the L2 hit latency (Figure 10's 20/40/60-cycle sweep).

@@ -11,11 +11,18 @@
 //!   (e.g. DRAM row buffers), so scheduling takes `&mut self`; one
 //!   instance is built per simulation run.
 //! * [`BackendId`] — the stable string identity a backend is keyed by
-//!   everywhere (simulation caches, sweep grids, JSON reports).
+//!   everywhere (simulation caches, sweep grids, JSON reports). Ids may
+//!   carry a `?key=value,...` parameter suffix describing a *tuned*
+//!   design point of a backend family (`"dram-burst?banks=16,row=512"`);
+//!   [`BackendRegistry::parse`] canonicalizes the suffix (keys sorted,
+//!   values validated against the family's [`ParamSpec`]s) so equal
+//!   design points always compare, hash and cache equal.
 //! * [`BackendRegistry`] — the global id → factory table. The four
-//!   paper organizations and the [DRAM-burst model](crate::DramConfig)
-//!   are pre-registered; [`BackendRegistry::register`] adds more at
-//!   runtime (see `examples/custom_backend.rs` in the workspace root).
+//!   paper organizations, the [DRAM-burst model](crate::DramConfig) and
+//!   the two zoo organizations ([`crate::HbmWideBackend`],
+//!   [`crate::PimVectorBackend`]) are pre-registered;
+//!   [`BackendRegistry::register`] adds more at runtime (see
+//!   `examples/custom_backend.rs` in the workspace root).
 //!
 //! ```
 //! use mom3d_mem::{BackendParams, BackendRegistry};
@@ -26,23 +33,38 @@
 //! let blocks: Vec<(u64, u32)> = (0..8).map(|i| (0x1000 + 8 * i, 8)).collect();
 //! let s = backend.schedule(&blocks, false);
 //! assert_eq!(s.port_cycles, 2);
+//!
+//! // A tuned design point: same family, wider port, canonical id.
+//! let wide = BackendRegistry::parse("vector-cache?width=8").unwrap();
+//! assert_eq!(wide.base(), "vector-cache");
+//! let mut backend = BackendRegistry::build(wide, &BackendParams::default()).unwrap();
+//! let s = backend.schedule(&blocks, false);
+//! assert_eq!(s.port_cycles, 1);
 //! ```
 
 use crate::dram::{DramBurstBackend, DramConfig};
+use crate::hbm::{HbmConfig, HbmWideBackend};
+use crate::pim::{PimConfig, PimVectorBackend};
 use crate::ports::{
     schedule_3d, schedule_multibanked, schedule_vector_cache, BankedConfig, PortSchedule,
     VectorCacheConfig,
 };
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
 /// Stable identity of a memory backend: a short kebab-case string
-/// (`"vector-cache"`, `"dram-burst"`, …).
+/// (`"vector-cache"`, `"dram-burst"`, …), optionally followed by a
+/// `?key=value,...` suffix naming a tuned design point of that family
+/// (`"dram-burst?banks=16,row=512"`).
 ///
 /// `BackendId` is what simulation caches, sweep grids and reports key
 /// on. It is `Copy` and hashes/compares by string *content*, so ids
 /// parsed from user input ([`BackendRegistry::parse`]) compare equal to
-/// ids taken from registry entries.
+/// ids taken from registry entries. Parameterized ids are canonicalized
+/// by `parse` (keys sorted, validated) and interned for the process
+/// lifetime, so a tuned design point is exactly as cacheable, shardable
+/// and reproducible as a plain base id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BackendId(&'static str);
 
@@ -56,6 +78,35 @@ impl BackendId {
     /// The id as a string slice.
     pub const fn as_str(self) -> &'static str {
         self.0
+    }
+
+    /// The backend family this id names: the part before the optional
+    /// `?key=value,...` suffix (`"dram-burst?banks=16"` → `"dram-burst"`).
+    pub fn base(self) -> &'static str {
+        match self.0.split_once('?') {
+            Some((base, _)) => base,
+            None => self.0,
+        }
+    }
+
+    /// True when the id carries a `?key=value,...` parameter suffix.
+    pub fn has_params(self) -> bool {
+        self.0.contains('?')
+    }
+
+    /// The id's `key=value` parameters. Ids produced by
+    /// [`BackendRegistry::parse`] or [`BackendRegistry::make_id`] are
+    /// canonical (keys sorted, every pair well-formed); for hand-built
+    /// ids, malformed pairs are skipped. Empty for plain base ids.
+    pub fn params(self) -> impl Iterator<Item = (&'static str, u64)> {
+        let suffix = match self.0.split_once('?') {
+            Some((_, suffix)) => suffix,
+            None => "",
+        };
+        suffix.split(',').filter_map(|pair| {
+            let (key, value) = pair.split_once('=')?;
+            Some((key, value.parse().ok()?))
+        })
     }
 
     /// True when the registered backend behind this id includes a 3D
@@ -90,6 +141,29 @@ pub struct BackendParams {
     pub vector_cache: VectorCacheConfig,
     /// DRAM-burst main-memory model parameters.
     pub dram: DramConfig,
+    /// Die-stacked wide-interface memory parameters.
+    pub hbm: HbmConfig,
+    /// Memory-side vector-execution parameters.
+    pub pim: PimConfig,
+}
+
+/// Canonical parameterized id strings live for the whole process so
+/// [`BackendId`] can stay `Copy` over `&'static str`; each distinct
+/// canonical string is leaked exactly once.
+fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    match set.get(s) {
+        Some(&interned) => interned,
+        None => {
+            let interned: &'static str = Box::leak(s.to_owned().into_boxed_str());
+            set.insert(interned);
+            interned
+        }
+    }
 }
 
 /// Counters a backend may accumulate beyond the per-instruction
@@ -143,6 +217,32 @@ pub trait VectorMemoryBackend: fmt::Debug + Send {
     fn stats(&self) -> BackendStats {
         BackendStats::default()
     }
+
+    /// Bytes sensed per DRAM row activation — the granularity at which
+    /// design-space scoring charges activate energy against
+    /// [`BackendStats::row_misses`]. Zero for SRAM organizations whose
+    /// accesses never activate DRAM rows.
+    fn activate_row_bytes(&self) -> u64 {
+        0
+    }
+}
+
+/// One tunable knob of a backend family: the key it is written as in a
+/// parameterized [`BackendId`] suffix (`"dram-burst?banks=16"`), the
+/// value the plain base id builds with, the candidate values a
+/// design-space search should visit, and how a value lands in
+/// [`BackendParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// Parameter key (lower-case, must not contain `=`, `,` or `?`).
+    pub key: &'static str,
+    /// Value the plain base id (no suffix) resolves to.
+    pub default: u64,
+    /// Values worth visiting in a design-space search (must include the
+    /// default).
+    pub candidates: &'static [u64],
+    /// Writes a value into the build parameters.
+    pub apply: fn(&mut BackendParams, u64),
 }
 
 /// One row of the [`BackendRegistry`]: identity, capabilities, and the
@@ -164,6 +264,9 @@ pub struct BackendEntry {
     pub is_ideal: bool,
     /// Builds one instance for a simulation run.
     pub build: fn(&BackendParams) -> Box<dyn VectorMemoryBackend>,
+    /// The tunable parameters the family accepts in a `?key=value,...`
+    /// id suffix (empty for fixed organizations).
+    pub params: &'static [ParamSpec],
 }
 
 impl BackendEntry {
@@ -184,10 +287,70 @@ pub enum RegistryError {
         /// The entry's id.
         id: &'static str,
         /// Which declaration disagreed (`"id"`, `"has_3d"`,
-        /// `"is_ideal"`).
+        /// `"is_ideal"`, or `"params"` for an ill-formed
+        /// [`ParamSpec`] list).
         what: &'static str,
     },
 }
+
+/// Why an id string failed [`BackendRegistry::try_parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseIdError {
+    /// No registered backend family matches the part before `?`.
+    UnknownBase(String),
+    /// A suffix element is not a `key=value` pair with an unsigned
+    /// integer value.
+    MalformedPair {
+        /// The family the suffix was parsed against.
+        base: &'static str,
+        /// The offending element.
+        pair: String,
+    },
+    /// The key is not one of the family's declared parameters.
+    UnknownKey {
+        /// The family the suffix was parsed against.
+        base: &'static str,
+        /// The offending key.
+        key: String,
+        /// The keys the family does declare.
+        valid: Vec<&'static str>,
+    },
+    /// The same key appears twice in the suffix.
+    DuplicateKey {
+        /// The family the suffix was parsed against.
+        base: &'static str,
+        /// The repeated key.
+        key: String,
+    },
+}
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseIdError::UnknownBase(base) => {
+                write!(f, "unknown memory backend {base:?}")
+            }
+            ParseIdError::MalformedPair { base, pair } => write!(
+                f,
+                "backend {base:?}: malformed parameter {pair:?} (expected key=value with an \
+                 unsigned integer value)"
+            ),
+            ParseIdError::UnknownKey { base, key, valid } => {
+                write!(f, "backend {base:?}: unknown parameter key {key:?} (valid keys: ")?;
+                if valid.is_empty() {
+                    write!(f, "none — the backend takes no parameters)")
+                } else {
+                    write!(f, "{})", valid.join(", "))
+                }
+            }
+            ParseIdError::DuplicateKey { base, key } => {
+                write!(f, "backend {base:?}: duplicate parameter key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseIdError {}
 
 impl fmt::Display for RegistryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -207,11 +370,16 @@ impl std::error::Error for RegistryError {}
 
 /// The global id → backend table.
 ///
-/// Entries are kept in registration order — the five built-ins first
-/// (ideal, multi-banked, vector-cache, vector-cache-3d, dram-burst),
-/// then anything added by [`BackendRegistry::register`] — so
-/// enumeration ([`BackendRegistry::entries`]) is deterministic.
+/// Entries are kept in registration order — the seven built-ins first
+/// (ideal, multi-banked, vector-cache, vector-cache-3d, dram-burst,
+/// hbm-wide, pim-vector), then anything added by
+/// [`BackendRegistry::register`] — so enumeration
+/// ([`BackendRegistry::entries`]) is deterministic.
 pub struct BackendRegistry;
+
+/// A validated parameterized id: the family entry plus its `(key,
+/// value)` pairs sorted by key.
+type ParsedId = (BackendEntry, Vec<(&'static str, u64)>);
 
 fn registry() -> &'static Mutex<Vec<BackendEntry>> {
     static REGISTRY: OnceLock<Mutex<Vec<BackendEntry>>> = OnceLock::new();
@@ -238,7 +406,10 @@ impl BackendRegistry {
     /// [`RegistryError::DuplicateId`] when an entry with the same id
     /// exists; [`RegistryError::EntryMismatch`] when a probe instance
     /// built with default [`BackendParams`] reports a different id,
-    /// `has_3d` or `is_ideal` than the entry declares.
+    /// `has_3d` or `is_ideal` than the entry declares, or when the
+    /// entry's [`ParamSpec`] list is ill-formed (a key containing the
+    /// id-syntax characters `=`/`,`/`?`, a duplicate key, or candidates
+    /// that omit the default).
     pub fn register(entry: BackendEntry) -> Result<(), RegistryError> {
         let probe = (entry.build)(&BackendParams::default());
         let mismatch = |what| Err(RegistryError::EntryMismatch { id: entry.id, what });
@@ -250,6 +421,15 @@ impl BackendRegistry {
         }
         if probe.is_ideal() != entry.is_ideal {
             return mismatch("is_ideal");
+        }
+        for spec in entry.params {
+            if spec.key.is_empty()
+                || spec.key.contains(['=', ',', '?'])
+                || !spec.candidates.contains(&spec.default)
+                || entry.params.iter().filter(|p| p.key == spec.key).count() > 1
+            {
+                return mismatch("params");
+            }
         }
         let mut entries = lock();
         if entries.iter().any(|e| e.id == entry.id) {
@@ -264,25 +444,229 @@ impl BackendRegistry {
         lock().clone()
     }
 
-    /// Looks up one entry by id string.
+    /// Looks up one entry by id string. A parameterized id
+    /// (`"dram-burst?banks=16"`) resolves to its family's entry; the
+    /// suffix must be well-formed and name only keys the family
+    /// declares, so an id accepted here is also buildable.
     pub fn get(id: &str) -> Option<BackendEntry> {
-        lock().iter().find(|e| e.id == id).copied()
+        Self::parse_entry(id).ok().map(|(entry, _)| entry)
     }
 
-    /// Resolves a user-supplied string to a registered backend's id.
+    /// Resolves a user-supplied string to a registered backend's id in
+    /// canonical form: the parameter suffix, if any, is validated
+    /// against the family's [`ParamSpec`]s, sorted by key and interned,
+    /// so equal design points always compare (and cache) equal.
     pub fn parse(s: &str) -> Option<BackendId> {
-        Self::get(s).map(|e| e.backend_id())
+        Self::try_parse(s).ok()
     }
 
-    /// Builds a fresh backend instance for a simulation run, or `None`
-    /// when the id is not registered.
+    /// [`Self::parse`] with the reason a string was rejected (unknown
+    /// family, malformed pair, unknown or duplicate key).
+    ///
+    /// # Errors
+    ///
+    /// The [`ParseIdError`] variant describing the first offending part
+    /// of the string.
+    pub fn try_parse(s: &str) -> Result<BackendId, ParseIdError> {
+        let (entry, pairs) = Self::parse_entry(s)?;
+        Ok(Self::id_for(&entry, &pairs))
+    }
+
+    /// Builds the canonical id of a design point of family `base` with
+    /// the given `key = value` parameters (pairs in any order; keys are
+    /// validated against the family's [`ParamSpec`]s and sorted).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::try_parse`].
+    pub fn make_id(base: &str, pairs: &[(&str, u64)]) -> Result<BackendId, ParseIdError> {
+        let mut s = String::from(base);
+        for (i, &(key, value)) in pairs.iter().enumerate() {
+            s.push(if i == 0 { '?' } else { ',' });
+            s.push_str(key);
+            s.push('=');
+            s.push_str(&value.to_string());
+        }
+        Self::try_parse(&s)
+    }
+
+    /// Splits and validates `base?k=v,...`, returning the family entry
+    /// and the parsed pairs sorted by key.
+    fn parse_entry(s: &str) -> Result<ParsedId, ParseIdError> {
+        let (base, suffix) = match s.split_once('?') {
+            Some((base, suffix)) => (base, Some(suffix)),
+            None => (s, None),
+        };
+        let entry = lock()
+            .iter()
+            .find(|e| e.id == base)
+            .copied()
+            .ok_or_else(|| ParseIdError::UnknownBase(base.to_owned()))?;
+        let mut pairs: Vec<(&'static str, u64)> = Vec::new();
+        for pair in suffix.into_iter().flat_map(|s| s.split(',')) {
+            let malformed =
+                || ParseIdError::MalformedPair { base: entry.id, pair: pair.to_owned() };
+            let (key, value) = pair.split_once('=').ok_or_else(malformed)?;
+            let spec = entry.params.iter().find(|p| p.key == key).ok_or_else(|| {
+                ParseIdError::UnknownKey {
+                    base: entry.id,
+                    key: key.to_owned(),
+                    valid: entry.params.iter().map(|p| p.key).collect(),
+                }
+            })?;
+            let value: u64 = value.parse().map_err(|_| malformed())?;
+            if pairs.iter().any(|&(k, _)| k == spec.key) {
+                return Err(ParseIdError::DuplicateKey { base: entry.id, key: key.to_owned() });
+            }
+            pairs.push((spec.key, value));
+        }
+        pairs.sort_by_key(|&(key, _)| key);
+        Ok((entry, pairs))
+    }
+
+    /// The canonical (interned) id for a family and sorted pairs.
+    fn id_for(entry: &BackendEntry, pairs: &[(&'static str, u64)]) -> BackendId {
+        if pairs.is_empty() {
+            return entry.backend_id();
+        }
+        let mut s = String::from(entry.id);
+        for (i, &(key, value)) in pairs.iter().enumerate() {
+            s.push(if i == 0 { '?' } else { ',' });
+            s.push_str(key);
+            s.push('=');
+            s.push_str(&value.to_string());
+        }
+        BackendId(intern(&s))
+    }
+
+    /// The effective build parameters of a (possibly parameterized) id:
+    /// `base` with every `key=value` of the id's suffix applied through
+    /// the family's [`ParamSpec`]s. `None` when the id does not resolve.
+    pub fn resolved_params(id: BackendId, base: &BackendParams) -> Option<BackendParams> {
+        let entry = Self::get(id.as_str())?;
+        let mut params = *base;
+        for (key, value) in id.params() {
+            let spec = entry.params.iter().find(|p| p.key == key)?;
+            (spec.apply)(&mut params, value);
+        }
+        Some(params)
+    }
+
+    /// Builds a fresh backend instance for a simulation run — the id's
+    /// parameter suffix, if any, is applied on top of `params` — or
+    /// `None` when the id is not registered.
     pub fn build(id: BackendId, params: &BackendParams) -> Option<Box<dyn VectorMemoryBackend>> {
-        Self::get(id.as_str()).map(|e| (e.build)(params))
+        let entry = Self::get(id.as_str())?;
+        let resolved = Self::resolved_params(id, params)?;
+        Some((entry.build)(&resolved))
     }
 }
 
-/// The five built-in organizations, in their canonical order.
-fn builtin_entries() -> [BackendEntry; 5] {
+/// Tunable knobs of the multi-banked cache (Figure 2-a geometry).
+const MULTI_BANKED_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "banks",
+        default: 8,
+        candidates: &[4, 8, 16],
+        apply: |p, v| p.banked.banks = v.max(1) as usize,
+    },
+    ParamSpec {
+        key: "ports",
+        default: 4,
+        candidates: &[2, 4, 8],
+        apply: |p, v| p.banked.ports = v.max(1) as usize,
+    },
+];
+
+/// Tunable knobs of the vector-cache wide port (shared by the plain and
+/// the 3D-register-file organizations).
+const VECTOR_CACHE_PARAMS: &[ParamSpec] = &[ParamSpec {
+    key: "width",
+    default: 4,
+    candidates: &[2, 4, 8],
+    apply: |p, v| p.vector_cache.width_words = v.max(1) as usize,
+}];
+
+/// Tunable knobs of the DRAM-burst main-memory model.
+const DRAM_BURST_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "act",
+        default: 6,
+        candidates: &[2, 6, 12],
+        apply: |p, v| p.dram.row_miss_penalty = v.min(u32::MAX as u64) as u32,
+    },
+    ParamSpec {
+        key: "banks",
+        default: 8,
+        candidates: &[4, 8, 16],
+        apply: |p, v| p.dram.banks = v as usize,
+    },
+    ParamSpec {
+        key: "burst",
+        default: 4,
+        candidates: &[2, 4, 8],
+        apply: |p, v| p.dram.burst_words = v as usize,
+    },
+    ParamSpec {
+        key: "row",
+        default: 1024,
+        candidates: &[512, 1024, 4096],
+        apply: |p, v| p.dram.row_bytes = v,
+    },
+];
+
+/// Tunable knobs of the die-stacked wide-interface memory.
+const HBM_WIDE_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "act",
+        default: 8,
+        candidates: &[4, 8, 16],
+        apply: |p, v| p.hbm.act_cycles = v.min(u32::MAX as u64) as u32,
+    },
+    ParamSpec {
+        key: "banks",
+        default: 4,
+        candidates: &[2, 4, 8],
+        apply: |p, v| p.hbm.banks = v as usize,
+    },
+    ParamSpec {
+        key: "channels",
+        default: 8,
+        candidates: &[4, 8, 16],
+        apply: |p, v| p.hbm.channels = v as usize,
+    },
+    ParamSpec {
+        key: "row",
+        default: 256,
+        candidates: &[128, 256, 512],
+        apply: |p, v| p.hbm.row_bytes = v,
+    },
+];
+
+/// Tunable knobs of the memory-side vector-execution model.
+const PIM_VECTOR_PARAMS: &[ParamSpec] = &[
+    ParamSpec {
+        key: "act",
+        default: 6,
+        candidates: &[2, 6, 12],
+        apply: |p, v| p.pim.act_cycles = v.min(u32::MAX as u64) as u32,
+    },
+    ParamSpec {
+        key: "issue",
+        default: 4,
+        candidates: &[2, 4, 8],
+        apply: |p, v| p.pim.issue_cycles = v.min(u32::MAX as u64) as u32,
+    },
+    ParamSpec {
+        key: "width",
+        default: 256,
+        candidates: &[128, 256, 512],
+        apply: |p, v| p.pim.row_op_bytes = v,
+    },
+];
+
+/// The seven built-in organizations, in their canonical order.
+fn builtin_entries() -> [BackendEntry; 7] {
     [
         BackendEntry {
             id: "ideal",
@@ -290,6 +674,7 @@ fn builtin_entries() -> [BackendEntry; 5] {
             has_3d: true,
             is_ideal: true,
             build: |_| Box::new(IdealBackend),
+            params: &[],
         },
         BackendEntry {
             id: "multi-banked",
@@ -297,6 +682,7 @@ fn builtin_entries() -> [BackendEntry; 5] {
             has_3d: false,
             is_ideal: false,
             build: |p| Box::new(MultiBankedBackend { cfg: p.banked }),
+            params: MULTI_BANKED_PARAMS,
         },
         BackendEntry {
             id: "vector-cache",
@@ -304,6 +690,7 @@ fn builtin_entries() -> [BackendEntry; 5] {
             has_3d: false,
             is_ideal: false,
             build: |p| Box::new(VectorCacheBackend { cfg: p.vector_cache }),
+            params: VECTOR_CACHE_PARAMS,
         },
         BackendEntry {
             id: "vector-cache-3d",
@@ -311,6 +698,7 @@ fn builtin_entries() -> [BackendEntry; 5] {
             has_3d: true,
             is_ideal: false,
             build: |p| Box::new(VectorCache3dBackend { cfg: p.vector_cache }),
+            params: VECTOR_CACHE_PARAMS,
         },
         BackendEntry {
             id: "dram-burst",
@@ -318,6 +706,23 @@ fn builtin_entries() -> [BackendEntry; 5] {
             has_3d: false,
             is_ideal: false,
             build: |p| Box::new(DramBurstBackend::new(p.dram)),
+            params: DRAM_BURST_PARAMS,
+        },
+        BackendEntry {
+            id: "hbm-wide",
+            display_name: "die-stacked wide HBM",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(HbmWideBackend::new(p.hbm)),
+            params: HBM_WIDE_PARAMS,
+        },
+        BackendEntry {
+            id: "pim-vector",
+            display_name: "memory-side vector (PIM)",
+            has_3d: false,
+            is_ideal: false,
+            build: |p| Box::new(PimVectorBackend::new(p.pim)),
+            params: PIM_VECTOR_PARAMS,
         },
     ]
 }
@@ -459,11 +864,109 @@ mod tests {
     fn builtins_are_registered_in_canonical_order() {
         let entries = BackendRegistry::entries();
         let ids: Vec<&str> = entries.iter().map(|e| e.id).collect();
-        assert!(ids.len() >= 5);
-        assert_eq!(&ids[..5], &["ideal", "multi-banked", "vector-cache", "vector-cache-3d", "dram-burst"]);
+        assert!(ids.len() >= 7);
+        assert_eq!(
+            &ids[..7],
+            &[
+                "ideal",
+                "multi-banked",
+                "vector-cache",
+                "vector-cache-3d",
+                "dram-burst",
+                "hbm-wide",
+                "pim-vector"
+            ]
+        );
         // Enumeration is deterministic: a second snapshot agrees.
         let again: Vec<&str> = BackendRegistry::entries().iter().map(|e| e.id).collect();
         assert_eq!(ids, again);
+    }
+
+    #[test]
+    fn builtin_param_specs_are_well_formed() {
+        for entry in BackendRegistry::entries() {
+            for spec in entry.params {
+                assert!(!spec.key.is_empty(), "{}: empty key", entry.id);
+                assert!(
+                    !spec.key.contains(['=', ',', '?']),
+                    "{}: key {:?} collides with id syntax",
+                    entry.id,
+                    spec.key
+                );
+                assert!(
+                    spec.candidates.contains(&spec.default),
+                    "{}: candidates of {:?} omit the default {}",
+                    entry.id,
+                    spec.key,
+                    spec.default
+                );
+                assert_eq!(
+                    entry.params.iter().filter(|p| p.key == spec.key).count(),
+                    1,
+                    "{}: duplicate key {:?}",
+                    entry.id,
+                    spec.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_canonicalizes_parameterized_ids() {
+        // Keys are sorted and the result is interned: equal design
+        // points are pointer-equal strings, whatever the input order.
+        let a = BackendRegistry::parse("dram-burst?row=512,banks=16").unwrap();
+        let b = BackendRegistry::parse("dram-burst?banks=16,row=512").unwrap();
+        assert_eq!(a.as_str(), "dram-burst?banks=16,row=512");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(a.base(), "dram-burst");
+        assert!(a.has_params());
+        assert_eq!(a.params().collect::<Vec<_>>(), vec![("banks", 16), ("row", 512)]);
+        // Parameterized ids inherit the family's capabilities.
+        assert!(!a.has_3d() && !a.is_ideal());
+        assert!(BackendRegistry::parse("vector-cache-3d?width=8").unwrap().has_3d());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_suffixes_with_reasons() {
+        use ParseIdError::*;
+        let err = |s: &str| BackendRegistry::try_parse(s).unwrap_err();
+        assert_eq!(err("no-such?banks=4"), UnknownBase("no-such".into()));
+        assert!(matches!(err("dram-burst?"), MalformedPair { base: "dram-burst", .. }));
+        assert!(matches!(err("dram-burst?banks"), MalformedPair { .. }));
+        assert!(matches!(err("dram-burst?banks=four"), MalformedPair { .. }));
+        assert!(matches!(err("dram-burst?banks=4,banks=8"), DuplicateKey { .. }));
+        let unknown = err("dram-burst?bogus=1");
+        let UnknownKey { base, key, valid } = &unknown else {
+            panic!("expected UnknownKey, got {unknown:?}")
+        };
+        assert_eq!((*base, key.as_str()), ("dram-burst", "bogus"));
+        assert_eq!(valid, &["act", "banks", "burst", "row"]);
+        // The rendered message lists the valid keys for the CLI.
+        assert!(unknown.to_string().contains("act, banks, burst, row"));
+        // A parameter-less family reports that it takes none.
+        assert!(err("ideal?x=1").to_string().contains("takes no parameters"));
+        // get() applies the same validation, so the simulator rejects
+        // malformed design points as unknown backends.
+        assert!(BackendRegistry::get("dram-burst?bogus=1").is_none());
+        assert!(BackendRegistry::get("dram-burst?banks=16").is_some());
+    }
+
+    #[test]
+    fn make_id_and_resolved_params_apply_specs() {
+        let id = BackendRegistry::make_id("dram-burst", &[("row", 512), ("banks", 16)]).unwrap();
+        assert_eq!(id.as_str(), "dram-burst?banks=16,row=512");
+        let params =
+            BackendRegistry::resolved_params(id, &BackendParams::default()).unwrap();
+        assert_eq!(params.dram.banks, 16);
+        assert_eq!(params.dram.row_bytes, 512);
+        // Untouched knobs keep the base values.
+        assert_eq!(params.dram.burst_words, 4);
+        // And build() applies the suffix on top of the passed params.
+        let built = BackendRegistry::build(id, &BackendParams::default()).unwrap();
+        assert!(built.describe().contains("16 banks x 512 B rows"));
+        assert!(BackendRegistry::make_id("dram-burst", &[("bogus", 1)]).is_err());
     }
 
     #[test]
@@ -493,6 +996,7 @@ mod tests {
             has_3d: false,
             is_ideal: false,
             build: |p| Box::new(VectorCacheBackend { cfg: p.vector_cache }),
+            params: &[],
         })
         .unwrap_err();
         assert_eq!(err, RegistryError::DuplicateId("vector-cache"));
@@ -541,6 +1045,7 @@ mod tests {
             has_3d,
             is_ideal,
             build: |_| Box::new(DriftingProbe),
+            params: &[],
         };
         let err = BackendRegistry::register(entry("wrong-id", true, true)).unwrap_err();
         assert_eq!(err, RegistryError::EntryMismatch { id: "wrong-id", what: "id" });
@@ -549,6 +1054,22 @@ mod tests {
         let err = BackendRegistry::register(entry("drifting", true, false)).unwrap_err();
         assert_eq!(err, RegistryError::EntryMismatch { id: "drifting", what: "is_ideal" });
         assert!(err.to_string().contains("is_ideal"));
+        // Ill-formed param declarations are caught the same way.
+        let err = BackendRegistry::register(BackendEntry {
+            id: "drifting",
+            display_name: "drifting probe",
+            has_3d: true,
+            is_ideal: true,
+            build: |_| Box::new(DriftingProbe),
+            params: &[ParamSpec {
+                key: "bad=key",
+                default: 1,
+                candidates: &[1],
+                apply: |_, _| {},
+            }],
+        })
+        .unwrap_err();
+        assert_eq!(err, RegistryError::EntryMismatch { id: "drifting", what: "params" });
         // No bad entry made it into the registry.
         assert!(BackendRegistry::get("drifting").is_none());
         assert!(BackendRegistry::get("wrong-id").is_none());

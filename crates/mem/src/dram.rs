@@ -171,6 +171,10 @@ impl VectorMemoryBackend for DramBurstBackend {
     fn stats(&self) -> BackendStats {
         self.stats
     }
+
+    fn activate_row_bytes(&self) -> u64 {
+        self.cfg.row_bytes
+    }
 }
 
 #[cfg(test)]

@@ -21,8 +21,13 @@
 //! * the pluggable **memory-backend API** ([`VectorMemoryBackend`],
 //!   [`BackendRegistry`]): each organization is registered behind a
 //!   stable string id ([`BackendId`]) so new organizations — like the
-//!   built-in row-buffer-aware [`DramBurstBackend`] — plug into the
-//!   simulator, sweep engine and reports without touching them.
+//!   built-in row-buffer-aware [`DramBurstBackend`], the die-stacked
+//!   wide-interface [`HbmWideBackend`] and the memory-side vector
+//!   [`PimVectorBackend`] — plug into the simulator, sweep engine and
+//!   reports without touching them. Ids may carry a canonical
+//!   `?key=value,...` suffix naming a tuned design point of a family
+//!   (validated against the entry's [`ParamSpec`]s), which is what the
+//!   design-space autotuner sweeps over.
 //!
 //! ```
 //! use mom3d_mem::{MainMemory, Cache, CacheConfig, WritePolicy};
@@ -45,17 +50,21 @@
 mod backend;
 mod cache;
 mod dram;
+mod hbm;
 mod hierarchy;
 mod main_mem;
+mod pim;
 mod ports;
 
 pub use backend::{
     BackendEntry, BackendId, BackendParams, BackendRegistry, BackendStats, IdealBackend,
-    MultiBankedBackend, RegistryError, VectorCache3dBackend, VectorCacheBackend,
-    VectorMemoryBackend,
+    MultiBankedBackend, ParamSpec, ParseIdError, RegistryError, VectorCache3dBackend,
+    VectorCacheBackend, VectorMemoryBackend,
 };
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats, WritePolicy};
 pub use dram::{DramBurstBackend, DramConfig};
+pub use hbm::{HbmConfig, HbmWideBackend};
+pub use pim::{PimConfig, PimVectorBackend};
 pub use hierarchy::{HierarchyConfig, HierarchyStats, MemHierarchy, VectorAccessOutcome};
 pub use main_mem::MainMemory;
 pub use ports::{

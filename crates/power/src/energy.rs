@@ -107,6 +107,34 @@ impl L2Params {
     }
 }
 
+/// Energy (joules) to activate one DRAM row of `row_bytes` bytes under
+/// `process`.
+///
+/// A row activation senses the whole row: every bit's storage cell is
+/// switched onto its bitline, and the bitline (modeled at the same
+/// square-ish sub-array aspect as the L2, but built from 1-track-pitch
+/// DRAM cells) swings rail to rail. This is the dominant energy term of
+/// open-row main-memory organizations — whether the row feeds a burst
+/// interface, a die-stacked wide interface, or memory-side vector
+/// units — which is why backends expose their row size through
+/// `VectorMemoryBackend::activate_row_bytes` and the autotuner charges
+/// this per row miss.
+pub fn row_activate_energy(process: &ProcessParams, row_bytes: u64) -> f64 {
+    if row_bytes == 0 {
+        return 0.0;
+    }
+    let bits = (row_bytes * 8) as f64;
+    // One row = one wordline across `bits` columns; the sensed bitlines
+    // run the height of a square-ish array of the same capacity.
+    let cell = 1.0 * process.wire_pitch_um;
+    let bitline_len = bits.sqrt().ceil() * cell;
+    let wordline_len = bits * cell;
+    let bitlines = bits * process.wire_energy(bitline_len);
+    let wordline = process.wire_energy(wordline_len);
+    let cells = bits * process.cell_cap_ff * 1e-15 * process.vdd * process.vdd;
+    bitlines + wordline + cells
+}
+
 /// Average power in watts of `accesses` events of `energy_per_access`
 /// joules over `cycles` cycles at `freq_hz`.
 pub fn average_power_watts(accesses: u64, energy_per_access: f64, cycles: u64, freq_hz: f64) -> f64 {
@@ -144,6 +172,24 @@ mod tests {
         let mmx = p.regfile_access_energy(&RegFileSpec::mmx());
         let d3 = p.regfile_access_energy(&RegFileSpec::dreg_3d());
         assert!(mmx > d3, "a 20-port access beats a 2-port access in energy");
+    }
+
+    #[test]
+    fn row_activate_energy_scales_with_row_size() {
+        let p = ProcessParams::default();
+        assert_eq!(row_activate_energy(&p, 0), 0.0, "no row, no activate energy");
+        let small = row_activate_energy(&p, 128);
+        let default = row_activate_energy(&p, 1024);
+        let wide = row_activate_energy(&p, 4096);
+        assert!(small > 0.0);
+        assert!(small < default && default < wide, "wider rows sense more bits");
+        // A 1 KB activate sits at nanojoule scale, comparable to a
+        // line-wide L2 access; a 4 KB commodity row clearly exceeds
+        // it — the energy motivation for small-row HBM stacks and for
+        // keeping rows open.
+        assert!(default > 0.1e-9 && default < 10e-9, "1 KB activate {default:.3e} J");
+        let l2 = L2Params::default().access_energy(&p);
+        assert!(wide > l2, "4 KB activate {wide:.3e} J vs L2 access {l2:.3e} J");
     }
 
     #[test]

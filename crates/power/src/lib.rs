@@ -37,4 +37,4 @@ mod area;
 mod energy;
 
 pub use area::{ConfigArea, RegFileSpec, CACHE_BUS_WIRE_TRACKS};
-pub use energy::{average_power_watts, L2Params, ProcessParams};
+pub use energy::{average_power_watts, row_activate_energy, L2Params, ProcessParams};

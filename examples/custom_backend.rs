@@ -47,12 +47,15 @@ impl VectorMemoryBackend for DualPortToy {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Register the backend once at startup. After this line the id
     //    "toy-dual-port" works everywhere a paper organization does.
+    //    `params` declares the knobs a `?key=value` id suffix (and the
+    //    autotuner) may turn; the toy has none.
     BackendRegistry::register(BackendEntry {
         id: "toy-dual-port",
         display_name: "toy dual port",
         has_3d: false,
         is_ideal: false,
         build: |_params| Box::new(DualPortToy),
+        params: &[],
     })?;
     let toy = BackendRegistry::parse("toy-dual-port").expect("just registered");
 

@@ -11,8 +11,9 @@
 //! (and say so in the PR).
 //!
 //! The rest of the file covers the registry contract itself: id
-//! round-trips, deterministic enumeration order, and the DRAM-burst
-//! backend's emulator <-> timing smoke agreement.
+//! round-trips (including parameterized `?key=value` ids, by property
+//! test), deterministic enumeration order, and the main-memory
+//! backends' emulator <-> timing smoke agreement.
 
 use mom3d::cpu::{BackendId, BackendRegistry, MemorySystemKind, Metrics, Processor, ProcessorConfig};
 use mom3d::emu::Emulator;
@@ -52,25 +53,42 @@ const GOLDEN: [(WorkloadKind, IsaVariant, &str, u32, Metrics); 25] = [
     (GsmEncode, Mom, "vector-cache", 60, Metrics { cycles: 10225, instructions: 2965, packed_ops: 15601, vec_mem_instrs: 648, scalar_mem_instrs: 8, port_accesses: 1944, l2_activity: 1944, vec_words: 6480, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 8, l2_hits: 1088, l2_misses: 0, l1_accesses: 8, coherence_invalidations: 0, dram_row_hits: 0, dram_row_misses: 0 }),
 ];
 
+/// Golden-metric pins for the two zoo backends at their canonical
+/// (default-parameter) configurations, captured at their introduction
+/// (same seed-11 reduced geometry as `GOLDEN`). The signatures to watch:
+/// `hbm-wide` splits its row activity into many hits / few misses
+/// (channel parallelism keeps rows open), `pim-vector` moves zero words
+/// across the port and counts row-op slices as its only L2 activity.
+#[rustfmt::skip]
+const GOLDEN_ZOO: [(WorkloadKind, IsaVariant, &str, u32, Metrics); 2] = [
+    (JpegEncode, Mom, "hbm-wide", 20, Metrics { cycles: 665, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 500, l2_activity: 776, vec_words: 776, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 87, l2_hits: 408, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 23, dram_row_hits: 748, dram_row_misses: 28 }),
+    (JpegEncode, Mom, "pim-vector", 20, Metrics { cycles: 1170, instructions: 611, packed_ops: 6659, vec_mem_instrs: 97, scalar_mem_instrs: 96, port_accesses: 1156, l2_activity: 192, vec_words: 0, mov3d_instrs: 0, mov3d_words: 0, d3_writes: 0, l2_scalar_accesses: 79, l2_hits: 400, l2_misses: 0, l1_accesses: 96, coherence_invalidations: 15, dram_row_hits: 96, dram_row_misses: 96 }),
+];
+
 /// Cycle counts of the *entire* kernel × ISA-variant × registered-backend
 /// matrix (reduced geometry, seed 11, default L2 latency), captured from
 /// the pre-event-driven cycle-stepped loop (commit 0562e40) right before
-/// the scheduler rewrite. The event-driven path must keep reproducing
-/// every cell bit for bit; the `Mom3d` rows exist only for backends with
-/// a 3D register file (the others reject such traces). A deliberate
-/// timing-model change must re-capture this table and say so in the PR.
+/// the scheduler rewrite (zoo backends pinned at their introduction).
+/// The event-driven path must keep reproducing every cell bit for bit;
+/// the `Mom3d` rows exist only for backends with a 3D register file (the
+/// others reject such traces). A deliberate timing-model change must
+/// re-capture this table and say so in the PR.
 #[rustfmt::skip]
-const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
+const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 80] = [
     (JpegEncode, Mmx, "ideal", 371),
     (JpegEncode, Mmx, "multi-banked", 373),
     (JpegEncode, Mmx, "vector-cache", 373),
     (JpegEncode, Mmx, "vector-cache-3d", 373),
     (JpegEncode, Mmx, "dram-burst", 373),
+    (JpegEncode, Mmx, "hbm-wide", 373),
+    (JpegEncode, Mmx, "pim-vector", 373),
     (JpegEncode, Mom, "ideal", 201),
     (JpegEncode, Mom, "multi-banked", 593),
     (JpegEncode, Mom, "vector-cache", 593),
     (JpegEncode, Mom, "vector-cache-3d", 593),
     (JpegEncode, Mom, "dram-burst", 621),
+    (JpegEncode, Mom, "hbm-wide", 665),
+    (JpegEncode, Mom, "pim-vector", 1170),
     (JpegEncode, Mom3d, "ideal", 205),
     (JpegEncode, Mom3d, "vector-cache-3d", 389),
     (JpegDecode, Mmx, "ideal", 269),
@@ -78,11 +96,15 @@ const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
     (JpegDecode, Mmx, "vector-cache", 269),
     (JpegDecode, Mmx, "vector-cache-3d", 269),
     (JpegDecode, Mmx, "dram-burst", 269),
+    (JpegDecode, Mmx, "hbm-wide", 269),
+    (JpegDecode, Mmx, "pim-vector", 269),
     (JpegDecode, Mom, "ideal", 136),
     (JpegDecode, Mom, "multi-banked", 307),
     (JpegDecode, Mom, "vector-cache", 307),
     (JpegDecode, Mom, "vector-cache-3d", 307),
     (JpegDecode, Mom, "dram-burst", 335),
+    (JpegDecode, Mom, "hbm-wide", 347),
+    (JpegDecode, Mom, "pim-vector", 559),
     (JpegDecode, Mom3d, "ideal", 136),
     (JpegDecode, Mom3d, "vector-cache-3d", 307),
     (Mpeg2Decode, Mmx, "ideal", 252),
@@ -90,11 +112,15 @@ const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
     (Mpeg2Decode, Mmx, "vector-cache", 358),
     (Mpeg2Decode, Mmx, "vector-cache-3d", 358),
     (Mpeg2Decode, Mmx, "dram-burst", 358),
+    (Mpeg2Decode, Mmx, "hbm-wide", 358),
+    (Mpeg2Decode, Mmx, "pim-vector", 358),
     (Mpeg2Decode, Mom, "ideal", 167),
     (Mpeg2Decode, Mom, "multi-banked", 619),
     (Mpeg2Decode, Mom, "vector-cache", 659),
     (Mpeg2Decode, Mom, "vector-cache-3d", 659),
     (Mpeg2Decode, Mom, "dram-burst", 701),
+    (Mpeg2Decode, Mom, "hbm-wide", 493),
+    (Mpeg2Decode, Mom, "pim-vector", 1011),
     (Mpeg2Decode, Mom3d, "ideal", 172),
     (Mpeg2Decode, Mom3d, "vector-cache-3d", 353),
     (Mpeg2Encode, Mmx, "ideal", 1741),
@@ -102,11 +128,15 @@ const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
     (Mpeg2Encode, Mmx, "vector-cache", 1745),
     (Mpeg2Encode, Mmx, "vector-cache-3d", 1745),
     (Mpeg2Encode, Mmx, "dram-burst", 1745),
+    (Mpeg2Encode, Mmx, "hbm-wide", 1745),
+    (Mpeg2Encode, Mmx, "pim-vector", 1745),
     (Mpeg2Encode, Mom, "ideal", 394),
     (Mpeg2Encode, Mom, "multi-banked", 3101),
     (Mpeg2Encode, Mom, "vector-cache", 3101),
     (Mpeg2Encode, Mom, "vector-cache-3d", 3101),
     (Mpeg2Encode, Mom, "dram-burst", 3113),
+    (Mpeg2Encode, Mom, "hbm-wide", 2143),
+    (Mpeg2Encode, Mom, "pim-vector", 4631),
     (Mpeg2Encode, Mom3d, "ideal", 781),
     (Mpeg2Encode, Mom3d, "vector-cache-3d", 807),
     (GsmEncode, Mmx, "ideal", 3581),
@@ -114,11 +144,15 @@ const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
     (GsmEncode, Mmx, "vector-cache", 3581),
     (GsmEncode, Mmx, "vector-cache-3d", 3581),
     (GsmEncode, Mmx, "dram-burst", 3581),
+    (GsmEncode, Mmx, "hbm-wide", 3581),
+    (GsmEncode, Mmx, "pim-vector", 3581),
     (GsmEncode, Mom, "ideal", 982),
     (GsmEncode, Mom, "multi-banked", 3745),
     (GsmEncode, Mom, "vector-cache", 3745),
     (GsmEncode, Mom, "vector-cache-3d", 3745),
     (GsmEncode, Mom, "dram-burst", 3751),
+    (GsmEncode, Mom, "hbm-wide", 3938),
+    (GsmEncode, Mom, "pim-vector", 4102),
     (GsmEncode, Mom3d, "ideal", 987),
     (GsmEncode, Mom3d, "vector-cache-3d", 1017),
 ];
@@ -126,7 +160,7 @@ const GOLDEN_CYCLES: [(WorkloadKind, IsaVariant, &str, u64); 60] = [
 #[test]
 fn paper_backends_match_pre_refactor_metrics_bit_for_bit() {
     let mut r = Runner::small(SEED);
-    for (kind, variant, memory, l2, expected) in GOLDEN {
+    for (kind, variant, memory, l2, expected) in GOLDEN.into_iter().chain(GOLDEN_ZOO) {
         let id = BackendRegistry::parse(memory)
             .unwrap_or_else(|| panic!("golden backend {memory:?} not registered"));
         let got = r.metrics(kind, variant, id, l2);
@@ -181,8 +215,16 @@ fn registry_ids_round_trip_and_order_is_deterministic() {
     assert_eq!(ids, again, "registry enumeration must be deterministic");
     // The built-ins lead, in canonical order.
     assert_eq!(
-        &ids[..5],
-        &["ideal", "multi-banked", "vector-cache", "vector-cache-3d", "dram-burst"]
+        &ids[..7],
+        &[
+            "ideal",
+            "multi-banked",
+            "vector-cache",
+            "vector-cache-3d",
+            "dram-burst",
+            "hbm-wide",
+            "pim-vector"
+        ]
     );
     // parse(id).id() == id for every entry, and the paper shim agrees.
     for entry in &entries {
@@ -199,51 +241,131 @@ fn registry_ids_round_trip_and_order_is_deterministic() {
     }
 }
 
-/// The DRAM-burst backend passes the same emulator <-> timing smoke
-/// agreement as the paper backends: the timing simulator must commit
-/// exactly the instruction stream the (backend-agnostic) emulator
-/// executed, on every workload.
+/// Every row-buffer-modelling backend passes the same emulator <->
+/// timing smoke agreement as the paper backends: the timing simulator
+/// must commit exactly the instruction stream the (backend-agnostic)
+/// emulator executed, on every workload, and its row-buffer counters
+/// must cover every access it charged to the memory side.
 #[test]
-fn dram_burst_backend_smoke_agreement() {
-    let dram = BackendId::new("dram-burst");
-    for kind in WorkloadKind::ALL {
-        let wl = Workload::build_small(kind, IsaVariant::Mom, SEED)
-            .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"));
-        wl.verify().unwrap_or_else(|e| panic!("{kind}: verification failed: {e}"));
-        let trace = wl.trace();
+fn row_buffer_backends_smoke_agreement() {
+    for memory in ["dram-burst", "hbm-wide", "pim-vector"] {
+        let id = BackendRegistry::parse(memory).expect("built-in backend registered");
+        for kind in WorkloadKind::ALL {
+            let wl = Workload::build_small(kind, IsaVariant::Mom, SEED)
+                .unwrap_or_else(|e| panic!("{kind}: build failed: {e}"));
+            wl.verify().unwrap_or_else(|e| panic!("{kind}: verification failed: {e}"));
+            let trace = wl.trace();
 
-        let mut emu = Emulator::with_machine(wl.machine());
-        emu.run(trace).unwrap_or_else(|e| panic!("{kind}: emulation failed: {e}"));
+            let mut emu = Emulator::with_machine(wl.machine());
+            emu.run(trace).unwrap_or_else(|e| panic!("{kind}: emulation failed: {e}"));
 
-        let metrics = Processor::new(
-            ProcessorConfig::mom().with_memory(dram).with_warm_caches(true),
-        )
-        .run(trace)
-        .unwrap_or_else(|e| panic!("{kind}: dram-burst simulation failed: {e}"));
-        assert_eq!(
-            metrics.instructions,
-            emu.executed(),
-            "{kind}: dram-burst simulator and emulator disagree on committed instructions"
-        );
-        assert!(metrics.cycles > 0);
-        // Every burst access either hit an open row or activated one.
-        assert_eq!(
-            metrics.dram_row_hits + metrics.dram_row_misses,
-            metrics.l2_activity,
-            "{kind}: row-buffer accounting must cover every access"
-        );
-        assert!(metrics.dram_row_misses > 0, "{kind}: cold rows must be activated");
+            let metrics = Processor::new(
+                ProcessorConfig::mom().with_memory(id).with_warm_caches(true),
+            )
+            .run(trace)
+            .unwrap_or_else(|e| panic!("{kind}: {memory} simulation failed: {e}"));
+            assert_eq!(
+                metrics.instructions,
+                emu.executed(),
+                "{kind}: {memory} simulator and emulator disagree on committed instructions"
+            );
+            assert!(metrics.cycles > 0);
+            // Every memory-side access either hit an open row or
+            // activated one.
+            assert_eq!(
+                metrics.dram_row_hits + metrics.dram_row_misses,
+                metrics.l2_activity,
+                "{kind}: {memory} row-buffer accounting must cover every access"
+            );
+            assert!(metrics.dram_row_misses > 0, "{kind}: {memory} cold rows must activate");
+        }
     }
 }
 
-/// The DRAM model is slower than the SRAM vector cache (activates cost
-/// cycles) but the ideal baseline still dominates everything.
+/// The main-memory models are slower than the frictionless baseline:
+/// activates and command issue cost cycles the ideal port never pays.
 #[test]
-fn dram_burst_sits_between_nothing_and_ideal() {
+fn main_memory_backends_never_beat_ideal() {
     let mut r = Runner::small(SEED);
-    for kind in [WorkloadKind::GsmEncode, WorkloadKind::Mpeg2Encode] {
-        let ideal = r.mom_ideal_cycles(kind);
-        let dram = r.metrics(kind, Mom, BackendId::new("dram-burst"), 20).cycles;
-        assert!(ideal < dram, "{kind:?}: ideal {ideal} must beat dram {dram}");
+    for memory in ["dram-burst", "hbm-wide", "pim-vector"] {
+        for kind in [WorkloadKind::GsmEncode, WorkloadKind::Mpeg2Encode] {
+            let ideal = r.mom_ideal_cycles(kind);
+            let got = r.metrics(kind, Mom, BackendId::new(memory), 20).cycles;
+            assert!(ideal < got, "{kind:?}: ideal {ideal} must beat {memory} {got}");
+        }
+    }
+}
+
+mod param_id_round_trip {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One knob: its key and candidate values.
+    type Knob = (&'static str, Vec<u64>);
+
+    /// The parameterized families and their spec'd candidate values,
+    /// read straight from the registry so the test tracks new knobs.
+    fn families() -> Vec<(&'static str, Vec<Knob>)> {
+        BackendRegistry::entries()
+            .iter()
+            .filter(|e| !e.params.is_empty())
+            .map(|e| {
+                let specs =
+                    e.params.iter().map(|s| (s.key, s.candidates.to_vec())).collect::<Vec<_>>();
+                (e.id, specs)
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Any parameterized id built from registered specs round-trips
+        /// parse -> display -> parse losslessly, no matter the key
+        /// order or value choice, and canonicalizes to sorted keys.
+        #[test]
+        fn parameterized_ids_round_trip_losslessly(
+            family in 0usize..5,
+            mask in 1u8..16,
+            picks in proptest::collection::vec(0usize..8, 4),
+            shuffle in 0usize..4,
+        ) {
+            let fams = families();
+            let (base, specs) = &fams[family % fams.len()];
+            // Pick a non-empty subset of the family's keys and a
+            // candidate value for each, then rotate the pair order so
+            // canonicalization has something to do.
+            let mut pairs: Vec<(&str, u64)> = specs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << (i % 4)) != 0)
+                .map(|(i, (key, cands))| (*key, cands[picks[i % 4] % cands.len()]))
+                .collect();
+            if pairs.is_empty() {
+                pairs.push((specs[0].0, specs[0].1[0]));
+            }
+            let rot = shuffle % pairs.len();
+            pairs.rotate_left(rot);
+
+            let id = BackendRegistry::make_id(base, &pairs)
+                .unwrap_or_else(|e| panic!("make_id({base}) rejected spec'd pairs: {e}"));
+            // Display -> parse is the identity.
+            prop_assert_eq!(BackendRegistry::parse(id.as_str()), Some(id));
+            // Canonical form: base prefix, sorted keys, every pair kept.
+            prop_assert_eq!(id.base(), *base);
+            let keys: Vec<&str> = id.params().map(|(k, _)| k).collect();
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&keys, &sorted, "params must canonicalize sorted");
+            for (key, value) in &pairs {
+                prop_assert!(
+                    id.params().any(|(k, v)| k == *key && v == *value),
+                    "pair {key}={value} lost in {id}"
+                );
+            }
+            // The parameterized id resolves to the same entry and
+            // capabilities as its base.
+            let entry = BackendRegistry::get(id.as_str()).expect("parameterized id resolves");
+            prop_assert_eq!(entry.id, *base);
+            prop_assert_eq!(id.has_3d(), entry.has_3d);
+        }
     }
 }
