@@ -7,6 +7,7 @@
 //! ```text
 //! mom3d-serve [SEED] [--tcp ADDR | --unix PATH] [--small] [--threads N]
 //!             [--cache-dir PATH] [--prebuild]
+//!             [--chaos-seed N] [--chaos-profile P]
 //! ```
 //!
 //! Defaults: seed 7, `--tcp 127.0.0.1:7733`, full geometry, one
@@ -17,16 +18,25 @@
 //! `SHUTDOWN` (e.g. `mom3d-load` in `--stop` mode, or any protocol
 //! client).
 //!
+//! `--chaos-seed`/`--chaos-profile` wrap every accepted connection in
+//! the deterministic fault injector (`mom3d_bench::faults`): frames are
+//! delayed, dropped, truncated, bit-flipped or black-holed from a
+//! seeded schedule, so retrying clients can be soak-tested against a
+//! hostile server. Either flag defaults the other (seed 1, profile
+//! `mixed`).
+//!
 //! A readiness line (`listening on …`) is printed to stdout once the
 //! socket is bound — CI waits for it before starting the load.
 
+use mom3d_bench::faults::ChaosConfig;
 use mom3d_bench::protocol::Endpoint;
 use mom3d_bench::serve::{serve, ServeConfig};
 use mom3d_bench::WorkloadCache;
 use std::path::PathBuf;
 
 const USAGE: &str = "usage: mom3d-serve [SEED] [--tcp ADDR | --unix PATH] [--small] \
-                     [--threads N] [--cache-dir PATH] [--prebuild]";
+                     [--threads N] [--cache-dir PATH] [--prebuild] \
+                     [--chaos-seed N] [--chaos-profile P]";
 
 struct Args {
     endpoint: Endpoint,
@@ -38,6 +48,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     let mut seed: Option<u64> = None;
     let mut config = ServeConfig::default();
     let mut cache_dir: Option<PathBuf> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_profile: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -65,6 +77,14 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
                 let v = it.next().ok_or("--cache-dir needs a path")?;
                 cache_dir = Some(PathBuf::from(v));
             }
+            "--chaos-seed" => {
+                let v = it.next().ok_or("--chaos-seed needs a value")?;
+                chaos_seed =
+                    Some(v.parse().map_err(|_| format!("--chaos-seed {v:?}: not an integer"))?);
+            }
+            "--chaos-profile" => {
+                chaos_profile = Some(it.next().ok_or("--chaos-profile needs a profile")?);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
                 if seed.is_some() {
@@ -80,6 +100,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
     }
     config.seed = seed.unwrap_or(7);
     config.cache = WorkloadCache::resolve(cache_dir.as_deref());
+    config.chaos = ChaosConfig::from_cli(chaos_seed, chaos_profile.as_deref())?;
     Ok(Args {
         endpoint: endpoint.unwrap_or_else(|| Endpoint::Tcp("127.0.0.1:7733".into())),
         config,
@@ -104,6 +125,7 @@ fn main() {
     };
     let seed = args.config.seed;
     let small = args.config.small;
+    let chaos = args.config.chaos;
     let handle = match serve(args.endpoint, args.config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -116,6 +138,13 @@ fn main() {
         handle.endpoint(),
         if small { "small" } else { "full" }
     );
+    if let Some(chaos) = chaos {
+        eprintln!(
+            "mom3d-serve: fault injection ARMED (seed {}, profile {}) — \
+             every connection will be damaged on purpose",
+            chaos.seed, chaos.profile
+        );
+    }
     handle.wait();
     eprintln!("mom3d-serve: shutdown requested, bye");
 }

@@ -26,10 +26,13 @@
 //! [`WorkloadCache::stats`]; the `all` binary prints them on stderr and
 //! embeds them in `BENCH_sweep.json`.
 
+use crate::faults::{ShimFile, WriteFault};
 use mom3d_kernels::{decode_workload, encode_workload, ImageKey, Workload, WORKLOAD_IMAGE_VERSION};
 use std::ffi::OsStr;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Snapshot of a cache's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +60,10 @@ pub struct WorkloadCache {
     misses: AtomicU64,
     rejected: AtomicU64,
     store_warned: AtomicBool,
+    /// One-shot injected write fault consumed by the next
+    /// [`WorkloadCache::store`] (chaos tests only; `None` in
+    /// production).
+    store_fault: Mutex<Option<WriteFault>>,
 }
 
 impl WorkloadCache {
@@ -90,6 +97,7 @@ impl WorkloadCache {
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             store_warned: AtomicBool::new(false),
+            store_fault: Mutex::new(None),
         })
     }
 
@@ -228,6 +236,15 @@ impl WorkloadCache {
         }
     }
 
+    /// Arms a one-shot [`WriteFault`] consumed by the next
+    /// [`WorkloadCache::store`]: that store's temp-file write fails
+    /// after the fault's byte budget, exercising the fail-open path
+    /// (warn once, never a half-written image under the final name)
+    /// without filling a disk or revoking permissions.
+    pub fn arm_store_fault(&self, fault: WriteFault) {
+        *self.store_fault.lock().expect("store-fault lock poisoned") = Some(fault);
+    }
+
     /// Stores a built-and-verified workload. `verify_digest` must come
     /// from the [`Workload::verify_digested`] run that just passed.
     /// Write failures warn (once) and are otherwise ignored — the cache
@@ -243,7 +260,20 @@ impl WorkloadCache {
             std::process::id(),
             &bytes as *const _
         ));
-        let result = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+        let fault = self.store_fault.lock().expect("store-fault lock poisoned").take();
+        let result = (|| {
+            let file = std::fs::File::create(&tmp)?;
+            // All image bytes go through the injectable shim, so chaos
+            // tests can stage a disk-full / crash-mid-write store.
+            let mut shim = match fault {
+                Some(fault) => ShimFile::with_fault(file, fault),
+                None => ShimFile::new(file),
+            };
+            shim.write_all(&bytes)?;
+            shim.flush()?;
+            drop(shim);
+            std::fs::rename(&tmp, &path)
+        })();
         if let Err(e) = result {
             let _ = std::fs::remove_file(&tmp);
             if !self.store_warned.swap(true, Ordering::Relaxed) {
@@ -350,6 +380,38 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().contains(".reject-"))
             .collect();
         assert!(leftovers.is_empty(), "quarantine files must not accumulate: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_armed_store_fault_fails_open_and_is_one_shot() {
+        let dir = temp_dir("storefault");
+        let cache = WorkloadCache::open(&dir).unwrap();
+        let key = ImageKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            seed: 3,
+            small: true,
+        };
+        let wl = mom3d_kernels::Workload::build_small(key.kind, key.variant, key.seed).unwrap();
+        let digest = wl.verify_digested().expect("small workload verifies");
+
+        // The faulted store must leave nothing under the final name and
+        // no temp debris — the cache is an accelerator, not a
+        // dependency.
+        cache.arm_store_fault(WriteFault { fail_after: 16 });
+        cache.store(&wl, &key, digest);
+        assert!(cache.load(&key).is_none(), "no half-written image may be served");
+        let debris: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(debris.is_empty(), "temp files must be cleaned up: {debris:?}");
+
+        // The fault is one-shot: the next store lands intact.
+        cache.store(&wl, &key, digest);
+        assert!(cache.load(&key).is_some(), "the retried store must succeed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

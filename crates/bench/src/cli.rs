@@ -13,6 +13,7 @@
 //! PATH]` grammar ([`parse_common_args`]).
 
 use crate::cache::WorkloadCache;
+use crate::faults::ChaosConfig;
 use crate::protocol::Endpoint;
 use crate::shard::{ShardConfig, WorkerConfig};
 use std::path::PathBuf;
@@ -224,7 +225,8 @@ impl ShardArgs {
 pub const SHARD_USAGE: &str = "usage: mom3d-shard [SEED] [--workers N] [--worker-threads N] \
                                [--batch N] [--grid full|extended] [--small] [--manifest PATH] \
                                [--resume] [--json PATH] [--cache-dir PATH] \
-                               [--tcp ADDR | --unix PATH]";
+                               [--tcp ADDR | --unix PATH] \
+                               [--chaos-seed N] [--chaos-profile P]";
 
 /// Parses the `mom3d-shard` arguments (without the program name).
 ///
@@ -241,6 +243,8 @@ where
     let mut parsed =
         ShardArgs { config: ShardConfig::default(), extended: false, endpoint: None, json: None };
     let mut seed: Option<u64> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_profile: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -288,6 +292,14 @@ where
                 let v = it.next().ok_or("--unix needs a path")?;
                 set_endpoint(&mut parsed.endpoint, Endpoint::Unix(PathBuf::from(v)))?;
             }
+            "--chaos-seed" => {
+                let v = it.next().ok_or("--chaos-seed needs a value")?;
+                chaos_seed =
+                    Some(v.parse().map_err(|_| format!("--chaos-seed {v:?}: not an integer"))?);
+            }
+            "--chaos-profile" => {
+                chaos_profile = Some(it.next().ok_or("--chaos-profile needs a profile")?);
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             positional => {
                 if seed.is_some() {
@@ -305,6 +317,7 @@ where
         return Err("--resume requires --manifest PATH (there is nothing to resume from)".into());
     }
     config.seed = seed.unwrap_or(7);
+    config.chaos = ChaosConfig::from_cli(chaos_seed, chaos_profile.as_deref())?;
     parsed.config = config;
     Ok(parsed)
 }
@@ -687,6 +700,21 @@ mod tests {
         assert_eq!(b.json_path(), PathBuf::from("out.json"));
         assert_eq!(b.config.cache_dir, Some(PathBuf::from("imgs")));
         assert_eq!(b.endpoint(), Endpoint::Unix(PathBuf::from("/tmp/s.sock")));
+    }
+
+    #[test]
+    fn shard_chaos_flags_parse_and_default_each_other() {
+        assert!(parse_shard(&[]).unwrap().config.chaos.is_none());
+        let a = parse_shard(&["--chaos-seed", "9"]).unwrap();
+        let chaos = a.config.chaos.expect("one chaos flag arms both");
+        assert_eq!(chaos.seed, 9);
+        assert!(chaos.profile.any(), "the default profile must inject something");
+        let b = parse_shard(&["--chaos-profile", "heavy"]).unwrap();
+        assert!(b.config.chaos.is_some());
+        assert!(parse_shard(&["--chaos-profile", "bogus"])
+            .unwrap_err()
+            .contains("unknown chaos class"));
+        assert!(parse_shard(&["--chaos-seed", "x"]).unwrap_err().contains("not an integer"));
     }
 
     #[test]

@@ -76,6 +76,17 @@
 //! SIGKILL included — resumes without re-simulating finished cells,
 //! and the merged report is bit-identical to a single-process sweep.
 //!
+//! The whole distributed stack is hostile-tested: [`faults`] is a
+//! deterministic, seeded chaos layer (an in-process proxy plus stream
+//! and file shims, reachable via `--chaos-seed`/`--chaos-profile` on
+//! the server binaries) that drops, delays, stalls, truncates,
+//! bit-flips and black-holes traffic from a SplitMix64 schedule, and
+//! the stack survives it by construction: deadlines on every socket, a
+//! retrying client with seeded backoff ([`protocol::RetryClient`]),
+//! grant leases in the shard coordinator, and backpressure with typed
+//! `ERR_OVERLOADED` shedding in the server — always bit-identical
+//! metrics or a typed error, never a wrong answer, never a hang.
+//!
 //! **Place in the dataflow**: the top of the stack — the only crate
 //! that depends on everything. It owns the experiment loop
 //! (build → verify → time → report), the in-memory [`Runner`] cache,
@@ -85,6 +96,7 @@
 
 mod cache;
 pub mod cli;
+pub mod faults;
 pub mod json;
 pub mod load;
 pub mod manifest;

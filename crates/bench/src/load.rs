@@ -21,11 +21,20 @@
 //! Any violation is recorded as a failure in the report (and fails the
 //! `mom3d-load` binary), so CI catches a lying server, not just a slow
 //! one.
+//!
+//! The well-formed classes (hot, cold, sweep) run through the retry
+//! layer ([`RetryClient`]); with `--chaos-seed`/`--chaos-profile` every
+//! such connection is additionally wrapped in a seeded
+//! [`crate::faults::ChaosStream`], and the report's `faults` block
+//! (timeouts, retries, sheds, shed-then-succeeded) says what the layer
+//! absorbed — bit-identity is asserted regardless, so injected faults
+//! may cost latency but can never smuggle in a wrong metric.
 
+use crate::faults::ChaosConfig;
 use crate::json::json_string;
 use crate::protocol::{
-    read_frame, write_frame, Client, Endpoint, Hello, Request, Response, MAX_FRAME_PAYLOAD,
-    OP_ERROR,
+    read_frame, write_frame, Client, Endpoint, FaultCounters, Hello, Request, Response,
+    RetryClient, RetryPolicy, MAX_FRAME_PAYLOAD, OP_ERROR,
 };
 use crate::runner::{Runner, SimKey};
 use mom3d_cpu::{MemorySystemKind, Metrics};
@@ -49,6 +58,11 @@ pub struct LoadConfig {
     /// Re-simulate every observed key in-process and compare
     /// bit-for-bit.
     pub verify: bool,
+    /// Client-side fault injection: every hot/cold/sweep connection is
+    /// wrapped in a seeded [`crate::faults::ChaosStream`] and driven
+    /// through the retry layer. Bit-identity is still asserted — chaos
+    /// may cost retries, never correctness.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl LoadConfig {
@@ -58,13 +72,27 @@ impl LoadConfig {
         // 32 × 36 = 1152 issued; the malformed class sends raw damaged
         // frames rather than requests, so the *counted* request total
         // still clears 1000.
-        LoadConfig { endpoint, clients: 32, requests_per_client: 36, mix_seed: 1, verify: true }
+        LoadConfig {
+            endpoint,
+            clients: 32,
+            requests_per_client: 36,
+            mix_seed: 1,
+            verify: true,
+            chaos: None,
+        }
     }
 
     /// The CI smoke: small enough to finish in seconds against a
     /// `--small` server, still exercising every request class.
     pub fn smoke(endpoint: Endpoint) -> Self {
-        LoadConfig { endpoint, clients: 6, requests_per_client: 12, mix_seed: 1, verify: true }
+        LoadConfig {
+            endpoint,
+            clients: 6,
+            requests_per_client: 12,
+            mix_seed: 1,
+            verify: true,
+            chaos: None,
+        }
     }
 }
 
@@ -180,6 +208,7 @@ struct Agg {
     expected_errors: u64,
     malformed_sent: u64,
     disconnects: u64,
+    faults: FaultCounters,
     failures: Vec<String>,
 }
 
@@ -215,6 +244,10 @@ impl Agg {
         self.expected_errors += other.expected_errors;
         self.malformed_sent += other.malformed_sent;
         self.disconnects += other.disconnects;
+        self.faults.timeouts += other.faults.timeouts;
+        self.faults.retries += other.faults.retries;
+        self.faults.sheds += other.faults.sheds;
+        self.faults.shed_then_succeeded += other.faults.shed_then_succeeded;
         for (key, m) in other.observed {
             if let Some(prev) = self.observed.insert(key, m) {
                 if prev != m {
@@ -230,47 +263,27 @@ impl Agg {
     }
 }
 
-fn one_sim(client: &mut Client, agg: &mut Agg, key: SimKey) {
+fn one_sim(client: &mut RetryClient, agg: &mut Agg, key: SimKey) {
     let t0 = Instant::now();
     agg.requests_sent += 1;
-    match client.round_trip(&Request::Sim(key)) {
-        Ok(Response::Result(cell)) => {
+    match client.sim(&key) {
+        Ok(cell) => {
             agg.latencies_us.push(t0.elapsed().as_micros() as u64);
             agg.record_result(&[key], cell.key, cell.memo_hit, cell.metrics);
         }
-        Ok(other) => agg.fail(format!("SIM answered with {other:?}")),
-        Err(e) => agg.fail(format!("SIM round trip failed: {e}")),
+        Err(e) => agg.fail(format!("SIM failed through the retry layer: {e}")),
     }
 }
 
-fn one_sweep(client: &mut Client, agg: &mut Agg, keys: Vec<SimKey>) {
+fn one_sweep(client: &mut RetryClient, agg: &mut Agg, keys: Vec<SimKey>) {
     agg.requests_sent += 1;
-    if let Err(e) = client.send(&Request::Sweep(keys.clone())) {
-        agg.fail(format!("SWEEP send failed: {e}"));
-        return;
-    }
-    let mut streamed = 0u32;
-    loop {
-        match client.recv() {
-            Ok(Response::Result(cell)) => {
-                streamed += 1;
+    match client.sweep(&keys) {
+        Ok(cells) => {
+            for cell in cells {
                 agg.record_result(&keys, cell.key, cell.memo_hit, cell.metrics);
             }
-            Ok(Response::Done { results }) => {
-                if results != streamed {
-                    agg.fail(format!("DONE claims {results} results, {streamed} streamed"));
-                }
-                return;
-            }
-            Ok(other) => {
-                agg.fail(format!("SWEEP stream answered with {other:?}"));
-                return;
-            }
-            Err(e) => {
-                agg.fail(format!("SWEEP stream died: {e}"));
-                return;
-            }
         }
+        Err(e) => agg.fail(format!("SWEEP failed through the retry layer: {e}")),
     }
 }
 
@@ -278,27 +291,41 @@ fn one_sweep(client: &mut Client, agg: &mut Agg, keys: Vec<SimKey>) {
 /// containment contract: a garbage opcode in a *valid* frame gets an
 /// error reply and the connection stays usable; frame-level damage gets
 /// (at most) one error reply before the connection closes.
-fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
-    let stream = match endpoint.connect() {
+///
+/// When the run has chaos armed (`lenient`), the strict assertions are
+/// waived: injected faults may tear the probe connection or corrupt
+/// the reply, and a torn probe is containment, not a server bug — the
+/// probes still exercise the error path, they just stop asserting on
+/// a wire that is being damaged on purpose.
+fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64, lenient: bool) {
+    let mut stream = match endpoint.connect() {
         Ok(s) => s,
         Err(e) => {
             agg.fail(format!("malformed-class connect failed: {e}"));
             return;
         }
     };
+    // A prober must never hang on a server (or a fault) that swallows
+    // the reply: every probe read is bounded.
+    stream.set_read_timeout(Some(Duration::from_secs(10)));
     agg.malformed_sent += 1;
-    let mut stream = stream;
     match flavor % 4 {
         0 => {
             // Valid frame, garbage opcode: must be answered and survived.
             if write_frame(&mut stream, 0x7F, b"junk").is_err() {
-                agg.fail("server hung up before reading a valid frame".into());
+                if !lenient {
+                    agg.fail("server hung up before reading a valid frame".into());
+                }
                 return;
             }
             match read_frame(&mut stream) {
                 Ok(f) if f.opcode == OP_ERROR => agg.expected_errors += 1,
                 other => {
-                    agg.fail(format!("garbage opcode expected an error reply, got {other:?}"));
+                    if !lenient {
+                        agg.fail(format!(
+                            "garbage opcode expected an error reply, got {other:?}"
+                        ));
+                    }
                     return;
                 }
             }
@@ -306,6 +333,7 @@ fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
             let mut client = Client::from_stream(stream);
             match client.round_trip(&Request::Ping) {
                 Ok(Response::Pong(_)) => {}
+                other if lenient => drop(other),
                 other => agg.fail(format!(
                     "connection unusable after a rejected opcode: {other:?}"
                 )),
@@ -315,7 +343,7 @@ fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
             // Bad magic: one best-effort error reply, then close.
             let _ = stream.write_all(b"XXXXGARBAGE-NOT-A-FRAME");
             let _ = stream.flush();
-            expect_error_or_close(&mut stream, agg, "bad magic");
+            expect_error_or_close(&mut stream, agg, "bad magic", lenient);
         }
         2 => {
             // Absurd length prefix: rejected before any allocation.
@@ -325,7 +353,7 @@ fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
             bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
             let _ = stream.write_all(&bytes);
             let _ = stream.flush();
-            expect_error_or_close(&mut stream, agg, "oversized length prefix");
+            expect_error_or_close(&mut stream, agg, "oversized length prefix", lenient);
         }
         _ => {
             // Truncated frame: write half a header and hang up.
@@ -333,14 +361,22 @@ fn one_malformed(endpoint: &Endpoint, agg: &mut Agg, flavor: u64) {
             let _ = stream.write_all(&[0x02, 0xFF]);
             let _ = stream.flush();
             stream.shutdown_write();
-            expect_error_or_close(&mut stream, agg, "truncated frame");
+            expect_error_or_close(&mut stream, agg, "truncated frame", lenient);
         }
     }
 }
 
-fn expect_error_or_close(stream: &mut crate::protocol::Stream, agg: &mut Agg, what: &str) {
+fn expect_error_or_close(
+    stream: &mut crate::protocol::Stream,
+    agg: &mut Agg,
+    what: &str,
+    lenient: bool,
+) {
     match read_frame(stream) {
         Ok(f) if f.opcode == OP_ERROR => agg.expected_errors += 1,
+        // Under chaos a bit-flip can rewrite the reply's opcode in
+        // flight; without it, a non-error reply is a containment bug.
+        Ok(_) if lenient => {}
         Ok(f) => agg.fail(format!("{what}: expected an error reply, got opcode {:#04x}", f.opcode)),
         // Closed without a reply is acceptable containment too.
         Err(_) => agg.expected_errors += 1,
@@ -366,13 +402,15 @@ fn client_worker(cfg: &LoadConfig, worker: usize) -> Agg {
     let mut mix = Mix(cfg.mix_seed.wrapping_add(worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
     let hot = hot_pool();
     let cold = cold_pool();
-    let mut client = match Client::connect(&cfg.endpoint) {
-        Ok(c) => c,
-        Err(e) => {
-            agg.fail(format!("worker {worker} could not connect: {e}"));
-            return agg;
-        }
+    // Hot/cold/sweep traffic goes through the retry layer (seeded
+    // per-worker so backoff jitter differs across connections); the
+    // malformed and disconnect classes keep raw streams — they exist to
+    // probe the server's containment, not to survive.
+    let policy = RetryPolicy {
+        seed: RetryPolicy::default().seed ^ worker as u64,
+        ..RetryPolicy::default()
     };
+    let mut client = RetryClient::with_chaos(cfg.endpoint.clone(), policy, cfg.chaos);
     for _ in 0..cfg.requests_per_client {
         match pick_class(&mut mix) {
             Class::Hot => {
@@ -398,7 +436,7 @@ fn client_worker(cfg: &LoadConfig, worker: usize) -> Agg {
             }
             Class::Malformed => {
                 let flavor = mix.next();
-                one_malformed(&cfg.endpoint, &mut agg, flavor);
+                one_malformed(&cfg.endpoint, &mut agg, flavor, cfg.chaos.is_some());
             }
             Class::Disconnect => {
                 let keys = vec![
@@ -409,6 +447,7 @@ fn client_worker(cfg: &LoadConfig, worker: usize) -> Agg {
             }
         }
     }
+    agg.faults = client.counters();
     agg
 }
 
@@ -439,6 +478,12 @@ pub struct LoadReport {
     pub disconnects: u64,
     /// Distinct keys re-simulated in-process and compared bit-for-bit.
     pub verified_cells: u64,
+    /// The client-side fault injection this run was subjected to.
+    pub chaos: Option<ChaosConfig>,
+    /// What the retry layer absorbed: expired deadlines, re-attempts,
+    /// [`crate::protocol::ERR_OVERLOADED`] sheds, and sheds that later
+    /// completed. All zero on a fault-free run against an idle server.
+    pub faults: FaultCounters,
     /// Contract violations (empty on a passing run).
     pub failures: Vec<String>,
     /// Median request latency, microseconds.
@@ -457,13 +502,14 @@ impl LoadReport {
         self.failures.is_empty()
     }
 
-    /// The `BENCH_serve.json` document (schema `mom3d-serve-load/v1`).
-    /// String fields go through [`json_string`] — endpoints and failure
-    /// messages can contain anything.
+    /// The `BENCH_serve.json` document (schema `mom3d-serve-load/v2`;
+    /// v2 added the `chaos` and `faults` blocks). String fields go
+    /// through [`json_string`] — endpoints and failure messages can
+    /// contain anything.
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"mom3d-serve-load/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"mom3d-serve-load/v2\",");
         let _ = writeln!(s, "  \"endpoint\": {},", json_string(&self.endpoint.to_string()));
         let _ = writeln!(
             s,
@@ -485,6 +531,25 @@ impl LoadReport {
             self.malformed_sent,
             self.disconnects,
             self.verified_cells
+        );
+        match &self.chaos {
+            Some(chaos) => {
+                let _ = writeln!(
+                    s,
+                    "  \"chaos\": {{\"seed\": {}, \"profile\": {}}},",
+                    chaos.seed,
+                    json_string(&chaos.profile.to_string())
+                );
+            }
+            None => {
+                let _ = writeln!(s, "  \"chaos\": null,");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "  \"faults\": {{\"timeouts\": {}, \"retries\": {}, \"shed\": {}, \
+             \"shed_then_succeeded\": {}}},",
+            self.faults.timeouts, self.faults.retries, self.faults.sheds, self.faults.shed_then_succeeded
         );
         let _ = writeln!(
             s,
@@ -516,20 +581,16 @@ impl LoadReport {
 /// all; correctness violations during the run land in
 /// [`LoadReport::failures`] instead.
 pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
-    let mut probe = Client::connect(&cfg.endpoint)?;
-    let hello = match probe.round_trip(&Request::Ping)? {
-        Response::Pong(h) => h,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("PING answered with {other:?}"),
-            ))
-        }
-    };
+    // The identity probe goes through the retry layer too: under chaos
+    // the very first connection may be damaged, and that must cost a
+    // retry, not the run.
+    let mut probe = RetryClient::with_chaos(cfg.endpoint.clone(), RetryPolicy::default(), cfg.chaos);
+    let hello = probe.ping()?;
+    let probe_faults = probe.counters();
     drop(probe);
 
     let t0 = Instant::now();
-    let mut agg = Agg::default();
+    let mut agg = Agg { faults: probe_faults, ..Agg::default() };
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|worker| scope.spawn(move || client_worker(cfg, worker)))
@@ -579,6 +640,8 @@ pub fn run_load(cfg: &LoadConfig) -> io::Result<LoadReport> {
         malformed_sent: agg.malformed_sent,
         disconnects: agg.disconnects,
         verified_cells,
+        chaos: cfg.chaos,
+        faults: agg.faults,
         failures: agg.failures,
         p50_us: latency.p50,
         p99_us: latency.p99,
@@ -638,6 +701,8 @@ mod tests {
             malformed_sent: 1,
             disconnects: 0,
             verified_cells: 4,
+            chaos: ChaosConfig::from_cli(Some(42), Some("mixed")).unwrap(),
+            faults: FaultCounters { timeouts: 2, retries: 5, sheds: 1, shed_then_succeeded: 1 },
             failures: vec!["quote \" and back\\slash".into()],
             p50_us: 120,
             p99_us: 900,
@@ -645,15 +710,25 @@ mod tests {
             requests_per_sec: 4.0,
         };
         let json = report.to_json();
-        for needle in
-            ["\"schema\": \"mom3d-serve-load/v1\"", "\"p50\": 120", "\"p99\": 900", "\"requests_per_sec\": 4.00"]
-        {
+        for needle in [
+            "\"schema\": \"mom3d-serve-load/v2\"",
+            "\"p50\": 120",
+            "\"p99\": 900",
+            "\"requests_per_sec\": 4.00",
+            "\"chaos\": {\"seed\": 42,",
+            "\"faults\": {\"timeouts\": 2, \"retries\": 5, \"shed\": 1, \"shed_then_succeeded\": 1}",
+        ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
+        assert!(!report.ok());
+        // A chaos-free run still carries the grep surface (null + zeros).
+        let quiet = LoadReport { chaos: None, faults: FaultCounters::default(), ..report };
+        let json = quiet.to_json();
+        assert!(json.contains("\"chaos\": null,"), "missing null chaos block:\n{json}");
+        assert!(json.contains("\"faults\": {\"timeouts\": 0,"), "missing faults block:\n{json}");
         // Hostile failure text must be escaped: no raw quote or lone
         // backslash survives into the document.
         assert!(json.contains("quote \\\" and back\\\\slash"));
         assert!(!json.contains("quote \" and"), "unescaped failure text:\n{json}");
-        assert!(!report.ok());
     }
 }

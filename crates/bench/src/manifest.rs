@@ -39,6 +39,7 @@
 //! store idiom), so a crashed run's corrupt tail does not keep
 //! re-triggering recovery on every subsequent resume.
 
+use crate::faults::{ShimFile, WriteFault};
 use crate::protocol::{
     put_metrics, put_sim_key, read_frame, read_metrics, read_sim_key, write_frame, Cursor,
     FrameError,
@@ -114,7 +115,9 @@ pub struct Resume {
 #[derive(Debug)]
 pub struct Manifest {
     path: PathBuf,
-    file: BufWriter<File>,
+    // Every append goes through the injectable fault shim, so tests can
+    // stage the exact on-disk state a crash mid-record leaves behind.
+    file: BufWriter<ShimFile>,
 }
 
 impl Manifest {
@@ -125,7 +128,31 @@ impl Manifest {
     ///
     /// Propagates the filesystem error.
     pub fn create(path: &Path, seed: u64, small: bool, grid: &[SimKey]) -> io::Result<Manifest> {
-        let mut file = BufWriter::new(File::create(path)?);
+        Manifest::create_with_fault(path, seed, small, grid, None)
+    }
+
+    /// [`Manifest::create`] with an optional injected [`WriteFault`]:
+    /// after the fault's byte budget the file behaves like the writing
+    /// process died mid-record (short write, then errors). Production
+    /// callers pass `None`; the chaos tests use this to pin the
+    /// valid-prefix trust policy without killing a process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn create_with_fault(
+        path: &Path,
+        seed: u64,
+        small: bool,
+        grid: &[SimKey],
+        fault: Option<WriteFault>,
+    ) -> io::Result<Manifest> {
+        let raw = File::create(path)?;
+        let shim = match fault {
+            Some(fault) => ShimFile::with_fault(raw, fault),
+            None => ShimFile::new(raw),
+        };
+        let mut file = BufWriter::new(shim);
         write_frame(&mut file, REC_HEADER, &header_payload(seed, small, grid))?;
         Ok(Manifest { path: path.to_path_buf(), file })
     }
@@ -270,7 +297,7 @@ pub fn resume(
         w.flush()?;
     }
     std::fs::rename(&tmp, path)?;
-    let file = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+    let file = BufWriter::new(ShimFile::new(OpenOptions::new().append(true).open(path)?));
     Ok((Manifest { path: path.to_path_buf(), file }, recovered))
 }
 
@@ -433,6 +460,43 @@ mod tests {
         assert_eq!(r.cells, vec![(subset[0], metrics(1)), (subset[1], metrics(3))]);
         assert_eq!(r.dropped_records, 2);
         assert!(!r.truncated && !r.rejected);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn an_injected_short_write_trusts_exactly_the_valid_prefix() {
+        let grid = grid();
+        // Measure the on-disk size of header + 2 full records with a
+        // fault-free manifest, so the injected budget can be aimed
+        // mid-way through the THIRD record.
+        let path = tmp_path("shortwrite");
+        {
+            let mut m = Manifest::create(&path, 7, true, &grid).unwrap();
+            m.append(&grid[0], &metrics(1)).unwrap();
+            m.append(&grid[1], &metrics(2)).unwrap();
+        }
+        let two_records = std::fs::read(&path).unwrap().len() as u64;
+
+        // Same sequence through the fault shim: the writer "crashes"
+        // 30 bytes into record three.
+        let fault = WriteFault { fail_after: two_records + 30 };
+        let mut m = Manifest::create_with_fault(&path, 7, true, &grid, Some(fault)).unwrap();
+        m.append(&grid[0], &metrics(1)).unwrap();
+        m.append(&grid[1], &metrics(2)).unwrap();
+        let err = m.append(&grid[2], &metrics(3)).expect_err("budget exhausted mid-record");
+        assert!(err.to_string().contains("injected write fault"), "got: {err}");
+        drop(m);
+        assert_eq!(
+            std::fs::read(&path).unwrap().len() as u64,
+            two_records + 30,
+            "the shim left a short third record on disk"
+        );
+
+        // Resume trusts exactly the valid prefix and re-queues the rest.
+        let (_, r) = resume(&path, 7, true, &grid).unwrap();
+        assert!(r.truncated, "the short record must read as damage");
+        assert!(!r.rejected);
+        assert_eq!(r.cells, vec![(grid[0], metrics(1)), (grid[1], metrics(2))]);
         let _ = std::fs::remove_file(&path);
     }
 

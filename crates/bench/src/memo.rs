@@ -21,6 +21,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone)]
 enum Slot<V> {
@@ -216,6 +217,58 @@ impl<K: Eq + Hash + Copy, V: Clone> MemoTable<K, V> {
             slots = self.published.wait(slots).expect("memo table poisoned");
         }
     }
+
+    /// Deadline-bounded [`wait_any`](MemoTable::wait_any): identical
+    /// semantics, but returns `None` once `timeout` elapses without any
+    /// of `pending` publishing or failing (`pending` is left intact).
+    /// This is what lets a server handler put a hard ceiling on "waiting
+    /// for a simulation someone else claimed" and answer with a typed
+    /// timeout error instead of parking forever.
+    ///
+    /// # Errors
+    ///
+    /// The failed key, when one of `pending`'s claims was abandoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` is empty — there would be nothing to wait
+    /// for.
+    #[allow(clippy::type_complexity)]
+    pub fn wait_any_for(
+        &self,
+        pending: &mut Vec<K>,
+        timeout: Duration,
+    ) -> Option<Result<(K, V), (K, ComputeFailed)>> {
+        assert!(!pending.is_empty(), "wait_any_for needs at least one pending key");
+        let deadline = Instant::now() + timeout;
+        let mut slots = self.slots.lock().expect("memo table poisoned");
+        loop {
+            for (i, key) in pending.iter().enumerate() {
+                match slots.get(key) {
+                    Some(Slot::Ready(v)) => {
+                        let v = v.clone();
+                        let key = pending.swap_remove(i);
+                        return Some(Ok((key, v)));
+                    }
+                    Some(Slot::Pending) => {}
+                    None => {
+                        let key = pending.swap_remove(i);
+                        return Some(Err((key, ComputeFailed)));
+                    }
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            // On wakeup — timed out or not — loop back and re-scan
+            // under the lock: a publish may have raced the timeout, and
+            // the deadline check above settles expiry.
+            let (guard, _) =
+                self.published.wait_timeout(slots, left).expect("memo table poisoned");
+            slots = guard;
+        }
+    }
 }
 
 /// Drop guard for a [`Schedule::Claimed`] claim: unless defused by
@@ -335,6 +388,31 @@ mod tests {
             assert_eq!(h.join().unwrap(), 4242, "every requester sees the same value");
         }
         assert_eq!(computed.load(Ordering::Relaxed), 1, "exactly one computation runs");
+    }
+
+    #[test]
+    fn wait_any_for_times_out_and_then_delivers() {
+        let t: Arc<MemoTable<u32, u64>> = Arc::new(MemoTable::new());
+        assert_eq!(t.schedule(9), Schedule::Claimed);
+        let mut pending = vec![9];
+        // Nothing publishes: the bounded wait must expire, leaving the
+        // pending set intact.
+        let verdict = t.wait_any_for(&mut pending, std::time::Duration::from_millis(30));
+        assert_eq!(verdict, None);
+        assert_eq!(pending, vec![9]);
+        // A publish from another thread is delivered well inside the
+        // (generous) deadline.
+        let publisher = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                t.publish(9, 81);
+            })
+        };
+        let verdict = t.wait_any_for(&mut pending, std::time::Duration::from_secs(30));
+        assert_eq!(verdict, Some(Ok((9, 81))));
+        assert!(pending.is_empty());
+        publisher.join().unwrap();
     }
 
     #[test]

@@ -52,14 +52,17 @@
 //! | `CELL_DONE`   | key + sim wall-clock + [`Metrics`] | — (fire-and-forget stream) |
 //! | `SHARD_FIN`   | cells completed in this grant    | `DONE` (ack; carries cells still pending coordinator-side) |
 
+use crate::faults::{Backoff, ChaosConfig, ChaosStream, FaultPlan};
 use crate::runner::SimKey;
 use mom3d_cpu::{BackendRegistry, Metrics};
 use mom3d_kernels::{IsaVariant, WorkloadKind};
+use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Magic bytes opening every frame; the digit is the protocol version.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"M3S1";
@@ -122,6 +125,15 @@ pub const ERR_UNSUPPORTED: u8 = 5;
 /// Error code: a `SWEEP` request with more than [`MAX_SWEEP_CELLS`]
 /// cells.
 pub const ERR_TOO_MANY_CELLS: u8 = 6;
+/// Error code: the server's pending-work queue (or connection table) is
+/// full; the request was shed without scheduling anything. Retryable by
+/// construction — every request is a [`SimKey`] and replies are
+/// memoized, so clients back off and resend.
+pub const ERR_OVERLOADED: u8 = 7;
+/// Error code: a per-request deadline expired server-side before the
+/// result was ready. The cell may still complete in the background;
+/// retrying later typically hits the memo table.
+pub const ERR_TIMEOUT: u8 = 8;
 
 /// Why a frame could not be read.
 #[derive(Debug)]
@@ -136,6 +148,10 @@ pub enum FrameError {
     Oversized(u32),
     /// The payload checksum does not match.
     Checksum,
+    /// A read deadline expired ([`Stream::set_read_timeout`]). A
+    /// timeout can strike mid-frame, so the stream is unsynchronized
+    /// and must be discarded — recovery is reconnect-and-retry.
+    TimedOut,
 }
 
 impl fmt::Display for FrameError {
@@ -148,6 +164,7 @@ impl fmt::Display for FrameError {
                 write!(f, "frame payload of {n} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte limit")
             }
             FrameError::Checksum => write!(f, "frame checksum mismatch"),
+            FrameError::TimedOut => write!(f, "read deadline elapsed"),
         }
     }
 }
@@ -183,22 +200,31 @@ pub fn write_frame(w: &mut impl Write, opcode: u8, payload: &[u8]) -> io::Result
     w.flush()
 }
 
-fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
-    r.read_exact(buf).map_err(FrameError::Io)
+/// True for the two `io::ErrorKind`s an expired socket deadline
+/// surfaces as (unix sockets report `WouldBlock`, TCP either).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-/// Reads one frame, validating magic, length bound and checksum.
-///
-/// # Errors
-///
-/// [`FrameError::Closed`] on a clean disconnect between frames; every
-/// other variant marks the stream as unusable (framing is lost).
-pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    r.read_exact(buf).map_err(|e| {
+        if is_timeout(&e) {
+            FrameError::TimedOut
+        } else {
+            FrameError::Io(e)
+        }
+    })
+}
+
+/// Reads and validates one frame header, returning `(opcode, len)`.
+fn read_frame_header(r: &mut impl Read) -> Result<(u8, u32), FrameError> {
     let mut head = [0u8; 9];
-    // Distinguish "peer closed between frames" from "died mid-frame".
+    // Distinguish "peer closed between frames" from "died mid-frame"
+    // from "deadline expired".
     match r.read_exact(&mut head) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Closed),
+        Err(e) if is_timeout(&e) => return Err(FrameError::TimedOut),
         Err(e) => return Err(FrameError::Io(e)),
     }
     let magic: [u8; 4] = head[0..4].try_into().expect("4 bytes");
@@ -210,6 +236,11 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     if len > MAX_FRAME_PAYLOAD {
         return Err(FrameError::Oversized(len));
     }
+    Ok((opcode, len))
+}
+
+/// Reads a frame's payload + checksum trailer after its header.
+fn read_frame_body(r: &mut impl Read, opcode: u8, len: u32) -> Result<Frame, FrameError> {
     let mut payload = vec![0u8; len as usize];
     read_exact_or(r, &mut payload)?;
     let mut sum = [0u8; 8];
@@ -218,6 +249,53 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
         return Err(FrameError::Checksum);
     }
     Ok(Frame { opcode, payload })
+}
+
+/// Reads one frame, validating magic, length bound and checksum.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on a clean disconnect between frames; every
+/// other variant marks the stream as unusable (framing is lost).
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    let (opcode, len) = read_frame_header(r)?;
+    read_frame_body(r, opcode, len)
+}
+
+/// Once a frame header has arrived, the rest of the frame must follow
+/// within this deadline. Senders write whole frames in one flush, so a
+/// long mid-frame gap means the length prefix lies (a bit-flipped
+/// header claims bytes the peer never sent) or the path died — without
+/// this bound such a reader blocks for its full *idle* timeout, the
+/// checksum trailer powerless because it is read after the payload.
+pub const MID_FRAME_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// [`read_frame`] with a two-phase deadline: waits up to `idle` for the
+/// header (the normal between-requests patience), then caps the wait
+/// for payload + trailer at [`MID_FRAME_TIMEOUT`] (tighter of the two).
+/// The stream's read timeout is restored to `idle` before returning.
+///
+/// # Errors
+///
+/// As [`read_frame`]; a mid-frame stall surfaces as
+/// [`FrameError::TimedOut`] and the stream must be discarded.
+pub fn read_frame_deadlined(
+    stream: &mut Stream,
+    idle: Option<std::time::Duration>,
+) -> Result<Frame, FrameError> {
+    read_frame_deadlined_with(stream, idle, MID_FRAME_TIMEOUT)
+}
+
+fn read_frame_deadlined_with(
+    stream: &mut Stream,
+    idle: Option<std::time::Duration>,
+    mid: std::time::Duration,
+) -> Result<Frame, FrameError> {
+    let (opcode, len) = read_frame_header(stream)?;
+    stream.set_read_timeout(Some(idle.map_or(mid, |t| t.min(mid))));
+    let result = read_frame_body(stream, opcode, len);
+    stream.set_read_timeout(idle);
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -564,10 +642,14 @@ pub struct ServeCounters {
     pub protocol_errors: u64,
     /// `RESULT` frames streamed.
     pub results_streamed: u64,
+    /// Requests shed with [`ERR_OVERLOADED`] (queue full or draining).
+    pub shed: u64,
+    /// Connections refused at accept time (connection cap reached).
+    pub refused_connections: u64,
 }
 
 impl ServeCounters {
-    fn fields(&self) -> [u64; 9] {
+    fn fields(&self) -> [u64; 11] {
         let ServeCounters {
             connections,
             requests,
@@ -578,6 +660,8 @@ impl ServeCounters {
             workloads_built,
             protocol_errors,
             results_streamed,
+            shed,
+            refused_connections,
         } = *self;
         [
             connections,
@@ -589,6 +673,8 @@ impl ServeCounters {
             workloads_built,
             protocol_errors,
             results_streamed,
+            shed,
+            refused_connections,
         ]
     }
 }
@@ -716,7 +802,7 @@ impl Response {
                 let n = c.u32()? as usize;
                 // Forward-compatible: a newer server may append counters;
                 // read the ones this build knows and skip the rest.
-                let mut fields = [0u64; 9];
+                let mut fields = [0u64; 11];
                 for (i, f) in fields.iter_mut().enumerate() {
                     if i < n {
                         *f = c.u64()?;
@@ -725,7 +811,7 @@ impl Response {
                 for _ in fields.len()..n {
                     c.u64()?;
                 }
-                let [connections, requests, memo_hits, memo_misses, memo_coalesced, sims_executed, workloads_built, protocol_errors, results_streamed] =
+                let [connections, requests, memo_hits, memo_misses, memo_coalesced, sims_executed, workloads_built, protocol_errors, results_streamed, shed, refused_connections] =
                     fields;
                 Response::Stats(ServeCounters {
                     connections,
@@ -737,6 +823,8 @@ impl Response {
                     workloads_built,
                     protocol_errors,
                     results_streamed,
+                    shed,
+                    refused_connections,
                 })
             }
             OP_ERROR => {
@@ -829,13 +917,17 @@ impl fmt::Display for Endpoint {
     }
 }
 
-/// A connected byte stream over either transport.
+/// A connected byte stream over either transport — optionally wrapped
+/// in the deterministic fault injector ([`crate::faults::ChaosStream`])
+/// so the chaos layer composes with everything built on [`Stream`].
 #[derive(Debug)]
 pub enum Stream {
     /// TCP connection (Nagle disabled — frames are latency-sensitive).
     Tcp(TcpStream),
     /// Unix-domain connection.
     Unix(UnixStream),
+    /// A stream with a seeded fault plan spliced in.
+    Chaos(Box<crate::faults::ChaosStream>),
 }
 
 impl Stream {
@@ -844,7 +936,59 @@ impl Stream {
         let _ = match self {
             Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
             Stream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Chaos(c) => return c.inner().shutdown_write(),
         };
+    }
+
+    /// Tears the connection down in both directions (used by the chaos
+    /// layer's `drop`/`truncate` faults and by error paths that must
+    /// unstick a peer blocked on the other half).
+    pub fn shutdown_all(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Chaos(c) => return c.inner().shutdown_all(),
+        };
+    }
+
+    /// Deadline for blocking reads; `None` blocks forever. Expiry
+    /// surfaces as [`FrameError::TimedOut`] from [`read_frame`], after
+    /// which the stream must be discarded (framing may be lost).
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) {
+        let _ = match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Chaos(c) => return c.inner().set_read_timeout(timeout),
+        };
+    }
+
+    /// Deadline for blocking writes; `None` blocks forever. A
+    /// black-holed peer that never drains its socket surfaces here
+    /// instead of wedging the writer thread.
+    pub fn set_write_timeout(&self, timeout: Option<std::time::Duration>) {
+        let _ = match self {
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Chaos(c) => return c.inner().set_write_timeout(timeout),
+        };
+    }
+
+    /// A second handle to the same connection (the chaos proxy pumps
+    /// each direction from its own thread). Chaos-wrapped streams do
+    /// not clone — the fault plan is single-threaded by design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error; `InvalidInput` for a chaos stream.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+            Stream::Chaos(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a chaos-wrapped stream cannot be cloned",
+            )),
+        }
     }
 }
 
@@ -853,6 +997,7 @@ impl Read for Stream {
         match self {
             Stream::Tcp(s) => s.read(buf),
             Stream::Unix(s) => s.read(buf),
+            Stream::Chaos(c) => c.read(buf),
         }
     }
 }
@@ -862,6 +1007,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.write(buf),
             Stream::Unix(s) => s.write(buf),
+            Stream::Chaos(c) => c.write(buf),
         }
     }
 
@@ -869,6 +1015,7 @@ impl Write for Stream {
         match self {
             Stream::Tcp(s) => s.flush(),
             Stream::Unix(s) => s.flush(),
+            Stream::Chaos(c) => c.flush(),
         }
     }
 }
@@ -881,6 +1028,7 @@ impl Write for Stream {
 #[derive(Debug)]
 pub struct Client {
     stream: Stream,
+    io_timeout: std::cell::Cell<Option<std::time::Duration>>,
 }
 
 impl Client {
@@ -890,12 +1038,24 @@ impl Client {
     ///
     /// Propagates the connect error.
     pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
-        Ok(Client { stream: endpoint.connect()? })
+        Ok(Client::from_stream(endpoint.connect()?))
     }
 
     /// Wraps an already-connected stream.
     pub fn from_stream(stream: Stream) -> Client {
-        Client { stream }
+        Client { stream, io_timeout: std::cell::Cell::new(None) }
+    }
+
+    /// Arms one deadline on both directions of the connection. Expiry
+    /// surfaces from [`Client::recv`] as `io::ErrorKind::TimedOut`; the
+    /// client must then be discarded (a timeout can strike mid-frame).
+    /// Mid-frame reads are additionally capped at
+    /// [`MID_FRAME_TIMEOUT`], so a lying length prefix cannot hold the
+    /// client for the full idle deadline.
+    pub fn set_io_timeout(&self, timeout: Option<std::time::Duration>) {
+        self.io_timeout.set(timeout);
+        self.stream.set_read_timeout(timeout);
+        self.stream.set_write_timeout(timeout);
     }
 
     /// Sends one request frame.
@@ -916,10 +1076,14 @@ impl Client {
     /// same `io::Error` space; a [`WireError`] payload problem is
     /// `InvalidData`.
     pub fn recv(&mut self) -> io::Result<Response> {
-        let frame = read_frame(&mut self.stream).map_err(|e| match e {
+        let idle = self.io_timeout.get();
+        let frame = read_frame_deadlined(&mut self.stream, idle).map_err(|e| match e {
             FrameError::Io(io) => io,
             FrameError::Closed => {
                 io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            }
+            FrameError::TimedOut => {
+                io::Error::new(io::ErrorKind::TimedOut, "read deadline elapsed")
             }
             other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
         })?;
@@ -941,6 +1105,401 @@ impl Client {
     pub fn into_stream(self) -> Stream {
         self.stream
     }
+}
+
+// ---------------------------------------------------------------------------
+// Retrying client
+// ---------------------------------------------------------------------------
+
+/// How a [`RetryClient`] paces itself: per-frame I/O deadline, retry
+/// budget, and the seeded backoff schedule ([`Backoff`]) it sleeps by.
+/// Retries are idempotent by construction — every request is a
+/// [`SimKey`] and server replies are memoized — so the only cost of a
+/// retry is latency.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Consecutive attempts without progress before giving up. Progress
+    /// (any new cell received) resets the count, so a long sweep can
+    /// survive many spread-out faults while a dead server still fails
+    /// in bounded time.
+    pub attempts: u32,
+    /// First backoff rung.
+    pub base_delay: Duration,
+    /// Backoff saturation.
+    pub max_delay: Duration,
+    /// Per-frame read/write deadline on every connection
+    /// ([`Client::set_io_timeout`]); `None` trusts the peer forever.
+    pub io_timeout: Option<Duration>,
+    /// Seed of the jitter stream (and of client-side chaos lanes).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+            // Generous: a cold full-geometry cell can simulate for a
+            // while before its first RESULT frame appears.
+            io_timeout: Some(Duration::from_secs(120)),
+            seed: 0x4d4f_4d33, // "MOM3"
+        }
+    }
+}
+
+/// Fault-class counters a [`RetryClient`] accumulates — the load
+/// generator merges these into `BENCH_serve.json`'s `faults` block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Read/write deadlines that expired (connection discarded each
+    /// time).
+    pub timeouts: u64,
+    /// Re-attempts after any failure (reconnects included).
+    pub retries: u64,
+    /// [`ERR_OVERLOADED`] replies absorbed.
+    pub sheds: u64,
+    /// Requests that were shed at least once and later completed —
+    /// the backpressure loop working as designed.
+    pub shed_then_succeeded: u64,
+}
+
+enum Attempt {
+    /// The request completed (possibly with partial progress recorded).
+    Done(Response),
+    /// Server shed the request ([`ERR_OVERLOADED`]); connection usable.
+    Shed,
+    /// Transient failure (the connection was already discarded by
+    /// [`RetryClient::fail`] when framing was lost).
+    Retry { error: io::Error },
+}
+
+/// A [`Client`] wrapped in deadlines, reconnects and seeded
+/// exponential backoff: the resilience half of the chaos layer. Used by
+/// the load generator, the tuner's remote executor and ad-hoc tooling;
+/// the shard worker implements the same discipline over its
+/// claim/stream conversation in [`crate::shard`].
+///
+/// With a [`ChaosConfig`] attached ([`RetryClient::with_chaos`]), every
+/// connection it dials is wrapped in a [`ChaosStream`] whose fault lane
+/// is the connection's sequence number — so a same-seed run dials the
+/// same connections, suffers the same faults and recovers through the
+/// same path, making the fault counters reproducible.
+#[derive(Debug)]
+pub struct RetryClient {
+    endpoint: Endpoint,
+    policy: RetryPolicy,
+    chaos: Option<ChaosConfig>,
+    conn_seq: u64,
+    client: Option<Client>,
+    backoff: Backoff,
+    counters: FaultCounters,
+}
+
+impl RetryClient {
+    /// A retrying client for `endpoint`.
+    pub fn new(endpoint: Endpoint, policy: RetryPolicy) -> RetryClient {
+        RetryClient {
+            endpoint,
+            policy,
+            chaos: None,
+            conn_seq: 0,
+            client: None,
+            backoff: Backoff::new(policy.seed, policy.base_delay, policy.max_delay),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Like [`RetryClient::new`], with client-side fault injection on
+    /// every dialed connection.
+    pub fn with_chaos(
+        endpoint: Endpoint,
+        policy: RetryPolicy,
+        chaos: Option<ChaosConfig>,
+    ) -> RetryClient {
+        RetryClient { chaos, ..RetryClient::new(endpoint, policy) }
+    }
+
+    /// The dialed endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Fault counters accumulated so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    fn connected(&mut self) -> io::Result<&mut Client> {
+        if self.client.is_none() {
+            let mut stream = self.endpoint.connect()?;
+            if let Some(chaos) = &self.chaos {
+                let plan = FaultPlan::new(chaos, self.conn_seq);
+                stream = Stream::Chaos(Box::new(ChaosStream::wrap(stream, plan)));
+            }
+            self.conn_seq += 1;
+            let client = Client::from_stream(stream);
+            client.set_io_timeout(self.policy.io_timeout);
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    fn fail(&mut self, error: io::Error, drop_conn: bool) -> Attempt {
+        if is_timeout(&error) {
+            self.counters.timeouts += 1;
+        }
+        if drop_conn {
+            self.client = None;
+        }
+        Attempt::Retry { error }
+    }
+
+    /// Classifies one response within a request conversation. Typed
+    /// errors that keep the connection usable retry in place; framing
+    /// loss ([`ERR_PROTOCOL`], [`ERR_TIMEOUT`]) reconnects first.
+    /// [`ERR_UNSUPPORTED`] also reconnects and retries: the frame
+    /// checksum does not cover the header, so wire damage can rewrite
+    /// an opcode into a well-formed garbage request — indistinguishable
+    /// from a misdirected client. Against a server that genuinely does
+    /// not speak the opcode, the bounded attempt budget surfaces the
+    /// redirect error anyway.
+    fn classify(&mut self, resp: Response) -> Attempt {
+        match resp {
+            Response::Error { code: ERR_OVERLOADED, .. } => {
+                self.counters.sheds += 1;
+                Attempt::Shed
+            }
+            Response::Error { code: ERR_SIM_FAILED, message } => {
+                self.fail(io::Error::other(format!("server: {message}")), false)
+            }
+            Response::Error {
+                code: code @ (ERR_PROTOCOL | ERR_TIMEOUT | ERR_UNSUPPORTED),
+                message,
+            } => self.fail(io::Error::other(format!("server: {message} (code {code})")), true),
+            other => Attempt::Done(other),
+        }
+    }
+
+    fn one_round_trip(&mut self, req: &Request) -> Attempt {
+        let client = match self.connected() {
+            Ok(c) => c,
+            Err(e) => return self.fail(e, true),
+        };
+        match client.round_trip(req) {
+            Ok(resp) => self.classify(resp),
+            Err(e) => self.fail(e, true),
+        }
+    }
+
+    /// One request/response exchange with deadlines, reconnects and
+    /// backoff. Fatal replies (unknown backend, malformed, …) are
+    /// returned as responses — only transport faults, shed requests and
+    /// transient server failures retry.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once the retry budget is spent.
+    pub fn round_trip(&mut self, req: &Request) -> io::Result<Response> {
+        let mut shed_pending = false;
+        let mut strikes = 0u32;
+        loop {
+            let error = match self.one_round_trip(req) {
+                Attempt::Done(resp) => {
+                    if shed_pending {
+                        self.counters.shed_then_succeeded += 1;
+                    }
+                    self.backoff.reset();
+                    return Ok(resp);
+                }
+                Attempt::Shed => {
+                    shed_pending = true;
+                    io::Error::other("server overloaded")
+                }
+                Attempt::Retry { error, .. } => error,
+            };
+            strikes += 1;
+            if strikes >= self.policy.attempts {
+                return Err(error);
+            }
+            self.counters.retries += 1;
+            std::thread::sleep(self.backoff.next_delay());
+        }
+    }
+
+    /// Pings the server, retrying, and returns its identity.
+    ///
+    /// # Errors
+    ///
+    /// Transport exhaustion, or `InvalidData` for a non-`PONG` reply.
+    pub fn ping(&mut self) -> io::Result<Hello> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong(hello) => Ok(hello),
+            other => Err(unexpected_reply("PING", &other)),
+        }
+    }
+
+    /// Server counter snapshot, retrying.
+    ///
+    /// # Errors
+    ///
+    /// Transport exhaustion, or `InvalidData` for a non-stats reply.
+    pub fn stats(&mut self) -> io::Result<ServeCounters> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(counters) => Ok(counters),
+            other => Err(unexpected_reply("STATS", &other)),
+        }
+    }
+
+    /// Simulates one cell, retrying until the reply arrives or the
+    /// budget is spent.
+    ///
+    /// # Errors
+    ///
+    /// Transport exhaustion, or `Other` with the server's message for a
+    /// fatal typed error.
+    pub fn sim(&mut self, key: &SimKey) -> io::Result<CellReply> {
+        match self.round_trip(&Request::Sim(*key))? {
+            Response::Result(reply) => Ok(reply),
+            Response::Error { code, message } => {
+                Err(io::Error::other(format!("server refused SIM: {message} (code {code})")))
+            }
+            other => Err(unexpected_reply("SIM", &other)),
+        }
+    }
+
+    /// Sweeps `cells`, resuming across reconnects: after any fault only
+    /// the still-undelivered cells are re-requested (the memoized
+    /// server answers the rest for free), so a mid-`SWEEP` reconnect
+    /// costs latency, never duplicated simulation. Oversized grids are
+    /// chunked by [`MAX_SWEEP_CELLS`]. Replies come back in `cells`
+    /// order (first occurrence, for duplicated keys).
+    ///
+    /// # Errors
+    ///
+    /// Transport exhaustion with no progress, or a fatal typed error.
+    pub fn sweep(&mut self, cells: &[SimKey]) -> io::Result<Vec<CellReply>> {
+        // Dedup preserving first-occurrence order; the server streams
+        // unique cells only.
+        let mut order: Vec<SimKey> = Vec::with_capacity(cells.len());
+        for key in cells {
+            if !order.contains(key) {
+                order.push(*key);
+            }
+        }
+        let mut got: HashMap<SimKey, CellReply> = HashMap::with_capacity(order.len());
+        for chunk in order.chunks(MAX_SWEEP_CELLS as usize) {
+            self.sweep_chunk(chunk, &mut got)?;
+        }
+        Ok(order.iter().map(|key| got[key]).collect())
+    }
+
+    fn sweep_chunk(
+        &mut self,
+        chunk: &[SimKey],
+        got: &mut HashMap<SimKey, CellReply>,
+    ) -> io::Result<()> {
+        let mut shed_pending = false;
+        let mut strikes = 0u32;
+        loop {
+            let remaining: Vec<SimKey> =
+                chunk.iter().filter(|k| !got.contains_key(k)).copied().collect();
+            if remaining.is_empty() {
+                break;
+            }
+            let (progress, outcome) = self.sweep_once(&remaining, got);
+            if progress {
+                self.backoff.reset();
+                strikes = 0;
+                if shed_pending {
+                    self.counters.shed_then_succeeded += 1;
+                    shed_pending = false;
+                }
+            }
+            let error = match outcome {
+                Ok(()) if progress => continue,
+                // A clean stream that delivered nothing means every
+                // remaining cell failed server-side. Re-requesting is
+                // still right (the failure may be transient), but it
+                // must burn a strike with backoff: a deterministically
+                // failing cell would otherwise spin this loop — and the
+                // server's simulator — forever.
+                Ok(()) => io::Error::other(format!(
+                    "server failed all {} remaining sweep cell(s)",
+                    remaining.len()
+                )),
+                Err(Attempt::Done(resp)) => return Err(unexpected_reply("SWEEP", &resp)),
+                Err(Attempt::Shed) => {
+                    shed_pending = true;
+                    io::Error::other("server overloaded")
+                }
+                Err(Attempt::Retry { error, .. }) => error,
+            };
+            strikes += 1;
+            if strikes >= self.policy.attempts {
+                return Err(error);
+            }
+            self.counters.retries += 1;
+            std::thread::sleep(self.backoff.next_delay());
+        }
+        Ok(())
+    }
+
+    /// One `SWEEP` conversation over the current connection. Returns
+    /// whether any new cell arrived, and `Ok` when the stream finished
+    /// cleanly (some cells may still be missing — e.g. individual
+    /// `ERR_SIM_FAILED` replies — and are re-requested by the caller).
+    fn sweep_once(
+        &mut self,
+        remaining: &[SimKey],
+        got: &mut HashMap<SimKey, CellReply>,
+    ) -> (bool, Result<(), Attempt>) {
+        let mut progress = false;
+        let client = match self.connected() {
+            Ok(c) => c,
+            Err(e) => return (false, Err(self.fail(e, true))),
+        };
+        if let Err(e) = client.send(&Request::Sweep(remaining.to_vec())) {
+            return (false, Err(self.fail(e, true)));
+        }
+        loop {
+            let resp = match self.client.as_mut().expect("connected above").recv() {
+                Ok(resp) => resp,
+                Err(e) => return (progress, Err(self.fail(e, true))),
+            };
+            match resp {
+                Response::Result(reply) => {
+                    if remaining.contains(&reply.key) {
+                        got.insert(reply.key, reply);
+                        progress = true;
+                    }
+                }
+                Response::Done { .. } => return (progress, Ok(())),
+                Response::Error { code: ERR_SIM_FAILED, .. } => {
+                    // One cell failed transiently; the stream carries on
+                    // and the caller re-requests the stragglers.
+                }
+                other => return (progress, Err(self.classify(other))),
+            }
+        }
+    }
+
+    /// Asks the server to shut down (single shot — a dying server often
+    /// cannot ack, so no retry loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport error.
+    pub fn request_shutdown(&mut self) -> io::Result<()> {
+        let client = self.connected()?;
+        let _ = client.round_trip(&Request::Shutdown)?;
+        self.client = None;
+        Ok(())
+    }
+}
+
+fn unexpected_reply(context: &str, resp: &Response) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("unexpected reply to {context}: {resp:?}"))
 }
 
 #[cfg(test)]
@@ -997,6 +1556,35 @@ mod tests {
     }
 
     #[test]
+    fn a_lying_length_prefix_cannot_block_past_the_mid_frame_deadline() {
+        use std::time::{Duration, Instant};
+        // A header whose length field claims 64 payload bytes, followed
+        // by only 3 — the on-the-wire shape of a bit-flipped length
+        // prefix. The checksum trailer cannot catch this (it is read
+        // *after* the payload), so only the mid-frame deadline can.
+        let (reader, writer) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut reader = Stream::Unix(reader);
+        let idle = Some(Duration::from_secs(30));
+        reader.set_read_timeout(idle);
+        let mut lying = Vec::new();
+        lying.extend_from_slice(&PROTOCOL_MAGIC);
+        lying.push(OP_PING);
+        lying.extend_from_slice(&64u32.to_le_bytes());
+        lying.extend_from_slice(&[1, 2, 3]);
+        (&writer).write_all(&lying).unwrap();
+
+        let start = Instant::now();
+        let err = read_frame_deadlined_with(&mut reader, idle, Duration::from_millis(50))
+            .expect_err("the claimed payload never arrives");
+        assert!(matches!(err, FrameError::TimedOut), "got {err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "the reader blocked for the idle window, not the mid-frame bound"
+        );
+        drop(writer);
+    }
+
+    #[test]
     fn requests_round_trip() {
         let reqs = [
             Request::Ping,
@@ -1039,6 +1627,8 @@ mod tests {
                 workloads_built: 7,
                 protocol_errors: 8,
                 results_streamed: 9,
+                shed: 10,
+                refused_connections: 11,
             }),
             Response::Error { code: ERR_MALFORMED, message: "nope".into() },
             Response::Bye,
@@ -1130,16 +1720,34 @@ mod tests {
 
     #[test]
     fn stats_reply_skips_unknown_future_counters() {
-        // A newer server appending a 10th counter must not break this
+        // A newer server appending a 12th counter must not break this
         // client: the extra field is skipped.
         let mut p = Vec::new();
-        p.extend_from_slice(&10u32.to_le_bytes());
-        for v in 1..=10u64 {
+        p.extend_from_slice(&12u32.to_le_bytes());
+        for v in 1..=12u64 {
             p.extend_from_slice(&v.to_le_bytes());
         }
         let resp = Response::decode(&Frame { opcode: OP_STATS_REPLY, payload: p }).unwrap();
         let Response::Stats(s) = resp else { panic!("expected stats") };
         assert_eq!(s.connections, 1);
         assert_eq!(s.results_streamed, 9);
+        assert_eq!(s.shed, 10);
+        assert_eq!(s.refused_connections, 11);
+    }
+
+    #[test]
+    fn an_older_stats_reply_zero_fills_the_new_counters() {
+        // A 9-counter reply from a pre-backpressure server decodes with
+        // shed/refused at zero.
+        let mut p = Vec::new();
+        p.extend_from_slice(&9u32.to_le_bytes());
+        for v in 1..=9u64 {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        let resp = Response::decode(&Frame { opcode: OP_STATS_REPLY, payload: p }).unwrap();
+        let Response::Stats(s) = resp else { panic!("expected stats") };
+        assert_eq!(s.results_streamed, 9);
+        assert_eq!(s.shed, 0);
+        assert_eq!(s.refused_connections, 0);
     }
 }

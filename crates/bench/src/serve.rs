@@ -33,24 +33,75 @@
 //! scheduled simulations complete and stay memoized for the next
 //! requester. The memo table is never corrupted by a misbehaving
 //! client; `tests/serve.rs` pins all of this.
+//!
+//! Robustness under hostile load (PR 9): every handler socket carries
+//! read/write deadlines; waits on in-flight simulations are bounded
+//! (`RESULT_DEADLINE` → `ERR_TIMEOUT`); the pending-work queue is
+//! bounded and requests over the bound are **shed** with a typed
+//! [`ERR_OVERLOADED`] reply (clients back off and retry — requests are
+//! `SimKey`s and replies memoized, so retries are idempotent); a
+//! connection cap refuses accepts beyond it; shutdown is a **graceful
+//! drain** that finishes in-flight simulations, refuses new work,
+//! flushes a final counter/memo-stat line and force-closes only the
+//! stragglers. Frame-damage warnings are once-per-class
+//! ([`FrameWarnings`]) so a garbage-spewing client cannot flood
+//! stderr, and the unix-socket file is unlinked on every accept-loop
+//! exit path — panic included — by a drop-guard. `--chaos-seed` wraps
+//! every accepted connection in a seeded [`ChaosStream`]
+//! ([`crate::faults`]) for hostile self-testing.
 
+use crate::faults::{ChaosConfig, ChaosStream, FaultPlan, FrameWarnings};
 use crate::memo::{ClaimGuard, MemoTable, Schedule};
 use crate::protocol::{
-    read_frame, write_frame, CellReply, Endpoint, FrameError, Hello, Request, Response,
-    ServeCounters, Stream, ERR_PROTOCOL, ERR_SIM_FAILED, ERR_UNSUPPORTED,
+    read_frame_deadlined, write_frame, CellReply, Endpoint, FrameError, Hello, Request, Response,
+    ServeCounters, Stream, ERR_OVERLOADED, ERR_PROTOCOL, ERR_SIM_FAILED, ERR_TIMEOUT,
+    ERR_UNSUPPORTED,
 };
 use crate::runner::{simulate, Runner, SimKey};
 use crate::sweep;
 use crate::WorkloadCache;
 use mom3d_cpu::Metrics;
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Pending-work queue bound when [`ServeConfig::queue_limit`] is 0: a
+/// request arriving while this many cells are already queued is shed
+/// with [`ERR_OVERLOADED`] instead of growing the backlog without
+/// bound.
+pub const DEFAULT_QUEUE_LIMIT: usize = 1024;
+
+/// Connection cap when [`ServeConfig::max_connections`] is 0: an accept
+/// beyond it is answered with one [`ERR_OVERLOADED`] frame and closed.
+pub const DEFAULT_CONNECTION_CAP: usize = 256;
+
+/// Handler-side read deadline: a connection idle past this is
+/// reclaimed (the client reconnects on its next request).
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Handler-side write deadline: a peer that never drains its socket
+/// surfaces as a dead connection instead of wedging the handler.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Ceiling on "waiting for a cell someone is computing": past this the
+/// handler answers [`ERR_TIMEOUT`] instead of parking forever. Generous
+/// — full-geometry cells take seconds, not minutes.
+const RESULT_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Drain grace: how long shutdown waits for in-flight handlers to
+/// finish streaming (every result is already published by then) before
+/// force-closing the stragglers.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// Bound on waiting for force-closed handlers to notice and exit.
+const DRAIN_FORCE_WAIT: Duration = Duration::from_secs(5);
 
 /// How a [`ServerHandle`] is configured.
 #[derive(Debug)]
@@ -69,11 +120,37 @@ pub struct ServeConfig {
     /// [`sweep::prebuild_workloads`] pipeline) instead of lazily on
     /// first request.
     pub prebuild: bool,
+    /// Bound on the pending-work queue (0 = [`DEFAULT_QUEUE_LIMIT`]).
+    /// `SIM`/`SWEEP` requests arriving at or over the bound are shed
+    /// with [`ERR_OVERLOADED`] — clients back off and retry.
+    pub queue_limit: usize,
+    /// Bound on concurrent connections (0 =
+    /// [`DEFAULT_CONNECTION_CAP`]). Accepts beyond it are refused with
+    /// one [`ERR_OVERLOADED`] frame.
+    pub max_connections: usize,
+    /// Server-side fault injection: every accepted connection is
+    /// wrapped in a seeded [`ChaosStream`] (lane = connection ordinal),
+    /// so the server's own replies are damaged deterministically.
+    pub chaos: Option<ChaosConfig>,
+    /// Fault hook: panic the accept loop after this many accepted
+    /// connections. Exists so tests can pin that the unix-socket file
+    /// is unlinked even when the accept loop dies by panic.
+    pub accept_panic_after: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { seed: 7, small: false, threads: 0, cache: None, prebuild: false }
+        ServeConfig {
+            seed: 7,
+            small: false,
+            threads: 0,
+            cache: None,
+            prebuild: false,
+            queue_limit: 0,
+            max_connections: 0,
+            chaos: None,
+            accept_panic_after: None,
+        }
     }
 }
 
@@ -85,6 +162,8 @@ struct Counters {
     workloads_built: AtomicU64,
     protocol_errors: AtomicU64,
     results_streamed: AtomicU64,
+    shed: AtomicU64,
+    refused_connections: AtomicU64,
 }
 
 /// Shared state of one server: the resident tables, the job queue and
@@ -100,6 +179,16 @@ struct ServeState {
     shutdown: AtomicBool,
     counters: Counters,
     endpoint: Endpoint,
+    queue_limit: usize,
+    max_connections: usize,
+    chaos: Option<ChaosConfig>,
+    /// Live-connection registry: id → a raw clone of the accepted
+    /// stream (`None` when cloning failed), so drain can force-close a
+    /// handler parked in a blocking read. Its length is the connection
+    /// count the cap is enforced against.
+    conns: Mutex<HashMap<u64, Option<Stream>>>,
+    conns_changed: Condvar,
+    warnings: FrameWarnings,
 }
 
 impl ServeState {
@@ -115,6 +204,8 @@ impl ServeState {
             workloads_built: self.counters.workloads_built.load(Ordering::Relaxed),
             protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
             results_streamed: self.counters.results_streamed.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            refused_connections: self.counters.refused_connections.load(Ordering::Relaxed),
         }
     }
 
@@ -125,6 +216,73 @@ impl ServeState {
         self.queue_ready.notify_one();
     }
 
+    /// Backpressure gate, checked before any `SIM`/`SWEEP` does work:
+    /// a draining server or a full pending-work queue answers
+    /// [`ERR_OVERLOADED`] (and counts the shed) instead of accepting
+    /// unbounded backlog. Requests are `SimKey`s and replies are
+    /// memoized, so a shed-then-retried request is idempotent.
+    fn shed_reply(&self) -> Option<Response> {
+        let message = if self.shutdown.load(Ordering::SeqCst) {
+            "server is draining: no new work accepted".to_string()
+        } else {
+            let queued = self.queue.lock().expect("job queue poisoned").len();
+            if queued < self.queue_limit {
+                return None;
+            }
+            format!("pending-work queue is full ({queued} cell(s) queued); back off and retry")
+        };
+        self.counters.shed.fetch_add(1, Ordering::Relaxed);
+        Some(Response::Error { code: ERR_OVERLOADED, message })
+    }
+
+    /// Admits a fresh connection into the registry, or refuses it when
+    /// the cap is reached.
+    fn admit(&self, id: u64, stream: &Stream) -> bool {
+        let mut conns = self.conns.lock().expect("connection registry poisoned");
+        if conns.len() >= self.max_connections {
+            return false;
+        }
+        conns.insert(id, stream.try_clone().ok());
+        true
+    }
+
+    /// Removes a finished connection from the registry and wakes the
+    /// drain waiter.
+    fn release_conn(&self, id: u64) {
+        let mut conns = self.conns.lock().expect("connection registry poisoned");
+        conns.remove(&id);
+        drop(conns);
+        self.conns_changed.notify_all();
+    }
+
+    /// Waits up to `timeout` for every handler to exit. Returns whether
+    /// the registry is empty.
+    fn drain_conns(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut conns = self.conns.lock().expect("connection registry poisoned");
+        while !conns.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self
+                .conns_changed
+                .wait_timeout(conns, left)
+                .expect("connection registry poisoned");
+            conns = guard;
+        }
+        true
+    }
+
+    /// Tears down every registered connection so handlers parked in a
+    /// blocking read observe EOF and exit.
+    fn force_close_conns(&self) {
+        let conns = self.conns.lock().expect("connection registry poisoned");
+        for stream in conns.values().flatten() {
+            stream.shutdown_all();
+        }
+    }
+
     /// Flips the shutdown latch and wakes everything that might be
     /// parked: the worker pool (condvar) and the accept loop (a
     /// throwaway self-connection, since blocking `accept` has no other
@@ -133,6 +291,41 @@ impl ServeState {
         self.shutdown.store(true, Ordering::SeqCst);
         self.queue_ready.notify_all();
         let _ = self.endpoint.connect();
+    }
+}
+
+/// Unregisters a connection even when its handler panics.
+struct ConnGuard<'a> {
+    state: &'a ServeState,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.state.release_conn(self.id);
+    }
+}
+
+/// Unlinks the unix-socket file when the accept loop exits — by any
+/// path, panic included (the guard lives on the accept thread's stack,
+/// so unwinding runs it). [`ServerHandle::join`] removes the file again
+/// afterwards; both removals are idempotent.
+struct SocketGuard(Option<PathBuf>);
+
+impl SocketGuard {
+    fn new(endpoint: &Endpoint) -> SocketGuard {
+        SocketGuard(match endpoint {
+            Endpoint::Unix(path) => Some(path.clone()),
+            Endpoint::Tcp(_) => None,
+        })
+    }
+}
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.0 {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -212,17 +405,43 @@ fn respond(stream: &mut Stream, resp: &Response) -> io::Result<()> {
     write_frame(stream, opcode, &payload)
 }
 
+/// Waits (deadline-bounded) for `key` to publish, mapping abandonment
+/// to [`ERR_SIM_FAILED`] and deadline expiry to [`ERR_TIMEOUT`]. The
+/// error reply is boxed to keep the happy path's `Result` small.
+fn wait_bounded(state: &ServeState, key: SimKey) -> Result<Metrics, Box<Response>> {
+    let mut pending = vec![key];
+    match state.memo.wait_any_for(&mut pending, RESULT_DEADLINE) {
+        Some(Ok((_, metrics))) => Ok(metrics),
+        Some(Err(_)) => Err(Box::new(Response::Error {
+            code: ERR_SIM_FAILED,
+            message: format!(
+                "simulation of {} {} on {} failed server-side",
+                key.kind, key.variant, key.memory
+            ),
+        })),
+        None => Err(Box::new(Response::Error {
+            code: ERR_TIMEOUT,
+            message: format!(
+                "simulation of {} {} on {} did not complete within {}s",
+                key.kind,
+                key.variant,
+                key.memory,
+                RESULT_DEADLINE.as_secs()
+            ),
+        })),
+    }
+}
+
 /// Obtains one cell's metrics: memo hit, coalesce onto an in-flight
-/// simulation, or claim + schedule onto the worker pool and wait.
-fn obtain(state: &ServeState, key: SimKey) -> Result<(Metrics, bool), String> {
-    let fail_msg =
-        || format!("simulation of {} {} on {} failed server-side", key.kind, key.variant, key.memory);
+/// simulation, or claim + schedule onto the worker pool and wait
+/// (bounded by [`RESULT_DEADLINE`]).
+fn obtain(state: &ServeState, key: SimKey) -> Result<(Metrics, bool), Box<Response>> {
     match state.memo.schedule(key) {
         Schedule::Ready(m) => Ok((m, true)),
-        Schedule::InFlight => state.memo.wait(&key).map(|m| (m, false)).map_err(|_| fail_msg()),
+        Schedule::InFlight => wait_bounded(state, key).map(|m| (m, false)),
         Schedule::Claimed => {
             state.enqueue(key);
-            state.memo.wait(&key).map(|m| (m, false)).map_err(|_| fail_msg())
+            wait_bounded(state, key).map(|m| (m, false))
         }
     }
 }
@@ -234,7 +453,7 @@ fn serve_sim(state: &ServeState, stream: &mut Stream, key: SimKey) -> bool {
             state.counters.results_streamed.fetch_add(1, Ordering::Relaxed);
             Response::Result(CellReply { key, memo_hit, metrics })
         }
-        Err(message) => Response::Error { code: ERR_SIM_FAILED, message },
+        Err(error) => *error,
     };
     respond(stream, &resp).is_ok()
 }
@@ -266,7 +485,26 @@ fn serve_sweep(state: &ServeState, stream: &mut Stream, cells: Vec<SimKey>) -> b
         }
     }
     while !pending.is_empty() {
-        let reply = match state.memo.wait_any(&mut pending) {
+        let step = match state.memo.wait_any_for(&mut pending, RESULT_DEADLINE) {
+            Some(step) => step,
+            None => {
+                // Nothing published for the whole deadline. Reply typed
+                // and close: the undelivered cells stay scheduled and
+                // memoize when they finish, and a retrying client
+                // re-requests exactly the cells it never received.
+                let reply = Response::Error {
+                    code: ERR_TIMEOUT,
+                    message: format!(
+                        "no sweep result within {}s; {} cell(s) undelivered",
+                        RESULT_DEADLINE.as_secs(),
+                        pending.len()
+                    ),
+                };
+                let _ = respond(stream, &reply);
+                return false;
+            }
+        };
+        let reply = match step {
             Ok((key, metrics)) => {
                 state.counters.results_streamed.fetch_add(1, Ordering::Relaxed);
                 results += 1;
@@ -287,21 +525,35 @@ fn serve_sweep(state: &ServeState, stream: &mut Stream, cells: Vec<SimKey>) -> b
     respond(stream, &Response::Done { results }).is_ok()
 }
 
-fn handle_connection(state: &Arc<ServeState>, mut stream: Stream) {
+fn handle_connection(state: &Arc<ServeState>, conn_id: u64, mut stream: Stream) {
+    let _guard = ConnGuard { state, id: conn_id };
     state.counters.connections.fetch_add(1, Ordering::Relaxed);
     loop {
-        let frame = match read_frame(&mut stream) {
+        // Patient between requests (IDLE_TIMEOUT), impatient mid-frame:
+        // a corrupted length prefix cannot park this handler for the
+        // full idle window.
+        let frame = match read_frame_deadlined(&mut stream, Some(IDLE_TIMEOUT)) {
             Ok(frame) => frame,
             Err(FrameError::Closed) => return, // clean disconnect
-            Err(FrameError::Io(_)) => {
+            Err(err @ FrameError::TimedOut) => {
+                // Idle past the read deadline: reclaim the handler. Not
+                // a protocol error — the client simply went quiet.
+                state.warnings.note("mom3d-serve handler", &err);
+                return;
+            }
+            Err(err @ FrameError::Io(_)) => {
                 // Died mid-frame (truncated frame / reset); nothing to
                 // reply to.
                 state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                state.warnings.note("mom3d-serve handler", &err);
                 return;
             }
             Err(err) => {
-                // Framing is unrecoverable: report once, close.
+                // Framing is unrecoverable: report once, close. The
+                // stderr warning is once-per-class so a garbage-spewing
+                // client cannot flood the log.
                 state.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                state.warnings.note("mom3d-serve handler", &err);
                 let _ = respond(
                     &mut stream,
                     &Response::Error { code: ERR_PROTOCOL, message: err.to_string() },
@@ -332,8 +584,14 @@ fn handle_connection(state: &Arc<ServeState>, mut stream: Stream) {
                 state.begin_shutdown();
                 false
             }
-            Request::Sim(key) => serve_sim(state, &mut stream, key),
-            Request::Sweep(cells) => serve_sweep(state, &mut stream, cells),
+            Request::Sim(key) => match state.shed_reply() {
+                Some(reply) => respond(&mut stream, &reply).is_ok(),
+                None => serve_sim(state, &mut stream, key),
+            },
+            Request::Sweep(cells) => match state.shed_reply() {
+                Some(reply) => respond(&mut stream, &reply).is_ok(),
+                None => serve_sweep(state, &mut stream, cells),
+            },
             // Shard traffic belongs to the mom3d-shard coordinator; a
             // worker pointed at the wrong endpoint gets a typed error
             // (and a usable connection), not a hang or a close.
@@ -404,9 +662,35 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Graceful drain: with the worker pool joined, every scheduled
+        // cell is published — give in-flight handlers a moment to
+        // finish streaming, then force-close whatever is still parked
+        // in a blocking read and wait for those handlers to exit.
+        if !self.state.drain_conns(DRAIN_GRACE) {
+            self.state.force_close_conns();
+            let _ = self.state.drain_conns(DRAIN_FORCE_WAIT);
+        }
         if let Endpoint::Unix(path) = &self.state.endpoint {
             let _ = std::fs::remove_file(path);
         }
+        // Flush the final counter/memo-stat snapshot so a drained
+        // server leaves a trace of what it did.
+        let c = self.state.counters_snapshot();
+        eprintln!(
+            "mom3d-serve drained: {} connection(s) ({} refused), {} request(s), \
+             {} sim(s) executed, memo {} hit(s) / {} miss(es) / {} coalesced, \
+             {} result(s) streamed, {} shed, {} protocol error(s)",
+            c.connections,
+            c.refused_connections,
+            c.requests,
+            c.sims_executed,
+            c.memo_hits,
+            c.memo_misses,
+            c.memo_coalesced,
+            c.results_streamed,
+            c.shed,
+            c.protocol_errors
+        );
     }
 
     /// Blocks until the server shuts down (a client sent `SHUTDOWN`),
@@ -481,8 +765,19 @@ pub fn serve(endpoint: Endpoint, config: ServeConfig) -> io::Result<ServerHandle
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
         endpoint,
+        queue_limit: if config.queue_limit == 0 { DEFAULT_QUEUE_LIMIT } else { config.queue_limit },
+        max_connections: if config.max_connections == 0 {
+            DEFAULT_CONNECTION_CAP
+        } else {
+            config.max_connections
+        },
+        chaos: config.chaos,
+        conns: Mutex::new(HashMap::new()),
+        conns_changed: Condvar::new(),
+        warnings: FrameWarnings::new(),
     });
     state.counters.workloads_built.store(built, Ordering::Relaxed);
+    let accept_panic_after = config.accept_panic_after;
 
     let workers: Vec<JoinHandle<()>> = (0..threads)
         .map(|i| {
@@ -498,23 +793,63 @@ pub fn serve(endpoint: Endpoint, config: ServeConfig) -> io::Result<ServerHandle
         let state = Arc::clone(&state);
         std::thread::Builder::new()
             .name("mom3d-accept".into())
-            .spawn(move || loop {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok(stream) => {
-                        if state.shutdown.load(Ordering::SeqCst) {
-                            break; // the shutdown self-connection
-                        }
-                        let state = Arc::clone(&state);
-                        let _ = std::thread::Builder::new()
-                            .name("mom3d-conn".into())
-                            .spawn(move || handle_connection(&state, stream));
+            .spawn(move || {
+                // Owns the unix-socket unlink on *every* exit path of
+                // this thread — panic included.
+                let _socket_guard = SocketGuard::new(&state.endpoint);
+                let mut conn_seq: u64 = 0;
+                loop {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
-                    Err(e) => {
-                        eprintln!("warning: accept failed: {e}");
+                    match listener.accept() {
+                        Ok(mut stream) => {
+                            if state.shutdown.load(Ordering::SeqCst) {
+                                break; // the shutdown self-connection
+                            }
+                            let conn_id = conn_seq;
+                            conn_seq += 1;
+                            if let Some(after) = accept_panic_after {
+                                if conn_seq >= after {
+                                    panic!("injected accept-loop panic (accept_panic_after)");
+                                }
+                            }
+                            if !state.admit(conn_id, &stream) {
+                                state.counters.refused_connections.fetch_add(1, Ordering::Relaxed);
+                                let reply = Response::Error {
+                                    code: ERR_OVERLOADED,
+                                    message: format!(
+                                        "connection cap ({}) reached; back off and retry",
+                                        state.max_connections
+                                    ),
+                                };
+                                let _ = respond(&mut stream, &reply);
+                                stream.shutdown_all();
+                                continue;
+                            }
+                            let stream = match &state.chaos {
+                                Some(chaos) => Stream::Chaos(Box::new(ChaosStream::wrap(
+                                    stream,
+                                    FaultPlan::new(chaos, conn_id),
+                                ))),
+                                None => stream,
+                            };
+                            stream.set_read_timeout(Some(IDLE_TIMEOUT));
+                            stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                            let handler_state = Arc::clone(&state);
+                            let spawned = std::thread::Builder::new()
+                                .name("mom3d-conn".into())
+                                .spawn(move || handle_connection(&handler_state, conn_id, stream));
+                            if spawned.is_err() {
+                                // The handler never ran; its ConnGuard
+                                // never will either.
+                                state.release_conn(conn_id);
+                            }
+                        }
+                        Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
+                        Err(e) => {
+                            eprintln!("warning: accept failed: {e}");
+                        }
                     }
                 }
             })
@@ -527,11 +862,11 @@ pub fn serve(endpoint: Endpoint, config: ServeConfig) -> io::Result<ServerHandle
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::Client;
+    use crate::protocol::{read_frame, Client, RetryClient, RetryPolicy};
     use mom3d_cpu::MemorySystemKind;
 
     fn test_config() -> ServeConfig {
-        ServeConfig { seed: 5, small: true, threads: 2, cache: None, prebuild: false }
+        ServeConfig { seed: 5, small: true, threads: 2, ..Default::default() }
     }
 
     fn unix_endpoint(name: &str) -> Endpoint {
@@ -596,5 +931,218 @@ mod tests {
         let mut client = Client::connect(&Endpoint::Tcp(addr)).unwrap();
         assert!(matches!(client.round_trip(&Request::Ping).unwrap(), Response::Pong(_)));
         handle.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_typed_and_retrying_clients_converge() {
+        let config =
+            ServeConfig { seed: 5, small: true, threads: 1, queue_limit: 1, ..Default::default() };
+        let handle = serve(unix_endpoint("shed"), config).expect("server binds");
+        let endpoint = handle.endpoint().clone();
+
+        // A full-matrix sweep keeps the single worker busy for a while
+        // (every workload must be built first), holding the pending
+        // queue over its 1-cell bound.
+        let cells: Vec<SimKey> = WorkloadKind::ALL
+            .into_iter()
+            .flat_map(|kind| {
+                IsaVariant::ALL.map(|variant| SimKey {
+                    kind,
+                    variant,
+                    // MOM+3D code needs a backend with a 3D register
+                    // file; the plain vector cache panics on it.
+                    memory: match variant {
+                        IsaVariant::Mom3d => MemorySystemKind::VectorCache3d.into(),
+                        _ => MemorySystemKind::VectorCache.into(),
+                    },
+                    l2_latency: 20,
+                })
+            })
+            .collect();
+        let sweeper = {
+            let endpoint = endpoint.clone();
+            let cells = cells.clone();
+            std::thread::spawn(move || {
+                let mut client = RetryClient::new(endpoint, RetryPolicy::default());
+                client.sweep(&cells)
+            })
+        };
+
+        // Wait until the backlog demonstrably exists, then a raw
+        // (non-retrying) client must be shed with the typed error.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while handle.state.queue.lock().unwrap().len() < 5 {
+            assert!(Instant::now() < deadline, "the sweep backlog never built up");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let probe = SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 40,
+        };
+        let mut raw = Client::connect(&endpoint).unwrap();
+        let resp = raw.round_trip(&Request::Sim(probe)).unwrap();
+        let Response::Error { code, message } = resp else {
+            panic!("expected a shed reply, got {resp:?}")
+        };
+        assert_eq!(code, ERR_OVERLOADED);
+        assert!(message.contains("queue is full"), "unexpected shed message: {message}");
+
+        // A retrying client converges to the bit-identical answer
+        // anyway once the backlog drains.
+        let policy = RetryPolicy {
+            attempts: 500,
+            max_delay: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let mut retrying = RetryClient::new(endpoint, policy);
+        let reply = retrying.sim(&probe).expect("retry converges after shedding");
+        let mut r = Runner::small(5);
+        assert_eq!(
+            reply.metrics,
+            r.metrics(probe.kind, probe.variant, probe.memory, probe.l2_latency)
+        );
+
+        // The big sweep itself was never shed (it entered before the
+        // backlog) and is bit-identical cell for cell.
+        let swept = sweeper.join().unwrap().expect("sweep completes");
+        assert_eq!(swept.len(), cells.len());
+        for reply in &swept {
+            let direct =
+                r.metrics(reply.key.kind, reply.key.variant, reply.key.memory, reply.key.l2_latency);
+            assert_eq!(reply.metrics, direct);
+        }
+        assert!(handle.counters().shed >= 1, "the raw probe's shed must be counted");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn a_poisoned_cell_surfaces_an_error_instead_of_spinning() {
+        let handle = serve(unix_endpoint("poison"), test_config()).expect("server binds");
+        // MOM+3D code on the plain vector cache (no 3D register file)
+        // panics in the simulator every single time. The retry layer
+        // must burn its bounded budget and surface an error — an
+        // unbounded re-request loop here once pinned a worker at 100%
+        // CPU while panic output grew the process without limit.
+        let poisoned = SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom3d,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 20,
+        };
+        let policy = RetryPolicy {
+            attempts: 3,
+            max_delay: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let mut client = RetryClient::new(handle.endpoint().clone(), policy);
+        let err = client.sweep(&[poisoned]).expect_err("a poisoned sweep must fail, not spin");
+        assert!(err.to_string().contains("failed"), "unexpected sweep error: {err}");
+        let err = client.sim(&poisoned).expect_err("a poisoned SIM must fail, not spin");
+        assert!(err.to_string().contains("failed"), "unexpected sim error: {err}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn the_connection_cap_refuses_with_a_typed_error() {
+        let config = ServeConfig {
+            seed: 5,
+            small: true,
+            threads: 1,
+            max_connections: 1,
+            ..Default::default()
+        };
+        let handle = serve(unix_endpoint("cap"), config).expect("server binds");
+        let endpoint = handle.endpoint().clone();
+        let mut first = Client::connect(&endpoint).unwrap();
+        assert!(matches!(first.round_trip(&Request::Ping).unwrap(), Response::Pong(_)));
+
+        // Over the cap: the server pushes one typed refusal frame and
+        // closes without waiting for a request.
+        let mut refused = endpoint.connect().unwrap();
+        let frame = read_frame(&mut refused).expect("the refusal frame arrives");
+        let resp = Response::decode(&frame).expect("the refusal frame decodes");
+        let Response::Error { code, message } = resp else {
+            panic!("expected a refusal, got {resp:?}")
+        };
+        assert_eq!(code, ERR_OVERLOADED);
+        assert!(message.contains("connection cap"), "unexpected refusal: {message}");
+        assert_eq!(handle.counters().refused_connections, 1);
+        drop(refused);
+
+        // Freeing the admitted slot re-opens the door.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut third = Client::connect(&endpoint).unwrap();
+            if matches!(third.round_trip(&Request::Ping), Ok(Response::Pong(_))) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "the connection slot was never freed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn drain_refuses_new_work_but_still_answers_stats() {
+        let handle = serve(unix_endpoint("drain"), test_config()).expect("server binds");
+        let key = SimKey {
+            kind: WorkloadKind::GsmEncode,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 20,
+        };
+        let mut client = Client::connect(handle.endpoint()).unwrap();
+        assert!(matches!(
+            client.round_trip(&Request::Sim(key)).unwrap(),
+            Response::Result(_)
+        ));
+
+        handle.state.begin_shutdown();
+        // New work is refused with the typed drain error — even for a
+        // memoized key: drain means *no* new work.
+        let resp = client.round_trip(&Request::Sim(key)).unwrap();
+        let Response::Error { code, message } = resp else {
+            panic!("expected a drain refusal, got {resp:?}")
+        };
+        assert_eq!(code, ERR_OVERLOADED);
+        assert!(message.contains("draining"), "unexpected drain message: {message}");
+        // ...but introspection still works mid-drain.
+        let Response::Stats(stats) = client.round_trip(&Request::Stats).unwrap() else {
+            panic!("expected stats mid-drain")
+        };
+        assert_eq!(stats.shed, 1);
+        drop(client);
+        handle.wait();
+    }
+
+    #[test]
+    fn a_panicking_accept_loop_still_unlinks_the_socket() {
+        let endpoint = unix_endpoint("panic-guard");
+        let Endpoint::Unix(path) = endpoint.clone() else { unreachable!() };
+        let config = ServeConfig {
+            seed: 5,
+            small: true,
+            threads: 1,
+            accept_panic_after: Some(1),
+            ..Default::default()
+        };
+        let handle = serve(endpoint.clone(), config).expect("server binds");
+        assert!(path.exists(), "the socket file must exist after bind");
+
+        // The first accept fires the injected panic; the drop-guard
+        // must unlink the socket file on the unwind path.
+        let _ = endpoint.connect();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while path.exists() {
+            assert!(
+                Instant::now() < deadline,
+                "the socket file survived the accept-loop panic"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.shutdown(); // reap the worker pool; accept is already dead
     }
 }

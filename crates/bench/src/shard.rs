@@ -32,10 +32,19 @@
 //!   a bounded budget, when the coordinator owns the process). Frame
 //!   damage costs one connection after an [`ERR_PROTOCOL`] reply;
 //!   non-shard requests get [`ERR_UNSUPPORTED`] on a usable connection.
+//! * **Grant leases.** Every claim and `CELL_DONE` is a heartbeat; a
+//!   connection holding a grant that goes silent past the lease
+//!   (`DEFAULT_LEASE`, configurable via [`ShardConfig::lease`]) has
+//!   its grant requeued — a stalled-but-alive worker can delay a sweep
+//!   but never wedge it. Workers reconnect with seeded backoff
+//!   ([`crate::faults::Backoff`]) and re-claim; first-completion-wins
+//!   makes the overlap harmless.
 
+use crate::faults::{Backoff, ChaosConfig, ChaosStream, FaultPlan, FrameWarnings};
 use crate::manifest::{self, Manifest};
 use crate::protocol::{
-    read_frame, write_frame, Client, Endpoint, FrameError, Hello, Request, Response, Stream,
+    read_frame_deadlined, write_frame, Client, Endpoint, FrameError, Hello, Request, Response,
+    Stream,
     ERR_PROTOCOL, ERR_UNSUPPORTED, MAX_SWEEP_CELLS,
 };
 use crate::runner::{Runner, SimKey, WorkloadTiming};
@@ -56,6 +65,26 @@ use std::time::{Duration, Instant};
 
 /// Crashed-worker respawn budget per worker slot.
 const RESPAWN_LIMIT: u32 = 5;
+
+/// Grant lease when [`ShardConfig::lease`] is zero: a connection
+/// holding granted cells whose last claim/completion is older than
+/// this has its grant requeued. Generous — `CELL_DONE` arrives per
+/// cell, so any live worker refreshes its lease far more often.
+const DEFAULT_LEASE: Duration = Duration::from_secs(120);
+
+/// Coordinator-handler read deadline. Workers are silent only while
+/// simulating one cell, so this is sized like the lease, not like a
+/// request/response gap.
+const HANDLER_IDLE_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// Coordinator-handler write deadline (grants and FIN acks are small;
+/// a worker that never drains its socket is dead).
+const HANDLER_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Bound on consecutive reconnect-and-no-progress sessions before a
+/// worker gives up (guards against retry-looping at a dead or
+/// perpetually hostile coordinator).
+const WORKER_SESSION_STRIKES: u32 = 20;
 
 /// How a [`coordinate`] run is configured.
 #[derive(Debug, Clone)]
@@ -83,6 +112,15 @@ pub struct ShardConfig {
     /// Workload-image cache directory passed to spawned workers (the
     /// shared hydration source).
     pub cache_dir: Option<PathBuf>,
+    /// Grant lease (`DEFAULT_LEASE` when zero): a worker connection
+    /// that stops claiming/completing for this long has its granted
+    /// cells requeued, so a stalled-but-alive worker cannot wedge the
+    /// sweep. Claims and `CELL_DONE`s are the heartbeats.
+    pub lease: Duration,
+    /// Coordinator-side fault injection: wrap every accepted worker
+    /// connection in a seeded [`ChaosStream`] (lane = connection
+    /// ordinal).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ShardConfig {
@@ -96,6 +134,8 @@ impl Default for ShardConfig {
             manifest: None,
             resume: false,
             cache_dir: None,
+            lease: Duration::ZERO,
+            chaos: None,
         }
     }
 }
@@ -130,6 +170,12 @@ struct Queue {
     /// Results dropped because the cell was already done (stealing and
     /// crash-requeue both make this legal) or outside the grid.
     duplicates: u64,
+    /// Last request (claim / `CELL_DONE` / fin / ping) per connection —
+    /// the heartbeat the lease is checked against.
+    activity: HashMap<u64, Instant>,
+    /// Grants requeued because their connection went silent past the
+    /// lease.
+    lease_expiries: u64,
 }
 
 struct CoordState {
@@ -143,6 +189,56 @@ struct CoordState {
     hello: Hello,
     shutdown: AtomicBool,
     endpoint: Endpoint,
+    lease: Duration,
+    chaos: Option<ChaosConfig>,
+    warnings: FrameWarnings,
+}
+
+impl CoordState {
+    /// Refreshes `conn_id`'s lease heartbeat.
+    fn touch(&self, conn_id: u64) {
+        let mut q = self.queue.lock().expect("shard queue poisoned");
+        q.activity.insert(conn_id, Instant::now());
+    }
+
+    /// Requeues the grants of every connection whose heartbeat is older
+    /// than the lease. The connection itself is left alone: if the
+    /// stalled worker revives, its late results still dedupe through
+    /// first-completion-wins, and its next claim re-registers it.
+    fn expire_leases(&self) {
+        let now = Instant::now();
+        let mut q = self.queue.lock().expect("shard queue poisoned");
+        let expired: Vec<u64> = q
+            .granted
+            .iter()
+            .filter(|(_, cells)| !cells.is_empty())
+            .filter(|(id, _)| {
+                q.activity.get(id).is_none_or(|&t| now.duration_since(t) > self.lease)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        for id in expired {
+            let Some(cells) = q.granted.remove(&id) else { continue };
+            let mut requeued = 0usize;
+            for key in cells.into_iter().rev() {
+                if !q.done.contains_key(&key) {
+                    q.pending.push_front(key);
+                    requeued += 1;
+                }
+            }
+            q.lease_expiries += 1;
+            eprintln!(
+                "warning: worker connection {id} went silent past its lease ({:.1}s); \
+                 {requeued} granted cell(s) requeued",
+                self.lease.as_secs_f64()
+            );
+        }
+        drop(q);
+        self.changed.notify_all();
+    }
 }
 
 fn respond(stream: &mut Stream, resp: &Response) -> io::Result<()> {
@@ -169,6 +265,9 @@ fn claim(state: &CoordState, conn_id: u64, worker: u32) -> Vec<SimKey> {
             let n = state.batch.min(q.pending.len());
             let cells: Vec<SimKey> = q.pending.drain(..n).collect();
             q.granted.entry(conn_id).or_default().extend(&cells);
+            // The claim may have parked for a while: the lease clock
+            // starts at grant time, not at request time.
+            q.activity.insert(conn_id, Instant::now());
             return cells;
         }
         // Work stealing: re-partition the straggler. The victim still
@@ -185,6 +284,7 @@ fn claim(state: &CoordState, conn_id: u64, worker: u32) -> Vec<SimKey> {
             let stolen = outstanding.split_off(outstanding.len() - outstanding.len() / 2);
             q.steals += 1;
             q.granted.entry(conn_id).or_default().extend(&stolen);
+            q.activity.insert(conn_id, Instant::now());
             return stolen;
         }
         q = state.changed.wait(q).expect("shard queue poisoned");
@@ -243,6 +343,7 @@ fn record(state: &CoordState, conn_id: u64, key: SimKey, wall_ns: u64, metrics: 
 fn release(state: &CoordState, conn_id: u64) {
     let mut q = state.queue.lock().expect("shard queue poisoned");
     q.conn_worker.remove(&conn_id);
+    q.activity.remove(&conn_id);
     if let Some(cells) = q.granted.remove(&conn_id) {
         for key in cells.into_iter().rev() {
             if !q.done.contains_key(&key) {
@@ -256,12 +357,25 @@ fn release(state: &CoordState, conn_id: u64) {
 
 fn handle_connection(state: &Arc<CoordState>, conn_id: u64, mut stream: Stream) {
     loop {
-        let frame = match read_frame(&mut stream) {
+        // Patient between claims, impatient mid-frame: a bit-flipped
+        // length prefix must not hold this handler (and its granted
+        // cells) hostage for the idle window — the lease would recover
+        // the cells, but only after burning its whole term.
+        let frame = match read_frame_deadlined(&mut stream, Some(HANDLER_IDLE_TIMEOUT)) {
             Ok(frame) => frame,
-            Err(FrameError::Closed | FrameError::Io(_)) => break,
+            Err(FrameError::Closed) => break,
+            Err(err @ (FrameError::TimedOut | FrameError::Io(_))) => {
+                // Deadline expiry or mid-frame death: drop the
+                // connection (its cells are requeued below). Warnings
+                // are once-per-class, so a flapping worker cannot flood
+                // stderr.
+                state.warnings.note("mom3d-shard coordinator", &err);
+                break;
+            }
             Err(err) => {
                 // Framing is unrecoverable: one typed reply, then close
                 // (and the cells go back to the queue below).
+                state.warnings.note("mom3d-shard coordinator", &err);
                 let _ = respond(
                     &mut stream,
                     &Response::Error { code: ERR_PROTOCOL, message: err.to_string() },
@@ -281,6 +395,7 @@ fn handle_connection(state: &Arc<CoordState>, conn_id: u64, mut stream: Stream) 
                 continue;
             }
         };
+        state.touch(conn_id);
         let alive = match req {
             Request::ShardClaim { worker } => {
                 let cells = claim(state, conn_id, worker);
@@ -414,6 +529,10 @@ fn supervise(
                 .wait_timeout(q, Duration::from_millis(100))
                 .expect("shard queue poisoned");
         }
+        // Liveness: every supervision tick checks grant leases, so a
+        // stalled-but-alive worker (open connection, no progress) has
+        // its cells requeued instead of wedging the sweep.
+        state.expire_leases();
         for slot in children.iter_mut() {
             if let Some(child) = slot.child.as_mut() {
                 match child.try_wait() {
@@ -540,6 +659,8 @@ pub fn coordinate(
             workers: HashMap::new(),
             steals: 0,
             duplicates: 0,
+            activity: HashMap::new(),
+            lease_expiries: 0,
         }),
         changed: Condvar::new(),
         total,
@@ -548,6 +669,9 @@ pub fn coordinate(
         hello: Hello { seed: config.seed, small: config.small, threads: 0 },
         shutdown: AtomicBool::new(false),
         endpoint: endpoint.clone(),
+        lease: if config.lease.is_zero() { DEFAULT_LEASE } else { config.lease },
+        chaos: config.chaos,
+        warnings: FrameWarnings::new(),
     });
 
     let accept = {
@@ -566,6 +690,15 @@ pub fn coordinate(
                                 break; // the shutdown self-connection
                             }
                             let conn_id = conn_seq.fetch_add(1, Ordering::Relaxed);
+                            let stream = match &state.chaos {
+                                Some(chaos) => Stream::Chaos(Box::new(ChaosStream::wrap(
+                                    stream,
+                                    FaultPlan::new(chaos, conn_id),
+                                ))),
+                                None => stream,
+                            };
+                            stream.set_read_timeout(Some(HANDLER_IDLE_TIMEOUT));
+                            stream.set_write_timeout(Some(HANDLER_WRITE_TIMEOUT));
                             let state = Arc::clone(&state);
                             let _ = std::thread::Builder::new()
                                 .name("mom3d-shard-conn".into())
@@ -619,6 +752,12 @@ pub fn coordinate(
         eprintln!(
             "note: {} duplicate result(s) dropped (work stealing / crash requeue overlap)",
             q.duplicates
+        );
+    }
+    if q.lease_expiries > 0 {
+        eprintln!(
+            "note: {} grant lease(s) expired and were requeued (silent/stalled workers)",
+            q.lease_expiries
         );
     }
     let resumed_set: HashSet<SimKey> = resumed.iter().map(|&(k, _)| k).collect();
@@ -683,6 +822,17 @@ pub struct WorkerConfig {
     /// streaming this many `CELL_DONE`s in total — a crash simulator
     /// for the kill-resume tests (no `SHARD_FIN`, cells left granted).
     pub abort_after: Option<usize>,
+    /// Fault injection: after streaming this many `CELL_DONE`s in
+    /// total, go silent for [`WorkerConfig::stall_for`] with the
+    /// connection **open** — a stalled-not-dead worker. The
+    /// coordinator's grant lease must requeue the rest of the grant.
+    pub stall_after: Option<usize>,
+    /// How long a [`WorkerConfig::stall_after`] stall lasts before the
+    /// worker retires.
+    pub stall_for: Duration,
+    /// Client-side fault injection: wrap every dialed connection in a
+    /// seeded [`ChaosStream`] (lane = dial ordinal).
+    pub chaos: Option<ChaosConfig>,
 }
 
 /// What a worker did, for logging and test assertions.
@@ -694,44 +844,48 @@ pub struct WorkerSummary {
     pub grants: u64,
 }
 
-fn connect_with_retry(endpoint: &Endpoint) -> io::Result<Client> {
-    // The coordinator may still be binding when a spawned worker starts;
-    // retry for up to ~5 s before giving up.
+/// Per-frame I/O deadline a worker arms on every dialed connection.
+const WORKER_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Dials the coordinator, retrying up to `attempts` (50 ms apart), and
+/// arms deadlines (plus the configured chaos wrap) on the connection.
+fn dial(
+    endpoint: &Endpoint,
+    config: &WorkerConfig,
+    conn_seq: &mut u64,
+    attempts: u32,
+) -> io::Result<Client> {
     let mut last: Option<io::Error> = None;
-    for _ in 0..100 {
-        match Client::connect(endpoint) {
-            Ok(client) => return Ok(client),
+    for _ in 0..attempts {
+        match endpoint.connect() {
+            Ok(stream) => {
+                let lane = *conn_seq;
+                *conn_seq += 1;
+                let stream = match &config.chaos {
+                    Some(chaos) => Stream::Chaos(Box::new(ChaosStream::wrap(
+                        stream,
+                        FaultPlan::new(chaos, lane),
+                    ))),
+                    None => stream,
+                };
+                let client = Client::from_stream(stream);
+                client.set_io_timeout(Some(WORKER_IO_TIMEOUT));
+                return Ok(client);
+            }
             Err(e) => {
                 last = Some(e);
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
     }
-    Err(last.unwrap_or_else(|| {
-        io::Error::new(io::ErrorKind::TimedOut, "connect retries exhausted")
-    }))
+    Err(last
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "connect retries exhausted")))
 }
 
 fn unexpected(context: &str, resp: &Response) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
         format!("unexpected coordinator reply to {context}: {resp:?}"),
-    )
-}
-
-/// A dropped coordinator connection is how service normally ends: once
-/// the last needed `CELL_DONE` arrives (possibly from another worker)
-/// the coordinator may exit before acking this worker's `SHARD_FIN` or
-/// serving its next claim. Results are fire-and-forget and already
-/// delivered, so the worker just retires.
-fn disconnected(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::UnexpectedEof
-            | io::ErrorKind::BrokenPipe
-            | io::ErrorKind::ConnectionReset
-            | io::ErrorKind::ConnectionAborted
-            | io::ErrorKind::NotConnected
     )
 }
 
@@ -745,67 +899,131 @@ fn disconnected(e: &io::Error) -> bool {
 /// the image cache in `config.cache_dir`, the same cold path as every
 /// other harness entry point.
 ///
+/// **Fault discipline**: any mid-session transport or framing failure
+/// (reset, bit-flipped frame, expired deadline, typed transient error)
+/// drops the connection, sleeps one seeded-backoff rung and redials —
+/// the coordinator requeues the abandoned grant and re-grants on the
+/// next claim, and first-completion-wins makes any re-simulation
+/// harmless. A redial that finds nobody listening is how service
+/// normally ends: results are fire-and-forget and already delivered,
+/// so the worker just retires. Reconnect loops without progress are
+/// bounded by `WORKER_SESSION_STRIKES`.
+///
 /// # Errors
 ///
-/// Propagates connect/I/O failures and coordinator-reported errors.
+/// Propagates first-connect failures, a coordinator that answers
+/// claims with [`ERR_UNSUPPORTED`] (wrong endpoint), and strike-budget
+/// exhaustion.
 pub fn run_worker(endpoint: &Endpoint, config: &WorkerConfig) -> io::Result<WorkerSummary> {
-    let mut client = connect_with_retry(endpoint)?;
     let threads = if config.threads == 0 { sweep::default_threads() } else { config.threads };
     let mut runner: Option<Runner> = None;
     let mut summary = WorkerSummary::default();
+    let mut conn_seq: u64 = 0;
+    let mut strikes: u32 = 0;
+    let mut backoff = Backoff::new(
+        0x5348_4152_4457_u64 ^ u64::from(config.id), // "SHARDW" ^ id
+        Duration::from_millis(5),
+        Duration::from_millis(200),
+    );
+    // The coordinator may still be binding when a spawned worker
+    // starts; the first dial waits up to ~5 s.
+    let mut client = dial(endpoint, config, &mut conn_seq, 100)?;
+    let mut progressed = false;
     loop {
-        let reply = match client.round_trip(&Request::ShardClaim { worker: config.id }) {
-            Ok(reply) => reply,
-            Err(e) if disconnected(&e) => break,
-            Err(e) => return Err(e),
+        // One session over `client`; breaks out with the transient
+        // error that ended it.
+        let session_error: io::Error = 'session: {
+            loop {
+                let reply = match client.round_trip(&Request::ShardClaim { worker: config.id }) {
+                    Ok(reply) => reply,
+                    Err(e) => break 'session e,
+                };
+                let (seed, small, cells) = match reply {
+                    Response::ShardGrant { seed, small, cells } => (seed, small, cells),
+                    Response::Error { code: ERR_UNSUPPORTED, message } => {
+                        // Wrong endpoint (e.g. mom3d-serve): retrying
+                        // cannot help.
+                        return Err(io::Error::other(format!(
+                            "coordinator refused the claim: {message}"
+                        )));
+                    }
+                    Response::Error { code, message } => {
+                        break 'session io::Error::other(format!(
+                            "coordinator error on claim (code {code}): {message}"
+                        ));
+                    }
+                    other => break 'session unexpected("SHARD_CLAIM", &other),
+                };
+                if cells.is_empty() {
+                    return Ok(summary); // the sweep is complete
+                }
+                summary.grants += 1;
+                progressed = true;
+                let runner = runner.get_or_insert_with(|| {
+                    let base = if small { Runner::small(seed) } else { Runner::new(seed) };
+                    base.with_cache(WorkloadCache::resolve(config.cache_dir.as_deref()))
+                });
+                let pairs: Vec<(WorkloadKind, IsaVariant)> =
+                    cells.iter().map(|c| (c.kind, c.variant)).collect();
+                sweep::prebuild_workloads(runner, &pairs, threads);
+                let mut completed: u32 = 0;
+                for key in &cells {
+                    let t0 = Instant::now();
+                    let metrics =
+                        runner.metrics(key.kind, key.variant, key.memory, key.l2_latency);
+                    let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    if let Err(e) = client.send(&Request::CellDone { key: *key, wall_ns, metrics })
+                    {
+                        break 'session e;
+                    }
+                    completed += 1;
+                    summary.cells += 1;
+                    if config.abort_after.is_some_and(|n| summary.cells >= n as u64) {
+                        // Vanish mid-shard like a crashed process: no
+                        // FIN, just a dropped connection. The
+                        // coordinator requeues the rest of the grant.
+                        return Ok(summary);
+                    }
+                    if config.stall_after.is_some_and(|n| summary.cells >= n as u64) {
+                        // Go silent with the connection *open* — the
+                        // stalled-not-dead failure mode. The
+                        // coordinator's grant lease requeues the rest
+                        // of this grant; this worker then retires.
+                        std::thread::sleep(config.stall_for);
+                        return Ok(summary);
+                    }
+                }
+                match client.round_trip(&Request::ShardFin { completed }) {
+                    Ok(Response::Done { .. }) => {}
+                    Ok(other) => break 'session unexpected("SHARD_FIN", &other),
+                    Err(e) => break 'session e,
+                }
+            }
         };
-        let (seed, small, cells) = match reply {
-            Response::ShardGrant { seed, small, cells } => (seed, small, cells),
-            Response::Error { code, message } => {
+        // Transient failure: strike (unless the session made
+        // progress), back off, redial.
+        if progressed {
+            strikes = 0;
+            backoff.reset();
+        } else {
+            strikes += 1;
+            if strikes >= WORKER_SESSION_STRIKES {
                 return Err(io::Error::other(format!(
-                    "coordinator refused the claim (code {code}): {message}"
+                    "worker {} made no progress over {strikes} reconnect(s); \
+                     last error: {session_error}",
+                    config.id
                 )));
             }
-            other => return Err(unexpected("SHARD_CLAIM", &other)),
+        }
+        progressed = false;
+        std::thread::sleep(backoff.next_delay());
+        client = match dial(endpoint, config, &mut conn_seq, 10) {
+            Ok(client) => client,
+            // Nobody listening: the coordinator exited — normal end of
+            // service once the sweep completed elsewhere.
+            Err(_) => return Ok(summary),
         };
-        if cells.is_empty() {
-            break;
-        }
-        summary.grants += 1;
-        let runner = runner.get_or_insert_with(|| {
-            let base = if small { Runner::small(seed) } else { Runner::new(seed) };
-            base.with_cache(WorkloadCache::resolve(config.cache_dir.as_deref()))
-        });
-        let pairs: Vec<(WorkloadKind, IsaVariant)> =
-            cells.iter().map(|c| (c.kind, c.variant)).collect();
-        sweep::prebuild_workloads(runner, &pairs, threads);
-        let mut completed: u32 = 0;
-        for key in &cells {
-            let t0 = Instant::now();
-            let metrics = runner.metrics(key.kind, key.variant, key.memory, key.l2_latency);
-            let wall_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            match client.send(&Request::CellDone { key: *key, wall_ns, metrics }) {
-                Ok(()) => {}
-                Err(e) if disconnected(&e) => return Ok(summary),
-                Err(e) => return Err(e),
-            }
-            completed += 1;
-            summary.cells += 1;
-            if config.abort_after.is_some_and(|n| summary.cells >= n as u64) {
-                // Vanish mid-shard like a crashed process: no FIN, just
-                // a dropped connection. The coordinator requeues the
-                // rest of the grant.
-                return Ok(summary);
-            }
-        }
-        match client.round_trip(&Request::ShardFin { completed }) {
-            Ok(Response::Done { .. }) => {}
-            Ok(other) => return Err(unexpected("SHARD_FIN", &other)),
-            Err(e) if disconnected(&e) => break,
-            Err(e) => return Err(e),
-        }
     }
-    Ok(summary)
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@
 //! so two runs with the same seeds produce byte-identical documents.
 
 use crate::json::json_string;
-use crate::protocol::{CellReply, Client, Endpoint, Hello, Request, Response, MAX_SWEEP_CELLS};
+use crate::protocol::{CellReply, Endpoint, Hello, RetryClient, RetryPolicy};
 use crate::runner::{Runner, SimKey};
 use crate::sweep;
 use mom3d_cpu::{BackendEntry, BackendRegistry, Metrics};
@@ -276,14 +276,15 @@ impl Executor for LocalExec<'_> {
 }
 
 /// Remote execution against a resident `mom3d-serve` process: cells go
-/// out as batched `SWEEP` requests, results stream back with the
-/// server's memo-hit flag. The constructor pings the server and
-/// refuses to tune against one whose seed or geometry differs from the
-/// tuner's — mixed identities would silently blend incomparable
-/// numbers.
+/// out as batched `SWEEP` requests through the retry layer
+/// ([`RetryClient`]), so a long tuning run rides out dropped
+/// connections, expired deadlines and `ERR_OVERLOADED` shedding — a
+/// mid-sweep reconnect re-requests only the undelivered cells. The
+/// constructor pings the server (retrying) and refuses to tune against
+/// one whose seed or geometry differs from the tuner's — mixed
+/// identities would silently blend incomparable numbers.
 pub struct RemoteExec {
-    client: Client,
-    endpoint: Endpoint,
+    client: RetryClient,
     hello: Hello,
 }
 
@@ -295,13 +296,8 @@ impl RemoteExec {
     /// A message describing the connection failure or the identity
     /// mismatch.
     pub fn connect(endpoint: &Endpoint, seed: u64, small: bool) -> Result<RemoteExec, String> {
-        let mut client =
-            Client::connect(endpoint).map_err(|e| format!("connect to {endpoint}: {e}"))?;
-        let hello = match client.round_trip(&Request::Ping) {
-            Ok(Response::Pong(h)) => h,
-            Ok(other) => return Err(format!("{endpoint}: unexpected reply to PING: {other:?}")),
-            Err(e) => return Err(format!("{endpoint}: PING failed: {e}")),
-        };
+        let mut client = RetryClient::new(endpoint.clone(), RetryPolicy::default());
+        let hello = client.ping().map_err(|e| format!("{endpoint}: PING failed: {e}"))?;
         if hello.seed != seed || hello.small != small {
             return Err(format!(
                 "{endpoint}: server identity mismatch: server runs seed {} ({} geometry), \
@@ -311,38 +307,26 @@ impl RemoteExec {
                 if small { "small" } else { "full" }
             ));
         }
-        Ok(RemoteExec { client, endpoint: endpoint.clone(), hello })
+        Ok(RemoteExec { client, hello })
     }
 }
 
 impl Executor for RemoteExec {
     fn run(&mut self, cells: &[SimKey]) -> Result<Vec<(SimKey, Metrics, bool)>, String> {
-        let mut out = Vec::with_capacity(cells.len());
-        for chunk in cells.chunks(MAX_SWEEP_CELLS as usize) {
-            self.client
-                .send(&Request::Sweep(chunk.to_vec()))
-                .map_err(|e| format!("{}: send failed: {e}", self.endpoint))?;
-            loop {
-                match self.client.recv() {
-                    Ok(Response::Result(CellReply { key, memo_hit, metrics })) => {
-                        out.push((key, metrics, memo_hit));
-                    }
-                    Ok(Response::Done { .. }) => break,
-                    Ok(Response::Error { code, message }) => {
-                        return Err(format!("{}: server error {code}: {message}", self.endpoint))
-                    }
-                    Ok(other) => {
-                        return Err(format!("{}: unexpected reply: {other:?}", self.endpoint))
-                    }
-                    Err(e) => return Err(format!("{}: recv failed: {e}", self.endpoint)),
-                }
-            }
-        }
-        Ok(out)
+        // RetryClient::sweep chunks, reconnects and resumes internally;
+        // it returns every requested cell or a terminal error.
+        let replies = self
+            .client
+            .sweep(cells)
+            .map_err(|e| format!("{}: sweep failed: {e}", self.client.endpoint()))?;
+        Ok(replies
+            .into_iter()
+            .map(|CellReply { key, memo_hit, metrics }| (key, metrics, memo_hit))
+            .collect())
     }
 
     fn describe(&self) -> String {
-        format!("coordinator {} ({} threads)", self.endpoint, self.hello.threads)
+        format!("coordinator {} ({} threads)", self.client.endpoint(), self.hello.threads)
     }
 }
 

@@ -25,8 +25,7 @@ const SEED: u64 = 9;
 fn start(name: &str) -> ServerHandle {
     let path = std::env::temp_dir()
         .join(format!("mom3d-serve-test-{}-{name}.sock", std::process::id()));
-    let config =
-        ServeConfig { seed: SEED, small: true, threads: 2, cache: None, prebuild: false };
+    let config = ServeConfig { seed: SEED, small: true, threads: 2, ..ServeConfig::default() };
     serve(Endpoint::Unix(path), config).expect("server binds")
 }
 

@@ -1,0 +1,264 @@
+//! End-to-end chaos runs: whole deployments driven through the
+//! in-process fault-injecting proxy ([`mom3d_bench::faults::ChaosProxy`])
+//! must still produce results **bit-identical** to the in-process
+//! serial path. Frames are delayed, dropped, truncated, bit-flipped and
+//! stalled between unmodified peers; the retry/lease/backpressure
+//! machinery has to absorb every one of them — chaos may cost latency,
+//! never correctness.
+//!
+//! Every run is wrapped in an explicit wall-clock deadline so a
+//! resilience regression fails the test instead of wedging the suite.
+//! The fault *schedules* themselves are pinned deterministic by unit
+//! tests in `mom3d_bench::faults`; here the seeds pick genuinely
+//! different damage patterns.
+
+use mom3d::cpu::{BackendId, MemorySystemKind, Metrics};
+use mom3d::kernels::{IsaVariant, WorkloadKind};
+use mom3d_bench::faults::{ChaosConfig, ChaosProxy};
+use mom3d_bench::protocol::{Endpoint, RetryClient, RetryPolicy};
+use mom3d_bench::serve::{serve, ServeConfig};
+use mom3d_bench::shard::{coordinate, run_worker, ShardConfig, WorkerConfig};
+use mom3d_bench::sweep::SweepReport;
+use mom3d_bench::{Runner, SimKey};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const SEED: u64 = 11;
+
+/// Generous per-run ceiling: a healthy chaos run finishes in a few
+/// seconds; only a wedged one gets anywhere near this.
+const RUN_DEADLINE: Duration = Duration::from_secs(120);
+
+/// The same small-but-representative grid as `shard_determinism.rs`:
+/// two workloads, every paper memory system plus the registry-only
+/// DRAM-burst backend, and a non-default L2 latency. 12 cells.
+fn grid() -> Vec<SimKey> {
+    let mut cells = Vec::new();
+    for kind in [WorkloadKind::GsmEncode, WorkloadKind::JpegDecode] {
+        for (variant, memory) in [
+            (IsaVariant::Mom, MemorySystemKind::Ideal.id()),
+            (IsaVariant::Mom, MemorySystemKind::MultiBanked.id()),
+            (IsaVariant::Mom, MemorySystemKind::VectorCache.id()),
+            (IsaVariant::Mom3d, MemorySystemKind::VectorCache3d.id()),
+            (IsaVariant::Mom, BackendId::new("dram-burst")),
+        ] {
+            cells.push(SimKey { kind, variant, memory, l2_latency: 20 });
+        }
+        cells.push(SimKey {
+            kind,
+            variant: IsaVariant::Mom,
+            memory: MemorySystemKind::VectorCache.into(),
+            l2_latency: 60,
+        });
+    }
+    cells
+}
+
+fn serial_metrics(cells: &[SimKey]) -> Vec<Metrics> {
+    let mut r = Runner::small(SEED);
+    cells.iter().map(|c| r.metrics(c.kind, c.variant, c.memory, c.l2_latency)).collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mom3d-chaos-{}-{name}.sock", std::process::id()))
+}
+
+/// Runs `f` on a fresh thread and panics (failing the test) if it does
+/// not finish within `limit` — the "zero hangs" guarantee, enforced.
+fn with_deadline<T: Send + 'static>(
+    what: &str,
+    limit: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let thread = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(value) => {
+            let _ = thread.join();
+            value
+        }
+        Err(_) => panic!("{what} exceeded its {limit:?} deadline — a chaos fault wedged the run"),
+    }
+}
+
+fn assert_bit_identical(report: &SweepReport, cells: &[SimKey], serial: &[Metrics], what: &str) {
+    assert_eq!(report.cells.len(), cells.len(), "{what}: cell count");
+    for ((cell, &key), expected) in report.cells.iter().zip(cells).zip(serial) {
+        assert_eq!(cell.key, key, "{what}: grid enumeration order");
+        assert_eq!(cell.metrics, *expected, "{what}: diverged from the serial path on {key:?}");
+    }
+}
+
+/// One sharded sweep where **all** coordinator↔worker traffic crosses
+/// the chaos proxy. Workers survive via their reconnect/backoff layer;
+/// grants orphaned by a proxy-torn connection come back via the grant
+/// lease. Returns the merged report.
+fn sharded_through_proxy(name: &str, chaos: ChaosConfig) -> SweepReport {
+    let upstream = Endpoint::Unix(tmp(&format!("{name}-up")));
+    let proxied = Endpoint::Unix(tmp(&format!("{name}-proxy")));
+    let cells = grid();
+
+    let config = ShardConfig {
+        seed: SEED,
+        small: true,
+        workers: 0, // worker *threads* below, no spawned processes
+        batch: 2,
+        // Short lease so a grant stranded by a torn connection requeues
+        // well inside the test deadline.
+        lease: Duration::from_secs(1),
+        ..ShardConfig::default()
+    };
+    let coordinator = {
+        let endpoint = upstream.clone();
+        std::thread::spawn(move || coordinate(endpoint, &cells, &config))
+    };
+    let mut proxy =
+        ChaosProxy::spawn(proxied, upstream, chaos).expect("chaos proxy must bind");
+
+    let workers: Vec<_> = (0..2u32)
+        .map(|id| {
+            let endpoint = proxy.endpoint().clone();
+            std::thread::spawn(move || {
+                let config = WorkerConfig { id, threads: 1, ..WorkerConfig::default() };
+                run_worker(&endpoint, &config)
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        // A worker that happens to be mid-reconnect when the sweep
+        // completes dials the still-alive proxy, finds the coordinator
+        // gone and eventually gives up — that is a clean chaos outcome,
+        // not a failure, so only the *thread* must finish.
+        let _ = worker.join().expect("worker thread panicked");
+    }
+    let report =
+        coordinator.join().expect("coordinator thread panicked").expect("coordinator failed");
+    proxy.shutdown();
+    report
+}
+
+#[test]
+fn a_sharded_sweep_through_the_chaos_proxy_is_bit_identical() {
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+    // Three seeds over three damage mixes (delay/drop/stall/truncate/
+    // bit-flip; black-hole is exercised at the client layer below and
+    // by the stalled-worker lease test in shard_determinism.rs).
+    for (seed, profile) in
+        [(1, "mixed"), (2, "delay,drop,stall,rate=10"), (3, "delay,truncate,rate=8")]
+    {
+        let chaos = ChaosConfig::from_cli(Some(seed), Some(profile))
+            .expect("profile parses")
+            .expect("both flags given");
+        let what = format!("sharded chaos run (seed {seed}, profile {profile})");
+        let report = {
+            let what = what.clone();
+            with_deadline(&what.clone(), RUN_DEADLINE, move || {
+                sharded_through_proxy(&format!("shard-{seed}"), chaos)
+            })
+        };
+        assert_bit_identical(&report, &cells, &serial, &what);
+        // Attribution still partitions the grid: chaos may move cells
+        // between workers but never completes one twice.
+        let sharding = report.sharding.as_ref().expect("sharded runs fill the block");
+        let attributed: u64 = sharding.workers.iter().map(|w| w.cells).sum();
+        assert_eq!(attributed, cells.len() as u64, "{what}: attribution");
+    }
+}
+
+#[test]
+fn a_sweep_over_serve_through_the_chaos_proxy_is_bit_identical() {
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+    // Three seeds over three mixes, including `heavy` (every class,
+    // black-hole included — the client's per-frame deadline has to cut
+    // through an absorbed connection).
+    for (seed, profile) in [(7, "mixed"), (8, "delay,drop,truncate,rate=8"), (9, "heavy")] {
+        let chaos = ChaosConfig::from_cli(Some(seed), Some(profile))
+            .expect("profile parses")
+            .expect("both flags given");
+        let what = format!("serve chaos run (seed {seed}, profile {profile})");
+        let (replies, counters) = {
+            let cells = cells.clone();
+            let what = what.clone();
+            with_deadline(&what, RUN_DEADLINE, move || {
+                let handle = serve(
+                    Endpoint::Unix(tmp(&format!("serve-{seed}-up"))),
+                    ServeConfig { seed: SEED, small: true, threads: 2, ..ServeConfig::default() },
+                )
+                .expect("server must bind");
+                let mut proxy = ChaosProxy::spawn(
+                    Endpoint::Unix(tmp(&format!("serve-{seed}-proxy"))),
+                    handle.endpoint().clone(),
+                    chaos,
+                )
+                .expect("chaos proxy must bind");
+                // A tight per-frame deadline so a black-holed connection
+                // costs seconds, not the default 120 s.
+                let policy = RetryPolicy {
+                    attempts: 16,
+                    io_timeout: Some(Duration::from_secs(2)),
+                    ..RetryPolicy::default()
+                };
+                let mut client = RetryClient::new(proxy.endpoint().clone(), policy);
+                let replies = client.sweep(&cells).expect("retrying sweep must converge");
+                let counters = client.counters();
+                proxy.shutdown();
+                handle.shutdown();
+                (replies, counters)
+            })
+        };
+        assert_eq!(replies.len(), cells.len(), "{what}: reply count");
+        for ((reply, &key), expected) in replies.iter().zip(&cells).zip(&serial) {
+            assert_eq!(reply.key, key, "{what}: replies keep request order");
+            assert_eq!(
+                reply.metrics, *expected,
+                "{what}: diverged from the serial path on {key:?}"
+            );
+        }
+        // The counters are the client's own story of the run — sheds
+        // can only come from a loaded server, not from wire damage.
+        assert_eq!(counters.sheds, 0, "{what}: an idle server never sheds");
+    }
+}
+
+#[test]
+fn client_side_chaos_against_a_quiet_server_still_converges() {
+    // The other deployment shape: a pristine server, damage injected by
+    // the *client's* own connection wrapper (`mom3d-load --chaos-seed`).
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+    let what = "client-side chaos run";
+    let (replies, counters) = {
+        let cells = cells.clone();
+        with_deadline(what, RUN_DEADLINE, move || {
+            let handle = serve(
+                Endpoint::Unix(tmp("client-chaos-up")),
+                ServeConfig { seed: SEED, small: true, threads: 2, ..ServeConfig::default() },
+            )
+            .expect("server must bind");
+            let chaos = ChaosConfig::from_cli(Some(5), Some("mixed"))
+                .expect("profile parses")
+                .expect("both flags given");
+            let policy = RetryPolicy {
+                attempts: 16,
+                io_timeout: Some(Duration::from_secs(2)),
+                ..RetryPolicy::default()
+            };
+            let mut client =
+                RetryClient::with_chaos(handle.endpoint().clone(), policy, Some(chaos));
+            let replies = client.sweep(&cells).expect("retrying sweep must converge");
+            let counters = client.counters();
+            handle.shutdown();
+            (replies, counters)
+        })
+    };
+    for ((reply, &key), expected) in replies.iter().zip(&cells).zip(&serial) {
+        assert_eq!(reply.key, key, "{what}: replies keep request order");
+        assert_eq!(reply.metrics, *expected, "{what}: diverged on {key:?}");
+    }
+    assert_eq!(counters.sheds, 0, "{what}: an idle server never sheds");
+}

@@ -86,8 +86,8 @@ fn run_sharded(
                 let config = WorkerConfig {
                     id: id as u32,
                     threads: 1,
-                    cache_dir: None,
                     abort_after,
+                    ..WorkerConfig::default()
                 };
                 run_worker(&endpoint, &config)
             })
@@ -170,6 +170,129 @@ fn a_crashed_worker_costs_no_completed_cell() {
     let attributed: u64 = sharding.workers.iter().map(|w| w.cells).sum();
     assert_eq!(attributed, cells.len() as u64);
     assert_eq!(sharding.resumed_cells, 0);
+}
+
+#[test]
+fn a_stalled_worker_cannot_wedge_the_sweep() {
+    // Worker 0 completes ONE cell of its two-cell grant and then goes
+    // silent with the connection OPEN — the stalled-not-dead failure
+    // mode a dropped-connection detector cannot see. Its residual
+    // one-cell grant is also unstealable (stealing needs >= 2 cells),
+    // so only the grant lease can unblock the sweep.
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+    let sock = tmp("stall", "sock");
+    let endpoint = Endpoint::Unix(sock);
+    let config = ShardConfig {
+        seed: SEED,
+        small: true,
+        workers: 0,
+        batch: 2,
+        lease: Duration::from_millis(300),
+        ..ShardConfig::default()
+    };
+
+    let coordinator = {
+        let endpoint = endpoint.clone();
+        let cells = cells.clone();
+        std::thread::spawn(move || coordinate(endpoint, &cells, &config))
+    };
+    let staller = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let config = WorkerConfig {
+                id: 0,
+                threads: 1,
+                stall_after: Some(1),
+                stall_for: Duration::from_secs(2),
+                ..WorkerConfig::default()
+            };
+            run_worker(&endpoint, &config)
+        })
+    };
+    let survivor = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            let config = WorkerConfig { id: 1, threads: 1, ..WorkerConfig::default() };
+            run_worker(&endpoint, &config)
+        })
+    };
+
+    let stalled = staller.join().expect("staller thread panicked").expect("staller failed");
+    let _ = survivor.join().expect("survivor thread panicked").expect("survivor failed");
+    let report =
+        coordinator.join().expect("coordinator thread panicked").expect("coordinator failed");
+
+    // The merged report is exact despite the stall — the lease requeued
+    // the abandoned cell and the survivor finished it.
+    assert_bit_identical(&report, &cells, &serial);
+    assert_eq!(stalled.cells, 1, "the stall point is exact");
+    let sharding = report.sharding.as_ref().expect("sharded runs fill the block");
+    let attributed: u64 = sharding.workers.iter().map(|w| w.cells).sum();
+    assert_eq!(attributed, cells.len() as u64, "attribution still partitions the grid");
+}
+
+#[test]
+fn an_injected_crash_mid_append_resumes_exactly_the_complement() {
+    // Satellite of the fault-injection layer: instead of chopping bytes
+    // off a finished file, stage the crash itself — a manifest whose
+    // file rejects writes mid-way through the fifth record, exactly
+    // what a process death mid-`append` leaves on disk.
+    use mom3d_bench::faults::WriteFault;
+    let cells = grid();
+    let serial = serial_metrics(&cells);
+    let path = tmp("resume-shortwrite", "mwm");
+    let _ = std::fs::remove_file(&path);
+
+    // Measure the clean sizes of 4 and 5 records so the fault budget
+    // lands inside record five.
+    let (four, five) = {
+        let mut m = Manifest::create(&path, SEED, true, &cells).unwrap();
+        for (key, metrics) in cells.iter().zip(&serial).take(4) {
+            m.append(key, metrics).unwrap();
+        }
+        drop(m);
+        let four = std::fs::read(&path).unwrap().len() as u64;
+        let mut m = Manifest::create(&path, SEED, true, &cells).unwrap();
+        for (key, metrics) in cells.iter().zip(&serial).take(5) {
+            m.append(key, metrics).unwrap();
+        }
+        drop(m);
+        (four, std::fs::read(&path).unwrap().len() as u64)
+    };
+    assert!(five > four + 2, "record five must span multiple bytes");
+
+    // The "crashing" writer: dies (four + five) / 2 bytes in.
+    let fault = WriteFault { fail_after: (four + five) / 2 };
+    let mut m = Manifest::create_with_fault(&path, SEED, true, &cells, Some(fault)).unwrap();
+    for (key, metrics) in cells.iter().zip(&serial).take(4) {
+        m.append(key, metrics).unwrap();
+    }
+    m.append(&cells[4], &serial[4]).expect_err("the fifth append dies mid-record");
+    drop(m);
+
+    // Resume trusts the four whole records and re-grants exactly the
+    // complement — the torn fifth record re-simulates with the rest.
+    let config = ShardConfig {
+        seed: SEED,
+        small: true,
+        workers: 0,
+        batch: 2,
+        manifest: Some(path.clone()),
+        resume: true,
+        ..ShardConfig::default()
+    };
+    let (report, summaries) = run_sharded("resume-shortwrite", &[None], config);
+
+    assert_bit_identical(&report, &cells, &serial);
+    let sharding = report.sharding.as_ref().expect("sharded runs fill the block");
+    assert_eq!(sharding.resumed_cells, 4);
+    assert_eq!(summaries[0].cells, (cells.len() - 4) as u64, "exactly the complement re-ran");
+    for (i, cell) in report.cells.iter().enumerate() {
+        assert_eq!(cell.reused, i < 4, "cell {i}");
+    }
+
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
