@@ -1,29 +1,220 @@
-//! Criterion benchmark of the functional emulator: dynamic instructions
-//! per second over real kernel traces.
+//! Paired benchmark of the emulator's two execution strategies: the
+//! trace-specializing executor (`Emulator::run_decoded`, the production
+//! `run` path) against the per-instruction interpreter oracle
+//! (`Emulator::run_interp`, compiled in through the `interp-oracle`
+//! feature). Cases cover the three real kernel traces the old
+//! emulation bench timed plus two synthetic extremes — a dense
+//! straight-line ALU trace (maximum dispatch overhead per unit of
+//! work, where run detection and scalar fusion pay) and a strided 2D
+//! vector trace (where the page-batched memory accessors pay).
+//!
+//! Besides the human-readable report, every run writes
+//! `BENCH_emu.json` (schema `mom3d-emu/v1`) next to the crate
+//! manifest: per case, ns/instruction down both paths and the
+//! interp/jit speedup ratio, in fixed declaration order so diffs
+//! between runs never depend on wall-clock ordering. `cargo bench` in
+//! a `MOM3D_BENCH_SMOKE=1` environment runs one iteration per case
+//! and still emits the full JSON surface (CI greps it).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mom3d_emu::Emulator;
+use mom3d_emu::{DecodedTrace, Emulator, Machine};
+use mom3d_isa::{Gpr, IntOp, MomReg, Trace, TraceBuilder, UsimdOp, Width};
 use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
-fn bench_emulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("emulation");
-    for (kind, variant) in [
-        (WorkloadKind::GsmEncode, IsaVariant::Mom),
-        (WorkloadKind::GsmEncode, IsaVariant::Mom3d),
-        (WorkloadKind::Mpeg2Encode, IsaVariant::Mmx),
-    ] {
-        let wl = Workload::build_small(kind, variant, 1).expect("builds");
-        g.throughput(Throughput::Elements(wl.trace().len() as u64));
-        g.bench_function(format!("{kind}-{variant}").replace(' ', "_"), |b| {
-            b.iter(|| {
-                let mut emu = Emulator::with_machine(wl.machine());
-                emu.run(wl.trace()).expect("executes");
-                emu.executed()
-            })
-        });
-    }
-    g.finish();
+struct Case {
+    id: String,
+    machine: Machine,
+    trace: Trace,
 }
 
-criterion_group!(benches, bench_emulation);
-criterion_main!(benches);
+fn kernel_case(kind: WorkloadKind, variant: IsaVariant) -> Case {
+    let wl = Workload::build_small(kind, variant, 1).expect("workload builds");
+    Case {
+        id: format!("{kind}-{variant}").replace(' ', "_"),
+        machine: wl.machine(),
+        trace: wl.trace().clone(),
+    }
+}
+
+/// A long straight-line integer trace: one run, no memory traffic, the
+/// worst case for per-instruction dispatch overhead and the best case
+/// for pre-decoded operands plus adjacent-pair fusion.
+fn dense_alu_case() -> Case {
+    let mut tb = TraceBuilder::new();
+    for r in 0..8 {
+        tb.li(Gpr::new(r), (r as i64).wrapping_mul(0x9e37_79b9) + 1);
+    }
+    let ops = [
+        IntOp::Add,
+        IntOp::Xor,
+        IntOp::And,
+        IntOp::Or,
+        IntOp::Sub,
+        IntOp::Mul,
+        IntOp::SltU,
+        IntOp::SltS,
+    ];
+    for i in 0..4096usize {
+        let d = Gpr::new((i % 8) as u8);
+        let a = Gpr::new(((i + 1) % 8) as u8);
+        let b = Gpr::new(((i + 3) % 8) as u8);
+        tb.alu(ops[i % ops.len()], d, a, b);
+    }
+    Case { id: "dense_alu".into(), machine: Machine::new(), trace: tb.finish() }
+}
+
+/// A strided 2D vector trace: VL=16 rows at a 256-byte stride per
+/// access, load/load/compute/store over a small working set. Element
+/// traffic dominates, so this measures the page-batched memory path
+/// against the interpreter's per-byte accesses.
+fn strided_vector_case() -> Case {
+    const SRC: u64 = 0x1_0000;
+    const DST: u64 = 0x2_0000;
+    const STRIDE: i64 = 256;
+    let mut machine = Machine::new();
+    for row in 0..16u64 {
+        for col in 0..8u64 {
+            let addr = SRC + row * STRIDE as u64 + col * 8;
+            machine.mem.write_u64(addr, addr.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        }
+    }
+    let mut tb = TraceBuilder::new();
+    tb.set_vl(16);
+    tb.set_vs(STRIDE);
+    let base = tb.li(Gpr::new(1), 0);
+    for i in 0..512u64 {
+        let col = (i % 7) * 8;
+        tb.vload(MomReg::new(0), base, SRC + col);
+        tb.vload(MomReg::new(1), base, SRC + col + 8);
+        tb.vop2(UsimdOp::AddWrap(Width::B8), MomReg::new(2), MomReg::new(0), MomReg::new(1));
+        tb.vstore(MomReg::new(2), base, DST + col);
+    }
+    Case { id: "strided_vector".into(), machine, trace: tb.finish() }
+}
+
+fn smoke_mode() -> bool {
+    std::env::var_os("MOM3D_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Times repeated calls of `one_run`, returning mean ns per call.
+/// Calibrates a ~300 ms measurement window from a first timed call
+/// (smoke mode stops after that first call).
+fn time_path(mut one_run: impl FnMut(), smoke: bool) -> f64 {
+    let t0 = Instant::now();
+    one_run();
+    let first = t0.elapsed();
+    if smoke {
+        return first.as_nanos() as f64;
+    }
+    let per = first.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(300).as_nanos() / per.as_nanos()).clamp(1, 1_000_000) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        one_run();
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Row {
+    id: String,
+    instructions: u64,
+    interp_ns_per_instr: f64,
+    jit_ns_per_instr: f64,
+    speedup: f64,
+}
+
+fn bench_case(case: &Case, smoke: bool) -> Row {
+    // Instruction count from one verifying run (both paths must agree).
+    let mut emu = Emulator::with_machine(case.machine.clone());
+    emu.run(&case.trace).expect("trace executes");
+    let instructions = emu.executed();
+    let mut oracle = Emulator::with_machine(case.machine.clone());
+    oracle.run_interp(&case.trace).expect("trace executes");
+    assert_eq!(oracle.executed(), instructions, "{}: paths disagree on executed count", case.id);
+    assert_eq!(
+        oracle.machine(),
+        emu.machine(),
+        "{}: paths disagree on architectural state",
+        case.id
+    );
+
+    // Both paths re-execute on the evolved machine state (these traces
+    // have no data-dependent control flow, so cost is state-independent
+    // and neither path pays per-iteration machine clones). The JIT side
+    // decodes once and reuses the `DecodedTrace` — the hot-trace shape
+    // this executor exists for.
+    let interp_ns = {
+        let mut emu = Emulator::with_machine(case.machine.clone());
+        time_path(|| emu.run_interp(&case.trace).expect("trace executes"), smoke)
+    };
+    let jit_ns = {
+        let decoded = DecodedTrace::decode(&case.trace);
+        let mut emu = Emulator::with_machine(case.machine.clone());
+        time_path(|| emu.run_decoded(&decoded).expect("trace executes"), smoke)
+    };
+
+    let interp_ns_per_instr = interp_ns / instructions as f64;
+    let jit_ns_per_instr = jit_ns / instructions as f64;
+    Row {
+        id: case.id.clone(),
+        instructions,
+        interp_ns_per_instr,
+        jit_ns_per_instr,
+        speedup: interp_ns_per_instr / jit_ns_per_instr,
+    }
+}
+
+fn write_json(rows: &[Row], smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"mom3d-emu/v1\",");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"cases\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"id\": \"{}\", \"instructions\": {}, \
+             \"interp_ns_per_instr\": {:.3}, \"jit_ns_per_instr\": {:.3}, \
+             \"speedup\": {:.2}}}",
+            r.id, r.instructions, r.interp_ns_per_instr, r.jit_ns_per_instr, r.speedup
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    let cases = [
+        kernel_case(WorkloadKind::GsmEncode, IsaVariant::Mom),
+        kernel_case(WorkloadKind::GsmEncode, IsaVariant::Mom3d),
+        kernel_case(WorkloadKind::Mpeg2Encode, IsaVariant::Mmx),
+        dense_alu_case(),
+        strided_vector_case(),
+    ];
+
+    println!("\ngroup: emulation (jit vs interpreter oracle)");
+    let rows: Vec<Row> = cases
+        .iter()
+        .map(|case| {
+            let row = bench_case(case, smoke);
+            println!(
+                "  {}: interp {:.1} ns/instr, jit {:.1} ns/instr ({:.2}x, {} instrs){}",
+                row.id,
+                row.interp_ns_per_instr,
+                row.jit_ns_per_instr,
+                row.speedup,
+                row.instructions,
+                if smoke { " [smoke]" } else { "" }
+            );
+            row
+        })
+        .collect();
+
+    let json = write_json(&rows, smoke);
+    let path = "BENCH_emu.json";
+    std::fs::write(path, &json).expect("BENCH_emu.json writes");
+    println!("  wrote {path}");
+}

@@ -9,7 +9,7 @@ use mom3d_isa::{arch, DReg};
 /// element at the pointer offset. On hardware the extraction reads two
 /// quadword-aligned words per lane and shifts&masks (Figure 8-c); here we
 /// read the bytes directly, which is bit-identical.
-#[derive(Clone)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct DRegValue {
     data: Box<[u8; arch::DREG_BYTES]>,
 }
@@ -102,7 +102,7 @@ impl DRegValue {
 /// The pointer wraps the `3dvload` `b` flag (pointer initialized at the
 /// beginning or the end of the loaded block) and the `3dvmov` post-update
 /// (`pointer += Ps`, renaming the pointer register).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DRegFile {
     regs: [DRegValue; arch::DREG_LOGICAL_REGS],
     pointers: [u8; arch::DREG_LOGICAL_REGS],
@@ -174,6 +174,20 @@ impl DRegFile {
         let next = (offset as i32 + pstride as i32).rem_euclid(arch::DREG_ELEM_BYTES as i32);
         self.pointers[idx] = next as u8;
         out
+    }
+
+    /// Allocation-free [`DRegFile::mov`]: writes `out.len()` slices into
+    /// `out` and post-increments the pointer by `pstride`. Bit-identical
+    /// to `mov` with `vl = out.len()`; hot callers (the trace-specializing
+    /// emulator) reuse one buffer across instructions.
+    pub fn mov_into(&mut self, dr: DReg, out: &mut [u64], pstride: i16) {
+        let idx = dr.index() as usize;
+        let offset = self.pointers[idx] as usize;
+        for (e, slot) in out.iter_mut().enumerate() {
+            *slot = self.regs[idx].slice64_wrapping(e, offset);
+        }
+        let next = (offset as i32 + pstride as i32).rem_euclid(arch::DREG_ELEM_BYTES as i32);
+        self.pointers[idx] = next as u8;
     }
 
     /// Read-only view of a register's value.
@@ -270,6 +284,21 @@ mod tests {
         assert_ne!(a[0], b[0]);
         assert_eq!(f.pointer(DReg::new(0)), 4);
         assert_eq!(f.pointer(DReg::new(1)), 8);
+    }
+
+    #[test]
+    fn mov_into_matches_mov() {
+        let blocks: Vec<Vec<u8>> = (0..4).map(|e| ramp(32, e as u8 * 32)).collect();
+        let mut f = DRegFile::new();
+        f.load(DReg::new(0), &blocks, true);
+        let mut g = f.clone();
+        for pstride in [1i16, -8, 120] {
+            let expect = f.mov(DReg::new(0), 4, pstride);
+            let mut got = [0u64; 4];
+            g.mov_into(DReg::new(0), &mut got, pstride);
+            assert_eq!(expect, got);
+            assert_eq!(f, g, "pointer post-update must match");
+        }
     }
 
     #[test]

@@ -1,0 +1,611 @@
+//! Trace pre-decode: the SoA form the trace-specializing executor runs.
+//!
+//! The interpreter in `exec.rs` re-derives everything per instruction:
+//! it matches on the opcode, walks the operand lists collecting values
+//! into freshly allocated `Vec`s, and re-resolves the µSIMD sub-op for
+//! every element. Decoding hoists all of that to one pass over the
+//! trace: each instruction becomes a compact [`OpRec`] — a handler-table
+//! index, packed register indices, an element-function pointer resolved
+//! from the sub-op, the captured VL, and a side-table index for the
+//! memory descriptor — and the executor (`trace_exec.rs`) then runs the
+//! records through a flat function-pointer table with zero allocation.
+//!
+//! Run boundaries: straight-line runs end at control flow (`Branch`) and
+//! at vector-state changes (`SetVl`/`SetVs`), the points where the
+//! architectural registers the vector checks compare against can move.
+//! Within a run, adjacent scalar ALU records are fused into one
+//! dispatch ([`K_INT_PAIR`]).
+//!
+//! Error parity with the interpreter is part of the decode contract:
+//! statically malformed scalar instructions become [`K_FAULT`] records
+//! that raise the interpreter's exact `Malformed` error *when reached*
+//! (earlier instructions must still execute), and vector records keep
+//! sentinel operand slots so their handlers re-check in the
+//! interpreter's exact order (VL, then descriptor, then VS, then
+//! operands).
+
+use mom3d_isa::{Instruction, IntOp, MemAccess, Opcode, Reg, ReduceOp, Trace, UsimdOp, Width};
+use mom3d_simd as simd;
+
+/// Per-element function resolved at decode time: `(a, b, imm) -> result`.
+/// Covers scalar ALU ops, µSIMD ops and MOM vector compute.
+pub(crate) type ElemFn = fn(u64, u64, i64) -> u64;
+
+/// Per-element reduction resolved at decode time: `(a, b) -> partial sum`.
+pub(crate) type ReduceFn = fn(u64, u64) -> i128;
+
+/// Sentinel for an absent register operand (checked by vector handlers
+/// in interpreter order).
+pub(crate) const NO_REG: u8 = u8::MAX;
+/// Sentinel for an absent memory descriptor.
+pub(crate) const NO_MEM: u32 = u32::MAX;
+
+// Handler-table indices (see `trace_exec::HANDLERS`, same order).
+pub(crate) const K_INT: u8 = 0;
+pub(crate) const K_INT_PAIR: u8 = 1;
+pub(crate) const K_BRANCH: u8 = 2;
+pub(crate) const K_LOAD_SCALAR: u8 = 3;
+pub(crate) const K_STORE_SCALAR: u8 = 4;
+pub(crate) const K_LOAD_MMX: u8 = 5;
+pub(crate) const K_STORE_MMX: u8 = 6;
+pub(crate) const K_USIMD: u8 = 7;
+pub(crate) const K_SET_VL: u8 = 8;
+pub(crate) const K_SET_VS: u8 = 9;
+pub(crate) const K_VLOAD: u8 = 10;
+pub(crate) const K_VSTORE: u8 = 11;
+pub(crate) const K_VCOMPUTE: u8 = 12;
+pub(crate) const K_VREDUCE: u8 = 13;
+pub(crate) const K_READ_ACC: u8 = 14;
+pub(crate) const K_DVLOAD: u8 = 15;
+pub(crate) const K_DVMOV: u8 = 16;
+pub(crate) const K_FAULT: u8 = 17;
+pub(crate) const KIND_COUNT: usize = 18;
+
+// Scalar-ALU operand classes (resolved from the interpreter's
+// `exec_int` source walk: GPR/MMX/ACC read their register, any other
+// register class contributes zero, and a missing second source falls
+// back to the immediate).
+pub(crate) const SRC_GPR: u8 = 0;
+pub(crate) const SRC_MMX: u8 = 1;
+pub(crate) const SRC_ACC: u8 = 2;
+pub(crate) const SRC_ZERO: u8 = 3;
+pub(crate) const SRC_IMM: u8 = 4;
+pub(crate) const DST_GPR: u8 = 0;
+pub(crate) const DST_MMX: u8 = 1;
+pub(crate) const DST_ACC: u8 = 2;
+
+/// One pre-decoded instruction record. `Copy`, 32 bytes, no pointers
+/// into the source trace: record index `i` always corresponds to trace
+/// instruction `i`, so error indices line up with the interpreter.
+#[derive(Clone, Copy)]
+pub(crate) struct OpRec {
+    /// Handler-table index ([`K_INT`] … [`K_FAULT`]).
+    pub kind: u8,
+    /// Destination register index (class implied by `kind`/`k3`).
+    pub dst: u8,
+    /// First/second source register index, or [`NO_REG`].
+    pub src1: u8,
+    pub src2: u8,
+    /// Scalar ALU: operand class of `src1` / `src2` / the destination.
+    pub k1: u8,
+    pub k2: u8,
+    pub k3: u8,
+    /// Captured vector length (vector records).
+    pub vl: u8,
+    /// Side-table index: `mems` for memory records, `reduces` for
+    /// [`K_VREDUCE`], `faults` for [`K_FAULT`]; [`NO_MEM`] when absent.
+    pub aux: u32,
+    /// Immediate (shift amounts, `3dvmov` pointer stride, `setvl` value).
+    pub imm: i64,
+    /// Element function for ALU/µSIMD/vector-compute records.
+    pub f: ElemFn,
+}
+
+/// One straight-line run: `len` records starting at `start`.
+/// Boundary instructions (branch / `setvl` / `setvs`) form their own
+/// single-record runs.
+#[derive(Clone, Copy)]
+pub(crate) struct Run {
+    pub start: u32,
+    pub len: u32,
+}
+
+/// A [`Trace`] pre-decoded for the trace-specializing executor.
+///
+/// Decode once, execute with zero per-instruction allocation. Decoding
+/// never fails: malformed instructions decode to records that raise the
+/// interpreter's exact error when (and only when) execution reaches
+/// them.
+pub struct DecodedTrace {
+    pub(crate) ops: Vec<OpRec>,
+    pub(crate) mems: Vec<MemAccess>,
+    pub(crate) faults: Vec<&'static str>,
+    pub(crate) reduces: Vec<ReduceFn>,
+    pub(crate) runs: Vec<Run>,
+    fused: u32,
+}
+
+impl std::fmt::Debug for DecodedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodedTrace")
+            .field("instrs", &self.ops.len())
+            .field("runs", &self.runs.len())
+            .field("fused_pairs", &self.fused)
+            .finish()
+    }
+}
+
+impl DecodedTrace {
+    /// Pre-decodes a trace (one pass, infallible).
+    pub fn decode(trace: &Trace) -> Self {
+        let mut d = DecodedTrace {
+            ops: Vec::with_capacity(trace.len()),
+            mems: Vec::new(),
+            faults: Vec::new(),
+            reduces: Vec::new(),
+            runs: Vec::new(),
+            fused: 0,
+        };
+        for instr in trace.iter() {
+            let rec = d.decode_instr(instr);
+            d.ops.push(rec);
+        }
+        d.detect_runs_and_fuse();
+        d
+    }
+
+    /// Number of decoded instructions (equals the trace length).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the decoded trace holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of straight-line runs detected (boundary instructions
+    /// count as single-instruction runs).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of adjacent scalar-ALU pairs fused into one dispatch.
+    pub fn fused_pairs(&self) -> usize {
+        self.fused as usize
+    }
+
+    fn fault(&mut self, what: &'static str) -> OpRec {
+        self.faults.push(what);
+        OpRec { kind: K_FAULT, aux: self.faults.len() as u32 - 1, ..NOP_REC }
+    }
+
+    fn push_mem(&mut self, mem: Option<MemAccess>) -> u32 {
+        match mem {
+            Some(m) => {
+                self.mems.push(m);
+                self.mems.len() as u32 - 1
+            }
+            None => NO_MEM,
+        }
+    }
+
+    fn decode_instr(&mut self, i: &Instruction) -> OpRec {
+        match i.opcode {
+            Opcode::IntAlu(op) => self.decode_int(op, i),
+            Opcode::Branch => OpRec { kind: K_BRANCH, ..NOP_REC },
+            Opcode::LoadScalar => {
+                let Some(_) = i.mem else { return self.fault("missing memory descriptor") };
+                let Some(dst) = find_gpr(i.dsts.iter()) else {
+                    return self.fault("gpr destination");
+                };
+                OpRec { kind: K_LOAD_SCALAR, dst, aux: self.push_mem(i.mem), ..NOP_REC }
+            }
+            Opcode::StoreScalar => {
+                let Some(_) = i.mem else { return self.fault("missing memory descriptor") };
+                let Some(src) = find_gpr(i.srcs.iter()) else { return self.fault("gpr source") };
+                OpRec { kind: K_STORE_SCALAR, src1: src, aux: self.push_mem(i.mem), ..NOP_REC }
+            }
+            Opcode::LoadMmx => {
+                let Some(_) = i.mem else { return self.fault("missing memory descriptor") };
+                let Some(dst) = find_mmx(i.dsts.iter()) else {
+                    return self.fault("mmx destination");
+                };
+                OpRec { kind: K_LOAD_MMX, dst, aux: self.push_mem(i.mem), ..NOP_REC }
+            }
+            Opcode::StoreMmx => {
+                let Some(_) = i.mem else { return self.fault("missing memory descriptor") };
+                let Some(src) = find_mmx(i.srcs.iter()) else { return self.fault("mmx source") };
+                OpRec { kind: K_STORE_MMX, src1: src, aux: self.push_mem(i.mem), ..NOP_REC }
+            }
+            Opcode::Usimd(op) => {
+                // Interpreter order: destination first, then sources.
+                let Some(dst) = find_mmx(i.dsts.iter()) else {
+                    return self.fault("mmx destination");
+                };
+                let Some(a) = find_mmx(i.srcs.iter()) else { return self.fault("usimd source") };
+                let b = nth_mmx(i.srcs.iter(), 1).unwrap_or(NO_REG);
+                OpRec { kind: K_USIMD, dst, src1: a, src2: b, imm: i.imm, f: usimd_fn(op), ..NOP_REC }
+            }
+            Opcode::SetVl => OpRec { kind: K_SET_VL, imm: i.imm, ..NOP_REC },
+            Opcode::SetVs => OpRec { kind: K_SET_VS, imm: i.imm, ..NOP_REC },
+            Opcode::VLoad => OpRec {
+                kind: K_VLOAD,
+                dst: find_mom(i.dsts.iter()).unwrap_or(NO_REG),
+                vl: i.vl,
+                aux: self.push_mem(i.mem),
+                ..NOP_REC
+            },
+            Opcode::VStore => OpRec {
+                kind: K_VSTORE,
+                src1: find_mom(i.srcs.iter()).unwrap_or(NO_REG),
+                vl: i.vl,
+                aux: self.push_mem(i.mem),
+                ..NOP_REC
+            },
+            Opcode::VCompute(op) => OpRec {
+                kind: K_VCOMPUTE,
+                dst: find_mom(i.dsts.iter()).unwrap_or(NO_REG),
+                src1: find_mom(i.srcs.iter()).unwrap_or(NO_REG),
+                src2: nth_mom(i.srcs.iter(), 1).unwrap_or(NO_REG),
+                vl: i.vl,
+                imm: i.imm,
+                f: usimd_fn(op),
+                ..NOP_REC
+            },
+            Opcode::VReduce(op) => {
+                self.reduces.push(reduce_fn(op));
+                OpRec {
+                    kind: K_VREDUCE,
+                    dst: find_acc(i.dsts.iter()).unwrap_or(NO_REG),
+                    src1: find_mom(i.srcs.iter()).unwrap_or(NO_REG),
+                    src2: nth_mom(i.srcs.iter(), 1).unwrap_or(NO_REG),
+                    vl: i.vl,
+                    aux: self.reduces.len() as u32 - 1,
+                    ..NOP_REC
+                }
+            }
+            Opcode::ReadAcc => {
+                let Some(dst) = find_gpr(i.dsts.iter()) else {
+                    return self.fault("gpr destination");
+                };
+                let Some(src) = find_acc(i.srcs.iter()) else {
+                    return self.fault("accumulator source");
+                };
+                OpRec { kind: K_READ_ACC, dst, src1: src, ..NOP_REC }
+            }
+            Opcode::DvLoad => OpRec {
+                kind: K_DVLOAD,
+                dst: find_dreg(i.dsts.iter()).unwrap_or(NO_REG),
+                vl: i.vl,
+                aux: self.push_mem(i.mem),
+                imm: i.imm,
+                ..NOP_REC
+            },
+            Opcode::DvMov => OpRec {
+                kind: K_DVMOV,
+                dst: find_mom(i.dsts.iter()).unwrap_or(NO_REG),
+                src1: find_dreg(i.srcs.iter()).unwrap_or(NO_REG),
+                vl: i.vl,
+                imm: i.imm,
+                ..NOP_REC
+            },
+        }
+    }
+
+    fn decode_int(&mut self, op: IntOp, i: &Instruction) -> OpRec {
+        // Destination dispatch mirrors `exec_int`: the *first* listed
+        // destination decides, whatever its class.
+        let (k3, dst) = match i.dsts.iter().next() {
+            Some(Reg::Gpr(r)) => (DST_GPR, r.index()),
+            Some(Reg::Mmx(r)) => (DST_MMX, r.index()),
+            Some(Reg::Acc(r)) => (DST_ACC, r.index()),
+            Some(_) => return self.fault("int destination class"),
+            None => return self.fault("missing int destination"),
+        };
+        let src = |r: Reg| match r {
+            Reg::Gpr(x) => (SRC_GPR, x.index()),
+            Reg::Mmx(x) => (SRC_MMX, x.index()),
+            Reg::Acc(x) => (SRC_ACC, x.index()),
+            _ => (SRC_ZERO, 0),
+        };
+        let mut srcs = i.srcs.iter();
+        let (k1, src1) = match srcs.next() {
+            Some(r) => src(r),
+            // No sources: `mov` takes the immediate, everything else
+            // computes on a = 0.
+            None if op == IntOp::Mov => (SRC_IMM, 0),
+            None => (SRC_ZERO, 0),
+        };
+        // A missing second source falls back to the immediate.
+        let (k2, src2) = match srcs.next() {
+            Some(r) => src(r),
+            None => (SRC_IMM, 0),
+        };
+        OpRec {
+            kind: K_INT,
+            dst,
+            src1,
+            src2,
+            k1,
+            k2,
+            k3,
+            imm: i.imm,
+            f: int_fn(op),
+            ..NOP_REC
+        }
+    }
+
+    /// Splits the record stream into straight-line runs (boundaries:
+    /// control flow and VL/VS changes) and fuses adjacent scalar-ALU
+    /// pairs within each run.
+    fn detect_runs_and_fuse(&mut self) {
+        let n = self.ops.len();
+        let mut start = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            if is_boundary(self.ops[i].kind) {
+                if i > start {
+                    self.push_run(start, i);
+                }
+                self.runs.push(Run { start: i as u32, len: 1 });
+                start = i + 1;
+            }
+            i += 1;
+        }
+        if n > start {
+            self.push_run(start, n);
+        }
+    }
+
+    fn push_run(&mut self, start: usize, end: usize) {
+        self.runs.push(Run { start: start as u32, len: (end - start) as u32 });
+        // Greedy pairwise fusion of adjacent scalar ALU records. Both
+        // records stay in place (indices keep matching the trace); the
+        // first becomes the pair head and the dispatch loop skips the
+        // second. K_INT records cannot fault, so the fused handler needs
+        // no error paths.
+        let mut i = start;
+        while i + 1 < end {
+            if self.ops[i].kind == K_INT && self.ops[i + 1].kind == K_INT {
+                self.ops[i].kind = K_INT_PAIR;
+                self.fused += 1;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn is_boundary(kind: u8) -> bool {
+    matches!(kind, K_BRANCH | K_SET_VL | K_SET_VS)
+}
+
+/// The do-nothing record all decodes start from.
+const NOP_REC: OpRec = OpRec {
+    kind: K_BRANCH,
+    dst: NO_REG,
+    src1: NO_REG,
+    src2: NO_REG,
+    k1: 0,
+    k2: 0,
+    k3: 0,
+    vl: 1,
+    aux: NO_MEM,
+    imm: 0,
+    f: fn_zero,
+};
+
+fn fn_zero(_a: u64, _b: u64, _imm: i64) -> u64 {
+    0
+}
+
+// ---- operand-list scans (decode-time analogue of exec.rs `extract!`) ----
+
+macro_rules! finder {
+    ($nth:ident, $variant:ident) => {
+        fn $nth(iter: impl Iterator<Item = Reg>, n: usize) -> Option<u8> {
+            iter.filter_map(|r| match r {
+                Reg::$variant(x) => Some(x.index()),
+                _ => None,
+            })
+            .nth(n)
+        }
+    };
+}
+
+finder!(nth_gpr, Gpr);
+finder!(nth_mmx, Mmx);
+finder!(nth_mom, Mom);
+finder!(nth_dreg, D);
+finder!(nth_acc, Acc);
+
+fn find_gpr(iter: impl Iterator<Item = Reg>) -> Option<u8> {
+    nth_gpr(iter, 0)
+}
+fn find_mmx(iter: impl Iterator<Item = Reg>) -> Option<u8> {
+    nth_mmx(iter, 0)
+}
+fn find_mom(iter: impl Iterator<Item = Reg>) -> Option<u8> {
+    nth_mom(iter, 0)
+}
+fn find_dreg(iter: impl Iterator<Item = Reg>) -> Option<u8> {
+    nth_dreg(iter, 0)
+}
+fn find_acc(iter: impl Iterator<Item = Reg>) -> Option<u8> {
+    nth_acc(iter, 0)
+}
+
+// ---- sub-op resolution to element functions -----------------------------
+
+fn int_fn(op: IntOp) -> ElemFn {
+    match op {
+        IntOp::Mov => (|a, _, _| a) as ElemFn,
+        IntOp::Add => (|a, b, _| a.wrapping_add(b)) as ElemFn,
+        IntOp::Sub => (|a, b, _| a.wrapping_sub(b)) as ElemFn,
+        IntOp::Mul => (|a, b, _| a.wrapping_mul(b)) as ElemFn,
+        IntOp::And => (|a, b, _| a & b) as ElemFn,
+        IntOp::Or => (|a, b, _| a | b) as ElemFn,
+        IntOp::Xor => (|a, b, _| a ^ b) as ElemFn,
+        IntOp::Shl => (|a, b, _| a.wrapping_shl(b as u32)) as ElemFn,
+        IntOp::Shr => (|a, b, _| a.wrapping_shr(b as u32)) as ElemFn,
+        IntOp::Sar => (|a, b, _| ((a as i64).wrapping_shr(b as u32)) as u64) as ElemFn,
+        IntOp::SltS => (|a, b, _| ((a as i64) < (b as i64)) as u64) as ElemFn,
+        IntOp::SltU => (|a, b, _| (a < b) as u64) as ElemFn,
+    }
+}
+
+/// Monomorphizes a width-parametric `mom3d_simd` op into an [`ElemFn`].
+macro_rules! wfn {
+    ($f:path, $w:expr) => {
+        match $w {
+            Width::B8 => (|a, b, _| $f(a, b, simd::Width::B8)) as ElemFn,
+            Width::H16 => (|a, b, _| $f(a, b, simd::Width::H16)) as ElemFn,
+            Width::W32 => (|a, b, _| $f(a, b, simd::Width::W32)) as ElemFn,
+            Width::D64 => (|a, b, _| $f(a, b, simd::Width::D64)) as ElemFn,
+        }
+    };
+}
+
+/// Same, for shift ops whose second operand is the immediate.
+macro_rules! sfn {
+    ($f:path, $w:expr) => {
+        match $w {
+            Width::B8 => (|a, _, imm| $f(a, imm as u32, simd::Width::B8)) as ElemFn,
+            Width::H16 => (|a, _, imm| $f(a, imm as u32, simd::Width::H16)) as ElemFn,
+            Width::W32 => (|a, _, imm| $f(a, imm as u32, simd::Width::W32)) as ElemFn,
+            Width::D64 => (|a, _, imm| $f(a, imm as u32, simd::Width::D64)) as ElemFn,
+        }
+    };
+}
+
+fn usimd_fn(op: UsimdOp) -> ElemFn {
+    match op {
+        UsimdOp::AddWrap(w) => wfn!(simd::add_wrap, w),
+        UsimdOp::SubWrap(w) => wfn!(simd::sub_wrap, w),
+        UsimdOp::AddSatU(w) => wfn!(simd::add_sat_u, w),
+        UsimdOp::SubSatU(w) => wfn!(simd::sub_sat_u, w),
+        UsimdOp::AddSatS(w) => wfn!(simd::add_sat_s, w),
+        UsimdOp::SubSatS(w) => wfn!(simd::sub_sat_s, w),
+        UsimdOp::MinU(w) => wfn!(simd::min_u, w),
+        UsimdOp::MaxU(w) => wfn!(simd::max_u, w),
+        UsimdOp::MinS(w) => wfn!(simd::min_s, w),
+        UsimdOp::MaxS(w) => wfn!(simd::max_s, w),
+        UsimdOp::AbsDiffU(w) => wfn!(simd::abs_diff_u, w),
+        UsimdOp::SadU8 => (|a, b, _| simd::sad_u8(a, b)) as ElemFn,
+        UsimdOp::AvgU(w) => wfn!(simd::avg_u, w),
+        UsimdOp::MulLow(w) => wfn!(simd::mul_low_16, w),
+        UsimdOp::MulHighS16 => (|a, b, _| simd::mul_high_s16(a, b)) as ElemFn,
+        UsimdOp::MaddS16 => (|a, b, _| simd::madd_s16(a, b)) as ElemFn,
+        UsimdOp::Shl(w) => sfn!(simd::shl, w),
+        UsimdOp::ShrL(w) => sfn!(simd::shr_logic, w),
+        UsimdOp::ShrA(w) => sfn!(simd::shr_arith, w),
+        UsimdOp::And => (|a, b, _| a & b) as ElemFn,
+        UsimdOp::Or => (|a, b, _| a | b) as ElemFn,
+        UsimdOp::Xor => (|a, b, _| a ^ b) as ElemFn,
+        UsimdOp::AndNot => (|a, b, _| !a & b) as ElemFn,
+        UsimdOp::CmpEq(w) => wfn!(simd::cmp_eq, w),
+        UsimdOp::CmpGtS(w) => wfn!(simd::cmp_gt_s, w),
+        UsimdOp::PackUs16To8 => (|a, b, _| simd::pack_s16_to_u8_sat(a, b)) as ElemFn,
+        UsimdOp::PackSs16To8 => (|a, b, _| simd::pack_s16_to_s8_sat(a, b)) as ElemFn,
+        UsimdOp::PackSs32To16 => (|a, b, _| simd::pack_s32_to_s16_sat(a, b)) as ElemFn,
+        UsimdOp::UnpackLo(w) => wfn!(simd::unpack_lo, w),
+        UsimdOp::UnpackHi(w) => wfn!(simd::unpack_hi, w),
+    }
+}
+
+macro_rules! rfn {
+    ($f:path, $w:expr) => {
+        match $w {
+            Width::B8 => (|a, _| $f(a, simd::Width::B8) as i128) as ReduceFn,
+            Width::H16 => (|a, _| $f(a, simd::Width::H16) as i128) as ReduceFn,
+            Width::W32 => (|a, _| $f(a, simd::Width::W32) as i128) as ReduceFn,
+            Width::D64 => (|a, _| $f(a, simd::Width::D64) as i128) as ReduceFn,
+        }
+    };
+}
+
+fn reduce_fn(op: ReduceOp) -> ReduceFn {
+    match op {
+        ReduceOp::SadAccumU8 => (|a, b| simd::sad_u8(a, b) as i128) as ReduceFn,
+        ReduceOp::SumU(w) => rfn!(simd::hsum_u, w),
+        ReduceOp::SumS(w) => rfn!(simd::hsum_s, w),
+        ReduceOp::DotS16 => (|a, b| {
+            let mut s: i128 = 0;
+            for i in 0..4 {
+                let x = simd::sext(simd::lane(a, i, simd::Width::H16), simd::Width::H16);
+                let y = simd::sext(simd::lane(b, i, simd::Width::H16), simd::Width::H16);
+                s += (x * y) as i128;
+            }
+            s
+        }) as ReduceFn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mom3d_isa::{Gpr, MmxReg, MomReg, TraceBuilder};
+
+    #[test]
+    fn runs_split_at_control_flow_and_vl_changes() {
+        let mut tb = TraceBuilder::new();
+        let a = tb.li(Gpr::new(1), 1); // run 0: two ALU records
+        tb.li(Gpr::new(2), 2);
+        tb.branch(a, true); // boundary run
+        tb.li(Gpr::new(3), 3); // run 2
+        tb.set_vl(4); // boundary run
+        tb.set_vs(16); // boundary run
+        let b = tb.li(Gpr::new(4), 0x100); // run 5: alu + vload
+        tb.vload(MomReg::new(0), b, 0x100);
+        let d = DecodedTrace::decode(&tb.finish());
+        assert_eq!(d.len(), 8);
+        assert_eq!(d.run_count(), 6);
+        let lens: Vec<u32> = d.runs.iter().map(|r| r.len).collect();
+        assert_eq!(lens, vec![2, 1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn adjacent_scalar_ops_fuse_within_runs_only() {
+        let mut tb = TraceBuilder::new();
+        tb.li(Gpr::new(1), 1);
+        tb.li(Gpr::new(2), 2); // fuses with previous
+        tb.li(Gpr::new(3), 3); // odd one out
+        tb.branch(Gpr::new(1), false); // boundary: no fusion across
+        tb.li(Gpr::new(4), 4);
+        tb.li(Gpr::new(5), 5); // fuses
+        let d = DecodedTrace::decode(&tb.finish());
+        assert_eq!(d.fused_pairs(), 2);
+        assert_eq!(d.ops[0].kind, K_INT_PAIR);
+        assert_eq!(d.ops[1].kind, K_INT);
+        assert_eq!(d.ops[2].kind, K_INT);
+        assert_eq!(d.ops[4].kind, K_INT_PAIR);
+    }
+
+    #[test]
+    fn vector_records_keep_sentinels_for_lazy_errors() {
+        use mom3d_isa::Instruction;
+        // A vload with no destination decodes (it must only fail when
+        // reached, and only after the VL/VS checks pass).
+        let mut t = mom3d_isa::Trace::new();
+        t.push(Instruction::op(Opcode::VLoad, &[], &[]).with_vl(16));
+        let d = DecodedTrace::decode(&t);
+        assert_eq!(d.ops[0].kind, K_VLOAD);
+        assert_eq!(d.ops[0].dst, NO_REG);
+        assert_eq!(d.ops[0].aux, NO_MEM);
+    }
+
+    #[test]
+    fn malformed_scalar_decodes_to_fault_record() {
+        use mom3d_isa::Instruction;
+        let mut t = mom3d_isa::Trace::new();
+        t.push(Instruction::op(Opcode::LoadScalar, &[Reg::Gpr(Gpr::new(1))], &[]));
+        t.push(Instruction::op(Opcode::Usimd(UsimdOp::SadU8), &[Reg::Mmx(MmxReg::new(0))], &[]));
+        let d = DecodedTrace::decode(&t);
+        assert_eq!(d.ops[0].kind, K_FAULT);
+        assert_eq!(d.faults[d.ops[0].aux as usize], "missing memory descriptor");
+        assert_eq!(d.ops[1].kind, K_FAULT);
+        assert_eq!(d.faults[d.ops[1].aux as usize], "usimd source");
+    }
+}

@@ -50,7 +50,11 @@ impl Emulator {
         self.executed
     }
 
-    /// Executes an entire trace.
+    /// Executes an entire trace through the trace-specializing executor:
+    /// the trace is pre-decoded once ([`crate::DecodedTrace`]) and the
+    /// decoded records are dispatched in straight-line runs. Behaviour
+    /// (state, errors, error indices) is bit-identical to stepping the
+    /// interpreter over the trace.
     ///
     /// # Errors
     ///
@@ -58,6 +62,31 @@ impl Emulator {
     /// [`EmuError`]); the machine state is valid up to the failing
     /// instruction.
     pub fn run(&mut self, trace: &mom3d_isa::Trace) -> Result<(), EmuError> {
+        let decoded = crate::decode::DecodedTrace::decode(trace);
+        self.run_decoded(&decoded)
+    }
+
+    /// Executes an already-decoded trace (decode once, run many — the
+    /// resident-server replay path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Emulator::run`].
+    pub fn run_decoded(&mut self, decoded: &crate::DecodedTrace) -> Result<(), EmuError> {
+        crate::trace_exec::note_jit_run();
+        crate::trace_exec::execute(decoded, &mut self.machine, &mut self.executed)
+    }
+
+    /// Executes a trace by stepping the per-instruction interpreter —
+    /// the reference oracle the specializing executor is differentially
+    /// tested against. Compiled only for tests (and the
+    /// `interp-oracle` feature the test/bench crates enable).
+    ///
+    /// # Errors
+    ///
+    /// See [`Emulator::run`].
+    #[cfg(any(test, feature = "interp-oracle"))]
+    pub fn run_interp(&mut self, trace: &mom3d_isa::Trace) -> Result<(), EmuError> {
         for (index, instr) in trace.iter().enumerate() {
             self.step(index, instr)?;
         }

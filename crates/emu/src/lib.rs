@@ -36,12 +36,27 @@
 //! fingerprint those verify results so the workload-image cache can
 //! persist them across binary invocations.
 
+//!
+//! **Execution strategy**: [`Emulator::run`] pre-decodes the trace into
+//! a struct-of-arrays [`DecodedTrace`] (opcode-class handler index,
+//! packed operand indices, resolved element-function pointers, captured
+//! VL and memory-descriptor slots), splits it into straight-line runs
+//! at control-flow and VL/VS-change boundaries, fuses adjacent scalar
+//! ALU records, and dispatches through a flat handler table. The
+//! per-instruction interpreter survives as `Emulator::run_interp`
+//! (tests and the `interp-oracle` feature only) — the reference every
+//! JIT change is differentially tested against.
+
+mod decode;
 mod digest;
 mod error;
 mod exec;
 mod machine;
+mod trace_exec;
 
+pub use decode::DecodedTrace;
 pub use digest::{checksum64, fnv64, Fnv64};
 pub use error::EmuError;
 pub use exec::Emulator;
 pub use machine::Machine;
+pub use trace_exec::jit_runs;

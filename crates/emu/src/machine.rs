@@ -7,7 +7,7 @@ use mom3d_mem::MainMemory;
 /// The complete architectural state of the modeled machine: scalar,
 /// µSIMD, MOM 2D, 3D and accumulator registers, the `VL`/`VS` registers,
 /// and main memory.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Machine {
     gprs: [u64; arch::GPR_COUNT],
     mmx: [u64; arch::MMX_LOGICAL_REGS],

@@ -155,6 +155,81 @@ impl MainMemory {
             self.write_u8(addr + i, (value >> (8 * i)) as u8);
         }
     }
+
+    // ---- page-batched accessors -----------------------------------------
+    //
+    // The byte-at-a-time paths above pay one page-table lookup per byte;
+    // callers that know their access geometry up front (the trace-
+    // specializing emulator) use these instead: one lookup per page
+    // touched, bit-identical results. The per-byte paths are kept
+    // untouched — they are the reference the batched paths are pinned
+    // against.
+
+    /// Reads a little-endian `u64` with a single page lookup when the
+    /// word lies within one page (falls back to [`MainMemory::read_u64`]
+    /// across a page boundary). Bit-identical to `read_u64`.
+    #[inline]
+    pub fn read_u64_paged(&self, addr: u64) -> u64 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 8 <= PAGE_SIZE {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            }
+        } else {
+            self.read_u64(addr)
+        }
+    }
+
+    /// Writes a little-endian `u64` with a single page lookup when the
+    /// word lies within one page. Like `write_u64`, always materializes
+    /// the touched page(s).
+    #[inline]
+    pub fn write_u64_paged(&mut self, addr: u64, value: u64) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 8 <= PAGE_SIZE {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_u64(addr, value);
+        }
+    }
+
+    /// Fills `buf` from `addr` with one page lookup per page touched —
+    /// the batched counterpart of [`MainMemory::read_into`].
+    pub fn read_paged(&self, addr: u64, buf: &mut [u8]) {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            match self.pages.get(&(a >> PAGE_SHIFT)) {
+                Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+        }
+    }
+
+    /// Writes `bytes` starting at `addr` with one page lookup per page
+    /// touched — the batched counterpart of [`MainMemory::write_bytes`].
+    pub fn write_paged(&mut self, addr: u64, bytes: &[u8]) {
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr + done as u64;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let chunk = (PAGE_SIZE - off).min(bytes.len() - done);
+            let page = self
+                .pages
+                .entry(a >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + chunk].copy_from_slice(&bytes[done..done + chunk]);
+            done += chunk;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,5 +311,46 @@ mod tests {
         m.write_u32(0, 0x0A0B_0C0D);
         assert_eq!(m.read_u8(0), 0x0D);
         assert_eq!(m.read_u8(3), 0x0A);
+    }
+
+    #[test]
+    fn paged_u64_matches_per_byte_everywhere() {
+        let mut m = MainMemory::new();
+        for i in 0..2 * PAGE_SIZE as u64 {
+            m.write_u8(0x1000 + i, (i % 251) as u8);
+        }
+        // Within a page, straddling the page boundary, and on absent pages.
+        for addr in [0x1000, 0x1ffc, 0x1000 + PAGE_SIZE as u64 - 4, 0x9_0000] {
+            assert_eq!(m.read_u64_paged(addr), m.read_u64(addr), "read at {addr:#x}");
+        }
+        let mut a = m.clone();
+        let mut b = m.clone();
+        for (i, addr) in [0x1008u64, 0x1000 + PAGE_SIZE as u64 - 3, 0xA_0000].iter().enumerate() {
+            a.write_u64(*addr, 0x1122_3344_5566_7788 * (i as u64 + 1));
+            b.write_u64_paged(*addr, 0x1122_3344_5566_7788 * (i as u64 + 1));
+        }
+        assert_eq!(a, b, "batched u64 writes must be bit-identical");
+    }
+
+    #[test]
+    fn paged_block_matches_per_byte_across_pages() {
+        let mut m = MainMemory::new();
+        for i in 0..PAGE_SIZE as u64 {
+            m.write_u8(0x2000 + i, i as u8);
+        }
+        // A read spanning resident and absent pages.
+        let base = 0x2000 + PAGE_SIZE as u64 - 100;
+        let mut fast = vec![0u8; 300];
+        m.read_paged(base, &mut fast);
+        assert_eq!(fast, m.read_bytes(base, 300));
+
+        let payload: Vec<u8> = (0..300).map(|i| (i % 7) as u8).collect();
+        let mut a = m.clone();
+        let mut b = m.clone();
+        a.write_bytes(base, &payload);
+        b.write_paged(base, &payload);
+        assert_eq!(a, b, "batched block writes must be bit-identical");
+        // Writes materialize pages exactly like the per-byte path.
+        assert_eq!(a.resident_pages(), b.resident_pages());
     }
 }

@@ -1,0 +1,71 @@
+//! Golden verification digests pinned from the pre-JIT interpreter.
+//!
+//! These 15 values (5 workloads × 3 ISA variants, full geometry,
+//! seed 7) were captured by running `Workload::verify_digested` on the
+//! per-instruction interpreter **before** the trace-specializing
+//! executor existed. The emulator's `run` path — whatever execution
+//! strategy it uses — must keep reproducing them bit for bit: a
+//! divergence here means the emulator changed architectural behaviour,
+//! not just speed.
+//!
+//! The three variants of one workload share a digest by construction
+//! (the digest is over the verified output regions, and all variants
+//! must compute the same result), but each (workload, variant) pair is
+//! pinned separately so a single-variant regression names its culprit.
+
+use mom3d_kernels::{IsaVariant, Workload, WorkloadKind};
+
+const SEED: u64 = 7;
+
+/// (workload, variant, digest) pinned from the pre-JIT interpreter.
+const GOLDEN: [(WorkloadKind, IsaVariant, u64); 15] = [
+    (WorkloadKind::JpegEncode, IsaVariant::Mmx, 0xc12c8e2645ee1759),
+    (WorkloadKind::JpegEncode, IsaVariant::Mom, 0xc12c8e2645ee1759),
+    (WorkloadKind::JpegEncode, IsaVariant::Mom3d, 0xc12c8e2645ee1759),
+    (WorkloadKind::JpegDecode, IsaVariant::Mmx, 0x56b2b6bbea65dde2),
+    (WorkloadKind::JpegDecode, IsaVariant::Mom, 0x56b2b6bbea65dde2),
+    (WorkloadKind::JpegDecode, IsaVariant::Mom3d, 0x56b2b6bbea65dde2),
+    (WorkloadKind::Mpeg2Decode, IsaVariant::Mmx, 0xc08a961463b6c0b5),
+    (WorkloadKind::Mpeg2Decode, IsaVariant::Mom, 0xc08a961463b6c0b5),
+    (WorkloadKind::Mpeg2Decode, IsaVariant::Mom3d, 0xc08a961463b6c0b5),
+    (WorkloadKind::Mpeg2Encode, IsaVariant::Mmx, 0x5180ba8da5ce1ef3),
+    (WorkloadKind::Mpeg2Encode, IsaVariant::Mom, 0x5180ba8da5ce1ef3),
+    (WorkloadKind::Mpeg2Encode, IsaVariant::Mom3d, 0x5180ba8da5ce1ef3),
+    (WorkloadKind::GsmEncode, IsaVariant::Mmx, 0x024efc03bb9860b0),
+    (WorkloadKind::GsmEncode, IsaVariant::Mom, 0x024efc03bb9860b0),
+    (WorkloadKind::GsmEncode, IsaVariant::Mom3d, 0x024efc03bb9860b0),
+];
+
+#[test]
+fn all_fifteen_digests_match_the_pre_jit_interpreter() {
+    let mut divergences = Vec::new();
+    for (kind, variant, expected) in GOLDEN {
+        let wl = Workload::build(kind, variant, SEED).expect("workload builds");
+        let got = wl.verify_digested().unwrap_or_else(|e| {
+            panic!("{kind:?}/{variant:?} no longer verifies: {e}");
+        });
+        if got != expected {
+            divergences.push(format!(
+                "{kind:?}/{variant:?}: got {got:#018x}, pinned {expected:#018x}"
+            ));
+        }
+    }
+    assert!(
+        divergences.is_empty(),
+        "emulator output diverged from the pre-JIT interpreter:\n{}",
+        divergences.join("\n")
+    );
+}
+
+#[test]
+fn golden_table_covers_every_workload_and_variant() {
+    for kind in WorkloadKind::ALL {
+        for variant in IsaVariant::ALL {
+            assert!(
+                GOLDEN.iter().any(|&(k, v, _)| k == kind && v == variant),
+                "no golden digest pinned for {kind:?}/{variant:?}"
+            );
+        }
+    }
+    assert_eq!(GOLDEN.len(), WorkloadKind::ALL.len() * IsaVariant::ALL.len());
+}

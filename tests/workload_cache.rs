@@ -188,7 +188,12 @@ fn concurrent_store_survives_rejecting_reader() {
 
 /// The acceptance property of the whole feature: a warm-cache sweep
 /// skips every workload build (hit count = workload count) and its
-/// metrics are bit-identical to the cold-cache sweep's.
+/// metrics are bit-identical to the cold-cache sweep's. Since the
+/// trace-specializing executor became the `Emulator::run` path, this
+/// also pins warm ≡ cold with the JIT active; the companion binary
+/// `tests/workload_cache_jit.rs` additionally proves the warm path
+/// invokes the JIT zero times (that counter is process-global, so the
+/// assertion needs a binary of its own).
 #[test]
 fn warm_sweep_equals_cold_sweep() {
     let dir = temp_cache_dir("warm-vs-cold");

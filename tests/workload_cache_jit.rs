@@ -1,0 +1,82 @@
+//! The workload cache's warm path must be emulator-free: serving an
+//! image from disk re-checks its digest over the stored bytes, it never
+//! re-executes the trace. With the trace-specializing executor in the
+//! verify path, that invariant becomes "a fully-warm sweep runs the JIT
+//! zero times" — pinned here via the emulator's process-global
+//! [`mom3d::emu::jit_runs`] counter.
+//!
+//! This test lives in its own integration-test binary on purpose: the
+//! counter counts every `Emulator::run` in the process, and the other
+//! cache tests (`tests/workload_cache.rs`) verify workloads on
+//! concurrent test threads, which would make delta assertions flaky.
+//! One test per binary means one process with nothing else running.
+
+use mom3d::cpu::MemorySystemKind;
+use mom3d::emu::jit_runs;
+use mom3d::kernels::{IsaVariant, WorkloadKind};
+use mom3d_bench::{sweep, Runner, SimKey, WorkloadCache};
+use std::path::PathBuf;
+
+const SEED: u64 = 11;
+
+fn temp_cache_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mom3d-workload-cache-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fully_warm_sweep_runs_the_jit_zero_times() {
+    let dir = temp_cache_dir("jit-free-warm");
+    // Every workload × variant pair — the full `all --small` matrix —
+    // so a warm path that sneaks in even one re-verify is caught no
+    // matter which workload family it hides in.
+    let cells: Vec<SimKey> = WorkloadKind::ALL
+        .iter()
+        .flat_map(|&kind| {
+            IsaVariant::ALL.iter().map(move |&variant| SimKey {
+                kind,
+                variant,
+                memory: MemorySystemKind::Ideal.into(),
+                l2_latency: 20,
+            })
+        })
+        .collect();
+    let workload_pairs = cells.len() as u64;
+
+    let mut cold = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let before_cold = jit_runs();
+    let cold_report = sweep::run(&mut cold, &cells, 1);
+    let cold_delta = jit_runs() - before_cold;
+    let cold_stats = cold_report.workload_cache.expect("cache attached");
+    assert_eq!(cold_stats.misses, workload_pairs);
+    assert!(
+        cold_delta >= workload_pairs,
+        "the cold sweep verifies every workload through the JIT \
+         (expected at least {workload_pairs} runs, counted {cold_delta})"
+    );
+
+    let mut warm = Runner::small(SEED).with_cache(WorkloadCache::open(&dir));
+    let before_warm = jit_runs();
+    let warm_report = sweep::run(&mut warm, &cells, 1);
+    let warm_delta = jit_runs() - before_warm;
+    let warm_stats = warm_report.workload_cache.expect("cache attached");
+    assert_eq!(
+        (warm_stats.hits, warm_stats.misses, warm_stats.rejected),
+        (workload_pairs, 0, 0),
+        "warm run must load every workload from the cache"
+    );
+    assert_eq!(
+        warm_delta, 0,
+        "the fully-warm sweep must never invoke the JIT \
+         (a cache hit proves a verification that already happened)"
+    );
+
+    // Bit-identity of the results rides along for free.
+    for (c, w) in cold_report.cells.iter().zip(&warm_report.cells) {
+        assert_eq!(c.key, w.key);
+        assert_eq!(c.metrics, w.metrics, "{:?}: warm metrics must be bit-identical", c.key);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
